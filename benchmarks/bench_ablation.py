@@ -1,0 +1,11 @@
+"""Benchmark for the ablation suite (Fig. 7, Limitation 2, executors)."""
+
+from benchmarks.conftest import SEED
+from repro.experiments import ablation
+
+
+def test_ablations(once):
+    result = once(ablation.run, quick=True, seed=SEED)
+    assert len(result.data["graded"]) > len(result.data["flat"])
+    assert result.data["throughput"]["compiled"] > \
+        result.data["throughput"]["interpreter"]

@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Fig. 3 and Fig. 4 (the Fig. 2 case study)."""
+
+from benchmarks.conftest import SEED
+from repro.experiments import fig3, fig4
+
+
+def test_fig3_boundary_value_analysis(once):
+    result = once(fig3.run, quick=True, seed=SEED)
+    assert result.data["all_known_found"]
+    assert result.data["report"].sound
+
+
+def test_fig4_path_reachability(once):
+    result = once(fig4.run, quick=True, seed=SEED)
+    assert result.data["result"].verified
+    # "noticeably more samples reaching inside than outside": at least
+    # a meaningful fraction of MO samples land in the solution set.
+    assert result.data["inside_fraction"] > 0.0

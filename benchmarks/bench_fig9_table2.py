@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 9 + Table 2 (GNU sin case study)."""
+
+from benchmarks.conftest import SEED
+from repro.experiments import fig9_table2
+
+
+def test_fig9_table2_gnu_sin_boundaries(once):
+    result = once(fig9_table2.run, quick=True, seed=SEED)
+    # Soundness replay must hold for every reported boundary value.
+    assert result.data["sound"]
+    # A healthy majority of the 8 reachable signed conditions in quick
+    # mode (the full-budget run triggers all 8; see EXPERIMENTS.md).
+    assert result.data["signed_conditions_triggered"] >= 5
+    # The ±2^1024 conditions stay untriggered.
+    assert all(row[5] == 0 for row in result.rows if row[0] == "c5")

@@ -1,0 +1,69 @@
+"""Micro-benchmarks for the library's hot paths.
+
+These time the building blocks the analyses' wall-clock depends on:
+weak-distance evaluation through both executors, instrumentation +
+compilation latency, and the ULP metric.
+"""
+
+import pytest
+
+from repro.analyses.boundary import multiplicative_spec
+from repro.analyses.overflow import overflow_spec
+from repro.core.weak_distance import WeakDistance
+from repro.fp.ulp import ulp_distance
+from repro.fpir.compiler import compile_program
+from repro.fpir.instrument import instrument
+from repro.fpir.interpreter import Interpreter
+from repro.gsl import airy, bessel
+from repro.libm import sin as glibc_sin
+from repro.programs import fig2
+
+
+@pytest.fixture(scope="module")
+def boundary_instrumented():
+    return instrument(fig2.make_program(), multiplicative_spec())
+
+
+def test_weak_distance_eval_compiled(benchmark, boundary_instrumented):
+    wd = WeakDistance(boundary_instrumented, use_compiler=True)
+    wd((0.5,))  # compile once before timing
+    benchmark(wd, (0.5,))
+
+
+def test_weak_distance_eval_interpreted(benchmark,
+                                        boundary_instrumented):
+    wd = WeakDistance(boundary_instrumented, use_compiler=False)
+    benchmark(wd, (0.5,))
+
+
+def test_instrument_bessel_overflow_spec(benchmark):
+    program = bessel.make_program()
+    benchmark(lambda: instrument(program, overflow_spec()))
+
+
+def test_compile_airy(benchmark, airy_program_module):
+    benchmark(lambda: compile_program(airy_program_module))
+
+
+@pytest.fixture(scope="module")
+def airy_program_module():
+    return airy.make_program()
+
+
+def test_interpret_sin(benchmark):
+    interp = Interpreter(glibc_sin.make_program())
+    benchmark(interp.run, [1.234])
+
+
+def test_compiled_sin(benchmark):
+    compiled = compile_program(glibc_sin.make_program())
+    benchmark(compiled.run, [1.234])
+
+
+def test_compiled_airy_negative_axis(benchmark, airy_program_module):
+    compiled = compile_program(airy_program_module)
+    benchmark(compiled.run, [-7.5])
+
+
+def test_ulp_distance(benchmark):
+    benchmark(ulp_distance, 1.0, 1.0000000001)

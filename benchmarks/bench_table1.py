@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 1 (MO backend comparison)."""
+
+from benchmarks.conftest import SEED
+from repro.experiments import table1
+
+
+def test_table1_backend_comparison(once):
+    result = once(table1.run, quick=True, seed=SEED)
+    bh = result.data["basinhopping"]
+    assert set(bh["boundary_values"]) >= {-3.0, 1.0, 2.0}
+    assert 0.9999999999999999 in bh["boundary_values"]
+    for name in ("basinhopping", "differential_evolution", "powell"):
+        assert result.data[name]["path"].verified

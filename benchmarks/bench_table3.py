@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table 3 (fpod summary on the GSL trio)."""
+
+from benchmarks.conftest import SEED
+from repro.experiments import table3
+
+
+def test_table3_fpod_summary(once):
+    result = once(table3.run, quick=True, seed=SEED)
+    by_name = {row[0]: row for row in result.rows}
+    # |Op| matches the paper exactly for the two flat benchmarks.
+    assert by_name["bessel"][2] == 23
+    assert by_name["hyperg"][2] == 8
+    # Overflows detected in every benchmark; inconsistencies exist;
+    # exactly the two airy bug-candidates.
+    for name in ("bessel", "hyperg", "airy"):
+        assert by_name[name][3] > 0
+    assert by_name["airy"][5] == 2
+    assert by_name["bessel"][5] == 0 and by_name["hyperg"][5] == 0

@@ -1,0 +1,22 @@
+"""Benchmarks regenerating Table 4 and Table 5."""
+
+from benchmarks.conftest import SEED
+from repro.experiments import table4, table5
+
+
+def test_table4_bessel_per_instruction(once):
+    result = once(table4.run, quick=True, seed=SEED)
+    assert result.data["n_ops"] == 23
+    assert result.data["n_found"] >= 14  # paper: 21 (full budget)
+    missed = {row[0] for row in result.rows if row[2] == "missed"}
+    # The constant product can never overflow — structural miss.
+    assert set(result.data["constant_op_labels"]) <= missed
+
+
+def test_table5_inconsistencies_and_bugs(once):
+    result = once(table5.run, quick=True, seed=SEED)
+    causes = {(row[0], row[5]) for row in result.rows}
+    assert ("airy", "division by zero") in causes
+    assert ("airy", "Inaccurate cosine") in causes
+    # All rows are inconsistencies by definition: status == SUCCESS.
+    assert all(row[2] == 0 for row in result.rows)

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each paper artefact (table/figure) has one benchmark that runs its
+experiment in quick mode exactly once per round (the experiments are
+end-to-end analyses, not microseconds-scale kernels) and asserts the
+qualitative reproduction before timing is reported.
+"""
+
+import pytest
+
+SEED = 20190622
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (end-to-end experiments)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return run

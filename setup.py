@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The pinned offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (setup.py develop) work instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — Effective Floating-Point Analysis via Weak-Distance
+Minimization (PLDI 2019), reproduced as a Python library.
+
+The library reduces floating-point analysis problems ⟨Prog; S⟩ to
+mathematical optimization by constructing *weak distances* — nonnegative
+programs whose zeros are exactly the solution set — and minimizing them
+(Fu & Su, PLDI'19).
+
+Quick tour
+----------
+
+>>> from repro.programs import fig2
+>>> from repro.analyses import BoundaryValueAnalysis
+>>> report = BoundaryValueAnalysis(fig2.make_program()).run(
+...     n_starts=5, seed=1, max_samples=20000)
+>>> sorted({x[0] for x in report.boundary_values})[:3]
+[-3.0, 0.9999999999999999, 1.0]
+
+Packages
+--------
+
+:mod:`repro.fpir`
+    FPIR, the C-like IR for the programs under analysis: builder,
+    interpreter, Python-codegen compiler, instrumentation engine.
+:mod:`repro.core`
+    The reduction theory: problems, weak distances, Algorithm 2.
+:mod:`repro.analyses`
+    Instances 1-4: boundary values, path reachability, overflow
+    detection (fpod), branch coverage.
+:mod:`repro.sat`
+    Instance 5: XSat-style QF-FP satisfiability.
+:mod:`repro.mo`
+    MO backends (Basinhopping / Differential Evolution / Powell /
+    pure-Python MCMC / random search).
+:mod:`repro.gsl`, :mod:`repro.libm`
+    The benchmark substrate: mini-GSL (bessel / hyperg / airy) and the
+    Glibc 2.19 ``sin`` branch structure.
+:mod:`repro.experiments`
+    One module per paper table/figure (``python -m repro.experiments``).
+"""
+
+from repro.core import (
+    AnalysisProblem,
+    KernelConfig,
+    ReductionKernel,
+    ReductionOutcome,
+    Verdict,
+    WeakDistance,
+)
+from repro.fpir import (
+    Function,
+    Program,
+    compile_program,
+    instrument,
+    run_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisProblem",
+    "Function",
+    "KernelConfig",
+    "Program",
+    "ReductionKernel",
+    "ReductionOutcome",
+    "Verdict",
+    "WeakDistance",
+    "compile_program",
+    "instrument",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,275 @@
+"""Instance 1: boundary value analysis (paper Sections 2.2, 4.2, 6.2).
+
+Boundary conditions are the equalities ``a == b`` underlying each
+comparison ``a ⊳ b``.  The Analysis Designer's recipe (Fig. 3):
+
+* ``w_init = 1``;
+* before each labelled comparison, inject ``w = w * |a - b|``.
+
+``W`` is then nonnegative and vanishes exactly when some executed
+comparison sits on its boundary.  The paper also discusses (Fig. 7) the
+*characteristic* alternative ``w = w * (a == b ? 0 : 1)`` — valid but
+flat, hence useless to MO; both are available here for the ablation.
+
+The analysis driver mirrors the GNU ``sin`` case study:
+
+1. minimize ``W`` from many starting points, recording every sample;
+2. filter the samples with ``W(x) == 0`` — the reported boundary-value
+   set ``BV``;
+3. *soundness check*: replay each ``x ∈ BV`` on a separately
+   instrumented program that executes ``if (a == b) hits++`` before
+   each comparison (Section 6.2(i)), and verify each replay hits a
+   boundary condition;
+4. group ``BV`` by triggered condition for the Table 2 rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.instrument import InstrumentationSpec, instrument
+from repro.fpir.labels import CompareSite
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    If,
+    RecordEvent,
+    Stmt,
+    Ternary,
+    Var,
+)
+from repro.fpir.program import Program
+from repro.mo.base import MOBackend, Objective
+from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.mo.starts import StartSampler, uniform_sampler
+from repro.util.rng import make_rng
+
+#: Event kind recorded by the hits-instrumented program.
+HIT_EVENT = "boundary_hit"
+
+
+def _abs_diff(lhs, rhs) -> Call:
+    """``fabs(a - b)`` — works for float and int operands (C converts)."""
+    return Call("fabs", (BinOp("fsub", lhs, rhs),))
+
+
+SiteFilter = Callable[[CompareSite], bool]
+
+
+def multiplicative_spec(
+    w_var: str = "w", site_filter: Optional[SiteFilter] = None
+) -> InstrumentationSpec:
+    """The graded Fig. 3 weak distance: ``w *= |a - b|``.
+
+    ``site_filter`` restricts instrumentation to selected comparison
+    sites — the paper's sin case study instruments only the five
+    ``if (k < c)`` branches of ``sin`` itself, not its kernels.
+    """
+
+    def before_compare(site: CompareSite, cmp: Compare) -> List[Stmt]:
+        if site_filter is not None and not site_filter(site):
+            return []
+        return [
+            Assign(
+                w_var,
+                BinOp("fmul", Var(w_var), _abs_diff(cmp.lhs, cmp.rhs)),
+            )
+        ]
+
+    return InstrumentationSpec(
+        w_var=w_var, w_init=1.0, before_compare=before_compare
+    )
+
+
+def characteristic_spec(
+    w_var: str = "w", site_filter: Optional[SiteFilter] = None
+) -> InstrumentationSpec:
+    """The flat Fig. 7 weak distance: ``w *= (a == b ? 0 : 1)``."""
+
+    def before_compare(site: CompareSite, cmp: Compare) -> List[Stmt]:
+        if site_filter is not None and not site_filter(site):
+            return []
+        return [
+            Assign(
+                w_var,
+                BinOp(
+                    "fmul",
+                    Var(w_var),
+                    Ternary(
+                        Compare("eq", cmp.lhs, cmp.rhs),
+                        Const(0.0),
+                        Const(1.0),
+                    ),
+                ),
+            )
+        ]
+
+    return InstrumentationSpec(
+        w_var=w_var, w_init=1.0, before_compare=before_compare
+    )
+
+
+def hits_spec(
+    site_filter: Optional[SiteFilter] = None,
+) -> InstrumentationSpec:
+    """Soundness-check instrumentation: ``if (a == b) hits++``.
+
+    Implemented with :class:`RecordEvent` counters keyed by the
+    comparison label, mirroring the paper's manual ``hits++``.
+    """
+
+    def before_compare(site: CompareSite, cmp: Compare) -> List[Stmt]:
+        if site_filter is not None and not site_filter(site):
+            return []
+        return [
+            If(
+                Compare("eq", cmp.lhs, cmp.rhs),
+                Block((RecordEvent(HIT_EVENT, site.label),)),
+                Block(()),
+            )
+        ]
+
+    return InstrumentationSpec(
+        w_var="_hits_w", w_init=0.0, before_compare=before_compare
+    )
+
+
+@dataclasses.dataclass
+class ConditionStats:
+    """Table 2 row: one boundary condition's triggering statistics."""
+
+    label: str
+    text: str
+    hits: int = 0
+    min_value: Optional[Tuple[float, ...]] = None
+    max_value: Optional[Tuple[float, ...]] = None
+
+    def update(self, x: Tuple[float, ...]) -> None:
+        self.hits += 1
+        if self.min_value is None or x < self.min_value:
+            self.min_value = x
+        if self.max_value is None or x > self.max_value:
+            self.max_value = x
+
+
+@dataclasses.dataclass
+class BoundaryReport:
+    """Full outcome of a boundary value analysis run."""
+
+    #: All MO samples (the ``Raw`` variable of Section 6.2).
+    n_samples: int
+    #: Samples attaining W == 0 (the ``BV`` set).
+    boundary_values: List[Tuple[float, ...]]
+    #: Per-condition statistics, keyed by comparison label.
+    per_condition: Dict[str, ConditionStats]
+    #: Result of the soundness replay: every BV sample hit a condition.
+    sound: bool
+    #: Sample index (1-based) at which each condition was first hit —
+    #: the Fig. 9 progress curve.  Conditions never hit are absent.
+    first_hit_at: Dict[str, int]
+
+    @property
+    def conditions_triggered(self) -> int:
+        return sum(1 for s in self.per_condition.values() if s.hits > 0)
+
+
+class BoundaryValueAnalysis:
+    """Driver for Instance 1 on an arbitrary FPIR program."""
+
+    def __init__(
+        self,
+        program: Program,
+        backend: Optional[MOBackend] = None,
+        characteristic: bool = False,
+        site_filter: Optional[SiteFilter] = None,
+    ) -> None:
+        self.program = program
+        self.backend = backend or BasinhoppingBackend()
+        self.site_filter = site_filter
+        spec = (
+            characteristic_spec(site_filter=site_filter)
+            if characteristic
+            else multiplicative_spec(site_filter=site_filter)
+        )
+        self.weak_distance = WeakDistance(instrument(program, spec))
+        self._hits = WeakDistance(
+            instrument(program, hits_spec(site_filter=site_filter))
+        )
+        self.index = self.weak_distance.instrumented.index
+
+    # -- soundness replay -----------------------------------------------------
+
+    def replay_hits(self, x: Sequence[float]) -> List[str]:
+        """Labels of the boundary conditions that ``x`` triggers."""
+        _, counters = self._hits.replay(x)
+        return [
+            label
+            for (kind, label), count in counters.items()
+            if kind == HIT_EVENT and count > 0
+        ]
+
+    # -- the analysis -----------------------------------------------------------
+
+    def run(
+        self,
+        n_starts: int = 20,
+        seed: Optional[int] = None,
+        start_sampler: Optional[StartSampler] = None,
+        max_samples: Optional[int] = None,
+    ) -> BoundaryReport:
+        """Multi-start minimization; every zero sample is a boundary value.
+
+        Unlike plain Algorithm 2 the driver does *not* stop at the first
+        zero — the goal is all reachable boundary conditions, so each
+        start runs to completion and all zero-valued samples are kept
+        (this is how the paper collects 945 314 BV samples for ``sin``).
+        """
+        rng = make_rng(seed)
+        sampler = start_sampler or uniform_sampler(-100.0, 100.0)
+        objective = Objective(
+            self.weak_distance,
+            n_dims=self.program.num_inputs,
+            record_samples=True,
+            stop_at_zero=False,
+            max_samples=max_samples,
+        )
+        for _ in range(n_starts):
+            if max_samples is not None and objective.n_evals >= max_samples:
+                break
+            start = sampler(rng, self.program.num_inputs)
+            self.backend.minimize(objective, start, rng)
+
+        boundary_values = [x for x, f in objective.samples if f == 0.0]
+
+        per_condition = {
+            site.label: ConditionStats(label=site.label, text=site.text)
+            for site in self.index.compares
+            if self.site_filter is None or self.site_filter(site)
+        }
+        first_hit_at: Dict[str, int] = {}
+        sound = True
+        sample_no = 0
+        for x, f in objective.samples:
+            sample_no += 1
+            if f != 0.0:
+                continue
+            labels = self.replay_hits(x)
+            if not labels:
+                sound = False
+                continue
+            for label in labels:
+                per_condition[label].update(tuple(x))
+                first_hit_at.setdefault(label, sample_no)
+        return BoundaryReport(
+            n_samples=objective.n_evals,
+            boundary_values=boundary_values,
+            per_condition=per_condition,
+            sound=sound,
+            first_hit_at=first_hit_at,
+        )

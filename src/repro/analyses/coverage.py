@@ -1,0 +1,180 @@
+"""Instance 4: branch-coverage-based testing (the CoverMe instance [17]).
+
+The weak distance is parameterized by the set ``B`` of already-covered
+branch *arms* (label:T / label:F), kept as a runtime label set so no
+re-instrumentation is needed between rounds:
+
+* ``w_init = 0``;
+* before each branch with comparison condition ``a ⊳ b``::
+
+      if (lbl:T not in B) w += (cond ? 0 : dist_to_true);
+      if (lbl:F not in B) w += (cond ? dist_to_false : 0);
+
+  so ``W(x) == 0`` iff the execution of ``x`` visits, for every branch
+  it reaches, only arms that are either already covered or newly
+  covered by this very execution — i.e. minimizing W drives inputs
+  toward *uncovered* arms (the FOO_R construction of [17]).
+* each arm's prologue records a coverage event, from which the driver
+  grows ``B`` after every round.
+
+The driver loops (minimize → replay → grow B) until full coverage or a
+round budget, and reports the classic branch-coverage percentage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyses.path import branch_distance
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.instrument import InstrumentationSpec, instrument
+from repro.fpir.labels import BranchSite
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Compare,
+    Const,
+    If,
+    InLabelSet,
+    RecordEvent,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+)
+from repro.fpir.program import Program
+from repro.mo.base import MOBackend, Objective
+from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.mo.starts import StartSampler, uniform_sampler
+from repro.util.rng import make_rng
+
+#: Name of the runtime set of covered branch arms.
+B_SET = "B"
+
+#: Event kind marking execution of a branch arm.
+COVER_EVENT = "cover"
+
+
+def _arm(label: str, taken: bool) -> str:
+    return f"{label}:{'T' if taken else 'F'}"
+
+
+def coverage_spec(w_var: str = "w") -> InstrumentationSpec:
+    """The FOO_R-style coverage weak distance."""
+
+    def before_branch(site: BranchSite, stmt) -> List[Stmt]:
+        cond = stmt.cond
+        if isinstance(cond, Compare):
+            dist_true = branch_distance(cond, True)
+            dist_false = branch_distance(cond, False)
+        else:
+            dist_true = Ternary(cond, Const(0.0), Const(1.0))
+            dist_false = Ternary(cond, Const(1.0), Const(0.0))
+        out: List[Stmt] = []
+        for taken, dist in ((True, dist_true), (False, dist_false)):
+            guard = UnOp("not", InLabelSet(B_SET, _arm(site.label, taken)))
+            update = Assign(
+                w_var, BinOp("fadd", Var(w_var), dist)
+            )
+            out.append(If(guard, Block((update,)), Block(())))
+        return out
+
+    def arm_prologue(site: BranchSite, taken: bool) -> List[Stmt]:
+        return [RecordEvent(COVER_EVENT, _arm(site.label, taken))]
+
+    return InstrumentationSpec(
+        w_var=w_var,
+        w_init=0.0,
+        before_branch=before_branch,
+        arm_prologue=arm_prologue,
+        label_sets=(B_SET,),
+    )
+
+
+@dataclasses.dataclass
+class CoverageReport:
+    """Outcome of the coverage loop."""
+
+    total_arms: int
+    covered_arms: Set[str]
+    #: One representative input per newly covered arm.
+    witnesses: Dict[str, Tuple[float, ...]]
+    rounds: int
+    n_evals: int
+
+    @property
+    def coverage(self) -> float:
+        """Branch coverage in [0, 1]."""
+        if self.total_arms == 0:
+            return 1.0
+        return len(self.covered_arms) / self.total_arms
+
+
+class BranchCoverageTesting:
+    """Driver for Instance 4."""
+
+    def __init__(
+        self,
+        program: Program,
+        backend: Optional[MOBackend] = None,
+    ) -> None:
+        self.program = program
+        self.backend = backend or BasinhoppingBackend(niter=40)
+        self.weak_distance = WeakDistance(
+            instrument(program, coverage_spec())
+        )
+        self.index = self.weak_distance.instrumented.index
+        self.all_arms = [
+            _arm(site.label, taken)
+            for site in self.index.branches
+            for taken in (True, False)
+        ]
+
+    def _executed_arms(self, x: Sequence[float]) -> Set[str]:
+        """Replay ``x`` and collect the branch arms it covers."""
+        _, counters = self.weak_distance.replay(x)
+        return {
+            label
+            for (kind, label), count in counters.items()
+            if kind == COVER_EVENT and count > 0
+        }
+
+    def run(
+        self,
+        max_rounds: int = 30,
+        seed: Optional[int] = None,
+        start_sampler: Optional[StartSampler] = None,
+    ) -> CoverageReport:
+        """The CoverMe loop: minimize, replay, grow B, repeat."""
+        rng = make_rng(seed)
+        sampler = start_sampler or uniform_sampler(-100.0, 100.0)
+        covered = self.weak_distance.label_sets.setdefault(B_SET, set())
+        covered.clear()
+        witnesses: Dict[str, Tuple[float, ...]] = {}
+        n_evals = 0
+        rounds = 0
+        while len(covered) < len(self.all_arms) and rounds < max_rounds:
+            rounds += 1
+            objective = Objective(
+                self.weak_distance, n_dims=self.program.num_inputs
+            )
+            start = sampler(rng, self.program.num_inputs)
+            result = self.backend.minimize(objective, start, rng)
+            n_evals += objective.n_evals
+            newly = self._executed_arms(result.x_star) - covered
+            if not newly:
+                # The round failed to reach anything new; try another
+                # random start next round (rounds budget bounds this).
+                continue
+            for arm in newly:
+                witnesses[arm] = result.x_star
+            covered |= newly
+        return CoverageReport(
+            total_arms=len(self.all_arms),
+            covered_arms=set(covered),
+            witnesses=witnesses,
+            rounds=rounds,
+            n_evals=n_evals,
+        )

@@ -1,0 +1,228 @@
+"""Instance 3: floating-point overflow detection — Algorithm 3 / fpod.
+
+The paper's Section 4.4, reproduced step for step:
+
+1. Normalize the program so each elementary FP operation is one labelled
+   instruction (``repro.fpir.normalize``), and instrument a global ``w``.
+2. After each FP instruction ``l`` with assignee ``a``, inject::
+
+       if (l is not in L) {
+           w = (|a| < MAX) ? MAX - |a| : 0;
+           if (w == 0) return;            // modelled as Halt
+       }
+
+   ``L`` is a *runtime* label set (no re-instrumentation between
+   rounds).
+3. ``W`` returns ``w`` with ``w_init = 1``.
+4–8. Repeat: pick a random start, Basinhopping-minimize ``W``; when the
+   minimum is 0 record the input; set ``target`` to the last executed
+   not-in-``L`` probe and add it to ``L``.  Terminate once ``|L|``
+   exceeds the instruction count.
+
+The ``target`` heuristic makes each round chase one instruction — the
+*last* uncovered probe overwrites ``w`` — and putting ``target`` in
+``L`` even on failure guarantees termination in at most
+``nFPProg + 1`` rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.weak_distance import WeakDistance
+from repro.fp.ieee import DBL_MAX
+from repro.fpir.instrument import InstrumentationSpec, instrument
+from repro.fpir.labels import FpOpSite
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    Halt,
+    If,
+    InLabelSet,
+    RecordEvent,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+)
+from repro.fpir.program import Program
+from repro.mo.base import MOBackend, Objective
+from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.mo.starts import DEFAULT_SAMPLER, StartSampler
+from repro.util.rng import make_rng
+
+#: Name of Algorithm 3's runtime set of already-overflowed instructions.
+L_SET = "L"
+
+#: Event kind marking execution of a not-yet-covered probe.
+PROBE_EVENT = "probe"
+
+
+def overflow_spec(w_var: str = "w") -> InstrumentationSpec:
+    """Algorithm 3 steps (1)–(3): the per-instruction probe."""
+
+    def after_fp_assign(site: FpOpSite, stmt: Assign) -> List[Stmt]:
+        a = Var(stmt.name)
+        abs_a = Call("fabs", (a,))
+        probe_value = Ternary(
+            Compare("lt", abs_a, Const(DBL_MAX)),
+            BinOp("fsub", Const(DBL_MAX), abs_a),
+            Const(0.0),
+        )
+        body = Block(
+            (
+                RecordEvent(PROBE_EVENT, site.label),
+                Assign(w_var, probe_value),
+                If(
+                    Compare("eq", Var(w_var), Const(0.0)),
+                    Block((Halt(),)),
+                    Block(()),
+                ),
+            )
+        )
+        guard = UnOp("not", InLabelSet(L_SET, site.label))
+        return [If(guard, body, Block(()))]
+
+    return InstrumentationSpec(
+        w_var=w_var,
+        w_init=1.0,
+        after_fp_assign=after_fp_assign,
+        normalize=True,
+        label_sets=(L_SET,),
+    )
+
+
+@dataclasses.dataclass
+class OverflowFinding:
+    """One overflowed instruction and a triggering input (Table 4 row)."""
+
+    label: str
+    text: str
+    function: str
+    x_star: Tuple[float, ...]
+
+
+@dataclasses.dataclass
+class OverflowReport:
+    """Result of a full Algorithm 3 run (feeds Tables 3 and 4)."""
+
+    n_fp_ops: int
+    findings: List[OverflowFinding]
+    #: Instructions for which no overflow was triggered ("missed").
+    missed: List[FpOpSite]
+    rounds: int
+    n_evals: int
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_overflows(self) -> int:
+        return len(self.findings)
+
+    @property
+    def inputs(self) -> List[Tuple[float, ...]]:
+        return [f.x_star for f in self.findings]
+
+
+class OverflowDetection:
+    """The fpod tool: Algorithm 3 over an FPIR program."""
+
+    def __init__(
+        self,
+        program: Program,
+        backend: Optional[MOBackend] = None,
+    ) -> None:
+        self.program = program
+        self.backend = backend or BasinhoppingBackend(niter=40)
+        self.weak_distance = WeakDistance(
+            instrument(program, overflow_spec())
+        )
+        self.index = self.weak_distance.instrumented.index
+
+    @property
+    def n_fp_ops(self) -> int:
+        return len(self.index.fp_ops)
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        start_sampler: StartSampler = DEFAULT_SAMPLER,
+        retries_per_round: int = 3,
+        max_rounds: Optional[int] = None,
+    ) -> OverflowReport:
+        """Algorithm 3 steps (4)–(9).
+
+        ``retries_per_round`` relaunches Basinhopping from other starts
+        when a nonzero minimum is produced, "in case that failing to
+        find a minimum 0 is due to incompleteness" (Section 6.3.1).
+        """
+        import time
+
+        t0 = time.perf_counter()
+        rng = make_rng(seed)
+        weak_distance = self.weak_distance
+        covered = weak_distance.label_sets.setdefault(L_SET, set())
+        covered.clear()
+        sites = {site.label: site for site in self.index.fp_ops}
+        findings: List[OverflowFinding] = []
+        found_labels = set()
+        n_evals = 0
+        rounds = 0
+        budget = max_rounds if max_rounds is not None else self.n_fp_ops + 1
+
+        while len(covered) <= self.n_fp_ops and rounds < budget:
+            rounds += 1
+            objective = Objective(
+                weak_distance, n_dims=self.program.num_inputs
+            )
+            best = None
+            for _ in range(max(1, retries_per_round)):
+                start = start_sampler(rng, self.program.num_inputs)
+                result = self.backend.minimize(objective, start, rng)
+                if best is None or result.f_star < best.f_star:
+                    best = result
+                if result.stopped_at_zero:
+                    break
+            n_evals += objective.n_evals
+            assert best is not None
+
+            # Step (7): re-run W at the final iterate to observe the last
+            # executed, not-yet-covered probe.
+            weak_distance(best.x_star)
+            target = weak_distance.last_events.get(PROBE_EVENT)
+
+            if best.f_star == 0.0 and target is not None:
+                site = sites[target]
+                if target not in found_labels:
+                    found_labels.add(target)
+                    findings.append(
+                        OverflowFinding(
+                            label=target,
+                            text=site.text,
+                            function=site.function,
+                            x_star=best.x_star,
+                        )
+                    )
+            if target is None:
+                # No uncovered probe executed at all: every remaining
+                # instruction is unreachable from this region; stop.
+                break
+            covered.add(target)
+
+        missed = [
+            site
+            for site in self.index.fp_ops
+            if site.label not in found_labels
+        ]
+        return OverflowReport(
+            n_fp_ops=self.n_fp_ops,
+            findings=findings,
+            missed=missed,
+            rounds=rounds,
+            n_evals=n_evals,
+            elapsed_seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,256 @@
+"""Instance 2: path reachability (paper Sections 2.2, 4.3).
+
+Given a path — here, a constraint on the directions of selected
+branches — the designer's recipe (Fig. 4):
+
+* ``w_init = 0``;
+* before each constrained branch with condition ``a ⊳ b`` and wanted
+  direction ``taken``, inject ``w = w + d`` where ``d`` is the *branch
+  distance*: 0 when the wanted direction would be taken, else a
+  measure of how far the operands are from flipping the comparison
+  (for ``a <= b`` wanted true: ``(a <= b) ? 0 : a - b`` — exactly the
+  paper's stub).
+
+``W(x) == 0`` iff every constrained branch takes its wanted direction
+on every dynamic occurrence (and branches that never execute contribute
+0 — the path spec may therefore also require branches to *execute*,
+which the driver checks during verification).
+
+Branch distances for strict comparisons have the classic Limitation-2
+caveat (``a < b`` wanted but ``a == b`` gives distance 0); the driver's
+verification replay catches such spurious results, as the paper's
+Remark suggests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.instrument import InstrumentationSpec, instrument
+from repro.fpir.labels import BranchSite
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    If,
+    RecordEvent,
+    Stmt,
+    Ternary,
+    Var,
+    While,
+)
+from repro.fpir.program import Program
+from repro.mo.base import MOBackend, Objective
+from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.mo.starts import StartSampler, uniform_sampler
+from repro.util.rng import make_rng
+
+#: Event kinds recorded by the verification instrumentation.
+ARM_EVENT = "arm"
+
+#: op -> op of the negated comparison.
+_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt",
+           "eq": "ne", "ne": "eq"}
+
+
+def branch_distance(cmp: Compare, wanted: bool) -> Expr:
+    """Korel-style branch distance for driving ``cmp`` to ``wanted``.
+
+    Always nonnegative and zero **iff** the comparison evaluates in the
+    wanted direction.  For strict comparisons the raw operand
+    difference would be 0 at equality even though the comparison is
+    false (the paper's Limitation 2); one subnormal quantum is added,
+    which is exact — FP subtraction of unequal finite doubles is never
+    0 thanks to gradual underflow, so the padded distance has no false
+    zeros.
+    """
+    from repro.fp.ieee import DBL_TRUE_MIN
+
+    op = cmp.op if wanted else _NEGATE[cmp.op]
+    a, b = cmp.lhs, cmp.rhs
+    diff_ab = BinOp("fsub", a, b)
+    diff_ba = BinOp("fsub", b, a)
+    abs_diff = Call("fabs", (diff_ab,))
+    zero = Const(0.0)
+    one = Const(1.0)
+    pad = Const(DBL_TRUE_MIN)
+    if op == "le":
+        # want a <= b: penalty a - b when on the wrong side (the
+        # paper's Fig. 4 stub, verbatim).
+        return Ternary(Compare(op, a, b), zero, diff_ab)
+    if op == "lt":
+        return Ternary(
+            Compare(op, a, b), zero, BinOp("fadd", diff_ab, pad)
+        )
+    if op == "ge":
+        return Ternary(Compare(op, a, b), zero, diff_ba)
+    if op == "gt":
+        return Ternary(
+            Compare(op, a, b), zero, BinOp("fadd", diff_ba, pad)
+        )
+    if op == "eq":
+        return abs_diff
+    # op == "ne": flat unit penalty on the (measure-zero) equality set.
+    return Ternary(Compare("ne", a, b), zero, one)
+
+
+@dataclasses.dataclass(frozen=True)
+class BranchConstraint:
+    """One constrained branch of a path specification."""
+
+    label: str
+    taken: bool
+    #: Require the branch to actually execute at least once.
+    must_execute: bool = True
+
+
+class PathSpec:
+    """A path, as a set of branch-direction constraints.
+
+    This models the paper's Fig. 4 goal ("trigger both branches") and
+    generalizes to arbitrary subsets of a program's branch sites.
+    """
+
+    def __init__(self, constraints: Sequence[BranchConstraint]) -> None:
+        self.constraints = list(constraints)
+        self.by_label: Dict[str, BranchConstraint] = {
+            c.label: c for c in constraints
+        }
+
+    @classmethod
+    def all_true(cls, program_index) -> "PathSpec":
+        """The Fig. 4 spec: every branch takes its true direction."""
+        return cls(
+            [
+                BranchConstraint(site.label, True)
+                for site in program_index.branches
+            ]
+        )
+
+
+def path_spec_instrumentation(
+    path: PathSpec, w_var: str = "w"
+) -> InstrumentationSpec:
+    """Build the additive path weak distance + verification events."""
+
+    def before_branch(site: BranchSite, stmt) -> List[Stmt]:
+        constraint = path.by_label.get(site.label)
+        if constraint is None:
+            return []
+        cond = stmt.cond
+        if isinstance(cond, Compare):
+            penalty = branch_distance(cond, constraint.taken)
+        else:
+            # Boolean conditions: fall back to the characteristic
+            # penalty — 0 when cond matches the wanted direction, 1
+            # otherwise (flat, like Fig. 7; still a valid distance).
+            if constraint.taken:
+                penalty = Ternary(cond, Const(0.0), Const(1.0))
+            else:
+                penalty = Ternary(cond, Const(1.0), Const(0.0))
+        return [Assign(w_var, BinOp("fadd", Var(w_var), penalty))]
+
+    def arm_prologue(site: BranchSite, taken: bool) -> List[Stmt]:
+        suffix = "T" if taken else "F"
+        return [RecordEvent(ARM_EVENT, f"{site.label}:{suffix}")]
+
+    return InstrumentationSpec(
+        w_var=w_var,
+        w_init=0.0,
+        before_branch=before_branch,
+        arm_prologue=arm_prologue,
+    )
+
+
+@dataclasses.dataclass
+class PathResult:
+    """Outcome of a path reachability query."""
+
+    found: bool
+    x_star: Optional[Tuple[float, ...]]
+    w_star: float
+    n_evals: int
+    #: Verified by replay: every constrained branch executed (when
+    #: required) and always took the wanted direction.
+    verified: bool = False
+
+
+class PathReachability:
+    """Driver for Instance 2."""
+
+    def __init__(
+        self,
+        program: Program,
+        path: Optional[PathSpec] = None,
+        backend: Optional[MOBackend] = None,
+    ) -> None:
+        self.program = program
+        self.backend = backend or BasinhoppingBackend()
+        # Label the program once to let callers build PathSpecs; the
+        # instrumenter re-labels its own clone identically
+        # (deterministic order).
+        from repro.fpir.labels import assign_labels
+
+        probe = program.clone()
+        self.index = assign_labels(probe)
+        self.path = path or PathSpec.all_true(self.index)
+        spec = path_spec_instrumentation(self.path)
+        self.weak_distance = WeakDistance(instrument(program, spec))
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(self, x: Sequence[float]) -> bool:
+        """Replay ``x`` and check the path constraints dynamically."""
+        _, counters = self.weak_distance.replay(x)
+        for constraint in self.path.constraints:
+            wanted = (ARM_EVENT, f"{constraint.label}:"
+                      f"{'T' if constraint.taken else 'F'}")
+            unwanted = (ARM_EVENT, f"{constraint.label}:"
+                        f"{'F' if constraint.taken else 'T'}")
+            if counters.get(unwanted, 0) > 0:
+                return False
+            if constraint.must_execute and counters.get(wanted, 0) == 0:
+                return False
+        return True
+
+    # -- the analysis -------------------------------------------------------------
+
+    def run(
+        self,
+        n_starts: int = 10,
+        seed: Optional[int] = None,
+        start_sampler: Optional[StartSampler] = None,
+        record_samples: bool = False,
+    ) -> PathResult:
+        """Minimize the path weak distance; verify any zero by replay."""
+        rng = make_rng(seed)
+        sampler = start_sampler or uniform_sampler(-100.0, 100.0)
+        objective = Objective(
+            self.weak_distance,
+            n_dims=self.program.num_inputs,
+            record_samples=record_samples,
+        )
+        best = None
+        for _ in range(n_starts):
+            start = sampler(rng, self.program.num_inputs)
+            result = self.backend.minimize(objective, start, rng)
+            if best is None or result.f_star < best.f_star:
+                best = result
+            if result.stopped_at_zero:
+                break
+        assert best is not None
+        found = best.f_star == 0.0
+        verified = found and self.verify(best.x_star)
+        self.last_objective = objective
+        return PathResult(
+            found=found,
+            x_star=best.x_star if found else None,
+            w_star=best.f_star,
+            n_evals=objective.n_evals,
+            verified=verified,
+        )

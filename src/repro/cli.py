@@ -1,0 +1,219 @@
+"""Command-line front-end: the reproduction's answer to ``fpod``.
+
+Usage (via ``python -m repro``)::
+
+    python -m repro list
+    python -m repro fpod gsl-bessel [--seed N] [--niter N] [--retries N]
+    python -m repro boundary glibc-sin --entry-only [--samples N]
+    python -m repro coverage fig2 [--rounds N]
+    python -m repro sat "x < 1 && x + 1 >= 2" [--metric ulp|naive]
+
+Programs are resolved through :mod:`repro.programs.suite`; constraints
+are parsed by :mod:`repro.sat.parser`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.tables import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Weak-distance minimization analyses (PLDI'19 "
+                    "reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered programs")
+
+    fpod = sub.add_parser("fpod", help="overflow detection (Algorithm 3)")
+    fpod.add_argument("program")
+    fpod.add_argument("--seed", type=int, default=None)
+    fpod.add_argument("--niter", type=int, default=40)
+    fpod.add_argument("--retries", type=int, default=4)
+
+    boundary = sub.add_parser("boundary", help="boundary value analysis")
+    boundary.add_argument("program")
+    boundary.add_argument("--seed", type=int, default=None)
+    boundary.add_argument("--samples", type=int, default=100_000)
+    boundary.add_argument("--starts", type=int, default=20)
+    boundary.add_argument(
+        "--entry-only",
+        action="store_true",
+        help="instrument only the entry function's comparisons",
+    )
+
+    coverage = sub.add_parser("coverage", help="branch-coverage testing")
+    coverage.add_argument("program")
+    coverage.add_argument("--seed", type=int, default=None)
+    coverage.add_argument("--rounds", type=int, default=40)
+
+    sat = sub.add_parser("sat", help="QF-FP satisfiability")
+    sat.add_argument("constraint")
+    sat.add_argument("--seed", type=int, default=None)
+    sat.add_argument("--metric", choices=("ulp", "naive"), default="ulp")
+    sat.add_argument("--starts", type=int, default=30)
+    sat.add_argument(
+        "--range", type=float, default=1e9, metavar="R",
+        help="start points drawn from [-R, R] (default 1e9)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.programs import list_programs
+
+    for name in list_programs():
+        print(name)
+    return 0
+
+
+def _cmd_fpod(args) -> int:
+    from repro.analyses import InconsistencyChecker, OverflowDetection
+    from repro.mo import BasinhoppingBackend
+    from repro.programs import get_program
+
+    program = get_program(args.program)
+    detector = OverflowDetection(
+        program, backend=BasinhoppingBackend(niter=args.niter)
+    )
+    report = detector.run(seed=args.seed,
+                          retries_per_round=args.retries)
+    print(
+        f"{args.program}: {report.n_overflows}/{report.n_fp_ops} "
+        f"instructions overflowed in {report.rounds} rounds "
+        f"({report.elapsed_seconds:.1f}s, {report.n_evals} evals)"
+    )
+    rows = [
+        (f.label, f.text, ", ".join(f"{v:.3g}" for v in f.x_star))
+        for f in report.findings
+    ]
+    print(format_table(("label", "instruction", "x*"), rows))
+    if report.missed:
+        print("missed:", ", ".join(s.label for s in report.missed))
+
+    checker = InconsistencyChecker(get_program(args.program))
+    findings = checker.sweep(report.inputs)
+    if findings:
+        print(f"\n{len(findings)} inconsistencies "
+              "(status == GSL_SUCCESS, non-finite result):")
+        for f in findings:
+            print(f"  x* = ({', '.join(f'{v:.6g}' for v in f.x_star)}) "
+                  f"val={f.val:.3g} err={f.err:.3g}")
+    return 0
+
+
+def _cmd_boundary(args) -> int:
+    from repro.analyses import BoundaryValueAnalysis
+    from repro.mo import BasinhoppingBackend, wide_log_sampler
+    from repro.programs import get_program
+
+    program = get_program(args.program)
+    entry = program.entry
+    site_filter = (
+        (lambda site: site.function == entry) if args.entry_only else None
+    )
+    analysis = BoundaryValueAnalysis(
+        program,
+        backend=BasinhoppingBackend(niter=60, local_maxiter=150),
+        site_filter=site_filter,
+    )
+    report = analysis.run(
+        n_starts=args.starts,
+        seed=args.seed,
+        start_sampler=wide_log_sampler(-12.0, 10.0),
+        max_samples=args.samples,
+    )
+    print(
+        f"{args.program}: {len(report.boundary_values)} boundary values"
+        f" in {report.n_samples} samples; "
+        f"{report.conditions_triggered} condition(s) triggered; "
+        f"soundness replay {'OK' if report.sound else 'FAILED'}"
+    )
+    rows = []
+    for label, stats in sorted(report.per_condition.items()):
+        rows.append(
+            (
+                label,
+                stats.text,
+                stats.hits,
+                "-" if stats.min_value is None
+                else f"{stats.min_value[0]:.6e}",
+                "-" if stats.max_value is None
+                else f"{stats.max_value[0]:.6e}",
+            )
+        )
+    print(format_table(("cond", "comparison", "hits", "min", "max"),
+                       rows))
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from repro.analyses import BranchCoverageTesting
+    from repro.mo import BasinhoppingBackend, wide_log_sampler
+    from repro.programs import get_program
+
+    testing = BranchCoverageTesting(
+        get_program(args.program),
+        backend=BasinhoppingBackend(niter=50, local_maxiter=150),
+    )
+    report = testing.run(
+        max_rounds=args.rounds,
+        seed=args.seed,
+        start_sampler=wide_log_sampler(-12.0, 10.0),
+    )
+    print(
+        f"{args.program}: {100.0 * report.coverage:.1f}% branch "
+        f"coverage ({len(report.covered_arms)}/{report.total_arms} "
+        f"arms, {report.rounds} rounds)"
+    )
+    rows = [
+        (arm, f"{x[0]:.6g}" if len(x) == 1
+         else ", ".join(f"{v:.4g}" for v in x))
+        for arm, x in sorted(report.witnesses.items())
+    ]
+    print(format_table(("arm", "witness"), rows))
+    return 0
+
+
+def _cmd_sat(args) -> int:
+    from repro.mo import uniform_sampler
+    from repro.sat import NAIVE, ULP, XSatSolver, parse_formula
+
+    formula = parse_formula(args.constraint)
+    solver = XSatSolver(
+        metric=ULP if args.metric == "ulp" else NAIVE,
+        n_starts=args.starts,
+        start_sampler=uniform_sampler(-args.range, args.range),
+    )
+    result = solver.solve(formula, seed=args.seed)
+    print(f"constraint: {formula}")
+    print(f"verdict: {result.verdict.value}  "
+          f"({result.n_evals} evaluations)")
+    if result.model:
+        for name, value in result.model.items():
+            print(f"  {name} = {value!r}")
+    else:
+        print(f"  best minimum found: {result.r_star:.6g}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "fpod": lambda: _cmd_fpod(args),
+        "boundary": lambda: _cmd_boundary(args),
+        "coverage": lambda: _cmd_coverage(args),
+        "sat": lambda: _cmd_sat(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the reduction theory.
+
+``repro.core`` implements Definitions 2.1 and 3.1, Algorithm 2, and the
+three-layer architecture of Section 5:
+
+* :class:`~repro.core.problem.AnalysisProblem` — the Client's ⟨Prog; S⟩;
+* :class:`~repro.core.weak_distance.WeakDistance` — an executable W with
+  Def. 3.1 law-checking helpers;
+* :class:`~repro.core.kernel.ReductionKernel` — Algorithm 2
+  (instrument → minimize → interpret), with the membership re-check
+  that mitigates Limitation 2;
+* :mod:`repro.core.adapters` — Limitation 1 adapters for non-F^N
+  domains.
+"""
+
+from repro.core.adapters import adapt_int_param, map_solution_back
+from repro.core.kernel import KernelConfig, ReductionKernel
+from repro.core.problem import AnalysisProblem
+from repro.core.result import ReductionOutcome, Verdict
+from repro.core.weak_distance import WeakDistance
+
+__all__ = [
+    "AnalysisProblem",
+    "KernelConfig",
+    "ReductionKernel",
+    "ReductionOutcome",
+    "Verdict",
+    "WeakDistance",
+    "adapt_int_param",
+    "map_solution_back",
+]

@@ -1,0 +1,80 @@
+"""Client-side adapters for programs whose domain is not F^N.
+
+Section 5.1 (Limitation 1): Definition 2.1 requires
+``dom(Prog) = F^N``.  When the analyzed function takes an ``int``, a
+pointer, or an out-parameter struct, the Client must wrap it in a valid
+problem ``⟨Prog_v; S_v⟩`` and map solutions back.  The paper sketches
+three such tricks; this module implements them as reusable program
+transformers:
+
+* :func:`adapt_int_param` — ``Prog(int)`` analyzed through
+  ``Prog_v(double x) { Prog(d2i(x)); }``; solutions map back via C
+  truncation.
+* :func:`adapt_out_params` is not needed as a transformer: FPIR ports
+  follow the paper's own advice and return results through globals
+  (e.g. ``bessel_result_val``), which keeps ``dom(Prog) = F^2`` for the
+  Bessel function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.fpir.nodes import Assign, Block, Call, Return, Var
+from repro.fpir.program import Function, Param, Program
+from repro.fpir.types import DOUBLE, INT
+
+
+def adapt_int_param(
+    program: Program, wrapper_name: str = "adapted_entry"
+) -> Program:
+    """Wrap an entry with INT parameters into an all-double entry.
+
+    Each INT parameter ``p`` becomes a double parameter whose value is
+    truncated with the ``__d2i`` external before the original entry is
+    invoked — exactly the paper's ``Prog_v(double x) {Prog(d2i(x));}``.
+    """
+    entry = program.entry_function
+    if all(p.type is DOUBLE for p in entry.params):
+        return program
+    params = [Param(p.name, DOUBLE) for p in entry.params]
+    args = []
+    for p in entry.params:
+        if p.type is INT:
+            args.append(Call("__d2i", (Var(p.name),)))
+        else:
+            args.append(Var(p.name))
+    body = Block(
+        (
+            Assign("_adapted_ret", Call(entry.name, tuple(args))),
+            Return(Var("_adapted_ret")),
+        )
+    )
+    wrapper = Function(
+        name=wrapper_name,
+        params=params,
+        body=body,
+        return_type=entry.return_type,
+    )
+    functions = list(program.functions.values()) + [wrapper]
+    return Program(
+        functions,
+        entry=wrapper_name,
+        globals=dict(program.globals),
+        arrays=dict(program.arrays),
+    )
+
+
+def map_solution_back(
+    program: Program, x_star: Sequence[float]
+) -> Tuple:
+    """Map a wrapper-domain solution to the original domain.
+
+    For INT parameters of the *wrapped* entry this is C truncation —
+    the ``d2i(x*)`` of Section 5.1.
+    """
+    entry = program.entry_function
+    out: List = []
+    for p, value in zip(entry.params, x_star):
+        out.append(int(value) if p.type is INT else float(value))
+    return tuple(out)

@@ -1,0 +1,123 @@
+"""The Reduction Kernel (paper Section 5.3): Algorithm 2 end-to-end.
+
+Steps: (1) the Analysis Designer's spec is injected into the Client's
+program (:mod:`repro.fpir.instrument`); (2) the instrumented program is
+wrapped as an executable weak distance W; (3) W is minimized with an MO
+backend, multi-start.  The kernel then interprets the outcome:
+
+* ``W(x*) == 0``  → FOUND with the minimum point (after an optional
+  membership re-check, the Remark under Limitation 2);
+* minimum > 0     → NOT FOUND (correct when the backend reached the true
+  minimum; otherwise *incompleteness* — Limitation 3, which the caller
+  can mitigate by raising ``n_starts``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import AnalysisProblem
+from repro.core.result import ReductionOutcome, Verdict
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.instrument import InstrumentationSpec, instrument
+from repro.mo.base import MOBackend, Objective
+from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.mo.starts import DEFAULT_SAMPLER, StartSampler
+from repro.util.rng import make_rng
+
+
+@dataclasses.dataclass
+class KernelConfig:
+    """Tunables for one reduction run."""
+
+    n_starts: int = 8
+    record_samples: bool = False
+    start_sampler: StartSampler = DEFAULT_SAMPLER
+    seed: Optional[int] = None
+    #: Re-check x* against the problem's membership oracle when present.
+    verify_membership: bool = True
+
+
+class ReductionKernel:
+    """Runs Algorithm 2 for a problem/designer pair."""
+
+    def __init__(
+        self,
+        backend: Optional[MOBackend] = None,
+        config: Optional[KernelConfig] = None,
+    ) -> None:
+        self.backend = backend or BasinhoppingBackend()
+        self.config = config or KernelConfig()
+
+    # -- step 1+2: weak distance construction ---------------------------------
+
+    def build_weak_distance(
+        self, problem: AnalysisProblem, spec: InstrumentationSpec
+    ) -> WeakDistance:
+        """Instrument the Client's program with the Designer's spec."""
+        return WeakDistance(instrument(problem.program, spec))
+
+    # -- step 3: minimization ---------------------------------------------------
+
+    def minimize(
+        self,
+        weak_distance: WeakDistance,
+        n_inputs: int,
+        problem: Optional[AnalysisProblem] = None,
+        objective: Optional[Objective] = None,
+    ) -> ReductionOutcome:
+        """Multi-start minimization of ``weak_distance``.
+
+        Stops early as soon as a zero is found (the weak-distance
+        termination rule of Section 4.4).
+        """
+        cfg = self.config
+        rng = make_rng(cfg.seed)
+        objective = objective or Objective(
+            weak_distance,
+            n_dims=n_inputs,
+            record_samples=cfg.record_samples,
+        )
+        attempts = []
+        for _ in range(cfg.n_starts):
+            start = cfg.start_sampler(rng, n_inputs)
+            result = self.backend.minimize(objective, start, rng)
+            attempts.append(result)
+            if result.stopped_at_zero:
+                break
+
+        best = min(attempts, key=lambda r: r.f_star)
+        outcome = ReductionOutcome(
+            verdict=Verdict.NOT_FOUND,
+            x_star=None,
+            w_star=best.f_star,
+            mo_result=best,
+            n_evals=objective.n_evals,
+            rounds=len(attempts),
+            attempts=attempts,
+        )
+        if best.f_star == 0.0:
+            outcome.x_star = best.x_star
+            outcome.verdict = Verdict.FOUND
+            if (
+                cfg.verify_membership
+                and problem is not None
+                and problem.membership is not None
+                and not problem.membership(best.x_star)
+            ):
+                outcome.verdict = Verdict.SPURIOUS
+        return outcome
+
+    # -- Algorithm 2, one call ---------------------------------------------------
+
+    def solve(
+        self, problem: AnalysisProblem, spec: InstrumentationSpec
+    ) -> ReductionOutcome:
+        """Run Algorithm 2: build W for ⟨Prog; S⟩ and minimize it."""
+        weak_distance = self.build_weak_distance(problem, spec)
+        return self.minimize(
+            weak_distance, problem.n_inputs, problem=problem
+        )

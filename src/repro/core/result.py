@@ -1,0 +1,44 @@
+"""Outcome types for weak-distance minimization (Algorithm 2)."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+from repro.mo.base import MOResult
+
+
+class Verdict(enum.Enum):
+    """Algorithm 2's two possible answers, plus the soundness-guard case."""
+
+    #: W(x*) == 0: x* is (claimed to be) an element of S.
+    FOUND = "found"
+    #: The minimum found is strictly positive: report "not found".
+    #: (Sound when the true minimum was reached; else incompleteness —
+    #: Limitation 3.)
+    NOT_FOUND = "not found"
+    #: W(x*) == 0 but the membership re-check rejected x* —
+    #: the constructed W violates Def. 3.1(b) (Limitation 2).
+    SPURIOUS = "spurious"
+
+
+@dataclasses.dataclass
+class ReductionOutcome:
+    """Result of one Algorithm 2 run."""
+
+    verdict: Verdict
+    x_star: Optional[Tuple[float, ...]]
+    w_star: float
+    mo_result: Optional[MOResult] = None
+    n_evals: int = 0
+    rounds: int = 0
+    #: Per-start MO results when multi-start was used.
+    attempts: List[MOResult] = dataclasses.field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.verdict is Verdict.FOUND
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.found

@@ -1,0 +1,57 @@
+"""The experiment harness: one module per paper table/figure.
+
+========== ===========================================================
+module     regenerates
+========== ===========================================================
+fig3       boundary-value weak distance + MO samples on Fig. 2
+fig4       path-reachability weak distance + samples on Fig. 2
+table1     three MO backends × two weak distances
+fig9_table2 GNU sin boundary value analysis (progress curve + table)
+table3     fpod summary on bessel / hyperg / airy
+table4     per-instruction Bessel overflows
+table5     GSL inconsistencies + root causes (incl. the two bugs)
+ablation   Fig. 7 flat distance, Limitation 2 / ULP, throughput
+========== ===========================================================
+
+Run everything::
+
+    python -m repro.experiments [--quick]
+"""
+
+from typing import Dict, Optional
+
+from repro.experiments import (
+    ablation,
+    fig3,
+    fig4,
+    fig9_table2,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.common import ExperimentResult
+
+ALL = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "table1": table1,
+    "fig9_table2": fig9_table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "ablation": ablation,
+}
+
+
+def run_all(
+    quick: bool = False, seed: Optional[int] = None
+) -> Dict[str, ExperimentResult]:
+    """Run every experiment; returns results keyed by name."""
+    return {
+        name: module.run(quick=quick, seed=seed)
+        for name, module in ALL.items()
+    }
+
+
+__all__ = ["ALL", "ExperimentResult", "run_all"]

@@ -1,0 +1,42 @@
+"""CLI entry point: ``python -m repro.experiments [--quick] [names...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help=f"experiments to run (default: all of {sorted(ALL)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sampling budgets (CI-sized)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    names = args.names or sorted(ALL)
+    unknown = [n for n in names if n not in ALL]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    for name in names:
+        result = ALL[name].run(quick=args.quick, seed=args.seed)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Shared infrastructure for the experiment harness.
+
+Every module in :mod:`repro.experiments` regenerates one of the paper's
+tables or figures and exposes::
+
+    run(quick: bool = False, seed: int | None = None) -> ExperimentResult
+
+``quick`` selects a reduced sampling budget (used by the benchmark
+suite and CI); the default budget targets the paper's qualitative
+results on a laptop.  All randomness flows from the single seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.tables import format_table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Uniform container for a regenerated table/figure."""
+
+    name: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    #: Free-form extra data (series for figures, raw reports...).
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        lines = [f"== {self.name}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+def render_ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """Tiny ASCII scatter for figure-style experiments (no matplotlib
+    offline)."""
+    if not xs:
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x_lo:.3g}, {x_hi:.3g}]  y: [{y_lo:.3g}, {y_hi:.3g}]")
+    return "\n".join(lines)

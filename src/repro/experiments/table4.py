@@ -1,0 +1,62 @@
+"""Table 4 — per-instruction overflows in the Bessel function.
+
+Lists each of the 23 elementary FP operations of
+``gsl_sf_bessel_Knu_scaled_asympx_e`` with a triggering input when one
+was found, and "missed" otherwise.  The paper triggers 21/23; the two
+misses include the constant multiplication ``2.0 * GSL_DBL_EPSILON``
+(which can never overflow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analyses.overflow import OverflowDetection
+from repro.experiments.common import ExperimentResult
+from repro.gsl import bessel
+from repro.mo.scipy_backends import BasinhoppingBackend
+
+
+def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
+    detector = OverflowDetection(
+        bessel.make_program(),
+        backend=BasinhoppingBackend(
+            niter=15 if quick else 50,
+            local_maxiter=80 if quick else 150,
+        ),
+    )
+    report = detector.run(seed=seed, retries_per_round=2 if quick else 6)
+
+    found = {f.label: f for f in report.findings}
+    rows = []
+    for site in detector.index.fp_ops:
+        finding = found.get(site.label)
+        if finding is None:
+            rows.append((site.label, site.text, "missed", ""))
+        else:
+            nu, x = finding.x_star
+            rows.append(
+                (site.label, site.text, f"{nu:.2g}", f"{x:.2g}")
+            )
+    constant_op = [
+        s.label
+        for s in detector.index.fp_ops
+        if "2.220446049250313e-16" in s.text
+    ]
+    return ExperimentResult(
+        name="table4",
+        title="Per-instruction overflow findings in Bessel (23 FP ops)",
+        headers=("label", "instruction", "nu*", "x*"),
+        rows=rows,
+        data={
+            "report": report,
+            "n_found": report.n_overflows,
+            "n_ops": report.n_fp_ops,
+            "constant_op_labels": constant_op,
+        },
+        notes=(
+            f"triggered {report.n_overflows}/{report.n_fp_ops} "
+            "(paper: 21/23; the 2.0*GSL_DBL_EPSILON constant product "
+            "is a structural miss)"
+        ),
+    )

@@ -1,0 +1,54 @@
+"""Bit-level floating-point toolkit.
+
+This subpackage provides the low-level IEEE-754 binary64 machinery the
+rest of the library builds on:
+
+* :mod:`repro.fp.bits` — reinterpretation between doubles and 64-bit
+  integers, high/low 32-bit words (as used by Glibc's ``sin``).
+* :mod:`repro.fp.ulp` — the integer-valued ULP metric used to mitigate
+  the paper's Limitation 2 (floating-point inaccuracy in weak distances).
+* :mod:`repro.fp.ieee` — constants and classification helpers.
+"""
+
+from repro.fp.bits import (
+    bits_to_double,
+    double_to_bits,
+    high_word,
+    low_word,
+    next_after,
+    next_down,
+    next_up,
+)
+from repro.fp.ieee import (
+    DBL_EPSILON,
+    DBL_MAX,
+    DBL_MIN,
+    DBL_TRUE_MIN,
+    is_finite,
+    is_inf,
+    is_nan,
+    is_negative_zero,
+    is_subnormal,
+)
+from repro.fp.ulp import ordered_int, ulp_distance
+
+__all__ = [
+    "DBL_EPSILON",
+    "DBL_MAX",
+    "DBL_MIN",
+    "DBL_TRUE_MIN",
+    "bits_to_double",
+    "double_to_bits",
+    "high_word",
+    "is_finite",
+    "is_inf",
+    "is_nan",
+    "is_negative_zero",
+    "is_subnormal",
+    "low_word",
+    "next_after",
+    "next_down",
+    "next_up",
+    "ordered_int",
+    "ulp_distance",
+]

@@ -1,0 +1,73 @@
+"""Reinterpretation between IEEE-754 binary64 doubles and 64-bit integers.
+
+Python ``float`` is a C ``double`` on every supported platform, so these
+helpers give us the same bit-level access an LLVM pass or C union would.
+Glibc's ``sin`` (paper Fig. 8) dispatches on the *high word* of the input
+(``k = 0x7fffffff & __HI(x)``); :func:`high_word` reproduces that.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_PACK_DOUBLE = struct.Struct("<d")
+_PACK_U64 = struct.Struct("<Q")
+
+_U64_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def double_to_bits(x: float) -> int:
+    """Return the 64-bit pattern of ``x`` as an unsigned integer."""
+    return _PACK_U64.unpack(_PACK_DOUBLE.pack(x))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    """Return the double whose bit pattern is the unsigned 64-bit ``bits``."""
+    return _PACK_DOUBLE.unpack(_PACK_U64.pack(bits & _U64_MASK))[0]
+
+
+def high_word(x: float) -> int:
+    """The most-significant 32 bits of ``x`` (sign, exponent, top mantissa).
+
+    This is Glibc's ``__HI(x)``; the paper's Fig. 8 computes
+    ``k = 0x7fffffff & m`` where ``m`` is this word.
+    """
+    return double_to_bits(x) >> 32
+
+
+def low_word(x: float) -> int:
+    """The least-significant 32 bits of ``x`` (Glibc's ``__LO(x)``)."""
+    return double_to_bits(x) & 0xFFFFFFFF
+
+
+def next_up(x: float) -> float:
+    """The smallest double strictly greater than ``x``.
+
+    ``next_up(-0.0)`` and ``next_up(0.0)`` are both the smallest positive
+    subnormal; ``next_up(inf)`` is ``inf``; NaN propagates.
+    """
+    if x != x:  # NaN
+        return x
+    if x == float("inf"):
+        return x
+    bits = double_to_bits(x)
+    if x == 0.0:
+        return bits_to_double(1)
+    if bits & _SIGN_BIT:
+        return bits_to_double(bits - 1)
+    return bits_to_double(bits + 1)
+
+
+def next_down(x: float) -> float:
+    """The largest double strictly less than ``x`` (dual of :func:`next_up`)."""
+    return -next_up(-x)
+
+
+def next_after(x: float, y: float) -> float:
+    """The next double after ``x`` in the direction of ``y`` (C ``nextafter``)."""
+    if x != x or y != y:
+        return float("nan")
+    if x == y:
+        return y
+    return next_up(x) if y > x else next_down(x)

@@ -1,0 +1,60 @@
+"""IEEE-754 binary64 constants and classification predicates."""
+
+from __future__ import annotations
+
+import math
+
+from repro.fp.bits import double_to_bits
+
+#: Largest finite double, (2 - 2^-52) * 2^1023 ≈ 1.7976931348623157e308
+#: (the paper's ``MAX``).
+DBL_MAX = math.ldexp(2.0 - math.ldexp(1.0, -52), 1023)
+
+#: Smallest positive *normal* double, 2**-1022.
+DBL_MIN = math.ldexp(1.0, -1022)
+
+#: Smallest positive subnormal double, 2**-1074.
+DBL_TRUE_MIN = math.ldexp(1.0, -1074)
+
+#: Machine epsilon: gap between 1.0 and the next representable double.
+DBL_EPSILON = math.ldexp(1.0, -52)
+
+POS_INF = float("inf")
+NEG_INF = float("-inf")
+
+
+def is_nan(x: float) -> bool:
+    """True iff ``x`` is a NaN (quiet or signalling)."""
+    return x != x
+
+
+def is_inf(x: float) -> bool:
+    """True iff ``x`` is +inf or -inf."""
+    return x == POS_INF or x == NEG_INF
+
+
+def is_finite(x: float) -> bool:
+    """True iff ``x`` is neither infinite nor NaN."""
+    return not is_inf(x) and not is_nan(x)
+
+
+def is_subnormal(x: float) -> bool:
+    """True iff ``x`` is nonzero with the all-zero biased exponent."""
+    if x == 0.0 or not is_finite(x):
+        return False
+    return (double_to_bits(x) >> 52) & 0x7FF == 0
+
+
+def is_negative_zero(x: float) -> bool:
+    """True iff ``x`` is exactly -0.0."""
+    return x == 0.0 and math.copysign(1.0, x) < 0.0
+
+
+def overflows(x: float) -> bool:
+    """The paper's overflow predicate: ``|x| >= MAX`` or non-finite.
+
+    Algorithm 3 injects ``w = |a| < MAX ? MAX - |a| : 0`` — an operation
+    has overflowed exactly when ``|a| >= MAX`` (which includes ±inf) or
+    the result is NaN (e.g. ``inf - inf`` downstream of an overflow).
+    """
+    return is_nan(x) or abs(x) >= DBL_MAX

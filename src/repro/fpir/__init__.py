@@ -1,0 +1,67 @@
+"""FPIR — a structured intermediate representation for FP programs.
+
+This package is the reproduction's substrate for the paper's
+"program under analysis": a small C-like IR with
+
+* an AST (:mod:`repro.fpir.nodes`) and program container
+  (:mod:`repro.fpir.program`),
+* a construction DSL (:mod:`repro.fpir.builder`),
+* three-address normalization (:mod:`repro.fpir.normalize`) and
+  instruction labelling (:mod:`repro.fpir.labels`),
+* a reference interpreter (:mod:`repro.fpir.interpreter`) and a
+  Python-codegen compiler (:mod:`repro.fpir.compiler`) — differentially
+  tested against each other,
+* the generic instrumentation engine (:mod:`repro.fpir.instrument`)
+  used by every weak-distance construction.
+"""
+
+from repro.fpir.compiler import CompiledProgram, compile_program
+from repro.fpir.exact import ExactInterpreter, run_exact
+from repro.fpir.instrument import (
+    InstrumentationSpec,
+    InstrumentedProgram,
+    instrument,
+)
+from repro.fpir.interpreter import (
+    ExecutionContext,
+    ExecutionResult,
+    HaltExecution,
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+    run_program,
+)
+from repro.fpir.labels import LabelIndex, assign_labels
+from repro.fpir.normalize import normalize_program
+from repro.fpir.pretty import pretty_expr, pretty_function, pretty_program
+from repro.fpir.program import Function, Param, Program
+from repro.fpir.validate import ValidationError, check, validate
+
+__all__ = [
+    "CompiledProgram",
+    "ExactInterpreter",
+    "ExecutionContext",
+    "ExecutionResult",
+    "Function",
+    "HaltExecution",
+    "InstrumentationSpec",
+    "InstrumentedProgram",
+    "Interpreter",
+    "InterpreterError",
+    "LabelIndex",
+    "Param",
+    "Program",
+    "StepLimitExceeded",
+    "ValidationError",
+    "assign_labels",
+    "check",
+    "compile_program",
+    "instrument",
+    "normalize_program",
+    "pretty_expr",
+    "pretty_function",
+    "pretty_program",
+    "run_exact",
+    "run_program",
+    "validate",
+]

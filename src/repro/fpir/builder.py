@@ -1,0 +1,275 @@
+"""A small construction DSL for FPIR.
+
+Hand-writing nested dataclass constructors is noisy; the GSL and Glibc
+ports use these helpers instead.  Expression helpers are free functions
+(``fmul(num(4.0), v("nu"))``); statements are collected by a
+:class:`FunctionBuilder` whose ``if_``/``while_`` methods are context
+managers::
+
+    fb = FunctionBuilder("prog", params=["x"])
+    x = fb.arg("x")
+    fb.let("y", fmul(x, x))
+    with fb.if_(le(v("y"), num(4.0))):
+        fb.let("x", fsub(x, num(1.0)))
+    fb.ret(v("x"))
+    fn = fb.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.fpir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Halt,
+    If,
+    InLabelSet,
+    RecordEvent,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+from repro.fpir.program import Function, Param
+from repro.fpir.types import DOUBLE, INT, Type
+
+ExprLike = Union[Expr, float, int, bool]
+
+
+def _expr(e: ExprLike) -> Expr:
+    if isinstance(e, Expr):
+        return e
+    if isinstance(e, bool):
+        return Const(e)
+    if isinstance(e, (int, float)):
+        return Const(e)
+    raise TypeError(f"cannot coerce {e!r} to an FPIR expression")
+
+
+def num(value: float) -> Const:
+    """A double literal."""
+    return Const(float(value))
+
+
+def intc(value: int) -> Const:
+    """An integer literal."""
+    return Const(int(value))
+
+
+def v(name: str) -> Var:
+    """A variable reference."""
+    return Var(name)
+
+
+def _bin(op: str):
+    def make(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+        return BinOp(op, _expr(lhs), _expr(rhs))
+
+    make.__name__ = op
+    return make
+
+
+fadd = _bin("fadd")
+fsub = _bin("fsub")
+fmul = _bin("fmul")
+fdiv = _bin("fdiv")
+iadd = _bin("iadd")
+isub = _bin("isub")
+imul = _bin("imul")
+idiv = _bin("idiv")
+band = _bin("band")
+bor = _bin("bor")
+bxor = _bin("bxor")
+shl = _bin("shl")
+shr = _bin("shr")
+land = _bin("and")
+lor = _bin("or")
+
+
+def _cmp(op: str):
+    def make(lhs: ExprLike, rhs: ExprLike) -> Compare:
+        return Compare(op, _expr(lhs), _expr(rhs))
+
+    make.__name__ = op
+    return make
+
+
+lt = _cmp("lt")
+le = _cmp("le")
+gt = _cmp("gt")
+ge = _cmp("ge")
+eq = _cmp("eq")
+ne = _cmp("ne")
+
+
+def neg(e: ExprLike) -> UnOp:
+    """Float negation."""
+    return UnOp("fneg", _expr(e))
+
+
+def lnot(e: ExprLike) -> UnOp:
+    """Boolean negation."""
+    return UnOp("not", _expr(e))
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    """Call an FPIR function or external."""
+    return Call(func, tuple(_expr(a) for a in args))
+
+
+def fabs(e: ExprLike) -> Call:
+    """C ``fabs``."""
+    return call("fabs", e)
+
+
+def sqrt(e: ExprLike) -> Call:
+    """C ``sqrt``."""
+    return call("sqrt", e)
+
+
+def ternary(cond: ExprLike, then: ExprLike, orelse: ExprLike) -> Ternary:
+    """C conditional expression ``cond ? then : orelse``."""
+    return Ternary(_expr(cond), _expr(then), _expr(orelse))
+
+
+def aidx(name: str, index: ExprLike) -> ArrayIndex:
+    """Constant-array access ``name[index]``."""
+    return ArrayIndex(name, _expr(index))
+
+
+def in_set(set_name: str, label: str) -> InLabelSet:
+    """Runtime membership test ``label ∈ set_name``."""
+    return InLabelSet(set_name, label)
+
+
+class FunctionBuilder:
+    """Imperative builder for a single FPIR function."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Union[str, Tuple[str, Type], Param]] = (),
+        return_type: Optional[Type] = DOUBLE,
+    ) -> None:
+        self.name = name
+        self.params: List[Param] = []
+        for p in params:
+            if isinstance(p, Param):
+                self.params.append(p)
+            elif isinstance(p, tuple):
+                self.params.append(Param(p[0], p[1]))
+            else:
+                self.params.append(Param(p, DOUBLE))
+        self.return_type = return_type
+        self._stack: List[List[Stmt]] = [[]]
+
+    # -- expression conveniences ---------------------------------------------
+
+    def arg(self, name: str) -> Var:
+        """Reference a declared parameter (checked)."""
+        if name not in [p.name for p in self.params]:
+            raise KeyError(f"{self.name} has no parameter {name!r}")
+        return Var(name)
+
+    # -- statements -----------------------------------------------------------
+
+    def _emit(self, stmt: Stmt) -> None:
+        self._stack[-1].append(stmt)
+
+    def let(self, name: str, expr: ExprLike) -> Var:
+        """Emit ``name = expr`` and return a reference to ``name``."""
+        self._emit(Assign(name, _expr(expr)))
+        return Var(name)
+
+    def ret(self, expr: Optional[ExprLike] = None) -> None:
+        """Emit a return statement."""
+        self._emit(Return(None if expr is None else _expr(expr)))
+
+    def record(self, kind: str, label: str) -> None:
+        """Emit a :class:`RecordEvent`."""
+        self._emit(RecordEvent(kind, label))
+
+    def halt(self) -> None:
+        """Emit a :class:`Halt`."""
+        self._emit(Halt())
+
+    @contextlib.contextmanager
+    def if_(self, cond: ExprLike) -> Iterator["_IfHandle"]:
+        """Open an ``if`` arm; use the yielded handle for ``orelse``."""
+        then: List[Stmt] = []
+        self._stack.append(then)
+        handle = _IfHandle(self, _expr(cond), then)
+        try:
+            yield handle
+        finally:
+            self._stack.pop()
+            handle.finish()
+
+    @contextlib.contextmanager
+    def while_(self, cond: ExprLike) -> Iterator[None]:
+        """Open a ``while`` body."""
+        body: List[Stmt] = []
+        self._stack.append(body)
+        try:
+            yield None
+        finally:
+            self._stack.pop()
+            self._emit(While(_expr(cond), Block(tuple(body))))
+
+    def build(self) -> Function:
+        """Finish and return the function."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced builder blocks")
+        return Function(
+            name=self.name,
+            params=self.params,
+            body=Block(tuple(self._stack[0])),
+            return_type=self.return_type,
+        )
+
+
+class _IfHandle:
+    """Handle returned by :meth:`FunctionBuilder.if_`; provides ``orelse``."""
+
+    def __init__(
+        self, fb: FunctionBuilder, cond: Expr, then: List[Stmt]
+    ) -> None:
+        self.fb = fb
+        self.cond = cond
+        self.then = then
+        self.orelse_stmts: List[Stmt] = []
+        self._finished = False
+
+    @contextlib.contextmanager
+    def orelse(self) -> Iterator[None]:
+        """Open the ``else`` arm.
+
+        Must be used *inside* the ``with fb.if_(...)`` block.
+        """
+        self.fb._stack.append(self.orelse_stmts)
+        try:
+            yield None
+        finally:
+            self.fb._stack.pop()
+
+    def finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.fb._emit(
+            If(
+                self.cond,
+                Block(tuple(self.then)),
+                Block(tuple(self.orelse_stmts)),
+            )
+        )

@@ -1,0 +1,321 @@
+"""FPIR → Python compiler.
+
+Weak-distance minimization evaluates the weak distance tens of thousands
+of times per analysis; a tree-walking interpreter is too slow to be the
+only executor.  This module plays the role of the paper's "LLVM pass +
+native execution" pipeline: it code-generates an ordinary Python function
+from an (already instrumented) FPIR program and ``exec``s it.  Because
+Python floats are IEEE binary64 and all helpers follow C semantics
+(:mod:`repro.fp.arith`), compiled execution is bit-identical to the
+interpreter — a property the test suite checks differentially.
+
+The compiled program shares the interpreter's runtime concepts:
+
+* a :class:`CompiledRuntime` carrying globals, label sets, events and
+  counters (so Algorithm 3 can grow its set ``L`` between rounds without
+  recompiling), and
+* the :class:`~repro.fpir.interpreter.HaltExecution` /
+  :class:`~repro.fpir.interpreter.StepLimitExceeded` control exceptions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import keyword
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.fp import arith
+from repro.fpir import externals
+from repro.fpir.interpreter import (
+    ExecutionResult,
+    HaltExecution,
+    InterpreterError,
+    StepLimitExceeded,
+)
+from repro.fpir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Halt,
+    If,
+    InLabelSet,
+    RecordEvent,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+from repro.fpir.program import Program
+
+
+class CompilationError(Exception):
+    """The program contains a construct the compiler cannot translate."""
+
+
+class CompiledRuntime:
+    """Mutable runtime state threaded through compiled functions."""
+
+    __slots__ = (
+        "g",
+        "sets",
+        "events",
+        "counters",
+        "loop_steps",
+        "max_loop_steps",
+    )
+
+    def __init__(self, max_loop_steps: int = 2_000_000) -> None:
+        self.g: Dict[str, Any] = {}
+        self.sets: Dict[str, Set[str]] = {}
+        self.events: Dict[str, str] = {}
+        self.counters: Dict[Tuple[str, str], int] = {}
+        self.loop_steps = 0
+        self.max_loop_steps = max_loop_steps
+
+    def label_set(self, name: str) -> Set[str]:
+        return self.sets.setdefault(name, set())
+
+    def record(self, kind: str, label: str) -> None:
+        self.events[kind] = label
+        key = (kind, label)
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    def check_loop(self) -> None:
+        self.loop_steps += 1
+        if self.loop_steps > self.max_loop_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_loop_steps} compiled loop iterations"
+            )
+
+
+_BIN_FMT = {
+    "fadd": "({} + {})",
+    "fsub": "({} - {})",
+    "fmul": "({} * {})",
+    "fdiv": "_fdiv({}, {})",
+    "iadd": "({} + {})",
+    "isub": "({} - {})",
+    "imul": "({} * {})",
+    "idiv": "_idiv({}, {})",
+    "band": "({} & {})",
+    "bor": "({} | {})",
+    "bxor": "({} ^ {})",
+    "shl": "({} << {})",
+    "shr": "({} >> {})",
+    "and": "({} and {})",
+    "or": "({} or {})",
+}
+
+_CMP_FMT = {
+    "lt": "({} < {})",
+    "le": "({} <= {})",
+    "gt": "({} > {})",
+    "ge": "({} >= {})",
+    "eq": "({} == {})",
+    "ne": "({} != {})",
+}
+
+
+def _idiv(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _mangle(name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if keyword.iskeyword(safe) or safe.startswith("__"):
+        safe = "v_" + safe
+    return safe
+
+
+class _FunctionEmitter:
+    """Emits one FPIR function as Python source."""
+
+    def __init__(self, compiler: "ProgramCompiler", fn_name: str) -> None:
+        self.compiler = compiler
+        self.fn_name = fn_name
+        self.lines: List[str] = []
+
+    def emit(self, line: str, depth: int) -> None:
+        self.lines.append("    " * depth + line)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e: Expr) -> str:
+        cls = e.__class__
+        if cls is Const:
+            return repr(e.value)
+        if cls is Var:
+            if e.name in self.compiler.global_names:
+                return f"_rt.g[{e.name!r}]"
+            return _mangle(e.name)
+        if cls is BinOp:
+            fmt = _BIN_FMT.get(e.op)
+            if fmt is None:
+                raise CompilationError(f"unknown operator {e.op!r}")
+            return fmt.format(self.expr(e.lhs), self.expr(e.rhs))
+        if cls is Compare:
+            fmt = _CMP_FMT.get(e.op)
+            if fmt is None:
+                raise CompilationError(f"unknown comparison {e.op!r}")
+            return fmt.format(self.expr(e.lhs), self.expr(e.rhs))
+        if cls is UnOp:
+            inner = self.expr(e.operand)
+            if e.op in ("fneg", "ineg"):
+                return f"(-{inner})"
+            if e.op == "not":
+                return f"(not {inner})"
+            raise CompilationError(f"unknown unary operator {e.op!r}")
+        if cls is Ternary:
+            return "({} if {} else {})".format(
+                self.expr(e.then), self.expr(e.cond), self.expr(e.orelse)
+            )
+        if cls is Call:
+            args = ", ".join(self.expr(a) for a in e.args)
+            if e.func in self.compiler.program.functions:
+                return f"_fn_{_mangle(e.func)}(_rt{', ' if args else ''}{args})"
+            if not externals.is_registered(e.func):
+                raise CompilationError(f"unknown external {e.func!r}")
+            self.compiler.used_externals.add(e.func)
+            return f"_ext_{_mangle(e.func)}({args})"
+        if cls is ArrayIndex:
+            if e.name not in self.compiler.program.arrays:
+                raise CompilationError(f"unknown constant array {e.name!r}")
+            return f"_arr_{_mangle(e.name)}[{self.expr(e.index)}]"
+        if cls is InLabelSet:
+            return f"({e.label!r} in _rt.label_set({e.set_name!r}))"
+        raise CompilationError(f"unknown expression {e!r}")
+
+    # -- statements ---------------------------------------------------------
+
+    def block(self, blk: Block, depth: int) -> None:
+        if not blk.stmts:
+            self.emit("pass", depth)
+            return
+        for stmt in blk.stmts:
+            self.stmt(stmt, depth)
+
+    def stmt(self, s: Stmt, depth: int) -> None:
+        cls = s.__class__
+        if cls is Assign:
+            target = (
+                f"_rt.g[{s.name!r}]"
+                if s.name in self.compiler.global_names
+                else _mangle(s.name)
+            )
+            self.emit(f"{target} = {self.expr(s.expr)}", depth)
+        elif cls is If:
+            self.emit(f"if {self.expr(s.cond)}:", depth)
+            self.block(s.then, depth + 1)
+            if s.orelse.stmts:
+                self.emit("else:", depth)
+                self.block(s.orelse, depth + 1)
+        elif cls is While:
+            self.emit(f"while {self.expr(s.cond)}:", depth)
+            self.emit("_rt.check_loop()", depth + 1)
+            self.block(s.body, depth + 1)
+        elif cls is Return:
+            if s.value is None:
+                self.emit("return None", depth)
+            else:
+                self.emit(f"return {self.expr(s.value)}", depth)
+        elif cls is Block:
+            self.block(s, depth)
+        elif cls is RecordEvent:
+            self.emit(f"_rt.record({s.kind!r}, {s.label!r})", depth)
+        elif cls is Halt:
+            self.emit("raise _HaltExecution()", depth)
+        else:
+            raise CompilationError(f"unknown statement {s!r}")
+
+
+class ProgramCompiler:
+    """Compiles a whole :class:`Program` into Python source."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.global_names = set(program.globals)
+        self.used_externals: Set[str] = set()
+
+    def compile(self) -> "CompiledProgram":
+        pieces: List[str] = []
+        for fn in self.program.functions.values():
+            emitter = _FunctionEmitter(self, fn.name)
+            params = ", ".join(_mangle(p) for p in fn.param_names)
+            header = f"def _fn_{_mangle(fn.name)}(_rt{', ' if params else ''}{params}):"
+            emitter.emit(header, 0)
+            if fn.body.stmts:
+                emitter.block(fn.body, 1)
+            else:
+                emitter.emit("pass", 1)
+            emitter.emit("return None", 1)
+            pieces.append("\n".join(emitter.lines))
+        source = "\n\n".join(pieces)
+
+        namespace: Dict[str, Any] = {
+            "_fdiv": arith.fdiv,
+            "_idiv": _idiv,
+            "_HaltExecution": HaltExecution,
+        }
+        for name in self.used_externals:
+            namespace[f"_ext_{_mangle(name)}"] = externals.lookup(name)
+        for name, values in self.program.arrays.items():
+            namespace[f"_arr_{_mangle(name)}"] = tuple(values)
+        exec(compile(source, "<fpir>", "exec"), namespace)
+        entry = namespace[f"_fn_{_mangle(self.program.entry)}"]
+        return CompiledProgram(self.program, source, entry)
+
+
+@dataclasses.dataclass
+class CompiledProgram:
+    """A compiled FPIR program ready for repeated fast execution."""
+
+    program: Program
+    source: str
+    _entry: Any
+
+    def new_runtime(self, max_loop_steps: int = 2_000_000) -> CompiledRuntime:
+        """A fresh runtime with globals seeded to their initial values."""
+        rt = CompiledRuntime(max_loop_steps=max_loop_steps)
+        rt.g.update(self.program.globals)
+        return rt
+
+    def run(
+        self,
+        args: Sequence[Any],
+        rt: Optional[CompiledRuntime] = None,
+        reset_globals: bool = True,
+    ) -> ExecutionResult:
+        """Execute the entry function, mirroring ``Interpreter.run``."""
+        if rt is None:
+            rt = self.new_runtime()
+        if reset_globals:
+            rt.g.update(self.program.globals)
+        rt.loop_steps = 0
+        halted = False
+        value = None
+        try:
+            value = self._entry(rt, *args)
+        except HaltExecution:
+            halted = True
+        return ExecutionResult(
+            value=value,
+            halted=halted,
+            steps=rt.loop_steps,
+            globals=dict(rt.g),
+            events=dict(rt.events),
+        )
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile ``program`` to Python (see module docstring)."""
+    return ProgramCompiler(program).compile()

@@ -1,0 +1,135 @@
+"""Exact (rational) evaluation of FPIR programs.
+
+Section 5.2 suggests mitigating weak-distance inaccuracy by
+implementing ``W`` "with higher-precision arithmetic".  This module
+takes that to its limit: the four elementary operations are evaluated
+over exact rationals (:class:`fractions.Fraction`), so a weak distance
+built from ``+ - * /`` has **no rounding at all** — products like
+``1e-200 * 1e-200`` that underflow to zero in binary64 stay strictly
+positive, eliminating the paper's Limitation-2 false zeros at the
+source rather than detecting them after the fact.
+
+Scope and caveats:
+
+* Inputs are converted exactly (every finite double is a rational).
+* External calls round their arguments to binary64 first (a Fraction
+  converts to the nearest double), so libm behaves as usual; the
+  evaluation is exact *between* external calls.
+* Non-finite values have no rational representation; once a float
+  inf/NaN enters (e.g. from ``exp`` overflow), evaluation continues in
+  float, mirroring C.
+* This evaluator is for *weak distances*, not for the program under
+  analysis: analyzing ``Prog`` itself with exact arithmetic would
+  change the very semantics being analyzed.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Any, Optional, Sequence, Union
+
+from repro.fp import arith
+from repro.fpir.interpreter import (
+    ExecutionContext,
+    ExecutionResult,
+    Interpreter,
+    _BIN,
+)
+from repro.fpir.program import Program
+
+Number = Union[Fraction, float, int]
+
+
+def _is_exactable(x: Any) -> bool:
+    return isinstance(x, Fraction) or (
+        isinstance(x, float) and math.isfinite(x)
+    ) or isinstance(x, int)
+
+
+def _frac(x: Number) -> Fraction:
+    return x if isinstance(x, Fraction) else Fraction(x)
+
+
+def _exact_add(a: Number, b: Number) -> Number:
+    if _is_exactable(a) and _is_exactable(b):
+        return _frac(a) + _frac(b)
+    return arith.fadd(float(a), float(b))
+
+
+def _exact_sub(a: Number, b: Number) -> Number:
+    if _is_exactable(a) and _is_exactable(b):
+        return _frac(a) - _frac(b)
+    return arith.fsub(float(a), float(b))
+
+
+def _exact_mul(a: Number, b: Number) -> Number:
+    if _is_exactable(a) and _is_exactable(b):
+        return _frac(a) * _frac(b)
+    return arith.fmul(float(a), float(b))
+
+
+def _exact_div(a: Number, b: Number) -> Number:
+    if _is_exactable(a) and _is_exactable(b):
+        fb = _frac(b)
+        if fb == 0:
+            # IEEE semantics for the rational zero.
+            fa = _frac(a)
+            if fa == 0:
+                return float("nan")
+            return math.copysign(math.inf, float(a))
+        return _frac(a) / fb
+    return arith.fdiv(float(a), float(b))
+
+
+class ExactInterpreter(Interpreter):
+    """An :class:`Interpreter` whose elementary FP ops are exact.
+
+    Externals see ``float(x)`` (Fraction-to-float rounds correctly),
+    so libm calls behave as usual; everything between them is exact.
+    """
+
+    _EXACT_BIN = dict(_BIN)
+    _EXACT_BIN.update(
+        fadd=_exact_add, fsub=_exact_sub,
+        fmul=_exact_mul, fdiv=_exact_div,
+    )
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program)
+        self._bin_table = self._EXACT_BIN
+
+    def _call_external(self, name, args):
+        floated = [
+            float(a) if isinstance(a, Fraction) else a for a in args
+        ]
+        return super()._call_external(name, floated)
+
+    def run(
+        self,
+        args: Sequence[Any],
+        ctx: Optional[ExecutionContext] = None,
+    ) -> ExecutionResult:
+        exact_args = [
+            Fraction(a) if _is_exactable(a) and not isinstance(a, bool)
+            else a
+            for a in args
+        ]
+        result = super().run(exact_args, ctx)
+        return result
+
+
+def run_exact(
+    program: Program,
+    args: Sequence[Any],
+    ctx: Optional[ExecutionContext] = None,
+) -> ExecutionResult:
+    """One-shot exact execution."""
+    return ExactInterpreter(program).run(args, ctx)
+
+
+def to_float(value: Any) -> float:
+    """Round an exact result back to binary64 (identity on floats)."""
+    if isinstance(value, Fraction):
+        return float(value)
+    return float(value)

@@ -1,0 +1,219 @@
+"""Generic instrumentation engine (the Reduction Kernel's step 1).
+
+The paper's architecture (Section 5) splits weak-distance construction
+between the *Analysis Designer* — who chooses ``w_init`` and the update
+stub ``update_w`` — and the *Reduction Kernel* — which injects the stub
+into the program under analysis.  This module is the injection half: an
+:class:`InstrumentationSpec` bundles the designer's callbacks, and
+:func:`instrument` applies them to a (cloned) program:
+
+* ``before_compare`` — code placed immediately before the statement
+  containing a labelled comparison; receives the comparison's operand
+  expressions.  Used by boundary value analysis
+  (``w = w * |a - b|``, Fig. 3).
+* ``before_branch`` — code placed before each ``if``/``while``
+  (re-emitted at the end of loop bodies so every dynamic test is
+  preceded by it).  Used by path reachability (Fig. 4).
+* ``arm_prologue`` — code placed at the top of each branch arm.  Used
+  by branch-coverage bookkeeping and the paper's ``hits++`` soundness
+  counters (Section 6.2).
+* ``after_fp_assign`` — code placed after each labelled elementary FP
+  operation.  Used by overflow detection (Algorithm 3, step 2).
+  Requires the program in three-address form (``normalize=True``).
+
+The callbacks may re-evaluate comparison operands; they must therefore
+be pure (the validator's restriction matches the paper's, whose injected
+C expressions also re-evaluate operands).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.fpir.labels import (
+    BranchSite,
+    CompareSite,
+    FpOpSite,
+    LabelIndex,
+    assign_labels,
+)
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Compare,
+    Expr,
+    FLOAT_OPS,
+    If,
+    Return,
+    Stmt,
+    While,
+)
+from repro.fpir.normalize import normalize_program
+from repro.fpir.program import Program
+from repro.fpir.walk import iter_stmt_exprs, iter_subexprs
+
+#: before_compare(site, compare_expr) -> injected statements
+CompareHook = Callable[[CompareSite, Compare], List[Stmt]]
+#: before_branch(site, branch_stmt) -> injected statements
+BranchHook = Callable[[BranchSite, Union[If, While]], List[Stmt]]
+#: arm_prologue(site, taken) -> injected statements
+ArmHook = Callable[[BranchSite, bool], List[Stmt]]
+#: after_fp_assign(site, assign_stmt) -> injected statements
+FpOpHook = Callable[[FpOpSite, Assign], List[Stmt]]
+
+
+@dataclasses.dataclass
+class InstrumentationSpec:
+    """The Analysis Designer's parameters (w_init + update stubs)."""
+
+    w_var: str = "w"
+    w_init: float = 0.0
+    before_compare: Optional[CompareHook] = None
+    before_branch: Optional[BranchHook] = None
+    arm_prologue: Optional[ArmHook] = None
+    after_fp_assign: Optional[FpOpHook] = None
+    #: Normalize to three-address form first (required by after_fp_assign).
+    normalize: bool = False
+    #: Runtime label sets the instrumented code consults (e.g. ``L``).
+    label_sets: Sequence[str] = ()
+
+
+@dataclasses.dataclass
+class InstrumentedProgram:
+    """Result of :func:`instrument`: the rewritten program + metadata."""
+
+    program: Program
+    index: LabelIndex
+    spec: InstrumentationSpec
+
+    @property
+    def w_var(self) -> str:
+        return self.spec.w_var
+
+
+class _Rewriter:
+    def __init__(self, spec: InstrumentationSpec, index: LabelIndex) -> None:
+        self.spec = spec
+        self._compare_sites = {s.label: s for s in index.compares}
+        self._branch_sites = {s.label: s for s in index.branches}
+        self._fp_sites = {s.label: s for s in index.fp_ops}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _compare_injections(self, stmt: Stmt) -> List[Stmt]:
+        """Statements to inject before ``stmt`` for its comparisons."""
+        hook = self.spec.before_compare
+        if hook is None:
+            return []
+        injected: List[Stmt] = []
+        for root in iter_stmt_exprs(stmt):
+            for expr in iter_subexprs(root):
+                if isinstance(expr, Compare) and expr.label is not None:
+                    site = self._compare_sites.get(expr.label)
+                    if site is not None:
+                        injected.extend(hook(site, expr))
+        return injected
+
+    def _branch_injections(self, stmt: Union[If, While]) -> List[Stmt]:
+        hook = self.spec.before_branch
+        if hook is None or stmt.label is None:
+            return []
+        site = self._branch_sites.get(stmt.label)
+        if site is None:
+            return []
+        return hook(site, stmt)
+
+    def _arm_injections(
+        self, stmt: Union[If, While], taken: bool
+    ) -> List[Stmt]:
+        hook = self.spec.arm_prologue
+        if hook is None or stmt.label is None:
+            return []
+        site = self._branch_sites.get(stmt.label)
+        if site is None:
+            return []
+        return hook(site, taken)
+
+    # -- rewriting -----------------------------------------------------------
+
+    def block(self, blk: Block) -> Block:
+        out: List[Stmt] = []
+        for stmt in blk.stmts:
+            out.extend(self.stmt(stmt))
+        return Block(tuple(out))
+
+    def stmt(self, stmt: Stmt) -> List[Stmt]:
+        cls = stmt.__class__
+        if cls is Assign:
+            injected = self._compare_injections(stmt)
+            out = injected + [stmt]
+            expr = stmt.expr
+            if (
+                isinstance(expr, BinOp)
+                and expr.op in FLOAT_OPS
+                and expr.label is not None
+                and self.spec.after_fp_assign is not None
+            ):
+                site = self._fp_sites.get(expr.label)
+                if site is not None:
+                    out.extend(self.spec.after_fp_assign(site, stmt))
+            return out
+        if cls is If:
+            pre = self._compare_injections(stmt)
+            pre += self._branch_injections(stmt)
+            then = self._arm_injections(stmt, True) + list(
+                self.block(stmt.then).stmts
+            )
+            orelse = self._arm_injections(stmt, False) + list(
+                self.block(stmt.orelse).stmts
+            )
+            return pre + [
+                If(stmt.cond, Block(tuple(then)), Block(tuple(orelse)),
+                   stmt.label)
+            ]
+        if cls is While:
+            pre = self._compare_injections(stmt)
+            pre += self._branch_injections(stmt)
+            # Re-emit the pre-test updates at the end of the body so
+            # every dynamic evaluation of the loop test is preceded by
+            # the designer's update code.
+            body = (
+                self._arm_injections(stmt, True)
+                + list(self.block(stmt.body).stmts)
+                + list(pre)
+            )
+            return pre + [While(stmt.cond, Block(tuple(body)), stmt.label)]
+        if cls is Return:
+            return self._compare_injections(stmt) + [stmt]
+        if cls is Block:
+            return [self.block(stmt)]
+        return [stmt]
+
+
+def instrument(
+    program: Program, spec: InstrumentationSpec
+) -> InstrumentedProgram:
+    """Apply ``spec`` to a clone of ``program`` (the original is untouched).
+
+    The clone is (optionally) normalized, labelled, rewritten, and given
+    the global ``w`` initialized to ``spec.w_init``.
+    """
+    prog = program.clone()
+    if spec.normalize:
+        prog = normalize_program(prog)
+    index = assign_labels(prog)
+
+    rewriter = _Rewriter(spec, index)
+    functions = []
+    for fn in prog.functions.values():
+        fn.body = rewriter.block(fn.body)
+        functions.append(fn)
+
+    if spec.w_var in prog.globals:
+        raise ValueError(
+            f"program already has a global named {spec.w_var!r}"
+        )
+    prog.add_global(spec.w_var, spec.w_init)
+    return InstrumentedProgram(program=prog, index=index, spec=spec)

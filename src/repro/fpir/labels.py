@@ -1,0 +1,162 @@
+"""Instruction labelling.
+
+The paper identifies program points three ways:
+
+* **FP instructions** ``l1, l2, ...`` — one per elementary float
+  operation (``+ - * /``); the overflow detector's set ``L`` ranges over
+  these (Section 4.4).
+* **Comparison sites** ``c1, c2, ...`` — each comparison ``a ⊳ b``
+  defines a boundary condition ``a == b`` (Instance 1).
+* **Branch sites** ``b1, b2, ...`` — each ``if``/``while`` test; path
+  reachability and branch coverage instrument these (Instances 2/4).
+
+:func:`assign_labels` walks a program in deterministic order, writes
+labels into the nodes in place, and returns a :class:`LabelIndex`
+describing every site (used by the analyses and by the experiment
+tables).  Float operations are only labelled when they can carry an
+overflow probe — i.e. when the program is in three-address form and the
+operation is the root of an ``Assign`` (see :mod:`repro.fpir.normalize`).
+Nested operations under short-circuit barriers stay unlabelled, exactly
+as the paper's IR-level instrumentation never sees source-level selects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Compare,
+    Expr,
+    FLOAT_OPS,
+    If,
+    Stmt,
+    While,
+)
+from repro.fpir.pretty import pretty_expr
+from repro.fpir.program import Program
+from repro.fpir.walk import iter_stmt_exprs, iter_stmts, iter_subexprs
+
+
+@dataclasses.dataclass
+class FpOpSite:
+    """One labelled elementary FP operation (an Assign of a float BinOp)."""
+
+    label: str
+    function: str
+    assignee: str
+    op: str
+    text: str
+
+
+@dataclasses.dataclass
+class CompareSite:
+    """One labelled comparison (boundary-condition site)."""
+
+    label: str
+    function: str
+    op: str
+    text: str
+
+
+@dataclasses.dataclass
+class BranchSite:
+    """One labelled branch (if/while test)."""
+
+    label: str
+    function: str
+    kind: str  # "if" | "while"
+    text: str
+
+
+@dataclasses.dataclass
+class LabelIndex:
+    """All labelled sites of a program, in deterministic program order."""
+
+    fp_ops: List[FpOpSite]
+    compares: List[CompareSite]
+    branches: List[BranchSite]
+
+    @property
+    def fp_labels(self) -> List[str]:
+        return [site.label for site in self.fp_ops]
+
+    @property
+    def compare_labels(self) -> List[str]:
+        return [site.label for site in self.compares]
+
+    @property
+    def branch_labels(self) -> List[str]:
+        return [site.label for site in self.branches]
+
+    def fp_site(self, label: str) -> FpOpSite:
+        for site in self.fp_ops:
+            if site.label == label:
+                return site
+        raise KeyError(label)
+
+
+def assign_labels(program: Program) -> LabelIndex:
+    """Label all sites of ``program`` in place and return the index."""
+    fp_ops: List[FpOpSite] = []
+    compares: List[CompareSite] = []
+    branches: List[BranchSite] = []
+
+    for fn in program.functions.values():
+        for stmt in iter_stmts(fn.body):
+            cls = stmt.__class__
+            if cls is Assign and isinstance(stmt.expr, BinOp):
+                expr = stmt.expr
+                if expr.op in FLOAT_OPS:
+                    label = f"l{len(fp_ops) + 1}"
+                    expr.label = label
+                    fp_ops.append(
+                        FpOpSite(
+                            label=label,
+                            function=fn.name,
+                            assignee=stmt.name,
+                            op=expr.op,
+                            text=f"{stmt.name} = {pretty_expr(expr)}",
+                        )
+                    )
+            if cls is If or cls is While:
+                kind = "if" if cls is If else "while"
+                label = f"b{len(branches) + 1}"
+                stmt.label = label
+                branches.append(
+                    BranchSite(
+                        label=label,
+                        function=fn.name,
+                        kind=kind,
+                        text=pretty_expr(stmt.cond),
+                    )
+                )
+            for root in iter_stmt_exprs(stmt):
+                for expr in iter_subexprs(root):
+                    if isinstance(expr, Compare):
+                        label = f"c{len(compares) + 1}"
+                        expr.label = label
+                        compares.append(
+                            CompareSite(
+                                label=label,
+                                function=fn.name,
+                                op=expr.op,
+                                text=pretty_expr(expr),
+                            )
+                        )
+    return LabelIndex(fp_ops=fp_ops, compares=compares, branches=branches)
+
+
+def clear_labels(program: Program) -> None:
+    """Remove all labels (useful before re-labelling a rewritten tree)."""
+    for fn in program.functions.values():
+        for stmt in iter_stmts(fn.body):
+            if isinstance(stmt, (If, While)):
+                stmt.label = None
+            for root in iter_stmt_exprs(stmt):
+                for expr in iter_subexprs(root):
+                    if isinstance(expr, (BinOp, Compare)):
+                        expr.label = None

@@ -1,0 +1,236 @@
+"""Normalization of FPIR to three-address form (TAC).
+
+The paper assumes the analyzed program "has been compiled into a modern
+IR so that each FP operation corresponds to exactly one instruction"
+(Section 4.4: ``mu = 4.0 * nu * nu`` becomes ``l1: t = fmul 4.0 nu;
+l2: mu = fmul t nu``).  This pass performs that compilation step for
+FPIR: after :func:`normalize_function`, every float ``BinOp`` is the
+*root* of the right-hand side of its own ``Assign``, so overflow probes
+can be injected "after each floating-point operation".
+
+Short-circuit constructs (``Ternary`` arms, the right operand of
+``and``/``or``) are evaluation barriers: hoisting operations out of them
+would change semantics (e.g. evaluate a guarded division), so the
+normalizer leaves them in place.  Operations inside them consequently do
+not receive labels — matching C compilers, which also leave selects
+un-expanded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fpir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Expr,
+    FLOAT_OPS,
+    Halt,
+    If,
+    RecordEvent,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    While,
+    Var,
+)
+from repro.fpir.program import Function, Program
+
+
+class _TempGen:
+    def __init__(self, prefix: str = "_t") -> None:
+        self.prefix = prefix
+        self.count = 0
+
+    def fresh(self) -> str:
+        self.count += 1
+        return f"{self.prefix}{self.count}"
+
+
+def _is_float_binop(expr: Expr) -> bool:
+    return isinstance(expr, BinOp) and expr.op in FLOAT_OPS
+
+
+class _Normalizer:
+    def __init__(self, temps: _TempGen) -> None:
+        self.temps = temps
+
+    # -- expressions --------------------------------------------------------
+
+    def flatten(
+        self, expr: Expr, keep_root: bool
+    ) -> Tuple[List[Stmt], Expr]:
+        """Rewrite ``expr`` so nested float BinOps become temporaries.
+
+        When ``keep_root`` is true and the root itself is a float BinOp,
+        it is returned in place (its enclosing ``Assign`` already makes
+        it a single instruction).
+        """
+        cls = expr.__class__
+        if cls is BinOp:
+            if expr.op in ("and", "or"):
+                # Short-circuit: only the left operand is hoistable.
+                pre, lhs = self.flatten(expr.lhs, keep_root=False)
+                return pre, BinOp(expr.op, lhs, expr.rhs)
+            pre_l, lhs = self.flatten(expr.lhs, keep_root=False)
+            pre_r, rhs = self.flatten(expr.rhs, keep_root=False)
+            pre = pre_l + pre_r
+            node = BinOp(expr.op, lhs, rhs, label=expr.label)
+            if expr.op in FLOAT_OPS and not keep_root:
+                temp = self.temps.fresh()
+                pre.append(Assign(temp, node))
+                return pre, Var(temp)
+            return pre, node
+        if cls is Compare:
+            pre_l, lhs = self.flatten(expr.lhs, keep_root=False)
+            pre_r, rhs = self.flatten(expr.rhs, keep_root=False)
+            return pre_l + pre_r, Compare(expr.op, lhs, rhs, label=expr.label)
+        if cls is UnOp:
+            pre, operand = self.flatten(expr.operand, keep_root=False)
+            return pre, UnOp(expr.op, operand)
+        if cls is Ternary:
+            pre, cond = self.flatten(expr.cond, keep_root=False)
+            # Arms are evaluation-barriers; leave them untouched.
+            return pre, Ternary(cond, expr.then, expr.orelse)
+        if cls is Call:
+            pre: List[Stmt] = []
+            args = []
+            for arg in expr.args:
+                p, a = self.flatten(arg, keep_root=False)
+                pre.extend(p)
+                args.append(a)
+            return pre, Call(expr.func, tuple(args))
+        if cls is ArrayIndex:
+            pre, index = self.flatten(expr.index, keep_root=False)
+            return pre, ArrayIndex(expr.name, index)
+        # Const, Var, InLabelSet: leaves
+        return [], expr
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> List[Stmt]:
+        cls = s.__class__
+        if cls is Assign:
+            pre, expr = self.flatten(s.expr, keep_root=True)
+            return pre + [Assign(s.name, expr)]
+        if cls is If:
+            pre, cond = self.flatten(s.cond, keep_root=False)
+            return pre + [
+                If(cond, self.block(s.then), self.block(s.orelse), s.label)
+            ]
+        if cls is While:
+            pre, cond = self.flatten(s.cond, keep_root=False)
+            # Loop-carried condition temps must be recomputed at the end
+            # of every iteration.
+            body = list(self.block(s.body).stmts) + list(pre)
+            return list(pre) + [While(cond, Block(tuple(body)), s.label)]
+        if cls is Return:
+            if s.value is None:
+                return [s]
+            pre, value = self.flatten(s.value, keep_root=False)
+            return pre + [Return(value)]
+        if cls is Block:
+            return [self.block(s)]
+        # RecordEvent, Halt
+        return [s]
+
+    def block(self, blk: Block) -> Block:
+        out: List[Stmt] = []
+        for s in blk.stmts:
+            out.extend(self.stmt(s))
+        return Block(tuple(out))
+
+
+def normalize_function(fn: Function, temps: _TempGen) -> Function:
+    """Three-address normalization of one function."""
+    normalizer = _Normalizer(temps)
+    return Function(
+        name=fn.name,
+        params=list(fn.params),
+        body=normalizer.block(fn.body),
+        return_type=fn.return_type,
+    )
+
+
+def normalize_program(program: Program) -> Program:
+    """Three-address normalization of a whole program.
+
+    Temporary names are drawn from a single program-wide generator so
+    they are unique across functions (simplifies debugging).
+    """
+    temps = _TempGen()
+    functions = [
+        normalize_function(fn, temps) for fn in program.functions.values()
+    ]
+    return Program(
+        functions,
+        entry=program.entry,
+        globals=dict(program.globals),
+        arrays=dict(program.arrays),
+    )
+
+
+def is_normalized(program: Program) -> bool:
+    """True iff every labelled-eligible float BinOp is an Assign root."""
+    from repro.fpir.walk import iter_stmt_exprs, iter_stmts
+
+    for fn in program.functions.values():
+        for stmt in iter_stmts(fn.body):
+            for root in iter_stmt_exprs(stmt):
+                for expr, at_root in _walk_with_root(root):
+                    if (
+                        _is_float_binop(expr)
+                        and not at_root
+                        and not _inside_barrier(root, expr)
+                    ):
+                        return False
+                    if (
+                        _is_float_binop(expr)
+                        and at_root
+                        and not isinstance(stmt, Assign)
+                    ):
+                        return False
+    return True
+
+
+def _walk_with_root(root: Expr):
+    """Yield (expr, is_root) pairs for ``root`` and its children."""
+    from repro.fpir.walk import iter_subexprs
+
+    for expr in iter_subexprs(root):
+        yield expr, expr is root
+
+
+def _inside_barrier(root: Expr, needle: Expr) -> bool:
+    """True iff ``needle`` only occurs under a short-circuit barrier."""
+
+    def search(expr: Expr, barred: bool) -> bool:
+        if expr is needle:
+            return barred
+        cls = expr.__class__
+        if cls is Ternary:
+            return (
+                search(expr.cond, barred)
+                or search(expr.then, True)
+                or search(expr.orelse, True)
+            )
+        if cls is BinOp:
+            if expr.op in ("and", "or"):
+                return search(expr.lhs, barred) or search(expr.rhs, True)
+            return search(expr.lhs, barred) or search(expr.rhs, barred)
+        if cls is Compare:
+            return search(expr.lhs, barred) or search(expr.rhs, barred)
+        if cls is UnOp:
+            return search(expr.operand, barred)
+        if cls is Call:
+            return any(search(a, barred) for a in expr.args)
+        if cls is ArrayIndex:
+            return search(expr.index, barred)
+        return False
+
+    return search(root, False)

@@ -1,0 +1,155 @@
+"""Pretty-printer for FPIR (debugging, tables, documentation)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fpir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Halt,
+    If,
+    InLabelSet,
+    RecordEvent,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+from repro.fpir.program import Function, Program
+
+_BIN_SYM = {
+    "fadd": "+",
+    "fsub": "-",
+    "fmul": "*",
+    "fdiv": "/",
+    "iadd": "+",
+    "isub": "-",
+    "imul": "*",
+    "idiv": "/",
+    "band": "&",
+    "bor": "|",
+    "bxor": "^",
+    "shl": "<<",
+    "shr": ">>",
+    "and": "&&",
+    "or": "||",
+}
+
+_CMP_SYM = {
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+}
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render an expression as compact C-like text."""
+    cls = expr.__class__
+    if cls is Const:
+        return repr(expr.value)
+    if cls is Var:
+        return expr.name
+    if cls is BinOp:
+        return (
+            f"({pretty_expr(expr.lhs)} {_BIN_SYM[expr.op]} "
+            f"{pretty_expr(expr.rhs)})"
+        )
+    if cls is Compare:
+        return (
+            f"({pretty_expr(expr.lhs)} {_CMP_SYM[expr.op]} "
+            f"{pretty_expr(expr.rhs)})"
+        )
+    if cls is UnOp:
+        sym = {"fneg": "-", "ineg": "-", "not": "!"}[expr.op]
+        return f"{sym}{pretty_expr(expr.operand)}"
+    if cls is Ternary:
+        return (
+            f"({pretty_expr(expr.cond)} ? {pretty_expr(expr.then)} : "
+            f"{pretty_expr(expr.orelse)})"
+        )
+    if cls is Call:
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if cls is ArrayIndex:
+        return f"{expr.name}[{pretty_expr(expr.index)}]"
+    if cls is InLabelSet:
+        return f"({expr.label!r} in {expr.set_name})"
+    return repr(expr)
+
+
+def _pretty_stmt(stmt: Stmt, depth: int, out: List[str]) -> None:
+    pad = "  " * depth
+    cls = stmt.__class__
+    if cls is Assign:
+        out.append(f"{pad}{stmt.name} = {pretty_expr(stmt.expr)}")
+    elif cls is If:
+        tag = f"  // {stmt.label}" if stmt.label else ""
+        out.append(f"{pad}if {pretty_expr(stmt.cond)} {{{tag}")
+        for s in stmt.then.stmts:
+            _pretty_stmt(s, depth + 1, out)
+        if stmt.orelse.stmts:
+            out.append(f"{pad}}} else {{")
+            for s in stmt.orelse.stmts:
+                _pretty_stmt(s, depth + 1, out)
+        out.append(f"{pad}}}")
+    elif cls is While:
+        tag = f"  // {stmt.label}" if stmt.label else ""
+        out.append(f"{pad}while {pretty_expr(stmt.cond)} {{{tag}")
+        for s in stmt.body.stmts:
+            _pretty_stmt(s, depth + 1, out)
+        out.append(f"{pad}}}")
+    elif cls is Return:
+        if stmt.value is None:
+            out.append(f"{pad}return")
+        else:
+            out.append(f"{pad}return {pretty_expr(stmt.value)}")
+    elif cls is Block:
+        for s in stmt.stmts:
+            _pretty_stmt(s, depth, out)
+    elif cls is RecordEvent:
+        out.append(f"{pad}record({stmt.kind!r}, {stmt.label!r})")
+    elif cls is Halt:
+        out.append(f"{pad}halt")
+    else:
+        out.append(f"{pad}{stmt!r}")
+
+
+def pretty_function(fn: Function) -> str:
+    """Render a function as C-like text."""
+    params = ", ".join(f"{p.type} {p.name}" for p in fn.params)
+    lines = [f"{fn.return_type or 'void'} {fn.name}({params}) {{"]
+    for stmt in fn.body.stmts:
+        _pretty_stmt(stmt, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program (globals, arrays, functions)."""
+    lines = []
+    for name, init in program.globals.items():
+        lines.append(f"global {name} = {init!r}")
+    for name, values in program.arrays.items():
+        lines.append(f"array {name}[{len(values)}]")
+    if lines:
+        lines.append("")
+    lines.extend(
+        pretty_function(fn) for fn in program.functions.values()
+    )
+    return "\n\n".join(lines) if not program.globals else "\n".join(
+        lines[: len(program.globals) + len(program.arrays)]
+    ) + "\n\n" + "\n\n".join(
+        pretty_function(fn) for fn in program.functions.values()
+    )

@@ -1,0 +1,28 @@
+"""The (deliberately small) FPIR type system.
+
+FPIR models the fragment of C that the paper's analyses operate on:
+``double`` values, machine integers (for bit-twiddling code such as
+Glibc's ``sin`` high-word dispatch), and booleans produced by
+comparisons.  Types are carried on function parameters and checked by
+:mod:`repro.fpir.validate`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """FPIR value types."""
+
+    DOUBLE = "double"
+    INT = "int"
+    BOOL = "bool"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+DOUBLE = Type.DOUBLE
+INT = Type.INT
+BOOL = Type.BOOL

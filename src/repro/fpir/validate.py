@@ -1,0 +1,121 @@
+"""Static well-formedness checks for FPIR programs.
+
+The validator is intentionally conservative (flow-insensitive): it
+catches the mistakes that actually bite when hand-porting C code —
+misspelled variables, calls to unknown functions, wrong arity, unknown
+operators and arrays — without attempting full type inference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.fpir import externals
+from repro.fpir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    BOOL_OPS,
+    Call,
+    CMP_OPS,
+    Compare,
+    Expr,
+    FLOAT_OPS,
+    INT_OPS,
+    Ternary,
+    UnOp,
+    Var,
+)
+from repro.fpir.program import Program
+from repro.fpir.walk import assigned_names, iter_all_exprs, iter_stmts
+
+_ALL_BIN_OPS = set(FLOAT_OPS) | set(INT_OPS) | set(BOOL_OPS)
+_ALL_UN_OPS = {"fneg", "ineg", "not"}
+
+
+class ValidationError(Exception):
+    """Raised by :func:`check` when a program is ill-formed."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def validate(program: Program) -> List[str]:
+    """Return a list of human-readable problems (empty when OK)."""
+    errors: List[str] = []
+    for fn in program.functions.values():
+        known: Set[str] = set(fn.param_names)
+        known |= assigned_names(fn.body)
+        known |= set(program.globals)
+        for expr in iter_all_exprs(fn.body):
+            cls = expr.__class__
+            if cls is Var and expr.name not in known:
+                errors.append(
+                    f"{fn.name}: use of undefined variable {expr.name!r}"
+                )
+            elif cls is BinOp and expr.op not in _ALL_BIN_OPS:
+                errors.append(f"{fn.name}: unknown operator {expr.op!r}")
+            elif cls is Compare and expr.op not in CMP_OPS:
+                errors.append(f"{fn.name}: unknown comparison {expr.op!r}")
+            elif cls is UnOp and expr.op not in _ALL_UN_OPS:
+                errors.append(f"{fn.name}: unknown unary op {expr.op!r}")
+            elif cls is Call:
+                errors.extend(_check_call(program, fn.name, expr))
+            elif cls is ArrayIndex and expr.name not in program.arrays:
+                errors.append(
+                    f"{fn.name}: unknown constant array {expr.name!r}"
+                )
+        for stmt in iter_stmts(fn.body):
+            if isinstance(stmt, Assign) and stmt.name in program.arrays:
+                errors.append(
+                    f"{fn.name}: assignment to constant array "
+                    f"{stmt.name!r}"
+                )
+    errors.extend(_check_duplicate_labels(program))
+    return errors
+
+
+def _check_call(program: Program, where: str, call: Call) -> List[str]:
+    if call.func in program.functions:
+        want = len(program.functions[call.func].params)
+        if len(call.args) != want:
+            return [
+                f"{where}: call to {call.func!r} with {len(call.args)} "
+                f"args (expected {want})"
+            ]
+        return []
+    if externals.is_registered(call.func):
+        return []
+    return [f"{where}: call to unknown function {call.func!r}"]
+
+
+def _check_duplicate_labels(program: Program) -> List[str]:
+    from repro.fpir.walk import iter_stmt_exprs, iter_subexprs
+
+    seen: Set[str] = set()
+    errors: List[str] = []
+    for fn in program.functions.values():
+        for stmt in iter_stmts(fn.body):
+            label = getattr(stmt, "label", None)
+            if label is not None:
+                if label in seen:
+                    errors.append(f"duplicate label {label!r}")
+                seen.add(label)
+            for root in iter_stmt_exprs(stmt):
+                for expr in iter_subexprs(root):
+                    lbl = getattr(expr, "label", None)
+                    if lbl is not None:
+                        if lbl in seen:
+                            errors.append(f"duplicate label {lbl!r}")
+                        seen.add(lbl)
+    return errors
+
+
+def check(program: Program) -> Program:
+    """Validate and return ``program``; raise :class:`ValidationError`
+    when malformed."""
+    errors = validate(program)
+    if errors:
+        raise ValidationError(errors)
+    return program

@@ -1,0 +1,85 @@
+"""Generic traversal helpers over FPIR trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+from repro.fpir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Halt,
+    If,
+    InLabelSet,
+    RecordEvent,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+
+
+def iter_subexprs(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all of its sub-expressions, pre-order."""
+    yield expr
+    cls = expr.__class__
+    if cls is BinOp or cls is Compare:
+        yield from iter_subexprs(expr.lhs)
+        yield from iter_subexprs(expr.rhs)
+    elif cls is UnOp:
+        yield from iter_subexprs(expr.operand)
+    elif cls is Ternary:
+        yield from iter_subexprs(expr.cond)
+        yield from iter_subexprs(expr.then)
+        yield from iter_subexprs(expr.orelse)
+    elif cls is Call:
+        for arg in expr.args:
+            yield from iter_subexprs(arg)
+    elif cls is ArrayIndex:
+        yield from iter_subexprs(expr.index)
+    # Const, Var, InLabelSet: leaves
+
+
+def iter_stmts(blk: Block) -> Iterator[Stmt]:
+    """Yield every statement in ``blk``, pre-order, recursing into bodies."""
+    for stmt in blk.stmts:
+        yield stmt
+        cls = stmt.__class__
+        if cls is If:
+            yield from iter_stmts(stmt.then)
+            yield from iter_stmts(stmt.orelse)
+        elif cls is While:
+            yield from iter_stmts(stmt.body)
+        elif cls is Block:
+            yield from iter_stmts(stmt)
+
+
+def iter_stmt_exprs(stmt: Stmt) -> Iterator[Expr]:
+    """Yield the expressions directly attached to ``stmt`` (not nested
+    statements' expressions)."""
+    cls = stmt.__class__
+    if cls is Assign:
+        yield stmt.expr
+    elif cls is If or cls is While:
+        yield stmt.cond
+    elif cls is Return and stmt.value is not None:
+        yield stmt.value
+
+
+def iter_all_exprs(blk: Block) -> Iterator[Expr]:
+    """Yield every expression (including sub-expressions) in a block."""
+    for stmt in iter_stmts(blk):
+        for root in iter_stmt_exprs(stmt):
+            yield from iter_subexprs(root)
+
+
+def assigned_names(blk: Block) -> set:
+    """Names assigned anywhere in ``blk``."""
+    return {s.name for s in iter_stmts(blk) if isinstance(s, Assign)}

@@ -1,0 +1,382 @@
+"""Port of ``gsl_sf_airy_Ai_e`` (GSL airy.c), the paper's bug-rich
+benchmark.
+
+Structure mirrors GSL 1.x:
+
+* ``x < -1``     — modulus/phase representation
+  ``Ai(x) = mod(x) * cos(theta(x))`` where ``mod``/``theta`` come from
+  ``airy_mod_phase``: two Chebyshev series per range (``x < -2`` and
+  ``-2 <= x <= -1``) around the asymptotic constants 0.3125 and -0.625,
+  then ``gsl_sf_cos_err_e`` evaluates the cosine.
+* ``-1 <= x <= 2`` — direct Chebyshev expansion of Ai.
+* ``x > 2``      — exponential asymptotic form with two correction
+  terms.
+
+Both confirmed GSL bugs the paper reports live in the ``x < -1`` path
+and are *structurally* reproduced:
+
+* **Bug 1 (division by zero)** — ``airy_mod_phase`` estimates its error
+  as ``|mod| * (eps + |cheb_err / cheb_val|)``.  The Chebyshev value is
+  ``M(x)^2 * sqrt(-x) - 0.3125``, and the function
+  ``M(x)^2 * sqrt(-x)`` genuinely crosses 0.3125 inside (-2, -1) — for
+  GSL near x = -1.8427611…, for our fitted tables at a nearby point —
+  so the divisor vanishes while the status stays ``GSL_SUCCESS``.
+* **Bug 2 (inaccurate cosine)** — for very negative x the phase
+  ``theta ~ (2/3)(-x)^{3/2}`` is astronomically large and
+  ``gsl_sf_cos_err_e``'s range reduction collapses (see
+  :mod:`repro.gsl.trig`), yielding values outside [-1, 1] or ±inf with
+  ``GSL_SUCCESS``.
+
+Chebyshev coefficients are fitted at import against
+``scipy.special.airy`` (DESIGN.md records the substitution).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+import scipy.special
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    call,
+    eq,
+    fadd,
+    fdiv,
+    fmul,
+    fsub,
+    le,
+    lt,
+    neg,
+    num,
+    sqrt,
+    v,
+)
+from repro.fpir.program import Program
+from repro.gsl.cheb import ChebSeries, build_cheb_function, fit_cheb
+from repro.gsl.machine import (
+    GSL_DBL_EPSILON,
+    GSL_EDOM,
+    GSL_EUNDRFLW,
+    GSL_SUCCESS,
+    M_PI,
+    M_PI_4,
+)
+from repro.gsl.trig import build_trig_functions, trig_arrays, trig_globals
+
+
+# ---------------------------------------------------------------------------
+# Modulus / phase data (Abramowitz & Stegun §10.4: Ai(-z) = M sin(ζ+π/4),
+# Bi(-z) = M cos(ζ+π/4) asymptotically, ζ = (2/3) z^{3/2}).
+# The port uses Ai(x) = mod * cos(theta) with theta = π/4 + x*sqx*p,
+# matching GSL's formula shape.
+# ---------------------------------------------------------------------------
+
+
+def _mod_phase_samples(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(m, p) samples: m = M^2*sqrt(-x) - 0.3125 target for the modulus
+    series; p + 0.625 target for the phase series."""
+    ai, _, bi, _ = scipy.special.airy(x)
+    m_sq = ai * ai + bi * bi
+    sqx = np.sqrt(-x)
+    m = m_sq * sqx - 0.3125
+
+    zeta = (2.0 / 3.0) * (-x) ** 1.5
+    # Exact phase θ̂ with Ai = M sin θ̂, Bi = M cos θ̂: θ̂ = ζ + π/4 + δ,
+    # δ the principal-value correction (no unwrap needed — δ is small).
+    theta_hat_mod = np.arctan2(ai, bi)
+    delta = np.angle(np.exp(1j * (theta_hat_mod - (zeta + np.pi / 4.0))))
+    theta_hat = zeta + np.pi / 4.0 + delta
+    # Port convention: Ai = mod * cos(theta) with theta = π/2 - θ̂
+    # (cos is even, so this equals sin θ̂ = Ai/M exactly), i.e.
+    # theta = π/4 + x*sqx*p  →  p = (π/4 - θ̂) / (x*sqx)
+    #       = 2/3 + 2δ/(3ζ),
+    # which is smooth in the Chebyshev variable (no √(1-z) term —
+    # the parameterization GSL's own tables rely on).
+    p = (np.pi / 4.0 - theta_hat) / (x * sqx)
+    return m, p + 0.625
+
+
+def _fit_mod_phase() -> Tuple[ChebSeries, ChebSeries, ChebSeries,
+                              ChebSeries]:
+    # Range 1 (x < -2): z = 16/x^3 + 1 ∈ [-1, 1).
+    def x_of_z1(z: np.ndarray) -> np.ndarray:
+        return -np.cbrt(16.0 / (1.0 - z))
+
+    def m1(z):
+        return _mod_phase_samples(x_of_z1(z))[0]
+
+    def p1(z):
+        return _mod_phase_samples(x_of_z1(z))[1]
+
+    am21 = fit_cheb(m1, -1.0, 1.0 - 1e-6, order=20, name="gsl_am21")
+    ath1 = fit_cheb(p1, -1.0, 1.0 - 1e-6, order=20, name="gsl_ath1")
+
+    # Range 2 (-2 <= x <= -1): z = (16/x^3 + 9)/7 ∈ [-1, 1].
+    def x_of_z2(z: np.ndarray) -> np.ndarray:
+        return np.cbrt(16.0 / (7.0 * z - 9.0))
+
+    def m2(z):
+        return _mod_phase_samples(x_of_z2(z))[0]
+
+    def p2(z):
+        return _mod_phase_samples(x_of_z2(z))[1]
+
+    am22 = fit_cheb(m2, -1.0, 1.0, order=16, name="gsl_am22")
+    ath2 = fit_cheb(p2, -1.0, 1.0, order=16, name="gsl_ath2")
+    return am21, ath1, am22, ath2
+
+
+def _fit_center() -> ChebSeries:
+    """Direct expansion of Ai on [-1, 2] (the asymptotic form only
+    takes over beyond x = 2, where its correction series behaves)."""
+
+    def ai(x: np.ndarray) -> np.ndarray:
+        return scipy.special.airy(x)[0]
+
+    return fit_cheb(ai, -1.0, 2.0, order=20, name="gsl_aif")
+
+
+_AM21, _ATH1, _AM22, _ATH2 = _fit_mod_phase()
+_AIF = _fit_center()
+
+#: Paper's elementary-op count for this benchmark (our port differs —
+#: it instruments the whole call graph; EXPERIMENTS.md reports both).
+PAPER_OP_COUNT = 26
+
+
+#: Input at which the paper reports GSL's division-by-zero (Bug 1).
+BUG1_REFERENCE_INPUT = -1.842761151977744
+
+#: Input with which the paper demonstrates Bug 2 (wrong Airy value).
+BUG2_REFERENCE_INPUT = -1.14e34
+
+
+def _divisor(x: float) -> float:
+    """The Bug-1 divisor: the am22 Clenshaw sum at x ∈ [-2, -1]."""
+    z = (16.0 / (x * x * x) + 9.0) / 7.0
+    return _AM22.evaluate(z)
+
+
+def find_bug1_input(span: int = 200_000) -> float:
+    """Deterministically locate an input with an *exact* zero divisor.
+
+    Bisects the sign change of the am22 sum inside (-2, -1), then
+    ULP-scans ``span`` doubles on each side for an input where the
+    Clenshaw recurrence cancels to exactly 0.0 — the same bit-level
+    accident behind GSL's confirmed bug at x = -1.8427611519777440.
+    Raises ``LookupError`` when the fitted tables admit no exact zero
+    (possible in principle; the fit decides the low-order bits).
+    """
+    from repro.fp.bits import next_up
+
+    lo, hi = -2.0, -1.0
+    flo = _divisor(lo)
+    if _divisor(hi) * flo > 0:
+        raise LookupError("no sign change of the am22 sum in (-2, -1)")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        fmid = _divisor(mid)
+        if fmid == 0.0:
+            return mid
+        if (fmid > 0) == (flo > 0):
+            lo, flo = mid, fmid
+        else:
+            hi = mid
+    x = lo
+    for _ in range(span):
+        if _divisor(x) == 0.0:
+            return x
+        x = next_up(x)
+    raise LookupError("no exact zero of the am22 sum near its root")
+
+
+def make_program() -> Program:
+    """Build the Airy benchmark (entry ``gsl_sf_airy_Ai_e``, F^1)."""
+    functions = [
+        build_cheb_function("cheb_am21", _AM21),
+        build_cheb_function("cheb_ath1", _ATH1),
+        build_cheb_function("cheb_am22", _AM22),
+        build_cheb_function("cheb_ath2", _ATH2),
+        build_cheb_function("cheb_aif", _AIF),
+    ]
+    functions.extend(build_trig_functions())
+
+    # ---- airy_mod_phase -----------------------------------------------------
+    fb = FunctionBuilder("airy_mod_phase", params=["x"])
+    x = fb.arg("x")
+    with fb.if_(lt(x, num(-2.0))) as far:
+        fb.let("z", fadd(fdiv(num(16.0), fmul(fmul(x, x), x)), num(1.0)))
+        fb.let("result_m", call("cheb_am21", v("z")))
+        fb.let("result_p", call("cheb_ath1", v("z")))
+        with far.orelse():
+            fb.let(
+                "z",
+                fdiv(
+                    fadd(fdiv(num(16.0), fmul(fmul(x, x), x)), num(9.0)),
+                    num(7.0),
+                ),
+            )
+            fb.let("result_m", call("cheb_am22", v("z")))
+            fb.let("result_p", call("cheb_ath2", v("z")))
+    # Chebyshev error estimates (GSL computes these inside cheb_eval).
+    fb.let(
+        "result_m_err",
+        fmul(num(GSL_DBL_EPSILON),
+             fadd(call("fabs", v("result_m")), num(1.0))),
+    )
+    fb.let(
+        "result_p_err",
+        fmul(num(GSL_DBL_EPSILON),
+             fadd(call("fabs", v("result_p")), num(1.0))),
+    )
+    fb.let("m", fadd(num(0.3125), v("result_m")))
+    fb.let("p", fadd(num(-0.625), v("result_p")))
+    fb.let("sqx", sqrt(neg(x)))
+    fb.let("mod_val", sqrt(fdiv(v("m"), v("sqx"))))
+    fb.let("theta_val", fadd(num(M_PI_4), fmul(fmul(x, v("sqx")), v("p"))))
+    # GSL's error model — Bug 1 site: division by the Chebyshev *value*,
+    # which crosses zero inside (-2, -1).
+    fb.let(
+        "mod_err",
+        fmul(
+            call("fabs", v("mod_val")),
+            fadd(
+                num(GSL_DBL_EPSILON),
+                call("fabs", fdiv(v("result_m_err"), v("result_m"))),
+            ),
+        ),
+    )
+    fb.let(
+        "theta_err",
+        fmul(
+            call("fabs", v("theta_val")),
+            fadd(
+                num(GSL_DBL_EPSILON),
+                call("fabs", fdiv(v("result_p_err"), v("result_p"))),
+            ),
+        ),
+    )
+    fb.let("mp_status", num(float(GSL_SUCCESS)))
+    fb.ret(v("mod_val"))
+    functions.append(fb.build())
+
+    # ---- gsl_sf_airy_Ai_e ----------------------------------------------------
+    fb = FunctionBuilder("gsl_sf_airy_Ai_e", params=["x"])
+    x = fb.arg("x")
+    with fb.if_(lt(x, num(-1.0))) as oscillatory:
+        fb.let("_mod", call("airy_mod_phase", x))
+        fb.let("_cos", call("gsl_sf_cos_err_e", v("theta_val"),
+                            v("theta_err")))
+        fb.let("result_val", fmul(v("mod_val"), v("cos_val")))
+        fb.let(
+            "result_err",
+            fadd(
+                fadd(
+                    fmul(call("fabs", v("mod_val")), v("cos_err")),
+                    fmul(call("fabs", v("cos_val")), v("mod_err")),
+                ),
+                fmul(num(GSL_DBL_EPSILON), call("fabs", v("result_val"))),
+            ),
+        )
+        fb.let("status", num(float(GSL_SUCCESS)))
+        with oscillatory.orelse():
+            with fb.if_(le(x, num(2.0))) as center:
+                fb.let("result_val", call("cheb_aif", x))
+                fb.let(
+                    "result_err",
+                    fmul(num(GSL_DBL_EPSILON),
+                         call("fabs", v("result_val"))),
+                )
+                fb.let("status", num(float(GSL_SUCCESS)))
+                with center.orelse():
+                    # Asymptotic: Ai(x) = exp(-zeta) / (2 sqrt(pi)
+                    # x^{1/4}) * (1 - 5/(72 zeta) + 385/(10368 zeta^2)),
+                    # zeta = (2/3) x^{3/2}  (A&S 10.4.59, two
+                    # correction terms).
+                    fb.let("s", sqrt(x))
+                    fb.let("zeta", fmul(fmul(num(2.0 / 3.0), x), v("s")))
+                    fb.let("ex", call("exp", neg(v("zeta"))))
+                    fb.let(
+                        "corr",
+                        fadd(
+                            fsub(
+                                num(1.0),
+                                fdiv(num(5.0 / 72.0), v("zeta")),
+                            ),
+                            fdiv(
+                                num(385.0 / 10368.0),
+                                fmul(v("zeta"), v("zeta")),
+                            ),
+                        ),
+                    )
+                    fb.let(
+                        "result_val",
+                        fmul(
+                            fdiv(
+                                fmul(num(0.5 / math.sqrt(M_PI)),
+                                     v("ex")),
+                                sqrt(v("s")),
+                            ),
+                            v("corr"),
+                        ),
+                    )
+                    fb.let(
+                        "result_err",
+                        fmul(num(GSL_DBL_EPSILON),
+                             call("fabs", v("result_val"))),
+                    )
+                    with fb.if_(eq(v("result_val"), num(0.0))) as under:
+                        fb.let("status", num(float(GSL_EUNDRFLW)))
+                        with under.orelse():
+                            fb.let("status", num(float(GSL_SUCCESS)))
+    fb.ret(v("result_val"))
+    functions.append(fb.build())
+
+    arrays = {
+        _AM21.name: _AM21.coeffs,
+        _ATH1.name: _ATH1.coeffs,
+        _AM22.name: _AM22.coeffs,
+        _ATH2.name: _ATH2.coeffs,
+        _AIF.name: _AIF.coeffs,
+    }
+    arrays.update(trig_arrays())
+
+    globals_ = {
+        "result_val": 0.0,
+        "result_err": 0.0,
+        "status": float(GSL_SUCCESS),
+        "result_m": 0.0,
+        "result_p": 0.0,
+        "result_m_err": 0.0,
+        "result_p_err": 0.0,
+        "m": 0.0,
+        "p": 0.0,
+        "mod_val": 0.0,
+        "mod_err": 0.0,
+        "theta_val": 0.0,
+        "theta_err": 0.0,
+        "mp_status": float(GSL_SUCCESS),
+    }
+    globals_.update(trig_globals())
+
+    return Program(
+        functions,
+        entry="gsl_sf_airy_Ai_e",
+        globals=globals_,
+        arrays=arrays,
+    )
+
+
+def classify_root_cause(x_star, status, val, err) -> str:
+    """Root-cause heuristics for airy inconsistencies (Table 5)."""
+    x = x_star[0]
+    if -2.0 <= x <= -1.0 and not math.isfinite(err):
+        return "division by zero"
+    if x < -1e8:
+        return "Inaccurate cosine"
+    if x < -2.0 and not math.isfinite(err):
+        return "division by zero"
+    return "Large input x"

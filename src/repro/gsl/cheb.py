@@ -1,0 +1,138 @@
+"""Chebyshev series machinery for the GSL ports.
+
+GSL's special functions evaluate hard-coded Chebyshev tables with a
+Clenshaw recurrence (``cheb_eval_e`` in cheb_eval.c).  We cannot copy
+GSL's tables (no GSL source offline), so coefficients are **fitted at
+import time** against ``scipy.special`` references — DESIGN.md records
+this substitution.  What matters for the paper's analyses is preserved:
+
+* the evaluator is the same loop of multiply-adds whose alternating sum
+  can cancel to (near) zero — the mechanism behind the paper's airy
+  division-by-zero bug;
+* evaluating far outside ``[a, b]`` (when upstream range reduction
+  collapses, e.g. ``cos`` of 1e50) makes the recurrence blow up to
+  ±inf — the mechanism behind the paper's second airy bug.
+
+:func:`build_cheb_function` emits the Clenshaw loop as an FPIR function
+so the overflow detector can instrument its operations like any other
+client code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    aidx,
+    fadd,
+    fdiv,
+    fmul,
+    fsub,
+    ge,
+    intc,
+    isub,
+    num,
+    v,
+)
+from repro.fpir.program import Function
+
+
+@dataclasses.dataclass
+class ChebSeries:
+    """A fitted Chebyshev series on [a, b] in GSL's convention.
+
+    GSL stores ``c[0] .. c[order]`` and evaluates
+    ``0.5*c[0] + Σ_{k>=1} c[k] T_k(t)`` with ``t`` the affine map of x
+    onto [-1, 1].
+    """
+
+    name: str
+    coeffs: Tuple[float, ...]
+    a: float
+    b: float
+
+    @property
+    def order(self) -> int:
+        return len(self.coeffs) - 1
+
+    def evaluate(self, x: float) -> float:
+        """Reference (Python-side) Clenshaw evaluation."""
+        y = (2.0 * x - self.a - self.b) / (self.b - self.a)
+        y2 = 2.0 * y
+        d = 0.0
+        dd = 0.0
+        for j in range(self.order, 0, -1):
+            temp = d
+            d = y2 * d - dd + self.coeffs[j]
+            dd = temp
+        return y * d - dd + 0.5 * self.coeffs[0]
+
+
+def fit_cheb(
+    fn: Callable[[np.ndarray], np.ndarray],
+    a: float,
+    b: float,
+    order: int,
+    name: str,
+    n_points: int = 400,
+) -> ChebSeries:
+    """Fit ``fn`` on [a, b] with a degree-``order`` Chebyshev series.
+
+    Uses a least-squares fit on Chebyshev-distributed nodes (mapped from
+    [-1, 1]) and converts to GSL's halved-c0 convention.
+    """
+    t = np.cos(np.pi * (np.arange(n_points) + 0.5) / n_points)
+    x = 0.5 * (a + b) + 0.5 * (b - a) * t
+    y = np.asarray(fn(x), dtype=float)
+    if not np.all(np.isfinite(y)):
+        raise ValueError(f"non-finite samples while fitting {name!r}")
+    coeffs = np.polynomial.chebyshev.chebfit(t, y, order)
+    coeffs[0] *= 2.0  # GSL convention: evaluator halves c[0]
+    return ChebSeries(name=name, coeffs=tuple(map(float, coeffs)), a=a, b=b)
+
+
+def build_cheb_function(fn_name: str, series: ChebSeries) -> Function:
+    """Emit GSL's ``cheb_eval_e`` Clenshaw loop as an FPIR function.
+
+    The generated function reads the coefficient table from the program
+    constant array ``series.name`` (the caller registers the array on
+    the program) and returns the series value.
+    """
+    fb = FunctionBuilder(fn_name, params=["x"])
+    x = fb.arg("x")
+    fb.let("d", num(0.0))
+    fb.let("dd", num(0.0))
+    two_x = fmul(num(2.0), x)
+    fb.let(
+        "y",
+        fdiv(
+            fsub(fsub(two_x, num(series.a)), num(series.b)),
+            fsub(num(series.b), num(series.a)),
+        ),
+    )
+    fb.let("y2", fmul(num(2.0), v("y")))
+    fb.let("j", intc(series.order))
+    with fb.while_(ge(v("j"), intc(1))):
+        fb.let("temp", v("d"))
+        fb.let(
+            "d",
+            fadd(
+                fsub(fmul(v("y2"), v("d")), v("dd")),
+                aidx(series.name, v("j")),
+            ),
+        )
+        fb.let("dd", v("temp"))
+        fb.let("j", isub(v("j"), intc(1)))
+    fb.let(
+        "d",
+        fadd(
+            fsub(fmul(v("y"), v("d")), v("dd")),
+            fmul(num(0.5), aidx(series.name, intc(0))),
+        ),
+    )
+    fb.ret(v("d"))
+    return fb.build()

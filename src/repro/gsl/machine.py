@@ -1,0 +1,35 @@
+"""GSL machine constants and error codes (gsl_machine.h / gsl_errno.h).
+
+Only the constants the ported special functions need.
+"""
+
+from __future__ import annotations
+
+import math
+
+# -- gsl_machine.h -----------------------------------------------------------
+
+GSL_DBL_EPSILON = 2.2204460492503131e-16
+GSL_SQRT_DBL_EPSILON = 1.4901161193847656e-08
+GSL_ROOT4_DBL_EPSILON = 1.2207031250000000e-04
+GSL_DBL_MIN = 2.2250738585072014e-308
+GSL_DBL_MAX = 1.7976931348623157e+308
+GSL_SQRT_DBL_MAX = 1.3407807929942596e+154
+GSL_LOG_DBL_MAX = 7.0978271289338397e+02
+
+M_PI = math.pi
+M_PI_4 = math.pi / 4.0
+
+# -- gsl_errno.h --------------------------------------------------------------
+
+GSL_SUCCESS = 0
+GSL_EDOM = 1  # input domain error
+GSL_ERANGE = 2  # output range error
+GSL_EUNDRFLW = 15  # underflow
+
+ERROR_NAMES = {
+    GSL_SUCCESS: "GSL_SUCCESS",
+    GSL_EDOM: "GSL_EDOM",
+    GSL_ERANGE: "GSL_ERANGE",
+    GSL_EUNDRFLW: "GSL_EUNDRFLW",
+}

@@ -1,0 +1,205 @@
+"""Port of GSL's ``gsl_sf_cos_e`` / ``gsl_sf_cos_err_e`` (trig.c).
+
+GSL computes ``cos`` with its own Cody–Waite style range reduction
+(splitting π/4 into the three doubles P1, P2, P3) followed by Chebyshev
+corrections on the reduced argument.  For arguments around 1e50 the
+reduction collapses: ``y*P1`` has an absolute error far larger than π,
+so the "reduced" ``z`` is astronomically large, the correction series
+is evaluated far outside its domain, and the result can leave [-1, 1]
+or overflow to ±inf **while the returned status stays GSL_SUCCESS** —
+the mechanism behind the paper's airy Bug 2
+(``gsl_sf_cos_err_e(-8.11e50, …) → -inf``).
+
+The port preserves exactly that structure: same P1/P2/P3 splitting,
+same octant bookkeeping, same correction-series shape (coefficients
+fitted at import; see :mod:`repro.gsl.cheb`), and no large-argument
+guard — because GSL has none.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    band,
+    call,
+    eq,
+    fadd,
+    fdiv,
+    fmul,
+    fsub,
+    gt,
+    intc,
+    iadd,
+    isub,
+    lt,
+    neg,
+    num,
+    v,
+)
+from repro.fpir.program import Function
+from repro.gsl.cheb import ChebSeries, build_cheb_function, fit_cheb
+from repro.gsl.machine import (
+    GSL_DBL_EPSILON,
+    GSL_ROOT4_DBL_EPSILON,
+    GSL_SUCCESS,
+    M_PI,
+)
+
+# GSL's Cody-Waite split of pi/4 (trig.c).
+P1 = 7.85398125648498535156e-1
+P2 = 3.77489470793079817668e-8
+P3 = 2.69515142907905952645e-15
+
+#: Upper bound of z**2 after successful reduction (z in [-pi/4, pi/4],
+#: with a little slack).
+_Z2_MAX = (math.pi / 4.0 + 0.1) ** 2
+
+
+def _fit_corrections() -> Tuple[ChebSeries, ChebSeries]:
+    """Fit the sin/cos correction series on u = z**2 ∈ (0, _Z2_MAX].
+
+    ``cos z = 1 - u/2 + u**2 * C(u)`` and ``sin z = z * (1 + u * S(u))``.
+    """
+
+    def cos_corr(u: np.ndarray) -> np.ndarray:
+        z = np.sqrt(u)
+        return (np.cos(z) - 1.0 + 0.5 * u) / (u * u)
+
+    def sin_corr(u: np.ndarray) -> np.ndarray:
+        z = np.sqrt(u)
+        return (np.sin(z) / z - 1.0) / u
+
+    lo = 1e-8  # avoid the 0/0 at u == 0; the series is analytic there
+    cos_series = fit_cheb(cos_corr, lo, _Z2_MAX, order=10,
+                          name="gsl_cos_corr")
+    sin_series = fit_cheb(sin_corr, lo, _Z2_MAX, order=10,
+                          name="gsl_sin_corr")
+    return cos_series, sin_series
+
+
+_COS_SERIES, _SIN_SERIES = _fit_corrections()
+
+
+def trig_arrays() -> Dict[str, Tuple[float, ...]]:
+    """Coefficient arrays to attach to any program using these ports."""
+    return {
+        _COS_SERIES.name: _COS_SERIES.coeffs,
+        _SIN_SERIES.name: _SIN_SERIES.coeffs,
+    }
+
+
+def trig_globals() -> Dict[str, float]:
+    """Globals used by the cos port (result struct + status)."""
+    return {
+        "cos_val": 0.0,
+        "cos_err": 0.0,
+        "cos_status": float(GSL_SUCCESS),
+    }
+
+
+def build_trig_functions() -> List[Function]:
+    """The FPIR functions ``gsl_sf_cos_e`` and ``gsl_sf_cos_err_e``.
+
+    Results are delivered through the ``cos_val``/``cos_err`` globals
+    (the Section 5.1 out-parameter adaptation).
+    """
+    functions = [build_cheb_function("cheb_cos_corr", _COS_SERIES),
+                 build_cheb_function("cheb_sin_corr", _SIN_SERIES)]
+
+    # ---- gsl_sf_cos_e ------------------------------------------------------
+    fb = FunctionBuilder("gsl_sf_cos_e", params=["x"])
+    x = fb.arg("x")
+    fb.let("abs_x", call("fabs", x))
+    with fb.if_(lt(v("abs_x"), num(GSL_ROOT4_DBL_EPSILON))) as small:
+        # Tiny argument: cos x = 1 - x^2/2 suffices at this precision.
+        fb.let("x2", fmul(x, x))
+        fb.let("cos_val", fsub(num(1.0), fmul(num(0.5), v("x2"))))
+        fb.let("cos_err", fmul(num(GSL_DBL_EPSILON),
+                               call("fabs", v("cos_val"))))
+        with small.orelse():
+            fb.let("sgn", num(1.0))
+            # y = floor(|x| / (pi/4)); octant = (int)(y mod 8).
+            fb.let("y", call("floor", fdiv(v("abs_x"), num(0.25 * M_PI))))
+            fb.let(
+                "oct_f",
+                fsub(v("y"),
+                     fmul(num(8.0), call("floor",
+                                         fmul(v("y"), num(0.125))))),
+            )
+            fb.let("octant", call("__d2i", v("oct_f")))
+            with fb.if_(eq(band(v("octant"), intc(1)), intc(1))):
+                fb.let("octant", iadd(v("octant"), intc(1)))
+                fb.let("y", fadd(v("y"), num(1.0)))
+            fb.let("octant", band(v("octant"), intc(7)))  # octant &= 07
+            with fb.if_(gt(v("octant"), intc(3))):
+                fb.let("octant", isub(v("octant"), intc(4)))
+                fb.let("sgn", neg(v("sgn")))
+            # z = ((|x| - y*P1) - y*P2) - y*P3  — the fragile reduction.
+            fb.let(
+                "z",
+                fsub(
+                    fsub(
+                        fsub(v("abs_x"), fmul(v("y"), num(P1))),
+                        fmul(v("y"), num(P2)),
+                    ),
+                    fmul(v("y"), num(P3)),
+                ),
+            )
+            fb.let("u", fmul(v("z"), v("z")))
+            with fb.if_(eq(v("octant"), intc(0))) as oct0:
+                # cos(z) = 1 - u/2 + u^2 * C(u)
+                fb.let("corr", call("cheb_cos_corr", v("u")))
+                fb.let(
+                    "cos_val",
+                    fmul(
+                        v("sgn"),
+                        fadd(
+                            fsub(num(1.0), fmul(num(0.5), v("u"))),
+                            fmul(fmul(v("u"), v("u")), v("corr")),
+                        ),
+                    ),
+                )
+                with oct0.orelse():
+                    # octant == 2 (or reduction garbage): cos = -sin(z).
+                    fb.let("corr", call("cheb_sin_corr", v("u")))
+                    fb.let(
+                        "cos_val",
+                        fmul(
+                            neg(v("sgn")),
+                            fmul(
+                                v("z"),
+                                fadd(num(1.0), fmul(v("u"), v("corr"))),
+                            ),
+                        ),
+                    )
+            # GSL's error model: roundoff grows with the magnitude of
+            # the unreduced argument.
+            fb.let(
+                "cos_err",
+                fadd(
+                    fmul(num(GSL_DBL_EPSILON), call("fabs", v("cos_val"))),
+                    fmul(fmul(num(GSL_DBL_EPSILON), v("abs_x")),
+                         num(GSL_DBL_EPSILON)),
+                ),
+            )
+    fb.let("cos_status", num(float(GSL_SUCCESS)))
+    fb.ret(v("cos_val"))
+    functions.append(fb.build())
+
+    # ---- gsl_sf_cos_err_e --------------------------------------------------
+    fb = FunctionBuilder("gsl_sf_cos_err_e", params=["x", "dx"])
+    x = fb.arg("x")
+    dx = fb.arg("dx")
+    fb.let("_cv", call("gsl_sf_cos_e", x))
+    # Propagate the input uncertainty: |d cos/dx| <= 1.
+    fb.let("cos_err", fadd(v("cos_err"), call("fabs", dx)))
+    fb.let("cos_status", num(float(GSL_SUCCESS)))
+    fb.ret(v("_cv"))
+    functions.append(fb.build())
+
+    return functions

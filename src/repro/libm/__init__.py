@@ -1,0 +1,5 @@
+"""Mini-Glibc: the ``sin`` implementation of the paper's Fig. 8."""
+
+from repro.libm import kernels, sin
+
+__all__ = ["kernels", "sin"]

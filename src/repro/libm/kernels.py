@@ -1,0 +1,110 @@
+"""Polynomial kernels for the Glibc ``sin`` port.
+
+Glibc's ``s_sin.c`` evaluates minimax polynomials (and lookup tables)
+per input range; the *branch structure* is what the paper's boundary
+value analysis exercises (Fig. 8 / Table 2), so the kernels here are
+plain Taylor expansions — accurate to ~1e-12 on their ranges, entirely
+sufficient for the analyses, and honestly documented as a substitution
+in DESIGN.md.
+
+All kernels are FPIR functions so the whole ``sin`` stays analyzable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    call,
+    fadd,
+    fmul,
+    fsub,
+    num,
+    v,
+)
+from repro.fpir.program import Function
+
+#: Taylor coefficients of sin around 0: x - x^3/3! + x^5/5! - ...
+_SIN_COEFFS = [
+    1.0,
+    -1.0 / math.factorial(3),
+    1.0 / math.factorial(5),
+    -1.0 / math.factorial(7),
+    1.0 / math.factorial(9),
+    -1.0 / math.factorial(11),
+    1.0 / math.factorial(13),
+]
+
+#: Taylor coefficients of cos around 0: 1 - x^2/2! + x^4/4! - ...
+_COS_COEFFS = [
+    1.0,
+    -1.0 / math.factorial(2),
+    1.0 / math.factorial(4),
+    -1.0 / math.factorial(6),
+    1.0 / math.factorial(8),
+    -1.0 / math.factorial(10),
+    1.0 / math.factorial(12),
+]
+
+
+def _poly_in_x2(fb: FunctionBuilder, coeffs: List[float]) -> None:
+    """Emit Horner evaluation in u = x*x into local ``acc``."""
+    fb.let("u", fmul(v("x"), v("x")))
+    fb.let("acc", num(coeffs[-1]))
+    for c in reversed(coeffs[:-1]):
+        fb.let("acc", fadd(fmul(v("acc"), v("u")), num(c)))
+
+
+def build_sin_kernel() -> Function:
+    """``__sin_poly(x)``: sin(x) for |x| <~ pi/2 (odd polynomial)."""
+    fb = FunctionBuilder("__sin_poly", params=["x"])
+    _poly_in_x2(fb, _SIN_COEFFS)
+    fb.ret(fmul(v("x"), v("acc")))
+    return fb.build()
+
+
+def build_cos_kernel() -> Function:
+    """``__cos_poly(x)``: cos(x) for |x| <~ pi/2 (even polynomial)."""
+    fb = FunctionBuilder("__cos_poly", params=["x"])
+    _poly_in_x2(fb, _COS_COEFFS)
+    fb.ret(v("acc"))
+    return fb.build()
+
+
+def build_reduce_sincos() -> Function:
+    """``__reduce_sin(x)``: argument reduction modulo pi/2 + dispatch.
+
+    n = round(x / (pi/2)); y = x - n*pi/2; then select
+    sin/cos/-sin/-cos by n mod 4.  This is the structural analogue of
+    Glibc's ``reduce_sincos`` + ``do_sincos``.
+    """
+    half_pi = math.pi / 2.0
+    fb = FunctionBuilder("__reduce_sin", params=["x"])
+    x = fb.arg("x")
+    fb.let(
+        "n",
+        call("floor", fadd(fmul(x, num(1.0 / half_pi)), num(0.5))),
+    )
+    fb.let("y", fsub(x, fmul(v("n"), num(half_pi))))
+    # quadrant = n mod 4 as a double (0, 1, 2, 3).
+    fb.let(
+        "q",
+        fsub(v("n"), fmul(num(4.0), call("floor",
+                                         fmul(v("n"), num(0.25))))),
+    )
+    from repro.fpir.builder import eq
+
+    with fb.if_(eq(v("q"), num(0.0))) as q0:
+        fb.ret(call("__sin_poly", v("y")))
+        with q0.orelse():
+            with fb.if_(eq(v("q"), num(1.0))) as q1:
+                fb.ret(call("__cos_poly", v("y")))
+                with q1.orelse():
+                    with fb.if_(eq(v("q"), num(2.0))) as q2:
+                        fb.ret(fmul(num(-1.0), call("__sin_poly", v("y"))))
+                        with q2.orelse():
+                            fb.ret(fmul(num(-1.0),
+                                        call("__cos_poly", v("y"))))
+    return fb.build()

@@ -1,0 +1,91 @@
+"""Port of Glibc 2.19's ``sin`` branch structure (paper Fig. 8).
+
+Glibc's ``sysdeps/ieee754/dbl-64/s_sin.c`` dispatches on
+``k = 0x7fffffff & __HI(x)`` — the high word of |x| — across five
+ranges:
+
+====================  =======================  =====================
+branch                high-word bound          |x| bound
+====================  =======================  =====================
+Line 5                ``k < 0x3e500000``       |x| < 1.490120e-08
+Line 6                ``k < 0x3feb6000``       |x| < 8.554690e-01
+Line 7                ``k < 0x400368fd``       |x| < 2.426260e+00
+Line 8                ``k < 0x419921fb``       |x| < 1.054140e+08
+Line 9                ``k < 0x7ff00000``       |x| < 2^1024
+====================  =======================  =====================
+
+Each comparison contributes one boundary condition ``k == c``; with the
+two signs of x that is the paper's 10 boundary conditions, of which the
+8 belonging to the first four branches are reachable (the last bound is
+past the largest double).  The in-branch computations are polynomial
+kernels (:mod:`repro.libm.kernels`) — accurate enough to *be* sin, while
+the branch/high-word skeleton is byte-for-byte Fig. 8.
+"""
+
+from __future__ import annotations
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    band,
+    call,
+    fsub,
+    intc,
+    lt,
+    v,
+)
+from repro.fpir.program import Program
+from repro.libm.kernels import (
+    build_cos_kernel,
+    build_reduce_sincos,
+    build_sin_kernel,
+)
+
+#: The five high-word bounds of Fig. 8, in branch order.
+K_BOUNDS = (0x3E500000, 0x3FEB6000, 0x400368FD, 0x419921FB, 0x7FF00000)
+
+#: |x| at each boundary (the "ref" row of the paper's Table 2).
+REFERENCE_BOUNDS = (1.490120e-08, 8.554690e-01, 2.426260e00, 1.054140e08,
+                    None)  # 2^1024: not representable
+
+
+def make_program() -> Program:
+    """Build the Glibc-style ``sin`` as a 1-input FPIR program."""
+    fb = FunctionBuilder("sin_glibc", params=["x"])
+    x = fb.arg("x")
+    fb.let("m", call("__hi", x))
+    fb.let("k", band(intc(0x7FFFFFFF), v("m")))
+
+    with fb.if_(lt(v("k"), intc(K_BOUNDS[0]))) as b1:
+        # |x| < 1.49e-08: sin(x) rounds to x.
+        fb.ret(x)
+        with b1.orelse():
+            with fb.if_(lt(v("k"), intc(K_BOUNDS[1]))) as b2:
+                # |x| < 0.855: direct polynomial.
+                fb.ret(call("__sin_poly", x))
+                with b2.orelse():
+                    with fb.if_(lt(v("k"), intc(K_BOUNDS[2]))) as b3:
+                        # |x| < 2.426: one quadrant step via cos.
+                        fb.ret(call("__reduce_sin", x))
+                        with b3.orelse():
+                            with fb.if_(lt(v("k"),
+                                           intc(K_BOUNDS[3]))) as b4:
+                                # |x| < 1.05e8: full reduction mod pi/2.
+                                fb.ret(call("__reduce_sin", x))
+                                with b4.orelse():
+                                    with fb.if_(lt(v("k"),
+                                                   intc(K_BOUNDS[4]))) as b5:
+                                        # |x| < 2^1024: Glibc's slow
+                                        # path; same reduction here.
+                                        fb.ret(call("__reduce_sin", x))
+                                        with b5.orelse():
+                                            # inf or NaN: x - x = NaN.
+                                            fb.ret(fsub(x, x))
+    return Program(
+        [
+            fb.build(),
+            build_sin_kernel(),
+            build_cos_kernel(),
+            build_reduce_sincos(),
+        ],
+        entry="sin_glibc",
+    )

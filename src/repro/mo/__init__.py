@@ -1,0 +1,49 @@
+"""Mathematical-optimization backends (the paper's Section 4.1 black box).
+
+``repro.mo`` provides the uniform :class:`~repro.mo.base.MOBackend`
+interface, the three SciPy backends evaluated in the paper's Table 1
+(Basinhopping, Differential Evolution, Powell), a from-scratch MCMC
+basin-hopper, a random-search baseline, and magnitude-aware
+starting-point samplers.
+"""
+
+from repro.mo.base import MOBackend, MOResult, Objective, StopMinimization
+from repro.mo.mcmc import PurePythonBasinhopping
+from repro.mo.random_search import RandomSearchBackend
+from repro.mo.registry import (
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.mo.scipy_backends import (
+    BasinhoppingBackend,
+    DifferentialEvolutionBackend,
+    PowellBackend,
+)
+from repro.mo.starts import (
+    DEFAULT_SAMPLER,
+    StartSampler,
+    gaussian_sampler,
+    uniform_sampler,
+    wide_log_sampler,
+)
+
+__all__ = [
+    "BasinhoppingBackend",
+    "DEFAULT_SAMPLER",
+    "DifferentialEvolutionBackend",
+    "MOBackend",
+    "MOResult",
+    "Objective",
+    "PowellBackend",
+    "PurePythonBasinhopping",
+    "RandomSearchBackend",
+    "StartSampler",
+    "StopMinimization",
+    "available_backends",
+    "gaussian_sampler",
+    "make_backend",
+    "register_backend",
+    "uniform_sampler",
+    "wide_log_sampler",
+]

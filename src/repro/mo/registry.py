@@ -1,0 +1,45 @@
+"""Name-based backend registry (Table 1 iterates over backend names)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.mo.base import MOBackend
+from repro.mo.mcmc import PurePythonBasinhopping
+from repro.mo.random_search import RandomSearchBackend
+from repro.mo.scipy_backends import (
+    BasinhoppingBackend,
+    DifferentialEvolutionBackend,
+    PowellBackend,
+)
+
+_FACTORIES: Dict[str, Callable[[], MOBackend]] = {
+    "basinhopping": BasinhoppingBackend,
+    "differential_evolution": DifferentialEvolutionBackend,
+    "powell": PowellBackend,
+    "py-basinhopping": PurePythonBasinhopping,
+    "random-search": RandomSearchBackend,
+}
+
+
+def available_backends() -> list:
+    """Names of all registered backends."""
+    return sorted(_FACTORIES)
+
+
+def make_backend(name: str, **kwargs) -> MOBackend:
+    """Instantiate a backend by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MO backend {name!r}; known: {available_backends()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_backend(name: str, factory: Callable[[], MOBackend]) -> None:
+    """Register a custom backend factory."""
+    if name in _FACTORIES:
+        raise ValueError(f"backend {name!r} already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,6 @@
+"""Programs from the paper (Figs. 1, 2, 7) and a named registry."""
+
+from repro.programs import fig1, fig2, fig7, sec51
+from repro.programs.suite import get_program, list_programs
+
+__all__ = ["fig1", "fig2", "fig7", "get_program", "list_programs", "sec51"]

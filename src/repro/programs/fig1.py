@@ -1,0 +1,56 @@
+"""The paper's Fig. 1 motivating programs.
+
+(a) ``if (x < 1) { x = x + 1; assert(x < 2); }`` — the assertion *fails*
+    under round-to-nearest for x = 0.9999999999999999 because
+    ``x + 1`` rounds up to exactly 2.0.
+(b) the ``x + tan(x)`` variant that defeats SMT-based reasoning because
+    ``tan``'s implementation is system-dependent.
+
+Assertion failure is modelled as reaching a dedicated branch, so both
+programs are ordinary reachability targets for the analyses.  The entry
+returns 1.0 when the assertion *fails*, else 0.0.
+"""
+
+from __future__ import annotations
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    call,
+    fadd,
+    ge,
+    lt,
+    num,
+    v,
+)
+from repro.fpir.program import Program
+
+
+def make_program_a() -> Program:
+    """Fig. 1(a): ``x = x + 1`` inside ``if (x < 1)``."""
+    fb = FunctionBuilder("prog", params=["x"])
+    x = fb.arg("x")
+    fb.let("violated", num(0.0))
+    with fb.if_(lt(x, num(1.0))):
+        fb.let("x", fadd(v("x"), num(1.0)))
+        with fb.if_(ge(v("x"), num(2.0))):
+            fb.let("violated", num(1.0))
+    fb.ret(v("violated"))
+    return Program([fb.build()], entry="prog")
+
+
+def make_program_b() -> Program:
+    """Fig. 1(b): ``x = x + tan(x)`` inside ``if (x < 1)``."""
+    fb = FunctionBuilder("prog", params=["x"])
+    x = fb.arg("x")
+    fb.let("violated", num(0.0))
+    with fb.if_(lt(x, num(1.0))):
+        fb.let("x", fadd(v("x"), call("tan", v("x"))))
+        with fb.if_(ge(v("x"), num(2.0))):
+            fb.let("violated", num(1.0))
+    fb.ret(v("violated"))
+    return Program([fb.build()], entry="prog")
+
+
+#: The input the paper gives for which Fig. 1(a)'s assertion fails under
+#: round-to-nearest (0.9999999999999999 + 1 == 2.0 exactly).
+COUNTEREXAMPLE_A = 0.9999999999999999

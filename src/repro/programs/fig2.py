@@ -1,0 +1,73 @@
+"""The paper's Fig. 2 program — the running example of Section 4.
+
+.. code-block:: c
+
+    void Prog(double x) {
+        if (x <= 1.0) x++;
+        double y = x * x;
+        if (y <= 4.0) x--;
+    }
+
+Boundary values (Fig. 3): -3.0, 1.0, 2.0 (and Basinhopping additionally
+finds 0.9999999999999999, whose increment rounds to 2.0 so that
+``y == 4.0`` exactly).  Path ``both branches taken`` (Fig. 4) is
+triggered by every x in [-3, 1].
+"""
+
+from __future__ import annotations
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    fadd,
+    fmul,
+    fsub,
+    le,
+    num,
+    v,
+)
+from repro.fpir.program import Program
+
+
+def make_program() -> Program:
+    """Build a fresh Fig. 2 program."""
+    fb = FunctionBuilder("prog", params=["x"])
+    x = fb.arg("x")
+    with fb.if_(le(x, num(1.0))):
+        fb.let("x", fadd(v("x"), num(1.0)))
+    fb.let("y", fmul(v("x"), v("x")))
+    with fb.if_(le(v("y"), num(4.0))):
+        fb.let("x", fsub(v("x"), num(1.0)))
+    fb.ret(v("x"))
+    return Program([fb.build()], entry="prog")
+
+
+#: Boundary values the paper lists for Fig. 2 (Section 4.2).
+KNOWN_BOUNDARY_VALUES = (-3.0, 1.0, 2.0)
+
+#: The extra boundary value Basinhopping discovered (Table 1): the
+#: largest double below 1.
+SURPRISE_BOUNDARY_VALUE = 0.9999999999999999
+
+#: The solution interval for the Fig. 4 path (both branches taken).
+PATH_SOLUTION_INTERVAL = (-3.0, 1.0)
+
+
+def reference_boundary_membership(x: float) -> bool:
+    """Ground truth for "x triggers a boundary condition" in Fig. 2.
+
+    A boundary is hit when ``x == 1.0`` at the first comparison or
+    ``y == 4.0`` at the second (with ``y`` computed exactly as the
+    program computes it).
+    """
+    if x == 1.0:
+        return True
+    x1 = x + 1.0 if x <= 1.0 else x
+    return x1 * x1 == 4.0
+
+
+def reference_path_membership(x: float) -> bool:
+    """Ground truth for "x takes both branches" in Fig. 2."""
+    if not x <= 1.0:
+        return False
+    x1 = x + 1.0
+    return x1 * x1 <= 4.0

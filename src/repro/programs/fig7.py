@@ -1,0 +1,57 @@
+"""The paper's Fig. 7: boundary analysis with a *characteristic*
+weak distance.
+
+The characteristic function (Eq. 4) — 0 on S, 1 elsewhere — is a valid
+weak distance but is "flat almost everywhere", so minimizing it
+degenerates into random testing (Limitation 3 discussion).  The
+Fig. 7 program encodes it directly:
+
+.. code-block:: c
+
+    w = w * ((x == 1) ? 0 : 1);
+    if (x <= 1) x++;
+    double y = x * x;
+    w = w * ((y == 4) ? 0 : 1);
+    if (y <= 4) x--;
+
+This module builds that instrumented program explicitly; the ablation
+experiment compares it against the graded ``|a - b|`` distance of
+Fig. 3 under the same sampling budget.
+"""
+
+from __future__ import annotations
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    eq,
+    fadd,
+    fmul,
+    fsub,
+    le,
+    num,
+    ternary,
+    v,
+)
+from repro.fpir.program import Program
+
+
+def make_characteristic_program() -> Program:
+    """Fig. 7's hand-instrumented characteristic weak distance.
+
+    The global ``w`` starts at 1; the entry returns nothing — callers
+    read ``w`` from the globals after the run, exactly like the
+    machine-generated weak distances.
+    """
+    fb = FunctionBuilder("prog_w", params=["x"], return_type=None)
+    x = fb.arg("x")
+    fb.let("w", fmul(v("w"), ternary(eq(x, num(1.0)), num(0.0), num(1.0))))
+    with fb.if_(le(x, num(1.0))):
+        fb.let("x", fadd(v("x"), num(1.0)))
+    fb.let("y", fmul(v("x"), v("x")))
+    fb.let("w", fmul(v("w"), ternary(eq(v("y"), num(4.0)), num(0.0),
+                                     num(1.0))))
+    with fb.if_(le(v("y"), num(4.0))):
+        fb.let("x", fsub(v("x"), num(1.0)))
+    return Program(
+        [fb.build()], entry="prog_w", globals={"w": 1.0}
+    )

@@ -1,0 +1,66 @@
+"""The Section 5.1 multi-function Client example.
+
+The paper:
+
+    void Prog(double x) { if (g(x) <= h(x)) {...} }
+
+    "If the analysis is also concerned with boundary values within g
+    and h, the Client must provide instrument-able versions of g and h."
+
+This module builds that situation concretely:
+
+* ``g(x) = x*x - 4``  (its own branch: ``if (x < 0) ...``),
+* ``h(x) = 2*x - 1``,
+* entry comparing them.
+
+Boundary conditions exist at two comparison sites: the entry's
+``g(x) == h(x)`` (i.e. x² - 2x - 3 = 0 → x ∈ {-1, 3}) and ``x == 0``
+inside ``g``.  Because the Client provides all functions in one
+:class:`~repro.fpir.program.Program`, the instrumentation engine
+reaches every site — the point of the paper's requirement.
+"""
+
+from __future__ import annotations
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    call,
+    fadd,
+    fmul,
+    fsub,
+    le,
+    lt,
+    num,
+    v,
+)
+from repro.fpir.program import Program
+
+
+def make_program() -> Program:
+    g = FunctionBuilder("g", params=["x"])
+    x = g.arg("x")
+    with g.if_(lt(x, num(0.0))) as negative:
+        # A branch of its own so g contributes a boundary condition.
+        g.ret(fsub(fmul(x, x), num(4.0)))
+        with negative.orelse():
+            g.ret(fsub(fmul(x, x), num(4.0)))
+
+    h = FunctionBuilder("h", params=["x"])
+    xh = h.arg("x")
+    h.ret(fsub(fmul(num(2.0), xh), num(1.0)))
+
+    prog = FunctionBuilder("prog", params=["x"])
+    xp = prog.arg("x")
+    with prog.if_(le(call("g", xp), call("h", xp))) as inside:
+        prog.ret(num(1.0))
+        with inside.orelse():
+            prog.ret(num(0.0))
+
+    return Program([g.build(), h.build(), prog.build()], entry="prog")
+
+
+#: Zeros of g(x) - h(x) = x^2 - 2x - 3 (exact doubles).
+ENTRY_BOUNDARY_VALUES = (-1.0, 3.0)
+
+#: Boundary of g's internal branch.
+INNER_BOUNDARY_VALUE = 0.0

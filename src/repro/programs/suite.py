@@ -1,0 +1,68 @@
+"""Registry of named benchmark programs.
+
+Experiments and examples look programs up by name so that new
+benchmarks can be added without touching the harness.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List
+
+from repro.fpir.program import Program
+
+_REGISTRY: Dict[str, Callable[[], Program]] = {}
+
+
+def register_program(name: str, factory: Callable[[], Program]) -> None:
+    """Register a program factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"program {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_program(name: str) -> Program:
+    """Build a fresh instance of the named program."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {list_programs()}"
+        ) from None
+    return factory()
+
+
+def list_programs() -> List[str]:
+    """Names of all registered programs."""
+    return sorted(_REGISTRY)
+
+
+def _lazy(module_name: str, factory_name: str) -> Callable[[], Program]:
+    """A factory that imports its module on first use.
+
+    The GSL ports fit Chebyshev tables at import time; loading them
+    lazily keeps ``import repro.programs`` instant.
+    """
+
+    def factory() -> Program:
+        module = importlib.import_module(module_name)
+        return getattr(module, factory_name)()
+
+    return factory
+
+
+def _populate() -> None:
+    from repro.programs import fig1, fig2, fig7, sec51
+
+    register_program("fig1a", fig1.make_program_a)
+    register_program("fig1b", fig1.make_program_b)
+    register_program("fig2", fig2.make_program)
+    register_program("fig7-characteristic", fig7.make_characteristic_program)
+    register_program("sec51-gh", sec51.make_program)
+    register_program("gsl-bessel", _lazy("repro.gsl.bessel", "make_program"))
+    register_program("gsl-hyperg", _lazy("repro.gsl.hyperg", "make_program"))
+    register_program("gsl-airy", _lazy("repro.gsl.airy", "make_program"))
+    register_program("glibc-sin", _lazy("repro.libm.sin", "make_program"))
+
+
+_populate()

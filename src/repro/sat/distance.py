@@ -1,0 +1,80 @@
+"""Atom-level distances for the XSat-style translation.
+
+XSat [16] maps each comparison atom to a nonnegative value that is zero
+iff the atom holds.  Two metrics are provided:
+
+* **naive** — FP subtraction based (cheap, but subject to the
+  Limitation-2 rounding caveats: ``x*x`` can underflow to 0);
+* **ulp** — the integer ULP distance of :mod:`repro.fp.ulp`, which is
+  zero *iff* the operands are equal, eliminating that unsoundness
+  (the mitigation the paper attributes to XSat in Section 7).
+
+Both are emitted as FPIR expressions so the weak distance remains an
+ordinary FPIR program.  The ULP metric calls the ``__ulp_dist``
+external registered below.
+"""
+
+from __future__ import annotations
+
+from repro.fp.ieee import DBL_TRUE_MIN
+from repro.fpir.nodes import BinOp, Call, Compare, Const, Expr, Ternary
+from repro.sat.formula import Atom
+
+NAIVE = "naive"
+ULP = "ulp"
+METRICS = (NAIVE, ULP)
+
+
+# The ``__ulp_dist`` external is registered by repro.fpir.externals.
+
+
+def _naive(atom: Atom) -> Expr:
+    a, b = atom.lhs, atom.rhs
+    zero = Const(0.0)
+    sub_ab = BinOp("fsub", a, b)
+    sub_ba = BinOp("fsub", b, a)
+    if atom.op == "le":
+        return Ternary(Compare("le", a, b), zero, sub_ab)
+    if atom.op == "lt":
+        # a - b == 0 when a == b, yet the atom is false: add one
+        # subnormal quantum so the distance stays strictly positive.
+        return Ternary(
+            Compare("lt", a, b),
+            zero,
+            BinOp("fadd", sub_ab, Const(DBL_TRUE_MIN)),
+        )
+    if atom.op == "ge":
+        return Ternary(Compare("ge", a, b), zero, sub_ba)
+    if atom.op == "gt":
+        return Ternary(
+            Compare("gt", a, b),
+            zero,
+            BinOp("fadd", sub_ba, Const(DBL_TRUE_MIN)),
+        )
+    if atom.op == "eq":
+        return Call("fabs", (sub_ab,))
+    # ne: flat unit penalty on the equality set.
+    return Ternary(Compare("ne", a, b), zero, Const(1.0))
+
+
+def _ulp(atom: Atom) -> Expr:
+    a, b = atom.lhs, atom.rhs
+    zero = Const(0.0)
+    dist = Call("__ulp_dist", (a, b))
+    if atom.op in ("le", "lt", "ge", "gt"):
+        penalty = dist
+        if atom.op in ("lt", "gt"):
+            penalty = BinOp("fadd", dist, Const(1.0))
+        return Ternary(Compare(atom.op, a, b), zero, penalty)
+    if atom.op == "eq":
+        return dist
+    return Ternary(Compare("ne", a, b), zero, Const(1.0))
+
+
+def atom_distance(atom: Atom, metric: str = ULP) -> Expr:
+    """FPIR expression for the atom's distance under ``metric``."""
+    if metric == NAIVE:
+        return _naive(atom)
+    if metric == ULP:
+        return _ulp(atom)
+    raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")

@@ -1,0 +1,98 @@
+"""Quantifier-free floating-point formulas in CNF (Instance 5).
+
+A constraint ``c = ∧_i ∨_j c_ij`` where each ``c_ij`` is a binary
+comparison between floating-point expressions (paper Section 2.2,
+Instance 5).  Expressions reuse FPIR's expression language, so atoms
+may contain arithmetic and calls to libm externals (``tan`` — the
+Fig. 1(b) constraint SMT solvers struggle with).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fpir.builder import ExprLike, _expr
+from repro.fpir.nodes import CMP_OPS, Compare, Expr, Var
+from repro.fpir.walk import iter_subexprs
+
+
+@dataclasses.dataclass
+class Atom:
+    """One comparison ``lhs ⊳ rhs``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+        self.lhs = _expr(self.lhs)
+        self.rhs = _expr(self.rhs)
+
+    def to_compare(self) -> Compare:
+        return Compare(self.op, self.lhs, self.rhs)
+
+
+def atom(op: str, lhs: ExprLike, rhs: ExprLike) -> Atom:
+    """Convenience constructor for :class:`Atom`."""
+    return Atom(op, _expr(lhs), _expr(rhs))
+
+
+class Formula:
+    """A CNF over named double variables.
+
+    ``clauses`` is a conjunction of disjunctions of atoms.  Variables
+    are inferred from the atoms (sorted by name) unless given.
+    """
+
+    def __init__(
+        self,
+        clauses: Sequence[Sequence[Atom]],
+        variables: Sequence[str] = (),
+    ) -> None:
+        self.clauses: List[List[Atom]] = [list(c) for c in clauses]
+        if not all(self.clauses):
+            raise ValueError("clauses must be non-empty disjunctions")
+        if variables:
+            self.variables = list(variables)
+        else:
+            names = set()
+            for clause in self.clauses:
+                for a in clause:
+                    for side in (a.lhs, a.rhs):
+                        for e in iter_subexprs(side):
+                            if isinstance(e, Var):
+                                names.add(e.name)
+            self.variables = sorted(names)
+        if not self.variables:
+            raise ValueError("formula has no variables")
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    def assignment(self, x: Sequence[float]) -> Dict[str, float]:
+        """Zip a model vector with the variable names."""
+        if len(x) != len(self.variables):
+            raise ValueError(
+                f"expected {len(self.variables)} values, got {len(x)}"
+            )
+        return dict(zip(self.variables, (float(v) for v in x)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        from repro.fpir.pretty import pretty_expr
+
+        parts = []
+        for clause in self.clauses:
+            atoms = " | ".join(
+                pretty_expr(a.to_compare()) for a in clause
+            )
+            parts.append(f"({atoms})")
+        return " & ".join(parts)
+
+
+def conjunction(*atoms_: Atom) -> Formula:
+    """A pure conjunction (each atom is its own unit clause)."""
+    return Formula([[a] for a in atoms_])

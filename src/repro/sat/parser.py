@@ -1,0 +1,322 @@
+"""A concrete syntax for QF-FP constraints.
+
+XSat consumes SMT-LIB; exposing Instance 5 through a Python-only API
+forces users to build ASTs by hand.  This module provides a small
+C-flavoured constraint language instead::
+
+    x < 1 && x + 1 >= 2
+    (a + b == 10 || a * b == 21) && a >= 0
+    sin(t) == 0 && t != 0
+    x^2 - 2*x + 0.99999 <= 1e-5
+
+Grammar (precedence low → high)::
+
+    formula  := clause ( '&&' clause )*
+    clause   := atom ( '||' atom )*
+    atom     := sum REL sum                REL ∈ { < <= > >= == != }
+    sum      := term ( ('+' | '-') term )*
+    term     := factor ( ('*' | '/') factor )*
+    factor   := power
+    power    := unary ( '^' unary )*       (right-assoc, via pow())
+    unary    := '-' unary | primary
+    primary  := NUMBER | IDENT | IDENT '(' sum (',' sum)* ')'
+              | '(' formula-or-sum ')'
+
+Parenthesized groups may be boolean (containing ``&&``/``||``/REL) or
+arithmetic; the parser distinguishes them by content.  The result is a
+:class:`~repro.sat.formula.Formula` in CNF: the boolean structure is
+normalized by distributing ``||`` over ``&&`` (fine for the formula
+sizes FP constraints have in practice).
+
+Identifiers that match registered FPIR externals (``sin``, ``cos``,
+``tan``, ``sqrt``, ``pow``, ``exp``, ``log``, ``fabs``) are function
+calls; all other identifiers are double variables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.fpir import externals
+from repro.fpir.nodes import BinOp, Call, Const, Expr, UnOp, Var
+from repro.sat.formula import Atom, Formula
+
+
+class ParseError(Exception):
+    """Syntax error, with position information."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>
+        0[xX][0-9a-fA-F]+
+      | (?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?
+    )
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||[-+*/^<>(),])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str  # "number" | "ident" | "op" | "eof"
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens (raises ParseError on junk)."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}", position
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(Token(kind, match.group(), match.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Boolean intermediate tree (before CNF conversion)
+# ---------------------------------------------------------------------------
+
+
+class _BNode:
+    __slots__ = ()
+
+
+@dataclasses.dataclass
+class _BAtom(_BNode):
+    atom: Atom
+
+
+@dataclasses.dataclass
+class _BAnd(_BNode):
+    lhs: _BNode
+    rhs: _BNode
+
+
+@dataclasses.dataclass
+class _BOr(_BNode):
+    lhs: _BNode
+    rhs: _BNode
+
+
+_REL = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+        "==": "eq", "!=": "ne"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        if self.current.kind == "op" and self.current.text == text:
+            return self.advance()
+        raise ParseError(
+            f"expected {text!r}, found {self.current.text!r}",
+            self.current.position,
+        )
+
+    def at_op(self, *texts: str) -> bool:
+        return self.current.kind == "op" and self.current.text in texts
+
+    # -- boolean layer ----------------------------------------------------------
+
+    def parse_formula(self) -> _BNode:
+        node = self.parse_clause()
+        while self.at_op("&&"):
+            self.advance()
+            node = _BAnd(node, self.parse_clause())
+        return node
+
+    def parse_clause(self) -> _BNode:
+        node = self.parse_atom_or_group()
+        while self.at_op("||"):
+            self.advance()
+            node = _BOr(node, self.parse_atom_or_group())
+        return node
+
+    def parse_atom_or_group(self) -> _BNode:
+        # A parenthesized *boolean* group is recognized by look-ahead:
+        # parse as arithmetic first; if a relation follows, it was the
+        # left operand of an atom.
+        if self.at_op("("):
+            saved = self.index
+            self.advance()
+            try:
+                inner = self.parse_formula()
+                self.expect(")")
+            except ParseError:
+                self.index = saved
+            else:
+                if not self._rel_ahead():
+                    return inner
+                # "(x + 1) >= 2": the parenthesis was arithmetic after
+                # all — reparse from the saved position.
+                self.index = saved
+        lhs = self.parse_sum()
+        if self.current.kind == "op" and self.current.text in _REL:
+            op = _REL[self.advance().text]
+            rhs = self.parse_sum()
+            return _BAtom(Atom(op, lhs, rhs))
+        raise ParseError(
+            f"expected a comparison, found {self.current.text!r}",
+            self.current.position,
+        )
+
+    def _rel_ahead(self) -> bool:
+        return self.current.kind == "op" and self.current.text in _REL
+
+    # -- arithmetic layer ---------------------------------------------------------
+
+    def parse_sum(self) -> Expr:
+        node = self.parse_term()
+        while self.at_op("+", "-"):
+            op = self.advance().text
+            rhs = self.parse_term()
+            node = BinOp("fadd" if op == "+" else "fsub", node, rhs)
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_power()
+        while self.at_op("*", "/"):
+            op = self.advance().text
+            rhs = self.parse_power()
+            node = BinOp("fmul" if op == "*" else "fdiv", node, rhs)
+        return node
+
+    def parse_power(self) -> Expr:
+        base = self.parse_unary()
+        if self.at_op("^"):
+            self.advance()
+            exponent = self.parse_power()  # right-associative
+            return Call("pow", (base, exponent))
+        return base
+
+    def parse_unary(self) -> Expr:
+        if self.at_op("-"):
+            self.advance()
+            return UnOp("fneg", self.parse_unary())
+        if self.at_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            if token.text.lower().startswith("0x"):
+                return Const(float(int(token.text, 16)))
+            return Const(float(token.text))
+        if token.kind == "ident":
+            self.advance()
+            if self.at_op("("):
+                return self._parse_call(token)
+            return Var(token.text)
+        if self.at_op("("):
+            self.advance()
+            inner = self.parse_sum()
+            self.expect(")")
+            return inner
+        raise ParseError(
+            f"expected an expression, found {token.text!r}",
+            token.position,
+        )
+
+    def _parse_call(self, name: Token) -> Expr:
+        if not externals.is_registered(name.text):
+            raise ParseError(
+                f"unknown function {name.text!r}", name.position
+            )
+        self.expect("(")
+        args = [self.parse_sum()]
+        while self.at_op(","):
+            self.advance()
+            args.append(self.parse_sum())
+        self.expect(")")
+        return Call(name.text, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# CNF conversion
+# ---------------------------------------------------------------------------
+
+
+def _to_cnf(node: _BNode) -> List[List[Atom]]:
+    """Distribute || over && (no negation in the language, so this is
+    the whole story)."""
+    if isinstance(node, _BAtom):
+        return [[node.atom]]
+    if isinstance(node, _BAnd):
+        return _to_cnf(node.lhs) + _to_cnf(node.rhs)
+    assert isinstance(node, _BOr)
+    left = _to_cnf(node.lhs)
+    right = _to_cnf(node.rhs)
+    return [
+        lc + rc
+        for lc in left
+        for rc in right
+    ]
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a constraint into a CNF :class:`Formula`.
+
+    >>> f = parse_formula("x < 1 && x + 1 >= 2")
+    >>> f.variables
+    ['x']
+    """
+    parser = _Parser(tokenize(source))
+    tree = parser.parse_formula()
+    if parser.current.kind != "eof":
+        raise ParseError(
+            f"trailing input {parser.current.text!r}",
+            parser.current.position,
+        )
+    return Formula(_to_cnf(tree))
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a bare arithmetic expression (no comparisons)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_sum()
+    if parser.current.kind != "eof":
+        raise ParseError(
+            f"trailing input {parser.current.text!r}",
+            parser.current.position,
+        )
+    return expr

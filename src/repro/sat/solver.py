@@ -1,0 +1,149 @@
+"""The XSat-style QF-FP satisfiability solver (Instance 5).
+
+Decides a CNF formula by minimizing its ``R`` program
+(:func:`repro.sat.translate.formula_to_distance_program`):
+
+* ``R(x*) == 0``  →  **SAT** with model ``x*`` (always re-verified by
+  direct evaluation of the formula — the decidable-membership guard);
+* best minimum > 0 →  **UNKNOWN(likely-UNSAT)**: by Theorem 3.3 a true
+  positive minimum proves UNSAT, but an MO backend may return a
+  suboptimal minimum (Limitation 3), so the solver reports the weaker
+  verdict honestly.
+
+A uniform-random baseline solver is included for the ablation
+benchmarks (it plays the role the fuzzing baselines play in the
+XSat/CoverMe papers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.fpir.compiler import compile_program
+from repro.mo.base import MOBackend, Objective
+from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.mo.starts import StartSampler, wide_log_sampler
+from repro.sat.distance import ULP
+from repro.sat.formula import Formula
+from repro.sat.translate import (
+    formula_to_branch_program,
+    formula_to_distance_program,
+)
+from repro.util.rng import make_rng
+
+
+class SatVerdict(enum.Enum):
+    SAT = "sat"
+    #: No model found; UNSAT only if the backend reached the true
+    #: minimum (not guaranteed — Limitation 3).
+    UNKNOWN = "unknown"
+
+
+@dataclasses.dataclass
+class SatResult:
+    verdict: SatVerdict
+    model: Optional[Dict[str, float]]
+    r_star: float
+    n_evals: int
+
+    @property
+    def is_sat(self) -> bool:
+        return self.verdict is SatVerdict.SAT
+
+
+def evaluate_formula(formula: Formula, x: Sequence[float]) -> bool:
+    """Direct (oracle) evaluation of the formula on a candidate model.
+
+    Executes the branch program, so the semantics — including calls
+    like ``tan`` — is exactly the analyzed one.
+    """
+    program = formula_to_branch_program(formula)
+    result = compile_program(program).run(tuple(float(v) for v in x))
+    return bool(result.value == 1.0)
+
+
+class XSatSolver:
+    """Weak-distance-minimization SAT solving."""
+
+    def __init__(
+        self,
+        metric: str = ULP,
+        backend: Optional[MOBackend] = None,
+        n_starts: int = 20,
+        start_sampler: Optional[StartSampler] = None,
+    ) -> None:
+        self.metric = metric
+        self.backend = backend or BasinhoppingBackend(niter=50)
+        self.n_starts = n_starts
+        self.start_sampler = start_sampler or wide_log_sampler()
+
+    def solve(
+        self, formula: Formula, seed: Optional[int] = None
+    ) -> SatResult:
+        rng = make_rng(seed)
+        program = formula_to_distance_program(formula, self.metric)
+        compiled = compile_program(program)
+
+        def r_of(x: Tuple[float, ...]) -> float:
+            value = compiled.run(x).value
+            return float("inf") if value is None else float(value)
+
+        objective = Objective(r_of, n_dims=formula.n_variables)
+        best = None
+        for _ in range(self.n_starts):
+            start = self.start_sampler(rng, formula.n_variables)
+            result = self.backend.minimize(objective, start, rng)
+            if best is None or result.f_star < best.f_star:
+                best = result
+            if result.stopped_at_zero:
+                break
+        assert best is not None
+        if best.f_star == 0.0 and evaluate_formula(formula, best.x_star):
+            return SatResult(
+                verdict=SatVerdict.SAT,
+                model=formula.assignment(best.x_star),
+                r_star=0.0,
+                n_evals=objective.n_evals,
+            )
+        return SatResult(
+            verdict=SatVerdict.UNKNOWN,
+            model=None,
+            r_star=best.f_star,
+            n_evals=objective.n_evals,
+        )
+
+
+class RandomSamplingSolver:
+    """Baseline: evaluate the formula at random points."""
+
+    def __init__(
+        self,
+        n_samples: int = 20000,
+        start_sampler: Optional[StartSampler] = None,
+    ) -> None:
+        self.n_samples = n_samples
+        self.start_sampler = start_sampler or wide_log_sampler()
+
+    def solve(
+        self, formula: Formula, seed: Optional[int] = None
+    ) -> SatResult:
+        rng = make_rng(seed)
+        program = formula_to_branch_program(formula)
+        compiled = compile_program(program)
+        for i in range(self.n_samples):
+            x = self.start_sampler(rng, formula.n_variables)
+            if compiled.run(x).value == 1.0:
+                return SatResult(
+                    verdict=SatVerdict.SAT,
+                    model=formula.assignment(x),
+                    r_star=0.0,
+                    n_evals=i + 1,
+                )
+        return SatResult(
+            verdict=SatVerdict.UNKNOWN,
+            model=None,
+            r_star=float("inf"),
+            n_evals=self.n_samples,
+        )

@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG policy, ASCII tables, timing."""
+
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.util.timing import Stopwatch
+
+__all__ = ["Stopwatch", "format_table", "make_rng"]

@@ -1,0 +1,29 @@
+"""Minimal ASCII table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render a fixed-width text table (used by every experiment)."""
+    cells = [[str(h) for h in headers]]
+    cells += [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

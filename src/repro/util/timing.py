@@ -1,0 +1,20 @@
+"""Wall-clock timing helper for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,86 @@
+"""The GSL-convention inconsistency checker (Section 6.3.2)."""
+
+import math
+
+import pytest
+
+from repro.analyses.inconsistency import (
+    GSL_SUCCESS,
+    InconsistencyChecker,
+)
+from repro.fpir.builder import FunctionBuilder, fdiv, fmul, lt, num, v
+from repro.fpir.program import Program
+
+
+def _gsl_convention_program() -> Program:
+    """val = 1/x with status SUCCESS always (status lies for x == 0),
+    and status EDOM (without computing) for x < 0."""
+    fb = FunctionBuilder("f", params=["x"])
+    with fb.if_(lt(v("x"), num(0.0))) as negative:
+        fb.let("status", num(1.0))  # GSL_EDOM
+        fb.let("result_val", num(0.0))
+        fb.let("result_err", num(0.0))
+        with negative.orelse():
+            fb.let("result_val", fdiv(num(1.0), v("x")))
+            fb.let("result_err", fmul(num(1e-16),
+                                      v("result_val")))
+            fb.let("status", num(0.0))
+    fb.ret(v("result_val"))
+    return Program(
+        [fb.build()],
+        entry="f",
+        globals={"status": 0.0, "result_val": 0.0, "result_err": 0.0},
+    )
+
+
+class TestChecker:
+    def test_clean_input_no_finding(self):
+        checker = InconsistencyChecker(_gsl_convention_program())
+        assert checker.check((2.0,)) is None
+
+    def test_inf_with_success_is_inconsistent(self):
+        checker = InconsistencyChecker(_gsl_convention_program())
+        finding = checker.check((0.0,))
+        assert finding is not None
+        assert finding.status == GSL_SUCCESS
+        assert finding.val == math.inf
+
+    def test_error_status_is_consistent(self):
+        # status != SUCCESS means the library *did* flag the problem.
+        checker = InconsistencyChecker(_gsl_convention_program())
+        assert checker.check((-1.0,)) is None
+
+    def test_classifier_invoked(self):
+        calls = []
+
+        def classify(x, status, val, err):
+            calls.append(x)
+            return "division by zero"
+
+        checker = InconsistencyChecker(
+            _gsl_convention_program(), classifier=classify
+        )
+        finding = checker.check((0.0,))
+        assert finding.root_cause == "division by zero"
+        assert finding.is_bug_candidate
+        assert calls == [(0.0,)]
+
+    def test_benign_classification(self):
+        checker = InconsistencyChecker(
+            _gsl_convention_program(),
+            classifier=lambda *a: "Large input nu",
+        )
+        assert not checker.check((0.0,)).is_bug_candidate
+
+    def test_sweep_deduplicates(self):
+        checker = InconsistencyChecker(
+            _gsl_convention_program(),
+            classifier=lambda *a: "division by zero",
+        )
+        findings = checker.sweep([(0.0,), (0.0,), (2.0,)])
+        assert len(findings) == 1
+
+    def test_observe_returns_triple(self):
+        checker = InconsistencyChecker(_gsl_convention_program())
+        status, val, err = checker.observe((4.0,))
+        assert status == 0 and val == 0.25 and err == 0.25e-16

@@ -1,0 +1,83 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+# Hypothesis profile: no deadline (interpreting programs is slow and
+# timing-noisy), moderate example counts.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: Finite doubles, all magnitudes.
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+
+#: Finite doubles without subnormal extremes (for numeric comparisons).
+moderate_doubles = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+#: Any double, including nan/inf.
+any_doubles = st.floats(allow_nan=True, allow_infinity=True)
+
+
+@pytest.fixture
+def fig2_program():
+    from repro.programs import fig2
+
+    return fig2.make_program()
+
+
+@pytest.fixture
+def bessel_program():
+    from repro.gsl import bessel
+
+    return bessel.make_program()
+
+
+@pytest.fixture
+def sin_program():
+    from repro.libm import sin as glibc_sin
+
+    return glibc_sin.make_program()
+
+
+@pytest.fixture(scope="session")
+def airy_program():
+    from repro.gsl import airy
+
+    return airy.make_program()
+
+
+def run_both(program, args):
+    """Execute via interpreter and compiler; assert agreement; return
+    the interpreter result."""
+    from repro.fpir import Interpreter, compile_program
+
+    interp = Interpreter(program).run(args)
+    compiled = compile_program(program).run(args)
+    assert _same(interp.value, compiled.value), (
+        f"value mismatch on {args}: {interp.value!r} vs {compiled.value!r}"
+    )
+    assert interp.halted == compiled.halted
+    for name in program.globals:
+        assert _same(interp.globals[name], compiled.globals[name]), (
+            f"global {name} mismatch on {args}"
+        )
+    return interp
+
+
+def _same(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b or (a == b == 0.0)
+    return a == b

@@ -1,0 +1,102 @@
+"""Bit-level reinterpretation tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.fp.bits import (
+    bits_to_double,
+    double_to_bits,
+    high_word,
+    low_word,
+    next_after,
+    next_down,
+    next_up,
+)
+from tests.conftest import any_doubles, finite_doubles
+
+
+class TestRoundTrip:
+    @given(any_doubles)
+    def test_bits_round_trip(self, x):
+        back = bits_to_double(double_to_bits(x))
+        assert back == x or (math.isnan(back) and math.isnan(x))
+
+    def test_known_patterns(self):
+        assert double_to_bits(0.0) == 0
+        assert double_to_bits(1.0) == 0x3FF0000000000000
+        assert double_to_bits(-2.0) == 0xC000000000000000
+        assert double_to_bits(float("inf")) == 0x7FF0000000000000
+
+    def test_negative_zero_pattern(self):
+        assert double_to_bits(-0.0) == 1 << 63
+
+    def test_bits_masked_to_64(self):
+        assert bits_to_double((1 << 64) | 0x3FF0000000000000) == 1.0
+
+
+class TestWords:
+    def test_high_word_of_one(self):
+        assert high_word(1.0) == 0x3FF00000
+
+    def test_low_word_of_one(self):
+        assert low_word(1.0) == 0
+
+    def test_fig8_bound_correspondence(self):
+        # k < 0x3e500000 corresponds to |x| < ~1.49e-08 (paper Fig. 8).
+        assert high_word(1.4901e-08) & 0x7FFFFFFF < 0x3E500000
+        assert high_word(1.4902e-08) & 0x7FFFFFFF >= 0x3E500000
+
+    def test_sign_bit_in_high_word(self):
+        assert high_word(-1.0) == 0xBFF00000
+        assert high_word(-1.0) & 0x7FFFFFFF == 0x3FF00000
+
+    @given(finite_doubles)
+    def test_words_recombine(self, x):
+        assert (high_word(x) << 32) | low_word(x) == double_to_bits(x)
+
+
+class TestNextUpDown:
+    def test_next_up_zero_is_min_subnormal(self):
+        assert next_up(0.0) == 5e-324
+        assert next_up(-0.0) == 5e-324
+
+    def test_next_down_zero(self):
+        assert next_down(0.0) == -5e-324
+
+    def test_next_up_of_max_is_inf(self):
+        assert next_up(1.7976931348623157e308) == math.inf
+
+    def test_next_up_inf_fixed(self):
+        assert next_up(math.inf) == math.inf
+
+    def test_nan_propagates(self):
+        assert math.isnan(next_up(float("nan")))
+        assert math.isnan(next_down(float("nan")))
+
+    @given(finite_doubles)
+    def test_next_up_strictly_greater(self, x):
+        assert next_up(x) > x
+
+    @given(finite_doubles)
+    def test_up_down_inverse(self, x):
+        assert next_down(next_up(x)) == x or (x == 0.0)
+
+    def test_one_ulp_above_one(self):
+        assert next_up(1.0) == 1.0 + 2.0**-52
+
+
+class TestNextAfter:
+    def test_toward_larger(self):
+        assert next_after(1.0, 2.0) == next_up(1.0)
+
+    def test_toward_smaller(self):
+        assert next_after(1.0, 0.0) == next_down(1.0)
+
+    def test_equal_returns_target(self):
+        assert next_after(3.0, 3.0) == 3.0
+
+    def test_nan_operand(self):
+        assert math.isnan(next_after(float("nan"), 1.0))
+        assert math.isnan(next_after(1.0, float("nan")))

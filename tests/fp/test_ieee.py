@@ -1,0 +1,83 @@
+"""IEEE constants and classification predicates."""
+
+import math
+import sys
+
+from hypothesis import given
+
+from repro.fp.ieee import (
+    DBL_EPSILON,
+    DBL_MAX,
+    DBL_MIN,
+    DBL_TRUE_MIN,
+    is_finite,
+    is_inf,
+    is_nan,
+    is_negative_zero,
+    is_subnormal,
+    overflows,
+)
+from tests.conftest import any_doubles
+
+
+class TestConstants:
+    def test_dbl_max_matches_sys(self):
+        assert DBL_MAX == sys.float_info.max
+
+    def test_dbl_min_matches_sys(self):
+        assert DBL_MIN == sys.float_info.min
+
+    def test_epsilon_matches_sys(self):
+        assert DBL_EPSILON == sys.float_info.epsilon
+
+    def test_true_min_is_smallest_positive(self):
+        assert DBL_TRUE_MIN > 0.0
+        assert DBL_TRUE_MIN / 2.0 == 0.0
+
+    def test_max_is_largest_finite(self):
+        assert DBL_MAX * 2.0 == math.inf
+
+
+class TestClassification:
+    def test_nan(self):
+        assert is_nan(float("nan"))
+        assert not is_nan(1.0)
+        assert not is_nan(math.inf)
+
+    def test_inf(self):
+        assert is_inf(math.inf) and is_inf(-math.inf)
+        assert not is_inf(DBL_MAX)
+        assert not is_inf(float("nan"))
+
+    @given(any_doubles)
+    def test_trichotomy(self, x):
+        assert is_nan(x) + is_inf(x) + is_finite(x) == 1
+
+    def test_subnormal(self):
+        assert is_subnormal(DBL_TRUE_MIN)
+        assert is_subnormal(DBL_MIN / 2.0)
+        assert not is_subnormal(DBL_MIN)
+        assert not is_subnormal(0.0)
+        assert not is_subnormal(math.inf)
+
+    def test_negative_zero(self):
+        assert is_negative_zero(-0.0)
+        assert not is_negative_zero(0.0)
+        assert not is_negative_zero(-1.0)
+
+
+class TestOverflowPredicate:
+    def test_inf_overflows(self):
+        assert overflows(math.inf) and overflows(-math.inf)
+
+    def test_nan_overflows(self):
+        assert overflows(float("nan"))
+
+    def test_max_overflows(self):
+        # Algorithm 3's probe: w = |a| < MAX ? MAX-|a| : 0, so |a| == MAX
+        # counts as overflowed.
+        assert overflows(DBL_MAX)
+
+    def test_below_max_does_not(self):
+        assert not overflows(DBL_MAX * 0.99)
+        assert not overflows(0.0)

@@ -1,0 +1,61 @@
+"""Properties of the ULP metric (the Limitation-2 mitigation)."""
+
+import pytest
+from hypothesis import given
+
+from repro.fp.bits import next_up
+from repro.fp.ulp import ordered_int, ulp_distance
+from tests.conftest import finite_doubles
+
+
+class TestOrderedInt:
+    @given(finite_doubles, finite_doubles)
+    def test_monotone(self, a, b):
+        if a < b:
+            assert ordered_int(a) < ordered_int(b) or (a == 0.0 and b == 0.0)
+        elif a == b:
+            assert ordered_int(a) == ordered_int(b)
+
+    def test_zeroes_identified(self):
+        assert ordered_int(0.0) == ordered_int(-0.0) == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ordered_int(float("nan"))
+
+    @given(finite_doubles)
+    def test_adjacent_images_differ_by_one(self, x):
+        up = next_up(x)
+        if up != x and x != 0.0:
+            assert ordered_int(up) - ordered_int(x) == 1
+
+
+class TestUlpDistance:
+    @given(finite_doubles)
+    def test_identity(self, a):
+        assert ulp_distance(a, a) == 0
+
+    @given(finite_doubles, finite_doubles)
+    def test_zero_iff_equal(self, a, b):
+        if ulp_distance(a, b) == 0:
+            assert a == b
+        if a != b:
+            assert ulp_distance(a, b) > 0
+
+    @given(finite_doubles, finite_doubles)
+    def test_symmetry(self, a, b):
+        assert ulp_distance(a, b) == ulp_distance(b, a)
+
+    @given(finite_doubles, finite_doubles, finite_doubles)
+    def test_triangle_inequality(self, a, b, c):
+        assert ulp_distance(a, c) <= (
+            ulp_distance(a, b) + ulp_distance(b, c)
+        )
+
+    def test_underflow_region_not_conflated(self):
+        # The paper's 1e-200 example: far from 0 in ULPs even though
+        # 1e-200 * 1e-200 underflows to 0 in FP arithmetic.
+        assert ulp_distance(1e-200, 0.0) > 10**18
+
+    def test_adjacent_distance_one(self):
+        assert ulp_distance(1.0, next_up(1.0)) == 1

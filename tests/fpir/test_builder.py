@@ -1,0 +1,104 @@
+"""The construction DSL."""
+
+import pytest
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    fadd,
+    fabs,
+    fmul,
+    lt,
+    ne,
+    num,
+    sqrt,
+    ternary,
+    v,
+)
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    If,
+    Return,
+    Ternary,
+    While,
+)
+from repro.fpir.program import Program
+from repro.fpir.interpreter import run_program
+
+
+class TestExpressionHelpers:
+    def test_numeric_coercion(self):
+        e = fadd(1, 2.5)
+        assert isinstance(e.lhs, Const) and e.lhs.value == 1
+
+    def test_bad_coercion_rejected(self):
+        with pytest.raises(TypeError):
+            fadd("not an expr", 1.0)
+
+    def test_compare_builder(self):
+        e = lt(v("x"), num(1.0))
+        assert isinstance(e, Compare) and e.op == "lt"
+
+    def test_ternary_builder(self):
+        e = ternary(ne(v("x"), num(0.0)), num(1.0), num(2.0))
+        assert isinstance(e, Ternary)
+
+    def test_named_call_helpers(self):
+        assert fabs(v("x")).func == "fabs"
+        assert sqrt(v("x")).func == "sqrt"
+
+
+class TestFunctionBuilder:
+    def test_let_returns_var(self):
+        fb = FunctionBuilder("f", params=["x"])
+        ref = fb.let("y", fmul(v("x"), v("x")))
+        assert ref.name == "y"
+
+    def test_arg_checks_declared(self):
+        fb = FunctionBuilder("f", params=["x"])
+        with pytest.raises(KeyError):
+            fb.arg("y")
+
+    def test_if_orelse_structure(self):
+        fb = FunctionBuilder("f", params=["x"])
+        with fb.if_(lt(v("x"), num(0.0))) as branch:
+            fb.let("s", num(-1.0))
+            with branch.orelse():
+                fb.let("s", num(1.0))
+        fb.ret(v("s"))
+        fn = fb.build()
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.then.stmts[0], Assign)
+        assert isinstance(stmt.orelse.stmts[0], Assign)
+        prog = Program([fn], entry="f")
+        assert run_program(prog, [-2.0]).value == -1.0
+        assert run_program(prog, [2.0]).value == 1.0
+
+    def test_while_structure(self):
+        fb = FunctionBuilder("f", params=["n"])
+        fb.let("i", num(0.0))
+        with fb.while_(lt(v("i"), v("n"))):
+            fb.let("i", fadd(v("i"), num(1.0)))
+        fb.ret(v("i"))
+        fn = fb.build()
+        assert isinstance(fn.body.stmts[1], While)
+
+    def test_ret_none(self):
+        fb = FunctionBuilder("f", params=[], return_type=None)
+        fb.ret()
+        assert isinstance(fb.build().body.stmts[0], Return)
+
+    def test_param_forms(self):
+        from repro.fpir.program import Param
+        from repro.fpir.types import INT
+
+        fb = FunctionBuilder(
+            "f", params=["a", ("b", INT), Param("c")]
+        )
+        fn = fb.build()
+        assert [p.name for p in fn.params] == ["a", "b", "c"]
+        assert fn.params[1].type is INT

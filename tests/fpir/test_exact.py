@@ -1,0 +1,123 @@
+"""The exact rational evaluator (the §5.2 higher-precision option)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    call,
+    fadd,
+    fdiv,
+    fmul,
+    fsub,
+    lt,
+    num,
+    v,
+)
+from repro.fpir.exact import ExactInterpreter, run_exact, to_float
+from repro.fpir.interpreter import run_program
+from repro.fpir.program import Program
+
+vals = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def _square_sum() -> Program:
+    fb = FunctionBuilder("f", params=["x", "y"])
+    fb.ret(fadd(fmul(v("x"), v("x")), fmul(v("y"), v("y"))))
+    return Program([fb.build()], entry="f")
+
+
+class TestExactness:
+    def test_no_underflow_false_zero(self):
+        # The paper's Limitation-2 example: 1e-200² underflows to 0 in
+        # binary64 but is strictly positive exactly.
+        result = run_exact(_square_sum(), [1e-200, 0.0])
+        assert isinstance(result.value, Fraction)
+        assert result.value > 0
+        # ... whereas binary64 loses it:
+        assert run_program(_square_sum(), [1e-200, 0.0]).value == 0.0
+
+    def test_no_catastrophic_cancellation(self):
+        # (x + 1) - x == 1 exactly for huge x; binary64 gives 0.
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(fsub(fadd(v("x"), num(1.0)), v("x")))
+        prog = Program([fb.build()], entry="f")
+        assert run_exact(prog, [1e30]).value == 1
+        assert run_program(prog, [1e30]).value == 0.0
+
+    def test_exact_division(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(fdiv(v("x"), num(3.0)))
+        prog = Program([fb.build()], entry="f")
+        value = run_exact(prog, [1.0]).value
+        assert value == Fraction(1, 3)
+
+    @given(x=vals, y=vals)
+    def test_matches_real_arithmetic(self, x, y):
+        value = run_exact(_square_sum(), [x, y]).value
+        assert value == Fraction(x) ** 2 + Fraction(y) ** 2
+
+
+class TestIEEEEdges:
+    def test_division_by_exact_zero(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(fdiv(v("x"), fsub(v("x"), v("x"))))
+        prog = Program([fb.build()], entry="f")
+        assert run_exact(prog, [2.0]).value == math.inf
+        assert run_exact(prog, [-2.0]).value == -math.inf
+
+    def test_zero_by_zero_nan(self):
+        fb = FunctionBuilder("f", params=["x"])
+        zero = fsub(v("x"), v("x"))
+        fb.ret(fdiv(zero, zero))
+        prog = Program([fb.build()], entry="f")
+        assert math.isnan(run_exact(prog, [1.0]).value)
+
+    def test_float_contagion_after_external_overflow(self):
+        # exp overflows to float inf; later ops continue in float.
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(fadd(call("exp", v("x")), num(1.0)))
+        prog = Program([fb.build()], entry="f")
+        assert run_exact(prog, [1e4]).value == math.inf
+
+    def test_externals_receive_floats(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(call("sqrt", fmul(v("x"), v("x"))))
+        prog = Program([fb.build()], entry="f")
+        assert run_exact(prog, [3.0]).value == 3.0
+
+
+class TestControlFlow:
+    def test_comparisons_on_fractions(self):
+        fb = FunctionBuilder("f", params=["x"])
+        with fb.if_(lt(fmul(v("x"), v("x")), num(1e-300))) as tiny:
+            fb.ret(num(1.0))
+            with tiny.orelse():
+                fb.ret(num(0.0))
+        prog = Program([fb.build()], entry="f")
+        # Exactly: (1e-200)^2 = 1e-400 < 1e-300 -> true branch.
+        assert run_exact(prog, [1e-200]).value == 1.0
+
+    def test_to_float(self):
+        assert to_float(Fraction(1, 4)) == 0.25
+        assert to_float(2.5) == 2.5
+
+
+class TestFig2Agreement:
+    @given(x=st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_exact_and_float_agree_when_no_rounding(self, x):
+        # Fig. 2's arithmetic on moderate inputs rounds identically,
+        # so branch outcomes (and hence results, as floats) coincide.
+        from repro.programs import fig2
+
+        prog = fig2.make_program()
+        exact = run_exact(prog, [x]).value
+        plain = run_program(prog, [x]).value
+        # Compare after rounding the exact result to binary64: they
+        # may differ only when binary64 rounding changed a branch, and
+        # on this program's simple arithmetic they do not for moderate
+        # inputs where x+1 and x*x are exact-ish; tolerate 1 ulp.
+        assert to_float(exact) == pytest.approx(plain, abs=1e-9)

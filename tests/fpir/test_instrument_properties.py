@@ -1,0 +1,137 @@
+"""Property tests on the instrumentation engine and the reduction laws.
+
+Two global invariants the whole approach rests on:
+
+1. **Transparency** — instrumentation must not change the analyzed
+   program's observable behaviour (the value it computes and the
+   branches it takes), only add the ``w`` bookkeeping.  (Algorithm 3's
+   early Halt is the deliberate exception and is excluded.)
+2. **Lemma 3.2** — for a weak distance W of ⟨Prog; S⟩:
+   S = ∅ ⇔ min W > 0, and when S ≠ ∅, S = argmin W = the zeros of W.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analyses.boundary import multiplicative_spec
+from repro.analyses.coverage import coverage_spec
+from repro.analyses.path import PathSpec, path_spec_instrumentation
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.compiler import compile_program
+from repro.fpir.instrument import instrument
+from repro.fpir.labels import assign_labels
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+moderate = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+_CACHE = {}
+
+
+def _instrumented_pair(key, make_program, make_spec):
+    """(original compiled, instrumented compiled), cached per key."""
+    if key not in _CACHE:
+        program = make_program()
+        original = compile_program(program)
+        instrumented = instrument(program, make_spec())
+        _CACHE[key] = (original, compile_program(instrumented.program))
+    return _CACHE[key]
+
+
+def _specs():
+    from repro.programs import fig2
+
+    probe = fig2.make_program()
+    index = assign_labels(probe)
+    return [
+        ("boundary", multiplicative_spec),
+        ("coverage", coverage_spec),
+        ("path", lambda: path_spec_instrumentation(
+            PathSpec.all_true(index))),
+    ]
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("key,make_spec", _specs())
+    @given(x=finite)
+    def test_fig2_value_preserved(self, key, make_spec, x):
+        from repro.programs import fig2
+
+        original, instrumented = _instrumented_pair(
+            ("fig2", key), fig2.make_program, make_spec
+        )
+        a = original.run([x]).value
+        b = instrumented.run([x]).value
+        assert a == b or (a != a and b != b)
+
+    @given(nu=finite, x=finite)
+    def test_bessel_results_preserved_by_boundary_spec(self, nu, x):
+        from repro.gsl import bessel
+
+        original, instrumented = _instrumented_pair(
+            ("bessel", "boundary"), bessel.make_program,
+            multiplicative_spec,
+        )
+        a = original.run([nu, x]).globals
+        b = instrumented.run([nu, x]).globals
+        for field in ("result_val", "result_err", "status"):
+            av, bv = a[field], b[field]
+            assert av == bv or (av != av and bv != bv)
+
+    @given(x=moderate)
+    def test_sin_value_preserved_by_coverage_spec(self, x):
+        from repro.libm import sin as glibc_sin
+
+        original, instrumented = _instrumented_pair(
+            ("sin", "coverage"), glibc_sin.make_program, coverage_spec
+        )
+        a = original.run([x]).value
+        b = instrumented.run([x]).value
+        assert a == b or (a != a and b != b)
+
+
+class TestLemma32:
+    """Lemma 3.2 on the decidable Fig. 2 boundary problem."""
+
+    @given(x=finite)
+    def test_zeros_are_exactly_s(self, x):
+        from repro.programs import fig2
+
+        wd = _boundary_wd()
+        in_s = fig2.reference_boundary_membership(x)
+        is_zero = wd((x,)) == 0.0
+        assert in_s == is_zero
+
+    def test_nonempty_s_implies_min_zero(self):
+        # S contains 1.0, so min W must be 0 (Lemma 3.2a, ⇐).
+        wd = _boundary_wd()
+        assert wd((1.0,)) == 0.0
+
+    def test_empty_s_has_positive_min(self):
+        # A problem with S = ∅: boundary of `x*x >= -1` (never equal).
+        from repro.fpir.builder import FunctionBuilder, fmul, ge, num, v
+        from repro.fpir.program import Program
+
+        fb = FunctionBuilder("f", params=["x"])
+        with fb.if_(ge(fmul(v("x"), v("x")), num(-1.0))):
+            fb.let("t", num(1.0))
+        fb.ret(num(0.0))
+        program = Program([fb.build()], entry="f")
+        wd = WeakDistance(instrument(program, multiplicative_spec()))
+        # W(x) = |x*x + 1| >= 1 for all x: sample widely.
+        for x in (-1e154, -3.0, 0.0, 1e-300, 2.5, 1e100):
+            assert wd((x,)) >= 1.0
+
+
+_WD = {}
+
+
+def _boundary_wd():
+    if "wd" not in _WD:
+        from repro.programs import fig2
+
+        _WD["wd"] = WeakDistance(
+            instrument(fig2.make_program(), multiplicative_spec())
+        )
+    return _WD["wd"]

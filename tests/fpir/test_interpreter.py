@@ -1,0 +1,287 @@
+"""Reference interpreter semantics."""
+
+import math
+
+import pytest
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    aidx,
+    band,
+    call,
+    eq,
+    fadd,
+    fdiv,
+    fmul,
+    fsub,
+    ge,
+    gt,
+    idiv,
+    in_set,
+    intc,
+    isub,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    ne,
+    neg,
+    num,
+    shl,
+    shr,
+    ternary,
+    v,
+)
+from repro.fpir.interpreter import (
+    ExecutionContext,
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+    run_program,
+)
+from repro.fpir.program import Program
+
+
+def one_function(fb: FunctionBuilder, globals_=None, arrays=None) -> Program:
+    return Program(
+        [fb.build()], entry=fb.name, globals=globals_, arrays=arrays
+    )
+
+
+class TestArithmetic:
+    def test_float_ops(self):
+        fb = FunctionBuilder("f", params=["x", "y"])
+        fb.ret(fadd(fmul(v("x"), v("y")), fsub(v("x"), v("y"))))
+        assert run_program(one_function(fb), [3.0, 2.0]).value == 7.0
+
+    def test_division_by_zero_quiet(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(fdiv(v("x"), num(0.0)))
+        assert run_program(one_function(fb), [1.0]).value == math.inf
+        assert run_program(one_function(fb), [-1.0]).value == -math.inf
+
+    def test_int_ops(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.let("a", band(intc(0xFF), intc(0x0F)))
+        fb.let("b", shl(v("a"), intc(4)))
+        fb.let("c", shr(v("b"), intc(2)))
+        fb.ret(isub(v("c"), intc(1)))
+        assert run_program(one_function(fb), []).value == 59
+
+    def test_idiv_truncates_toward_zero(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(idiv(intc(-7), intc(2)))
+        assert run_program(one_function(fb), []).value == -3  # C semantics
+
+    def test_idiv_by_zero_raises(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(idiv(intc(1), intc(0)))
+        with pytest.raises(InterpreterError):
+            run_program(one_function(fb), [])
+
+    def test_negation(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(neg(v("x")))
+        assert run_program(one_function(fb), [3.5]).value == -3.5
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "make,expected",
+        [
+            (lambda: lt(num(1.0), num(2.0)), True),
+            (lambda: le(num(2.0), num(2.0)), True),
+            (lambda: gt(num(1.0), num(2.0)), False),
+            (lambda: ge(num(2.0), num(2.0)), True),
+            (lambda: eq(num(1.0), num(1.0)), True),
+            (lambda: ne(num(1.0), num(1.0)), False),
+        ],
+    )
+    def test_basic(self, make, expected):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(ternary(make(), num(1.0), num(0.0)))
+        assert run_program(one_function(fb), []).value == float(expected)
+
+    def test_nan_comparisons_are_c_like(self):
+        # Every ordered comparison with NaN is false; != is true.
+        fb = FunctionBuilder("f", params=["x"])
+        fb.let("r", num(0.0))
+        with fb.if_(lt(v("x"), num(1.0))):
+            fb.let("r", fadd(v("r"), num(1.0)))
+        with fb.if_(ge(v("x"), num(1.0))):
+            fb.let("r", fadd(v("r"), num(2.0)))
+        with fb.if_(ne(v("x"), v("x"))):
+            fb.let("r", fadd(v("r"), num(4.0)))
+        fb.ret(v("r"))
+        assert run_program(one_function(fb), [float("nan")]).value == 4.0
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        fb = FunctionBuilder("f", params=["x"])
+        with fb.if_(lt(v("x"), num(0.0))) as branch:
+            fb.ret(num(-1.0))
+            with branch.orelse():
+                fb.ret(num(1.0))
+        prog = one_function(fb)
+        assert run_program(prog, [-5.0]).value == -1.0
+        assert run_program(prog, [5.0]).value == 1.0
+
+    def test_while_loop_sum(self):
+        fb = FunctionBuilder("f", params=["n"])
+        fb.let("i", num(0.0))
+        fb.let("total", num(0.0))
+        with fb.while_(lt(v("i"), v("n"))):
+            fb.let("i", fadd(v("i"), num(1.0)))
+            fb.let("total", fadd(v("total"), v("i")))
+        fb.ret(v("total"))
+        assert run_program(one_function(fb), [5.0]).value == 15.0
+
+    def test_step_limit_on_infinite_loop(self):
+        fb = FunctionBuilder("f", params=[])
+        with fb.while_(lt(num(0.0), num(1.0))):
+            fb.let("x", num(1.0))
+        ctx = ExecutionContext(max_steps=1000)
+        with pytest.raises(StepLimitExceeded):
+            run_program(one_function(fb), [], ctx)
+
+    def test_ternary_short_circuit(self):
+        # The untaken arm must not evaluate (division by zero is quiet
+        # in FP, so probe with an out-of-range array read instead).
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(
+            ternary(gt(v("x"), num(0.0)), num(1.0), aidx("t", intc(99)))
+        )
+        prog = one_function(fb, arrays={"t": (1.0,)})
+        assert run_program(prog, [5.0]).value == 1.0
+        with pytest.raises(InterpreterError):
+            run_program(prog, [-5.0])
+
+    def test_bool_short_circuit(self):
+        fb = FunctionBuilder("f", params=["x"])
+        cond = land(gt(v("x"), num(0.0)),
+                    gt(aidx("t", intc(99)), num(0.0)))
+        with fb.if_(cond):
+            fb.ret(num(1.0))
+        fb.ret(num(0.0))
+        prog = one_function(fb, arrays={"t": (1.0,)})
+        # lhs false -> rhs (invalid index) never evaluated.
+        assert run_program(prog, [-1.0]).value == 0.0
+
+    def test_or_short_circuit(self):
+        fb = FunctionBuilder("f", params=["x"])
+        cond = lor(gt(v("x"), num(0.0)),
+                   gt(aidx("t", intc(99)), num(0.0)))
+        with fb.if_(cond):
+            fb.ret(num(1.0))
+        fb.ret(num(0.0))
+        prog = one_function(fb, arrays={"t": (1.0,)})
+        assert run_program(prog, [1.0]).value == 1.0
+
+
+class TestCallsAndGlobals:
+    def test_internal_call(self):
+        sq = FunctionBuilder("square", params=["x"])
+        sq.ret(fmul(v("x"), v("x")))
+        main = FunctionBuilder("main", params=["x"])
+        main.ret(call("square", fadd(v("x"), num(1.0))))
+        prog = Program([sq.build(), main.build()], entry="main")
+        assert run_program(prog, [2.0]).value == 9.0
+
+    def test_external_call(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(call("sqrt", v("x")))
+        assert run_program(one_function(fb), [9.0]).value == 3.0
+
+    def test_unknown_external(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(call("no_such_fn"))
+        with pytest.raises(KeyError):
+            run_program(one_function(fb), [])
+
+    def test_globals_reset_per_run(self):
+        fb = FunctionBuilder("f", params=[], return_type=None)
+        fb.let("g", fadd(v("g"), num(1.0)))
+        prog = one_function(fb, globals_={"g": 0.0})
+        interp = Interpreter(prog)
+        assert interp.run([]).globals["g"] == 1.0
+        assert interp.run([]).globals["g"] == 1.0  # reset, not 2.0
+
+    def test_global_visible_across_functions(self):
+        setter = FunctionBuilder("setter", params=["x"], return_type=None)
+        setter.let("g", v("x"))
+        main = FunctionBuilder("main", params=["x"])
+        main.let("_", call("setter", fmul(v("x"), num(2.0))))
+        main.ret(v("g"))
+        prog = Program(
+            [setter.build(), main.build()], entry="main",
+            globals={"g": 0.0},
+        )
+        assert run_program(prog, [3.0]).value == 6.0
+
+    def test_wrong_arity(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(v("x"))
+        with pytest.raises(InterpreterError):
+            run_program(one_function(fb), [1.0, 2.0])
+
+    def test_undefined_variable(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(v("ghost"))
+        with pytest.raises(InterpreterError):
+            run_program(one_function(fb), [])
+
+
+class TestInstrumentationConstructs:
+    def test_halt_stops_whole_program(self):
+        inner = FunctionBuilder("inner", params=[], return_type=None)
+        inner.let("g", num(1.0))
+        inner.halt()
+        inner.let("g", num(2.0))  # unreachable
+        main = FunctionBuilder("main", params=[])
+        main.let("_", call("inner"))
+        main.let("g", num(3.0))  # unreachable: halt unwinds everything
+        main.ret(num(0.0))
+        prog = Program(
+            [inner.build(), main.build()], entry="main",
+            globals={"g": 0.0},
+        )
+        result = run_program(prog, [])
+        assert result.halted
+        assert result.globals["g"] == 1.0
+
+    def test_record_event_last_and_counters(self):
+        fb = FunctionBuilder("f", params=[], return_type=None)
+        fb.record("probe", "l1")
+        fb.record("probe", "l2")
+        fb.record("probe", "l1")
+        ctx = ExecutionContext()
+        result = run_program(one_function(fb), [], ctx)
+        assert result.events["probe"] == "l1"
+        assert ctx.counters[("probe", "l1")] == 2
+        assert ctx.counters[("probe", "l2")] == 1
+
+    def test_in_label_set(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(ternary(in_set("L", "l1"), num(1.0), num(0.0)))
+        prog = one_function(fb)
+        ctx = ExecutionContext()
+        assert Interpreter(prog).run([], ctx).value == 0.0
+        ctx.label_set("L").add("l1")
+        assert Interpreter(prog).run([], ctx).value == 1.0
+
+
+class TestArrays:
+    def test_indexing(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(aidx("coef", intc(2)))
+        prog = one_function(fb, arrays={"coef": (1.0, 2.0, 3.0)})
+        assert run_program(prog, []).value == 3.0
+
+    def test_out_of_range(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(aidx("coef", intc(5)))
+        prog = one_function(fb, arrays={"coef": (1.0,)})
+        with pytest.raises(InterpreterError):
+            run_program(prog, [])

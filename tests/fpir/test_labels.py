@@ -1,0 +1,78 @@
+"""Label assignment: determinism, coverage, site metadata."""
+
+from repro.fpir.labels import assign_labels, clear_labels
+from repro.fpir.normalize import normalize_program
+
+
+class TestFpOpLabels:
+    def test_bessel_labels_are_sequential(self, bessel_program):
+        index = assign_labels(normalize_program(bessel_program))
+        assert index.fp_labels == [f"l{i}" for i in
+                                   range(1, len(index.fp_ops) + 1)]
+
+    def test_sites_know_their_assignee(self, bessel_program):
+        index = assign_labels(normalize_program(bessel_program))
+        by_assignee = {s.assignee: s for s in index.fp_ops}
+        assert by_assignee["mu"].op == "fmul"
+        assert by_assignee["mum1"].op == "fsub"
+        assert by_assignee["r"].op == "fdiv"
+
+    def test_deterministic_across_rebuilds(self, bessel_program):
+        from repro.gsl import bessel
+
+        a = assign_labels(normalize_program(bessel.make_program()))
+        b = assign_labels(normalize_program(bessel.make_program()))
+        assert [s.text for s in a.fp_ops] == [s.text for s in b.fp_ops]
+
+    def test_nested_ops_unlabelled_without_normalization(
+        self, bessel_program
+    ):
+        # Without TAC, only assign-root float BinOps get labels.
+        index = assign_labels(bessel_program.clone())
+        assert len(index.fp_ops) < 23
+
+
+class TestBranchAndCompareLabels:
+    def test_fig2_sites(self, fig2_program):
+        index = assign_labels(fig2_program.clone())
+        assert index.branch_labels == ["b1", "b2"]
+        assert index.compare_labels == ["c1", "c2"]
+        assert index.branches[0].kind == "if"
+
+    def test_sin_has_five_entry_compares(self, sin_program):
+        index = assign_labels(sin_program.clone())
+        entry_compares = [
+            s for s in index.compares if s.function == "sin_glibc"
+        ]
+        assert len(entry_compares) == 5
+
+    def test_while_branch_labelled(self):
+        from repro.fpir.builder import FunctionBuilder, lt, num, v, fadd
+        from repro.fpir.program import Program
+
+        fb = FunctionBuilder("f", params=["n"])
+        fb.let("i", num(0.0))
+        with fb.while_(lt(v("i"), v("n"))):
+            fb.let("i", fadd(v("i"), num(1.0)))
+        fb.ret(v("i"))
+        index = assign_labels(Program([fb.build()], entry="f"))
+        assert index.branches[0].kind == "while"
+
+
+class TestClearLabels:
+    def test_clear_then_relabel(self, fig2_program):
+        prog = fig2_program.clone()
+        first = assign_labels(prog)
+        clear_labels(prog)
+        second = assign_labels(prog)
+        assert first.branch_labels == second.branch_labels
+        assert first.compare_labels == second.compare_labels
+
+    def test_lookup_helpers(self, bessel_program):
+        index = assign_labels(normalize_program(bessel_program))
+        site = index.fp_site("l1")
+        assert site.label == "l1"
+        import pytest
+
+        with pytest.raises(KeyError):
+            index.fp_site("l999")

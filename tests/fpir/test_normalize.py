@@ -1,0 +1,153 @@
+"""Three-address normalization: shape and semantics preservation."""
+
+import pytest
+from hypothesis import given
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    aidx,
+    call,
+    fadd,
+    fdiv,
+    fmul,
+    fsub,
+    gt,
+    intc,
+    lt,
+    num,
+    ternary,
+    v,
+)
+from repro.fpir.normalize import is_normalized, normalize_program
+from repro.fpir.program import Program
+from tests.conftest import finite_doubles, moderate_doubles, run_both
+
+
+def _nested_program() -> Program:
+    fb = FunctionBuilder("f", params=["x", "y"])
+    fb.let(
+        "out",
+        fmul(
+            fadd(v("x"), fmul(num(2.0), v("y"))),
+            fsub(fdiv(v("x"), num(3.0)), v("y")),
+        ),
+    )
+    fb.ret(v("out"))
+    return Program([fb.build()], entry="f")
+
+
+class TestShape:
+    def test_nested_becomes_normalized(self):
+        prog = normalize_program(_nested_program())
+        assert is_normalized(prog)
+
+    def test_original_not_normalized(self):
+        assert not is_normalized(_nested_program())
+
+    def test_bessel_op_count_matches_paper(self, bessel_program):
+        from repro.fpir.labels import assign_labels
+        from repro.gsl.bessel import PAPER_OP_COUNT
+
+        prog = normalize_program(bessel_program)
+        index = assign_labels(prog)
+        assert len(index.fp_ops) == PAPER_OP_COUNT  # 23
+
+    def test_hyperg_op_count_matches_paper(self):
+        from repro.fpir.labels import assign_labels
+        from repro.gsl import hyperg
+
+        prog = normalize_program(hyperg.make_program())
+        index = assign_labels(prog)
+        assert len(index.fp_ops) == hyperg.PAPER_OP_COUNT  # 8
+
+    def test_ternary_arms_left_alone(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(ternary(gt(v("x"), num(0.0)),
+                       fdiv(num(1.0), v("x")),
+                       num(0.0)))
+        prog = normalize_program(Program([fb.build()], entry="f"))
+        # The guarded division must stay inside the ternary arm.
+        assert is_normalized(prog)
+
+    def test_idempotent(self):
+        once = normalize_program(_nested_program())
+        twice = normalize_program(once)
+        from repro.fpir.labels import assign_labels
+
+        assert len(assign_labels(once).fp_ops) == len(
+            assign_labels(twice).fp_ops
+        )
+
+
+class TestSemanticsPreserved:
+    @given(moderate_doubles, moderate_doubles)
+    def test_nested_expression(self, x, y):
+        prog = _nested_program()
+        norm = normalize_program(prog)
+        a = run_both(prog, [x, y])
+        b = run_both(norm, [x, y])
+        assert a.value == b.value or (
+            a.value != a.value and b.value != b.value
+        )
+
+    @given(finite_doubles)
+    def test_fig2(self, x):
+        from repro.programs import fig2
+
+        prog = fig2.make_program()
+        assert run_both(prog, [x]).value == run_both(
+            normalize_program(prog), [x]
+        ).value
+
+    @given(finite_doubles, finite_doubles)
+    def test_bessel(self, nu, x):
+        from repro.gsl import bessel
+
+        prog = bessel.make_program()
+        a = run_both(prog, [nu, x]).globals
+        b = run_both(normalize_program(prog), [nu, x]).globals
+        for key in ("result_val", "result_err", "status"):
+            av, bv = a[key], b[key]
+            assert av == bv or (av != av and bv != bv)
+
+    def test_while_condition_recomputed(self):
+        # while (i * 2.0 < n) { i = i + 1.0 }: the temp for i*2.0 must
+        # be refreshed every iteration.
+        fb = FunctionBuilder("f", params=["n"])
+        fb.let("i", num(0.0))
+        with fb.while_(lt(fmul(v("i"), num(2.0)), v("n"))):
+            fb.let("i", fadd(v("i"), num(1.0)))
+        fb.ret(v("i"))
+        prog = Program([fb.build()], entry="f")
+        norm = normalize_program(prog)
+        assert is_normalized(norm)
+        for n in (0.0, 1.0, 7.0, 10.0):
+            assert (
+                run_both(prog, [n]).value == run_both(norm, [n]).value
+            )
+
+    def test_ternary_guard_still_protects(self):
+        # Normalizing must not hoist the guarded array access.
+        fb = FunctionBuilder("f", params=["x"])
+        fb.let(
+            "r",
+            fadd(
+                num(1.0),
+                ternary(gt(v("x"), num(0.0)),
+                        aidx("t", intc(0)),
+                        num(0.0)),
+            ),
+        )
+        fb.ret(v("r"))
+        prog = Program([fb.build()], entry="f", arrays={"t": (5.0,)})
+        norm = normalize_program(prog)
+        assert run_both(norm, [1.0]).value == 6.0
+        assert run_both(norm, [-1.0]).value == 1.0
+
+    def test_call_arguments_flattened(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(call("fabs", fsub(fmul(v("x"), v("x")), num(4.0))))
+        prog = Program([fb.build()], entry="f")
+        norm = normalize_program(prog)
+        assert is_normalized(norm)
+        assert run_both(norm, [1.0]).value == 3.0

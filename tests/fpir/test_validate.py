@@ -1,0 +1,133 @@
+"""Static validation of FPIR programs."""
+
+import pytest
+
+from repro.fpir.builder import (
+    FunctionBuilder,
+    aidx,
+    call,
+    fadd,
+    intc,
+    num,
+    v,
+)
+from repro.fpir.nodes import Assign, BinOp, Compare, Const, UnOp, Var
+from repro.fpir.program import Program
+from repro.fpir.validate import ValidationError, check, validate
+
+
+def _prog(fb: FunctionBuilder, **kw) -> Program:
+    return Program([fb.build()], entry=fb.name, **kw)
+
+
+class TestValid:
+    def test_clean_program_passes(self, fig2_program):
+        assert validate(fig2_program) == []
+
+    def test_all_substrate_programs_pass(
+        self, bessel_program, sin_program, airy_program
+    ):
+        from repro.gsl import hyperg
+
+        for prog in (bessel_program, sin_program, airy_program,
+                     hyperg.make_program()):
+            assert validate(prog) == []
+
+    def test_check_returns_program(self, fig2_program):
+        assert check(fig2_program) is fig2_program
+
+
+class TestInvalid:
+    def test_undefined_variable(self):
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(fadd(v("x"), v("ghost")))
+        errors = validate(_prog(fb))
+        assert any("ghost" in e for e in errors)
+
+    def test_unknown_function(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(call("no_such"))
+        assert any("no_such" in e for e in validate(_prog(fb)))
+
+    def test_wrong_arity_internal_call(self):
+        callee = FunctionBuilder("g", params=["a", "b"])
+        callee.ret(v("a"))
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(call("g", v("x")))
+        prog = Program([callee.build(), fb.build()], entry="f")
+        assert any("args" in e for e in validate(prog))
+
+    def test_unknown_array(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(aidx("missing", intc(0)))
+        assert any("missing" in e for e in validate(_prog(fb)))
+
+    def test_assignment_to_array(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.let("coef", num(1.0))
+        fb.ret(num(0.0))
+        prog = _prog(fb, arrays={"coef": (1.0,)})
+        assert any("constant array" in e for e in validate(prog))
+
+    def test_unknown_operator(self):
+        prog = Program(
+            [
+                __import__(
+                    "repro.fpir.program", fromlist=["Function"]
+                ).Function(
+                    "f",
+                    [],
+                    __import__(
+                        "repro.fpir.nodes", fromlist=["Block"]
+                    ).Block(
+                        (Assign("x", BinOp("frobnicate", Const(1.0),
+                                           Const(2.0))),)
+                    ),
+                )
+            ],
+            entry="f",
+        )
+        assert any("frobnicate" in e for e in validate(prog))
+
+    def test_duplicate_labels(self, fig2_program):
+        from repro.fpir.labels import assign_labels
+        from repro.fpir.walk import iter_stmts
+
+        prog = fig2_program.clone()
+        assign_labels(prog)
+        # Force a duplicate branch label.
+        branches = [
+            s for s in iter_stmts(prog.entry_function.body)
+            if getattr(s, "label", None)
+        ]
+        branches[1].label = branches[0].label
+        assert any("duplicate" in e for e in validate(prog))
+
+    def test_check_raises(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(v("ghost"))
+        with pytest.raises(ValidationError):
+            check(_prog(fb))
+
+
+class TestProgramContainer:
+    def test_duplicate_function_names_rejected(self):
+        fb1 = FunctionBuilder("f", params=[])
+        fb1.ret(num(0.0))
+        fb2 = FunctionBuilder("f", params=[])
+        fb2.ret(num(1.0))
+        with pytest.raises(ValueError):
+            Program([fb1.build(), fb2.build()], entry="f")
+
+    def test_missing_entry_rejected(self):
+        fb = FunctionBuilder("f", params=[])
+        fb.ret(num(0.0))
+        with pytest.raises(ValueError):
+            Program([fb.build()], entry="main")
+
+    def test_clone_is_deep(self, fig2_program):
+        clone = fig2_program.clone()
+        # Mutate a branch label deep inside the clone.
+        clone.entry_function.body.stmts[0].label = "mutated"
+        original_first = fig2_program.entry_function.body.stmts[0]
+        assert original_first.label != "mutated"

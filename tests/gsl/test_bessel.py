@@ -1,0 +1,87 @@
+"""The Bessel port (paper Fig. 5)."""
+
+import math
+
+import pytest
+import scipy.special
+from hypothesis import given, strategies as st
+
+from repro.fpir import assign_labels, compile_program, normalize_program
+from repro.gsl import bessel
+from repro.gsl.machine import GSL_SUCCESS
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(bessel.make_program())
+
+
+class TestStructure:
+    def test_exactly_23_elementary_ops(self):
+        index = assign_labels(normalize_program(bessel.make_program()))
+        assert len(index.fp_ops) == bessel.PAPER_OP_COUNT
+
+    def test_op_breakdown_matches_paper(self):
+        # Statement totals: mu: 2, mum1: 1, mum9: 1, pre: 2, r: 1,
+        # val: 9, err: 7.  By operator: 14 *, 4 /, 3 +, 2 -.
+        index = assign_labels(normalize_program(bessel.make_program()))
+        by_op = {}
+        for site in index.fp_ops:
+            by_op[site.op] = by_op.get(site.op, 0) + 1
+        assert by_op["fmul"] == 14
+        assert by_op["fdiv"] == 4
+        assert by_op["fadd"] == 3
+        assert by_op["fsub"] == 2
+
+    def test_domain_is_f2(self):
+        assert bessel.make_program().num_inputs == 2
+
+
+class TestSemantics:
+    @given(
+        nu=st.floats(min_value=0.0, max_value=2.0),
+        x=st.floats(min_value=20.0, max_value=200.0),
+    )
+    def test_matches_scipy_kve_asymptotically(self, nu, x, compiled):
+        # The function is the large-x asymptotic of exp(x) K_nu(x);
+        # the two-term expansion is accurate for x >> nu^2.
+        got = compiled.run([nu, x]).globals["result_val"]
+        ref = scipy.special.kve(nu, x)
+        assert got == pytest.approx(ref, rel=1e-3)
+
+    def test_paper_example_instruction_split(self, compiled):
+        # 4.0 * nu * nu evaluates left-to-right (l1 then l2): with
+        # nu = 1.8e308 the first multiply already overflows.
+        result = compiled.run([1.8e308, -1.5e2])
+        assert not math.isfinite(result.globals["result_val"])
+        assert result.globals["status"] == GSL_SUCCESS
+
+    def test_status_always_success(self, compiled):
+        # GSL's asymptotic routine never signals errors — that is
+        # exactly why its overflows surface as inconsistencies.
+        for args in ([1.0, 2.0], [1e308, 1.0], [0.0, -1.0]):
+            assert compiled.run(args).globals["status"] == GSL_SUCCESS
+
+    def test_err_is_nonnegative_for_normal_inputs(self, compiled):
+        result = compiled.run([1.5, 10.0])
+        assert result.globals["result_err"] >= 0.0
+
+
+class TestClassifier:
+    def test_large_nu(self):
+        cause = bessel.classify_root_cause(
+            (1.8e308, -150.0), 0, math.inf, math.inf
+        )
+        assert cause == "Large input nu"
+
+    def test_negative_sqrt(self):
+        cause = bessel.classify_root_cause(
+            (1.0, -0.5), 0, float("nan"), float("nan")
+        )
+        assert cause == "negative in sqrt"
+
+    def test_large_x(self):
+        cause = bessel.classify_root_cause(
+            (1.0, 1.3e308), 0, math.inf, math.inf
+        )
+        assert cause == "Large input x"

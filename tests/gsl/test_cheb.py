@@ -1,0 +1,76 @@
+"""Chebyshev fitting and the FPIR Clenshaw evaluator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fpir.compiler import compile_program
+from repro.fpir.program import Program
+from repro.gsl.cheb import ChebSeries, build_cheb_function, fit_cheb
+
+
+@pytest.fixture(scope="module")
+def sin_series():
+    return fit_cheb(np.sin, -2.0, 2.0, order=16, name="sin_fit")
+
+
+@pytest.fixture(scope="module")
+def sin_cheb_compiled(sin_series):
+    fn = build_cheb_function("cheb_sin", sin_series)
+    prog = Program(
+        [fn], entry="cheb_sin",
+        arrays={sin_series.name: sin_series.coeffs},
+    )
+    return compile_program(prog)
+
+
+class TestFitting:
+    def test_fit_accuracy(self, sin_series):
+        for x in np.linspace(-2.0, 2.0, 101):
+            assert sin_series.evaluate(float(x)) == pytest.approx(
+                math.sin(x), abs=1e-12
+            )
+
+    def test_gsl_convention_c0_halved(self):
+        # 0.5 * c0 convention: constant function 3 -> c0 == 6.
+        series = fit_cheb(
+            lambda x: np.full_like(x, 3.0), -1.0, 1.0, order=4,
+            name="const",
+        )
+        assert series.coeffs[0] == pytest.approx(6.0)
+        assert series.evaluate(0.3) == pytest.approx(3.0)
+
+    def test_nonfinite_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cheb(lambda x: 1.0 / (x - x), -1.0, 1.0, order=4,
+                     name="bad")
+
+    def test_order(self, sin_series):
+        assert sin_series.order == 16
+        assert len(sin_series.coeffs) == 17
+
+
+class TestFpirEvaluator:
+    def test_matches_python_reference(self, sin_series,
+                                      sin_cheb_compiled):
+        for x in np.linspace(-2.0, 2.0, 41):
+            got = sin_cheb_compiled.run([float(x)]).value
+            assert got == sin_series.evaluate(float(x))
+
+    def test_out_of_domain_blows_up(self, sin_cheb_compiled):
+        # Clenshaw far outside [a, b]: the 2*t recurrence amplifies
+        # geometrically — the Bug-2 mechanism.
+        value = sin_cheb_compiled.run([1e20]).value
+        assert not math.isfinite(value) or abs(value) > 1e100
+
+    def test_interpreter_compiler_agree_on_cheb(self, sin_series):
+        from tests.conftest import run_both
+
+        fn = build_cheb_function("cheb_sin", sin_series)
+        prog = Program(
+            [fn], entry="cheb_sin",
+            arrays={sin_series.name: sin_series.coeffs},
+        )
+        for x in (-1.5, 0.0, 0.7, 3.0):
+            run_both(prog, [x])

@@ -1,0 +1,99 @@
+"""The Glibc 2.19 sin port (Fig. 8)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fp.bits import high_word
+from repro.fpir import assign_labels, compile_program
+from repro.libm import sin as glibc_sin
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(glibc_sin.make_program())
+
+
+class TestBranchStructure:
+    def test_five_dispatch_compares(self, sin_program):
+        index = assign_labels(sin_program.clone())
+        entry = [s for s in index.compares if s.function == "sin_glibc"]
+        assert len(entry) == 5
+
+    def test_k_bounds_match_fig8(self):
+        assert glibc_sin.K_BOUNDS == (
+            0x3E500000, 0x3FEB6000, 0x400368FD, 0x419921FB, 0x7FF00000
+        )
+
+    def test_reference_bounds_match_high_words(self):
+        # The |x| bounds quoted in Fig. 8's comments sit just at the
+        # high-word thresholds.
+        for bound, k in zip(glibc_sin.REFERENCE_BOUNDS,
+                            glibc_sin.K_BOUNDS):
+            if bound is None:
+                continue
+            # The paper prints decimals rounded to 7 significant
+            # digits, so allow a few high-word units of slack.
+            assert abs((high_word(bound) & 0x7FFFFFFF) - k) <= 8
+
+
+class TestSemantics:
+    def test_tiny_inputs_return_x(self, compiled):
+        for x in (1e-9, -3e-9, 1.4e-8):
+            assert compiled.run([x]).value == x
+
+    @given(x=st.floats(min_value=-0.85, max_value=0.85))
+    def test_polynomial_range(self, x, compiled):
+        assert compiled.run([x]).value == pytest.approx(
+            math.sin(x), abs=1e-12
+        )
+
+    @given(x=st.floats(min_value=-2.4, max_value=2.4))
+    def test_quadrant_range(self, x, compiled):
+        assert compiled.run([x]).value == pytest.approx(
+            math.sin(x), abs=1e-10
+        )
+
+    @given(x=st.floats(min_value=-1e8, max_value=1e8))
+    def test_reduction_range(self, x, compiled):
+        # Naive reduction loses ~|x|*eps absolute accuracy.
+        tol = 1e-10 + abs(x) * 1e-15
+        assert compiled.run([x]).value == pytest.approx(
+            math.sin(x), abs=tol
+        )
+
+    def test_inf_gives_nan(self, compiled):
+        assert math.isnan(compiled.run([math.inf]).value)
+        assert math.isnan(compiled.run([-math.inf]).value)
+
+    def test_nan_gives_nan(self, compiled):
+        assert math.isnan(compiled.run([float("nan")]).value)
+
+    def test_sign_symmetry(self, compiled):
+        for x in (0.3, 1.7, 42.0, 1e7):
+            assert compiled.run([-x]).value == -compiled.run([x]).value
+
+
+class TestBoundaryNeighbourhood:
+    def test_inputs_straddling_first_bound_split_branches(
+        self, compiled
+    ):
+        # Just below the 2^-26-ish bound: identity branch (returns x
+        # exactly); just above: polynomial branch (returns != x only
+        # in the low bits — check via the k dispatch instead).
+        below = 1.4901e-08
+        above = 1.4902e-08
+        k_below = high_word(below) & 0x7FFFFFFF
+        k_above = high_word(above) & 0x7FFFFFFF
+        assert k_below < glibc_sin.K_BOUNDS[0] <= k_above
+        assert compiled.run([below]).value == below
+
+    def test_boundary_condition_k_equal_bound_is_satisfiable(self):
+        # There are doubles whose high word is exactly each reachable
+        # bound (the paper's boundary values).
+        from repro.fp.bits import bits_to_double
+
+        for k in glibc_sin.K_BOUNDS[:4]:
+            x = bits_to_double(k << 32)
+            assert high_word(x) & 0x7FFFFFFF == k

@@ -1,0 +1,82 @@
+"""The paper's example programs and the registry."""
+
+import pytest
+
+from repro.fpir import run_program, validate
+from repro.programs import fig1, fig2, fig7, get_program, list_programs
+
+
+class TestFig1:
+    def test_counterexample_violates_assertion(self):
+        prog = fig1.make_program_a()
+        assert run_program(prog, [fig1.COUNTEREXAMPLE_A]).value == 1.0
+
+    def test_ordinary_inputs_pass_assertion(self):
+        prog = fig1.make_program_a()
+        for x in (0.0, 0.5, -10.0, 0.999):
+            assert run_program(prog, [x]).value == 0.0
+
+    def test_branch_not_taken_is_safe(self):
+        prog = fig1.make_program_a()
+        assert run_program(prog, [5.0]).value == 0.0
+
+    def test_tan_variant_runs(self):
+        prog = fig1.make_program_b()
+        assert run_program(prog, [0.5]).value in (0.0, 1.0)
+
+    def test_tan_variant_has_violation(self):
+        # x + tan(x) >= 2 for x slightly below 1: tan(1) ~ 1.557.
+        prog = fig1.make_program_b()
+        assert run_program(prog, [0.99]).value == 1.0
+
+
+class TestFig2:
+    def test_reference_boundary_membership(self):
+        for x in fig2.KNOWN_BOUNDARY_VALUES:
+            assert fig2.reference_boundary_membership(x)
+        assert fig2.reference_boundary_membership(
+            fig2.SURPRISE_BOUNDARY_VALUE
+        )
+        assert not fig2.reference_boundary_membership(0.5)
+
+    def test_reference_path_membership(self):
+        lo, hi = fig2.PATH_SOLUTION_INTERVAL
+        assert fig2.reference_path_membership(lo)
+        assert fig2.reference_path_membership(hi)
+        assert fig2.reference_path_membership(0.0)
+        assert not fig2.reference_path_membership(hi + 1.0)
+        assert not fig2.reference_path_membership(lo - 1.0)
+
+    def test_program_output(self):
+        prog = fig2.make_program()
+        # x = 0.5: x' = 1.5, y = 2.25 <= 4 -> x'' = 0.5.
+        assert run_program(prog, [0.5]).value == 0.5
+        # x = 5: no branch taken.
+        assert run_program(prog, [5.0]).value == 5.0
+
+
+class TestFig7:
+    def test_characteristic_w(self):
+        prog = fig7.make_characteristic_program()
+        assert run_program(prog, [1.0]).globals["w"] == 0.0
+        assert run_program(prog, [0.5]).globals["w"] == 1.0
+        assert run_program(prog, [100.0]).globals["w"] == 1.0
+
+
+class TestRegistry:
+    def test_all_registered_programs_validate(self):
+        for name in list_programs():
+            assert validate(get_program(name)) == []
+
+    def test_fresh_instances(self):
+        assert get_program("fig2") is not get_program("fig2")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_program("fig99")
+
+    def test_expected_names_present(self):
+        names = list_programs()
+        for expected in ("fig1a", "fig1b", "fig2",
+                         "fig7-characteristic"):
+            assert expected in names

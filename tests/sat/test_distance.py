@@ -1,0 +1,66 @@
+"""Atom-distance properties for both metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fpir.interpreter import Interpreter
+from repro.fpir.nodes import Block, Return, Var
+from repro.fpir.program import Function, Param, Program
+from repro.sat.distance import METRICS, NAIVE, ULP, atom_distance
+from repro.sat.formula import atom
+from repro.fpir.builder import v
+
+ops = st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"])
+vals = st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-1e100, max_value=1e100)
+
+
+def _eval(expr, a: float, b: float) -> float:
+    fn = Function("d", [Param("a"), Param("b")],
+                  Block((Return(expr),)))
+    return Interpreter(Program([fn], entry="d")).run([a, b]).value
+
+
+def _holds(op: str, a: float, b: float) -> bool:
+    return {
+        "lt": a < b, "le": a <= b, "gt": a > b,
+        "ge": a >= b, "eq": a == b, "ne": a != b,
+    }[op]
+
+
+class TestMetricLaws:
+    @pytest.mark.parametrize("metric", METRICS)
+    @given(op=ops, a=vals, b=vals)
+    def test_nonnegative(self, metric, op, a, b):
+        d = atom_distance(atom(op, v("a"), v("b")), metric)
+        assert _eval(d, a, b) >= 0.0
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @given(op=ops, a=vals, b=vals)
+    def test_zero_when_satisfied(self, metric, op, a, b):
+        d = atom_distance(atom(op, v("a"), v("b")), metric)
+        if _holds(op, a, b):
+            assert _eval(d, a, b) == 0.0
+
+    @given(op=ops, a=vals, b=vals)
+    def test_ulp_zero_only_when_satisfied(self, op, a, b):
+        # The ULP metric is *exact*: no false zeros (Limitation 2
+        # mitigation).
+        d = atom_distance(atom(op, v("a"), v("b")), ULP)
+        if not _holds(op, a, b):
+            assert _eval(d, a, b) > 0.0
+
+    def test_strict_op_naive_padding(self):
+        # a < b unsatisfied at a == b still has positive distance.
+        d = atom_distance(atom("lt", v("a"), v("b")), NAIVE)
+        assert _eval(d, 3.0, 3.0) > 0.0
+
+    def test_ulp_distance_counts_doubles(self):
+        d = atom_distance(atom("eq", v("a"), v("b")), ULP)
+        from repro.fp.bits import next_up
+
+        assert _eval(d, 1.0, next_up(1.0)) == 1.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            atom_distance(atom("lt", v("a"), v("b")), "manhattan")

@@ -1,0 +1,84 @@
+"""The CNF formula language."""
+
+import pytest
+
+from repro.fpir.builder import call, fadd, fmul, num, v
+from repro.sat.formula import Atom, Formula, atom, conjunction
+
+
+class TestAtom:
+    def test_construction(self):
+        a = atom("lt", v("x"), num(1.0))
+        assert a.op == "lt"
+
+    def test_numeric_coercion(self):
+        a = atom("ge", 1.0, v("y"))
+        from repro.fpir.nodes import Const
+
+        assert isinstance(a.lhs, Const)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            atom("almost-equal", v("x"), num(1.0))
+
+    def test_to_compare(self):
+        c = atom("eq", v("x"), num(0.0)).to_compare()
+        from repro.fpir.nodes import Compare
+
+        assert isinstance(c, Compare)
+
+
+class TestFormula:
+    def test_variable_inference_sorted(self):
+        f = Formula(
+            [[atom("lt", v("b"), v("a"))], [atom("gt", v("c"), num(0.0))]]
+        )
+        assert f.variables == ["a", "b", "c"]
+
+    def test_variables_inside_calls_found(self):
+        f = conjunction(atom("lt", call("tan", v("z")), num(1.0)))
+        assert f.variables == ["z"]
+
+    def test_explicit_variable_order(self):
+        f = Formula(
+            [[atom("lt", v("x"), v("y"))]], variables=["y", "x"]
+        )
+        assert f.variables == ["y", "x"]
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Formula([[]])
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction(atom("lt", num(0.0), num(1.0)))
+
+    def test_assignment(self):
+        f = conjunction(
+            atom("lt", v("x"), num(1.0)), atom("gt", v("y"), num(0.0))
+        )
+        assert f.assignment([1.0, 2.0]) == {"x": 1.0, "y": 2.0}
+
+    def test_assignment_length_checked(self):
+        f = conjunction(atom("lt", v("x"), num(1.0)))
+        with pytest.raises(ValueError):
+            f.assignment([1.0, 2.0])
+
+    def test_repr_shows_structure(self):
+        f = Formula(
+            [
+                [atom("lt", v("x"), num(1.0)),
+                 atom("gt", v("x"), num(5.0))],
+                [atom("eq", fmul(v("x"), v("x")), num(4.0))],
+            ]
+        )
+        text = repr(f)
+        assert "|" in text and "&" in text
+
+    def test_conjunction_unit_clauses(self):
+        f = conjunction(
+            atom("lt", v("x"), num(1.0)),
+            atom("ge", fadd(v("x"), num(1.0)), num(2.0)),
+        )
+        assert len(f.clauses) == 2
+        assert all(len(c) == 1 for c in f.clauses)

@@ -1,0 +1,71 @@
+"""The command-line front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_programs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "gsl-bessel", "glibc-sin"):
+            assert name in out
+
+
+class TestSat:
+    def test_sat_verdict(self, capsys):
+        code = main([
+            "sat", "x < 1 && x + 1 >= 2",
+            "--range", "10", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: sat" in out
+        assert "0.9999999999999999" in out
+
+    def test_unknown_verdict(self, capsys):
+        code = main([
+            "sat", "x > 1 && x < 0", "--range", "10", "--seed", "5",
+            "--starts", "3",
+        ])
+        assert code == 0
+        assert "verdict: unknown" in capsys.readouterr().out
+
+    def test_naive_metric_option(self, capsys):
+        code = main([
+            "sat", "x == 3", "--metric", "naive", "--range", "10",
+            "--seed", "5", "--starts", "5",
+        ])
+        assert code == 0
+        assert "verdict: sat" in capsys.readouterr().out
+
+
+class TestFpod:
+    def test_fpod_on_hyperg(self, capsys):
+        code = main(["fpod", "gsl-hyperg", "--seed", "7",
+                     "--niter", "20", "--retries", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/8 instructions overflowed" in out
+
+    def test_unknown_program(self):
+        with pytest.raises(KeyError):
+            main(["fpod", "no-such-program"])
+
+
+class TestBoundaryAndCoverage:
+    def test_boundary_fig2(self, capsys):
+        code = main([
+            "boundary", "fig2", "--seed", "1",
+            "--samples", "10000", "--starts", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "soundness replay OK" in out
+
+    def test_coverage_fig2(self, capsys):
+        code = main(["coverage", "fig2", "--seed", "3",
+                     "--rounds", "15"])
+        assert code == 0
+        assert "branch coverage" in capsys.readouterr().out

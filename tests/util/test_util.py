@@ -1,0 +1,77 @@
+"""Utilities: tables, rng policy, timing, ASCII plots."""
+
+import time
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, render_ascii_series
+from repro.util.rng import DEFAULT_SEED, make_rng, spawn
+from repro.util.tables import format_table
+from repro.util.timing import Stopwatch
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = text.split("\n")
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.1234567890123,)])
+        assert "0.123457" in text
+
+    def test_empty_rows(self):
+        text = format_table(("x", "y"), [])
+        assert "x" in text and "y" in text
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        a = make_rng().integers(0, 1_000_000)
+        b = make_rng().integers(0, 1_000_000)
+        assert a == b
+
+    def test_custom_seed(self):
+        assert make_rng(1).integers(0, 100) == make_rng(1).integers(0, 100)
+        assert DEFAULT_SEED == 20190622
+
+    def test_spawn_derives_child(self):
+        parent = make_rng(7)
+        child1 = spawn(parent)
+        parent2 = make_rng(7)
+        child2 = spawn(parent2)
+        assert child1.integers(0, 10**9) == child2.integers(0, 10**9)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert 0.005 < watch.elapsed < 1.0
+
+
+class TestAsciiSeries:
+    def test_renders_grid(self):
+        text = render_ascii_series([0, 1, 2, 3], [0.0, 1.0, 0.5, 1.0],
+                                   width=20, height=5)
+        assert "*" in text
+        assert "x: [0, 3]" in text
+
+    def test_empty(self):
+        assert render_ascii_series([], []) == "(no data)"
+
+    def test_constant_series(self):
+        text = render_ascii_series([0, 1], [5.0, 5.0], width=10,
+                                   height=3)
+        assert "*" in text
+
+
+class TestExperimentResult:
+    def test_to_text_includes_notes(self):
+        result = ExperimentResult(
+            name="t", title="Title", headers=("a",), rows=[(1,)],
+            notes="a note",
+        )
+        text = result.to_text()
+        assert "Title" in text and "a note" in text
