@@ -2,8 +2,11 @@
 
 These time the building blocks the analyses' wall-clock depends on:
 weak-distance evaluation through both executors, instrumentation +
-compilation latency, and the ULP metric.
+compilation latency, the ULP metric — and the parallel multi-start
+engine against its serial baseline.
 """
+
+import time
 
 import pytest
 
@@ -67,3 +70,104 @@ def test_compiled_airy_negative_axis(benchmark, airy_program_module):
 
 def test_ulp_distance(benchmark):
     benchmark(ulp_distance, 1.0, 1.0000000001)
+
+
+# ---------------------------------------------------------------------------
+# Parallel multi-start engine vs the serial loop
+# ---------------------------------------------------------------------------
+
+
+class PlantedSampler:
+    """Plants the exact zero of ``|x - 7|`` on ~1 in 5 starts and
+    otherwise starts far away, so most starts must burn their whole
+    budget while one can win the race immediately."""
+
+    def __call__(self, rng, n_dims):
+        if rng.random() < 0.2:
+            return (7.0,)
+        return (float(rng.uniform(1e5, 1e6)),)
+
+
+def _racing_workload():
+    """A multi-start minimization whose serial loop wastes most of its
+    budget before reaching the winning start."""
+    from repro.fpir.builder import FunctionBuilder, eq, num, v
+    from repro.fpir.program import Program
+    from repro.util.rng import derive_start_rngs
+
+    fb = FunctionBuilder("prog", params=["x"])
+    with fb.if_(eq(v("x"), num(7.0))):
+        fb.let("reached", num(1.0))
+    fb.ret(num(0.0))
+    program = Program([fb.build()], entry="prog")
+
+    n_starts = 6
+    sampler = PlantedSampler()
+
+    def first_planted(seed):
+        for i, rng in enumerate(derive_start_rngs(seed, n_starts)):
+            if sampler(rng, 1) == (7.0,):
+                return i
+        return None
+
+    # A seed whose first winning start sits late in the serial order:
+    # the serial loop must exhaust several full budgets to reach it,
+    # while the racing pool reaches it immediately.
+    seed = next(
+        s for s in range(1000) if (first_planted(s) or 0) >= 3
+    )
+    return program, n_starts, seed
+
+
+def _run_multistart_kernel(instrumented_factory, n_starts, seed,
+                           n_workers):
+    from repro.core import KernelConfig, ReductionKernel
+    from repro.mo.random_search import RandomSearchBackend
+    from repro.mo.starts import uniform_sampler as box
+
+    weak_distance = instrumented_factory()
+    kernel = ReductionKernel(
+        backend=RandomSearchBackend(
+            n_samples=80_000, sampler=box(1e5, 1e6)
+        ),
+        config=KernelConfig(
+            n_starts=n_starts,
+            seed=seed,
+            start_sampler=PlantedSampler(),
+            n_workers=n_workers,
+        ),
+    )
+    t0 = time.perf_counter()
+    outcome = kernel.minimize(weak_distance, n_inputs=1)
+    return time.perf_counter() - t0, outcome
+
+
+def test_parallel_multistart_speedup():
+    """The process-pool engine must beat the serial loop >= 2x on a
+    racing multi-start workload (early-cancel on first zero)."""
+    from repro.analyses.boundary import multiplicative_spec as mult_spec
+    from repro.core.weak_distance import WeakDistance as WD
+
+    program, n_starts, seed = _racing_workload()
+
+    def factory():
+        return WD(instrument(program, mult_spec()))
+
+    t_serial, serial = _run_multistart_kernel(
+        factory, n_starts, seed, n_workers=1
+    )
+    t_parallel, parallel = _run_multistart_kernel(
+        factory, n_starts, seed, n_workers=n_starts
+    )
+    assert serial.found and parallel.found
+    assert serial.x_star == parallel.x_star == (7.0,)
+    speedup = t_serial / t_parallel
+    print(
+        f"\nmulti-start racing: serial {t_serial:.2f}s, "
+        f"parallel({n_starts}) {t_parallel:.2f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, (
+        f"parallel engine too slow: {speedup:.2f}x "
+        f"(serial {t_serial:.2f}s vs parallel {t_parallel:.2f}s)"
+    )

@@ -46,7 +46,6 @@ def path_on_fig2() -> None:
     print("== Path reachability on Fig. 2: first branch TRUE, "
           "second FALSE ==")
     program = fig2.make_program()
-    probe = PathReachability(program)  # labels: b1, b2
     spec = PathSpec(
         [BranchConstraint("b1", True), BranchConstraint("b2", False)]
     )

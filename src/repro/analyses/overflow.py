@@ -28,7 +28,7 @@ The ``target`` heuristic makes each round chase one instruction — the
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.weak_distance import WeakDistance
 from repro.fp.ieee import DBL_MAX

@@ -25,7 +25,7 @@ Remark suggests.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.weak_distance import WeakDistance
 from repro.fpir.instrument import InstrumentationSpec, instrument
@@ -37,12 +37,10 @@ from repro.fpir.nodes import (
     Compare,
     Const,
     Expr,
-    If,
     RecordEvent,
     Stmt,
     Ternary,
     Var,
-    While,
 )
 from repro.fpir.program import Program
 from repro.mo.base import MOBackend, Objective

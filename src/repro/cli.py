@@ -7,18 +7,45 @@ Usage (via ``python -m repro``)::
     python -m repro boundary glibc-sin --entry-only [--samples N]
     python -m repro coverage fig2 [--rounds N]
     python -m repro sat "x < 1 && x + 1 >= 2" [--metric ulp|naive]
+    python -m repro batch --analyses fpod,coverage --workers 4
 
 Programs are resolved through :mod:`repro.programs.suite`; constraints
-are parsed by :mod:`repro.sat.parser`.
+are parsed by :mod:`repro.sat.parser`.  Every analysis command accepts
+``--backend`` (any :mod:`repro.mo.registry` name, e.g. ``portfolio``
+to race Basinhopping/MCMC/random-search per start); ``batch`` fans a
+whole analysis × program campaign across worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.util.tables import format_table
+
+
+def _backend_argument(cmd: argparse.ArgumentParser) -> None:
+    from repro.mo import available_backends
+
+    cmd.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="basinhopping",
+        help="MO backend (portfolio races several per start)",
+    )
+
+
+def _make_backend(name: str, niter: int, local_maxiter: int = 200):
+    """A backend instance honouring the command's tuning defaults."""
+    from repro.mo import make_backend
+    from repro.mo.scipy_backends import BasinhoppingBackend
+
+    if name == "basinhopping":
+        return BasinhoppingBackend(niter=niter,
+                                   local_maxiter=local_maxiter)
+    return make_backend(name)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,6 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fpod.add_argument("--seed", type=int, default=None)
     fpod.add_argument("--niter", type=int, default=40)
     fpod.add_argument("--retries", type=int, default=4)
+    _backend_argument(fpod)
 
     boundary = sub.add_parser("boundary", help="boundary value analysis")
     boundary.add_argument("program")
@@ -47,11 +75,37 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="instrument only the entry function's comparisons",
     )
+    _backend_argument(boundary)
 
     coverage = sub.add_parser("coverage", help="branch-coverage testing")
     coverage.add_argument("program")
     coverage.add_argument("--seed", type=int, default=None)
     coverage.add_argument("--rounds", type=int, default=40)
+    _backend_argument(coverage)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run whole analysis x program campaigns concurrently",
+    )
+    batch.add_argument(
+        "--analyses",
+        default="fpod,coverage,boundary",
+        help="comma-separated analyses (fpod, coverage, boundary)",
+    )
+    batch.add_argument(
+        "--programs",
+        default=None,
+        help="comma-separated program names (default: all registered)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count)",
+    )
+    batch.add_argument("--seed", type=int, default=None)
+    batch.add_argument("--niter", type=int, default=30)
+    batch.add_argument("--rounds", type=int, default=20)
 
     sat = sub.add_parser("sat", help="QF-FP satisfiability")
     sat.add_argument("constraint")
@@ -62,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--range", type=float, default=1e9, metavar="R",
         help="start points drawn from [-R, R] (default 1e9)",
     )
+    _backend_argument(sat)
     return parser
 
 
@@ -75,12 +130,11 @@ def _cmd_list() -> int:
 
 def _cmd_fpod(args) -> int:
     from repro.analyses import InconsistencyChecker, OverflowDetection
-    from repro.mo import BasinhoppingBackend
     from repro.programs import get_program
 
     program = get_program(args.program)
     detector = OverflowDetection(
-        program, backend=BasinhoppingBackend(niter=args.niter)
+        program, backend=_make_backend(args.backend, niter=args.niter)
     )
     report = detector.run(seed=args.seed,
                           retries_per_round=args.retries)
@@ -110,7 +164,7 @@ def _cmd_fpod(args) -> int:
 
 def _cmd_boundary(args) -> int:
     from repro.analyses import BoundaryValueAnalysis
-    from repro.mo import BasinhoppingBackend, wide_log_sampler
+    from repro.mo import wide_log_sampler
     from repro.programs import get_program
 
     program = get_program(args.program)
@@ -120,7 +174,7 @@ def _cmd_boundary(args) -> int:
     )
     analysis = BoundaryValueAnalysis(
         program,
-        backend=BasinhoppingBackend(niter=60, local_maxiter=150),
+        backend=_make_backend(args.backend, niter=60, local_maxiter=150),
         site_filter=site_filter,
     )
     report = analysis.run(
@@ -155,12 +209,12 @@ def _cmd_boundary(args) -> int:
 
 def _cmd_coverage(args) -> int:
     from repro.analyses import BranchCoverageTesting
-    from repro.mo import BasinhoppingBackend, wide_log_sampler
+    from repro.mo import wide_log_sampler
     from repro.programs import get_program
 
     testing = BranchCoverageTesting(
         get_program(args.program),
-        backend=BasinhoppingBackend(niter=50, local_maxiter=150),
+        backend=_make_backend(args.backend, niter=50, local_maxiter=150),
     )
     report = testing.run(
         max_rounds=args.rounds,
@@ -181,6 +235,43 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.core.batch import run_batch, suite_jobs
+
+    analyses = [a for a in args.analyses.split(",") if a]
+    programs = (
+        [p for p in args.programs.split(",") if p]
+        if args.programs
+        else None
+    )
+    try:
+        jobs = suite_jobs(
+            analyses=analyses,
+            programs=programs,
+            seed=args.seed,
+            niter=args.niter,
+            rounds=args.rounds,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n_workers = args.workers or os.cpu_count() or 1
+    results = run_batch(jobs, n_workers=n_workers)
+    rows = [
+        (
+            r.job.analysis,
+            r.job.program,
+            r.summary if r.ok else f"ERROR: {r.error}",
+            f"{r.seconds:.1f}s",
+        )
+        for r in results
+    ]
+    print(f"{len(jobs)} jobs on {n_workers} worker(s):")
+    print(format_table(("analysis", "program", "result", "time"), rows))
+    failed = sum(1 for r in results if not r.ok)
+    return 1 if failed else 0
+
+
 def _cmd_sat(args) -> int:
     from repro.mo import uniform_sampler
     from repro.sat import NAIVE, ULP, XSatSolver, parse_formula
@@ -188,6 +279,7 @@ def _cmd_sat(args) -> int:
     formula = parse_formula(args.constraint)
     solver = XSatSolver(
         metric=ULP if args.metric == "ulp" else NAIVE,
+        backend=_make_backend(args.backend, niter=50),
         n_starts=args.starts,
         start_sampler=uniform_sampler(-args.range, args.range),
     )
@@ -211,6 +303,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "boundary": lambda: _cmd_boundary(args),
         "coverage": lambda: _cmd_coverage(args),
         "sat": lambda: _cmd_sat(args),
+        "batch": lambda: _cmd_batch(args),
     }
     return handlers[args.command]()
 

@@ -9,23 +9,39 @@ three-layer architecture of Section 5:
 * :class:`~repro.core.kernel.ReductionKernel` — Algorithm 2
   (instrument → minimize → interpret), with the membership re-check
   that mitigates Limitation 2;
+* :mod:`repro.core.parallel` — the process-pool multi-start engine
+  (``KernelConfig.n_workers``) with racing early-cancel;
+* :mod:`repro.core.batch` — concurrent analysis × program campaigns;
 * :mod:`repro.core.adapters` — Limitation 1 adapters for non-F^N
   domains.
 """
 
 from repro.core.adapters import adapt_int_param, map_solution_back
+from repro.core.batch import BatchJob, BatchResult, run_batch, suite_jobs
 from repro.core.kernel import KernelConfig, ReductionKernel
+from repro.core.parallel import (
+    MultiStartOutcome,
+    WorkerCrashError,
+    run_multistart,
+)
 from repro.core.problem import AnalysisProblem
 from repro.core.result import ReductionOutcome, Verdict
 from repro.core.weak_distance import WeakDistance
 
 __all__ = [
     "AnalysisProblem",
+    "BatchJob",
+    "BatchResult",
     "KernelConfig",
+    "MultiStartOutcome",
     "ReductionKernel",
     "ReductionOutcome",
     "Verdict",
     "WeakDistance",
+    "WorkerCrashError",
     "adapt_int_param",
     "map_solution_back",
+    "run_batch",
+    "run_multistart",
+    "suite_jobs",
 ]

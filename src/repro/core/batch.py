@@ -1,0 +1,215 @@
+"""Concurrent batch execution of whole analysis suites.
+
+One reduction parallelizes across its starts
+(:mod:`repro.core.parallel`); a *benchmark campaign* — every analysis ×
+every subject program, the shape of the paper's Tables 3–5 —
+parallelizes across whole analysis runs instead.  Each
+:class:`BatchJob` is a self-contained, picklable description
+(analysis name, program name, seed, budget knobs); workers import the
+program from the suite registry and run the analysis end to end, so
+nothing unpicklable ever crosses the process boundary.
+
+A failing job never takes the campaign down: its traceback summary is
+captured on the :class:`BatchResult` and the remaining jobs keep
+running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Analyses the batch driver knows how to run.
+BATCH_ANALYSES = ("fpod", "coverage", "boundary")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchJob:
+    """One analysis run over one suite program."""
+
+    analysis: str
+    program: str
+    seed: Optional[int] = None
+    #: Budget knobs, as a tuple of pairs so the job stays hashable:
+    #: ``niter`` (backend iterations), ``rounds`` (driver rounds /
+    #: starts), ``max_samples`` (boundary-analysis sample cap).
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return dict(self.params).get(name, default)
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Outcome of one batch job."""
+
+    job: BatchJob
+    summary: str
+    metrics: Dict[str, float]
+    seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def suite_jobs(
+    analyses: Optional[Sequence[str]] = None,
+    programs: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    niter: int = 30,
+    rounds: int = 20,
+    max_samples: Optional[int] = None,
+) -> List[BatchJob]:
+    """The cross product: every requested analysis on every program."""
+    from repro.programs import list_programs
+
+    if analyses is None:
+        analyses = BATCH_ANALYSES
+    if programs is None:
+        programs = list_programs()
+    unknown = sorted(set(analyses) - set(BATCH_ANALYSES))
+    if unknown:
+        raise ValueError(
+            f"unknown analyses {unknown}; known: {list(BATCH_ANALYSES)}"
+        )
+    params = (
+        ("niter", niter),
+        ("rounds", rounds),
+        ("max_samples", max_samples),
+    )
+    return [
+        BatchJob(analysis=a, program=p, seed=seed, params=params)
+        for a in analyses
+        for p in programs
+    ]
+
+
+def _execute(job: BatchJob) -> BatchResult:
+    """Run one job start to finish (worker side)."""
+    from repro.mo.scipy_backends import BasinhoppingBackend
+    from repro.programs import get_program
+
+    t0 = time.perf_counter()
+    program = get_program(job.program)
+    backend = BasinhoppingBackend(niter=job.param("niter", 30))
+    rounds = job.param("rounds", 20)
+    if job.analysis == "fpod":
+        from repro.analyses import OverflowDetection
+
+        report = OverflowDetection(program, backend=backend).run(
+            seed=job.seed, max_rounds=rounds
+        )
+        summary = (
+            f"{report.n_overflows}/{report.n_fp_ops} instructions "
+            f"overflowed"
+        )
+        metrics = {
+            "found": float(report.n_overflows),
+            "sites": float(report.n_fp_ops),
+            "evals": float(report.n_evals),
+        }
+    elif job.analysis == "coverage":
+        from repro.analyses import BranchCoverageTesting
+        from repro.mo.starts import wide_log_sampler
+
+        report = BranchCoverageTesting(program, backend=backend).run(
+            max_rounds=rounds,
+            seed=job.seed,
+            start_sampler=wide_log_sampler(-12.0, 10.0),
+        )
+        summary = (
+            f"{100.0 * report.coverage:.1f}% branch coverage "
+            f"({len(report.covered_arms)}/{report.total_arms} arms)"
+        )
+        metrics = {
+            "coverage": report.coverage,
+            "evals": float(report.n_evals),
+        }
+    elif job.analysis == "boundary":
+        from repro.analyses import BoundaryValueAnalysis
+        from repro.mo.starts import wide_log_sampler
+
+        report = BoundaryValueAnalysis(program, backend=backend).run(
+            n_starts=rounds,
+            seed=job.seed,
+            start_sampler=wide_log_sampler(-12.0, 10.0),
+            max_samples=job.param("max_samples"),
+        )
+        summary = (
+            f"{report.conditions_triggered} condition(s) triggered in "
+            f"{report.n_samples} samples"
+        )
+        metrics = {
+            "conditions": float(report.conditions_triggered),
+            "evals": float(report.n_samples),
+        }
+    else:
+        raise ValueError(
+            f"unknown analysis {job.analysis!r}; "
+            f"known: {list(BATCH_ANALYSES)}"
+        )
+    return BatchResult(
+        job=job,
+        summary=summary,
+        metrics=metrics,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _execute_guarded(job: BatchJob) -> BatchResult:
+    t0 = time.perf_counter()
+    try:
+        return _execute(job)
+    except Exception as exc:
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return BatchResult(
+            job=job,
+            summary="",
+            metrics={},
+            seconds=time.perf_counter() - t0,
+            error=detail,
+        )
+
+
+def run_batch(
+    jobs: Sequence[BatchJob], n_workers: int = 1
+) -> List[BatchResult]:
+    """Run ``jobs``, fanning them across ``n_workers`` processes.
+
+    Results come back in job order; per-job failures are captured on
+    the result (``error``) instead of aborting the campaign.
+    """
+    if n_workers <= 1 or len(jobs) <= 1:
+        return [_execute_guarded(job) for job in jobs]
+    from repro.core.parallel import pool_context
+
+    results: Dict[int, BatchResult] = {}
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(jobs)),
+        mp_context=pool_context(),
+    ) as pool:
+        futures = {
+            pool.submit(_execute_guarded, job): i
+            for i, job in enumerate(jobs)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                results[index] = future.result()
+            except Exception as exc:  # e.g. BrokenProcessPool
+                detail = traceback.format_exception_only(
+                    type(exc), exc
+                )[-1].strip()
+                results[index] = BatchResult(
+                    job=jobs[index],
+                    summary="",
+                    metrics={},
+                    seconds=0.0,
+                    error=detail,
+                )
+    return [results[i] for i in range(len(jobs))]

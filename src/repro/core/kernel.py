@@ -10,23 +10,28 @@ backend, multi-start.  The kernel then interprets the outcome:
 * minimum > 0     → NOT FOUND (correct when the backend reached the true
   minimum; otherwise *incompleteness* — Limitation 3, which the caller
   can mitigate by raising ``n_starts``).
+
+Multi-start seeding derives one independent ``SeedSequence`` child per
+start, so every start's randomness is a pure function of
+``(config.seed, start index)``.  Setting ``KernelConfig.n_workers > 1``
+fans the starts across a process pool (:mod:`repro.core.parallel`) with
+identical per-start randomness — serial and parallel runs with the same
+seed explore the same points and agree on the verdict.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
-
-import numpy as np
+from typing import List, Optional, Union
 
 from repro.core.problem import AnalysisProblem
 from repro.core.result import ReductionOutcome, Verdict
 from repro.core.weak_distance import WeakDistance
 from repro.fpir.instrument import InstrumentationSpec, instrument
-from repro.mo.base import MOBackend, Objective
+from repro.mo.base import MOBackend, MOResult, Objective
 from repro.mo.scipy_backends import BasinhoppingBackend
 from repro.mo.starts import DEFAULT_SAMPLER, StartSampler
-from repro.util.rng import make_rng
+from repro.util.rng import derive_start_rngs
 
 
 @dataclasses.dataclass
@@ -39,6 +44,11 @@ class KernelConfig:
     seed: Optional[int] = None
     #: Re-check x* against the problem's membership oracle when present.
     verify_membership: bool = True
+    #: Fan the starts across this many worker processes when > 1
+    #: (see :mod:`repro.core.parallel`); 1 keeps the serial loop.
+    n_workers: int = 1
+    #: Optional per-start evaluation budget (serial and parallel).
+    max_evals_per_start: Optional[int] = None
 
 
 class ReductionKernel:
@@ -46,9 +56,15 @@ class ReductionKernel:
 
     def __init__(
         self,
-        backend: Optional[MOBackend] = None,
+        backend: Optional[Union[MOBackend, str]] = None,
         config: Optional[KernelConfig] = None,
     ) -> None:
+        """``backend`` may be an instance or a registry name (e.g.
+        ``"portfolio"``, see :mod:`repro.mo.registry`)."""
+        if isinstance(backend, str):
+            from repro.mo.registry import make_backend
+
+            backend = make_backend(backend)
         self.backend = backend or BasinhoppingBackend()
         self.config = config or KernelConfig()
 
@@ -72,32 +88,95 @@ class ReductionKernel:
         """Multi-start minimization of ``weak_distance``.
 
         Stops early as soon as a zero is found (the weak-distance
-        termination rule of Section 4.4).
+        termination rule of Section 4.4).  With ``n_workers > 1`` the
+        starts race on a process pool instead, sharing an early-cancel
+        signal; a caller-supplied ``objective`` forces the serial path
+        (shared mutable objectives cannot cross process boundaries).
         """
         cfg = self.config
-        rng = make_rng(cfg.seed)
+        if cfg.n_workers > 1 and objective is None:
+            return self._minimize_parallel(weak_distance, n_inputs, problem)
         objective = objective or Objective(
             weak_distance,
             n_dims=n_inputs,
             record_samples=cfg.record_samples,
         )
-        attempts = []
-        for _ in range(cfg.n_starts):
+        attempts: List[MOResult] = []
+        for rng in derive_start_rngs(cfg.seed, cfg.n_starts):
             start = cfg.start_sampler(rng, n_inputs)
-            result = self.backend.minimize(objective, start, rng)
+            saved = objective.max_samples
+            if cfg.max_evals_per_start is not None:
+                budget = objective.n_evals + cfg.max_evals_per_start
+                objective.max_samples = (
+                    budget if saved is None else min(saved, budget)
+                )
+            try:
+                result = self.backend.minimize(objective, start, rng)
+            finally:
+                objective.max_samples = saved
             attempts.append(result)
             if result.stopped_at_zero:
                 break
+        return self._interpret(
+            attempts,
+            n_evals=objective.n_evals,
+            samples=list(objective.samples),
+            problem=problem,
+        )
 
+    def _minimize_parallel(
+        self,
+        weak_distance: WeakDistance,
+        n_inputs: int,
+        problem: Optional[AnalysisProblem],
+    ) -> ReductionOutcome:
+        from repro.core.parallel import run_multistart
+
+        cfg = self.config
+        starts = []
+        for rng in derive_start_rngs(cfg.seed, cfg.n_starts):
+            starts.append((cfg.start_sampler(rng, n_inputs), rng))
+        merged = run_multistart(
+            weak_distance,
+            n_inputs,
+            backend=self.backend,
+            starts=starts,
+            n_workers=cfg.n_workers,
+            record_samples=cfg.record_samples,
+            max_evals_per_start=cfg.max_evals_per_start,
+        )
+        return self._interpret(
+            merged.attempts,
+            n_evals=merged.n_evals,
+            samples=merged.samples,
+            problem=problem,
+        )
+
+    # -- outcome interpretation --------------------------------------------------
+
+    def _interpret(
+        self,
+        attempts: List[MOResult],
+        n_evals: int,
+        samples: list,
+        problem: Optional[AnalysisProblem],
+    ) -> ReductionOutcome:
+        """Algorithm 2's verdict from the per-start results.
+
+        Ties prefer the earliest start, so serial and parallel runs pick
+        the same representative when several starts reach the minimum.
+        """
+        cfg = self.config
         best = min(attempts, key=lambda r: r.f_star)
         outcome = ReductionOutcome(
             verdict=Verdict.NOT_FOUND,
             x_star=None,
             w_star=best.f_star,
             mo_result=best,
-            n_evals=objective.n_evals,
+            n_evals=n_evals,
             rounds=len(attempts),
             attempts=attempts,
+            samples=samples,
         )
         if best.f_star == 0.0:
             outcome.x_star = best.x_star

@@ -1,0 +1,304 @@
+"""Process-pool execution of multi-start weak-distance minimization.
+
+Algorithm 2's multi-start loop is embarrassingly parallel: every start
+explores F^N independently and the only coupling is the termination
+rule — once *any* start samples ``W(x) == 0`` no smaller minimum can
+exist (Section 4.4), so all other starts may stop.  This module fans
+the starts of one reduction across a pool of worker processes:
+
+* **Shipping W.**  A live :class:`~repro.core.weak_distance.WeakDistance`
+  is not picklable (its compiled form holds ``exec``-generated code
+  objects), so the parent ships a :class:`WeakDistancePayload` — the
+  instrumented FPIR program (hook-free, see
+  :class:`~repro.fpir.instrument.InstrumentationSpec`), the executor
+  settings, and the current label-set state.  Each worker rebuilds and
+  re-compiles W once, in its pool initializer, and reuses it for every
+  start it is handed.
+
+* **Determinism.**  The parent derives one child generator per start
+  (:func:`repro.util.rng.derive_start_rngs`), samples the starting
+  point itself, and ships the post-sampling generator with the task.
+  A worker therefore replays exactly the evaluation sequence the serial
+  loop would have produced for that start.
+
+* **Early cancellation.**  Workers share a multiprocessing event; the
+  first worker to reach a zero sets it, every other worker's
+  :class:`~repro.mo.base.Objective` polls it per evaluation and stops.
+
+* **Merged bookkeeping.**  Per-start label-set state, recorded sampling
+  sequences, and evaluation counts are merged back (in start order)
+  into the parent's ``WeakDistance`` and the returned
+  :class:`MultiStartOutcome`, so stateful analyses (Algorithm 3's set
+  ``L``, coverage's set ``B``) keep converging across rounds.
+
+* **Failure surfacing.**  A crash in any worker cancels the rest and is
+  re-raised in the parent as :class:`WorkerCrashError` naming the
+  start.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.result import Sample
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.instrument import InstrumentedProgram
+from repro.mo.base import MOBackend, MOResult, Objective
+
+
+class WorkerCrashError(RuntimeError):
+    """A multi-start worker process died or raised; the run is aborted."""
+
+    def __init__(self, start_index: int, cause: BaseException) -> None:
+        super().__init__(
+            f"worker running start #{start_index} crashed: {cause!r}"
+        )
+        self.start_index = start_index
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Picklable weak-distance reconstruction
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class WeakDistancePayload:
+    """Everything a worker needs to rebuild an executable W."""
+
+    instrumented: InstrumentedProgram
+    n_inputs: int
+    use_compiler: bool
+    exact: bool
+    max_loop_steps: int
+    #: Snapshot of the parent's runtime label sets (e.g. Algorithm 3's
+    #: ``L``) at fan-out time.
+    label_state: Dict[str, frozenset]
+
+
+def make_payload(
+    weak_distance: WeakDistance, n_inputs: int
+) -> WeakDistancePayload:
+    """Snapshot ``weak_distance`` into a picklable payload."""
+    return WeakDistancePayload(
+        instrumented=weak_distance.instrumented,
+        n_inputs=n_inputs,
+        use_compiler=weak_distance.use_compiler,
+        exact=weak_distance.exact,
+        max_loop_steps=weak_distance.max_loop_steps,
+        label_state={
+            name: frozenset(labels)
+            for name, labels in weak_distance.label_sets.items()
+        },
+    )
+
+
+def rebuild_weak_distance(payload: WeakDistancePayload) -> WeakDistance:
+    """Reconstruct an executable W from a payload (worker side)."""
+    weak_distance = WeakDistance(
+        payload.instrumented,
+        use_compiler=payload.use_compiler,
+        exact=payload.exact,
+        max_loop_steps=payload.max_loop_steps,
+    )
+    for name, labels in payload.label_state.items():
+        weak_distance.label_sets.setdefault(name, set()).update(labels)
+    return weak_distance
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class StartTask:
+    """One start of a multi-start run, shipped to a worker."""
+
+    index: int
+    start: Tuple[float, ...]
+    rng: np.random.Generator
+    backend: MOBackend
+    record_samples: bool = False
+    max_evals: Optional[int] = None
+
+
+@dataclasses.dataclass
+class StartReport:
+    """What a worker sends back for one start."""
+
+    index: int
+    #: ``None`` when the start was cancelled before its first evaluation.
+    result: Optional[MOResult]
+    n_evals: int
+    label_state: Dict[str, Set[str]]
+    samples: List[Sample]
+
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(payload_blob: bytes, cancel_event) -> None:
+    payload = pickle.loads(payload_blob)
+    _WORKER_STATE["weak_distance"] = rebuild_weak_distance(payload)
+    _WORKER_STATE["n_inputs"] = payload.n_inputs
+    _WORKER_STATE["cancel"] = cancel_event
+
+
+def _run_start(task: StartTask) -> StartReport:
+    weak_distance: WeakDistance = _WORKER_STATE["weak_distance"]
+    cancel = _WORKER_STATE["cancel"]
+    if cancel is not None and cancel.is_set():
+        return StartReport(task.index, None, 0, {}, [])
+    objective = Objective(
+        weak_distance,
+        n_dims=_WORKER_STATE["n_inputs"],
+        record_samples=task.record_samples,
+        max_samples=task.max_evals,
+        should_stop=None if cancel is None else cancel.is_set,
+    )
+    try:
+        result = task.backend.minimize(objective, task.start, task.rng)
+    except RuntimeError:
+        if (
+            objective.n_evals
+            or cancel is None
+            or not cancel.is_set()
+        ):
+            raise  # a genuine backend failure, not a cancellation
+        # Cancelled between the pre-check and the first evaluation.
+        result = None
+    if result is not None and result.stopped_at_zero and cancel is not None:
+        cancel.set()
+    return StartReport(
+        index=task.index,
+        result=result,
+        n_evals=objective.n_evals,
+        label_state={
+            name: set(labels)
+            for name, labels in weak_distance.label_sets.items()
+        },
+        samples=list(objective.samples),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class MultiStartOutcome:
+    """Merged result of fanning one reduction's starts across workers."""
+
+    #: Per-start MO results in start order (cancelled-unevaluated
+    #: starts are absent).
+    attempts: List[MOResult]
+    n_evals: int
+    #: Union of every worker's label-set state (also merged in place
+    #: into the parent ``WeakDistance``).
+    label_sets: Dict[str, Set[str]]
+    #: Recorded sampling sequences, concatenated in start order.
+    samples: List[Sample]
+    #: Starts that never ran because the race was already over.
+    n_cancelled: int = 0
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Fork when available (cheap, inherits imports); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_multistart(
+    weak_distance: WeakDistance,
+    n_inputs: int,
+    backend: MOBackend,
+    starts: Sequence[Tuple[Tuple[float, ...], np.random.Generator]],
+    n_workers: int,
+    record_samples: bool = False,
+    max_evals_per_start: Optional[int] = None,
+) -> MultiStartOutcome:
+    """Run every ``(start, rng)`` pair through ``backend`` in parallel.
+
+    The backend and the weak distance must be picklable; analyses that
+    thread a shared, stateful :class:`~repro.mo.base.Objective` through
+    every start must stay on the serial path instead.
+    """
+    ctx = pool_context()
+    cancel = ctx.Event()
+    payload_blob = pickle.dumps(
+        make_payload(weak_distance, n_inputs),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    tasks = [
+        StartTask(
+            index=i,
+            start=tuple(start),
+            rng=rng,
+            backend=backend,
+            record_samples=record_samples,
+            max_evals=max_evals_per_start,
+        )
+        for i, (start, rng) in enumerate(starts)
+    ]
+    reports: List[StartReport] = []
+    with ProcessPoolExecutor(
+        max_workers=max(1, min(n_workers, len(tasks) or 1)),
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(payload_blob, cancel),
+    ) as pool:
+        futures = {pool.submit(_run_start, task): task for task in tasks}
+        try:
+            for future in as_completed(futures):
+                try:
+                    reports.append(future.result())
+                except Exception as exc:
+                    raise WorkerCrashError(
+                        futures[future].index, exc
+                    ) from exc
+        except BaseException:
+            # Stop the race before the pool's exit handler waits on it.
+            cancel.set()
+            for future in futures:
+                future.cancel()
+            raise
+
+    reports.sort(key=lambda report: report.index)
+    merged_labels: Dict[str, Set[str]] = {
+        name: set(labels)
+        for name, labels in weak_distance.label_sets.items()
+    }
+    samples: List[Sample] = []
+    attempts: List[MOResult] = []
+    n_evals = 0
+    n_cancelled = 0
+    for report in reports:
+        n_evals += report.n_evals
+        if report.result is None:
+            n_cancelled += 1
+        else:
+            attempts.append(report.result)
+        for name, labels in report.label_state.items():
+            merged_labels.setdefault(name, set()).update(labels)
+        samples.extend(report.samples)
+    # Fold the union back into the parent's W so stateful analyses see
+    # exactly what a serial run would have accumulated.
+    for name, labels in merged_labels.items():
+        weak_distance.label_sets.setdefault(name, set()).update(labels)
+    return MultiStartOutcome(
+        attempts=attempts,
+        n_evals=n_evals,
+        label_sets=merged_labels,
+        samples=samples,
+        n_cancelled=n_cancelled,
+    )

@@ -8,6 +8,9 @@ from typing import List, Optional, Tuple
 
 from repro.mo.base import MOResult
 
+#: One recorded sample: (point, W value).
+Sample = Tuple[Tuple[float, ...], float]
+
 
 class Verdict(enum.Enum):
     """Algorithm 2's two possible answers, plus the soundness-guard case."""
@@ -35,6 +38,10 @@ class ReductionOutcome:
     rounds: int = 0
     #: Per-start MO results when multi-start was used.
     attempts: List[MOResult] = dataclasses.field(default_factory=list)
+    #: Recorded sampling sequence (when the run recorded samples); for
+    #: parallel runs this is the per-start sequences concatenated in
+    #: start order.
+    samples: List[Sample] = dataclasses.field(default_factory=list)
 
     @property
     def found(self) -> bool:

@@ -17,7 +17,7 @@ distance between minimization rounds without re-instrumenting.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.fpir.compiler import CompiledProgram, compile_program
 from repro.fpir.instrument import InstrumentedProgram

@@ -54,7 +54,10 @@ def _limitation2_ablation():
     """
     from repro.core import AnalysisProblem, ReductionKernel, KernelConfig
     from repro.fpir.builder import (
-        FunctionBuilder, call, eq as eq_, num as num_, v as v_,
+        FunctionBuilder,
+        call,
+        eq as eq_,
+        num as num_,
     )
     from repro.fpir.instrument import InstrumentationSpec
     from repro.fpir.nodes import Assign, BinOp, Var

@@ -13,7 +13,7 @@ results on a laptop.  All randomness flows from the single seed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.util.tables import format_table
 

@@ -24,7 +24,6 @@ from repro.experiments.common import ExperimentResult
 from repro.mo.registry import make_backend
 from repro.mo.starts import uniform_sampler
 from repro.programs import fig2
-from repro.util.rng import make_rng
 
 _BACKENDS = ("basinhopping", "differential_evolution", "powell")
 

@@ -41,7 +41,7 @@ from repro.fpir.nodes import (
     While,
 )
 from repro.fpir.program import Function, Param
-from repro.fpir.types import DOUBLE, INT, Type
+from repro.fpir.types import DOUBLE, Type
 
 ExprLike = Union[Expr, float, int, bool]
 

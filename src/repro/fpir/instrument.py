@@ -43,7 +43,6 @@ from repro.fpir.nodes import (
     BinOp,
     Block,
     Compare,
-    Expr,
     FLOAT_OPS,
     If,
     Return,
@@ -64,9 +63,30 @@ ArmHook = Callable[[BranchSite, bool], List[Stmt]]
 FpOpHook = Callable[[FpOpSite, Assign], List[Stmt]]
 
 
+#: Spec fields holding designer callbacks.  The hooks are consumed when
+#: :func:`instrument` runs; afterwards the spec only matters for its
+#: plain-data fields (``w_var``, ``w_init``, ``label_sets``).
+HOOK_FIELDS = (
+    "before_compare",
+    "before_branch",
+    "arm_prologue",
+    "after_fp_assign",
+)
+
+
 @dataclasses.dataclass
 class InstrumentationSpec:
-    """The Analysis Designer's parameters (w_init + update stubs)."""
+    """The Analysis Designer's parameters (w_init + update stubs).
+
+    Specs pickle with their hooks *dropped* (hooks are usually closures,
+    which cannot cross process boundaries).  That is sound for every
+    post-instrumentation use — the injected code already sits inside the
+    rewritten program — and is what lets an
+    :class:`InstrumentedProgram` be shipped to the worker processes of
+    :mod:`repro.core.parallel` and re-executed there.  A spec that has
+    travelled through pickle can no longer be passed to
+    :func:`instrument`.
+    """
 
     w_var: str = "w"
     w_init: float = 0.0
@@ -78,6 +98,24 @@ class InstrumentationSpec:
     normalize: bool = False
     #: Runtime label sets the instrumented code consults (e.g. ``L``).
     label_sets: Sequence[str] = ()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        had_hooks = any(state[field] is not None for field in HOOK_FIELDS)
+        for field in HOOK_FIELDS:
+            state[field] = None
+        if had_hooks:
+            state["_hooks_dropped"] = True
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @property
+    def hooks_dropped(self) -> bool:
+        """True when this spec lost its hooks in a pickle/copy round
+        trip and must not be passed to :func:`instrument` again."""
+        return getattr(self, "_hooks_dropped", False)
 
 
 @dataclasses.dataclass
@@ -200,6 +238,13 @@ def instrument(
     The clone is (optionally) normalized, labelled, rewritten, and given
     the global ``w`` initialized to ``spec.w_init``.
     """
+    if spec.hooks_dropped:
+        raise ValueError(
+            "this InstrumentationSpec lost its hooks in a pickle/copy "
+            "round trip; instrumenting with it would silently produce "
+            "the constant weak distance W == w_init. Build a fresh "
+            "spec instead."
+        )
     prog = program.clone()
     if spec.normalize:
         prog = normalize_program(prog)

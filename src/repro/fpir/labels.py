@@ -23,19 +23,9 @@ as the paper's IR-level instrumentation never sees source-level selects.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import List
 
-from repro.fpir.nodes import (
-    Assign,
-    BinOp,
-    Block,
-    Compare,
-    Expr,
-    FLOAT_OPS,
-    If,
-    Stmt,
-    While,
-)
+from repro.fpir.nodes import Assign, BinOp, Compare, FLOAT_OPS, If, While
 from repro.fpir.pretty import pretty_expr
 from repro.fpir.program import Program
 from repro.fpir.walk import iter_stmt_exprs, iter_stmts, iter_subexprs

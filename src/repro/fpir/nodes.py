@@ -26,7 +26,7 @@ rewriters dispatch on their classes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 # ---------------------------------------------------------------------------
 # Expressions

@@ -29,9 +29,7 @@ from repro.fpir.nodes import (
     Compare,
     Expr,
     FLOAT_OPS,
-    Halt,
     If,
-    RecordEvent,
     Return,
     Stmt,
     Ternary,

@@ -15,7 +15,7 @@ import copy
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.fpir.nodes import Block, Stmt
+from repro.fpir.nodes import Block
 from repro.fpir.types import DOUBLE, Type
 
 

@@ -19,10 +19,8 @@ from repro.fpir.nodes import (
     Call,
     CMP_OPS,
     Compare,
-    Expr,
     FLOAT_OPS,
     INT_OPS,
-    Ternary,
     UnOp,
     Var,
 )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Tuple
+from typing import Iterator
 
 from repro.fpir.nodes import (
     ArrayIndex,
@@ -11,17 +11,12 @@ from repro.fpir.nodes import (
     Block,
     Call,
     Compare,
-    Const,
     Expr,
-    Halt,
     If,
-    InLabelSet,
-    RecordEvent,
     Return,
     Stmt,
     Ternary,
     UnOp,
-    Var,
     While,
 )
 

@@ -58,7 +58,6 @@ from repro.fpir.program import Program
 from repro.gsl.cheb import ChebSeries, build_cheb_function, fit_cheb
 from repro.gsl.machine import (
     GSL_DBL_EPSILON,
-    GSL_EDOM,
     GSL_EUNDRFLW,
     GSL_SUCCESS,
     M_PI,

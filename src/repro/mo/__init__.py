@@ -9,6 +9,7 @@ starting-point samplers.
 
 from repro.mo.base import MOBackend, MOResult, Objective, StopMinimization
 from repro.mo.mcmc import PurePythonBasinhopping
+from repro.mo.portfolio import PortfolioBackend
 from repro.mo.random_search import RandomSearchBackend
 from repro.mo.registry import (
     available_backends,
@@ -35,6 +36,7 @@ __all__ = [
     "MOBackend",
     "MOResult",
     "Objective",
+    "PortfolioBackend",
     "PowellBackend",
     "PurePythonBasinhopping",
     "RandomSearchBackend",

@@ -50,7 +50,11 @@ class Objective:
       only report their final iterate, but Theorem 3.3 cares about any
       zero ever sampled,
     * optionally records the full sampling sequence,
-    * raises :class:`StopMinimization` when a zero is sampled.
+    * raises :class:`StopMinimization` when a zero is sampled,
+    * optionally polls an external ``should_stop`` predicate — the
+      cooperative cancellation hook the parallel driver
+      (:mod:`repro.core.parallel`) uses to stop the remaining workers
+      once any of them has reached a zero.
     """
 
     def __init__(
@@ -60,12 +64,14 @@ class Objective:
         record_samples: bool = False,
         stop_at_zero: bool = True,
         max_samples: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.fn = fn
         self.n_dims = n_dims
         self.record_samples = record_samples
         self.stop_at_zero = stop_at_zero
         self.max_samples = max_samples
+        self.should_stop = should_stop
         self.samples: List[Tuple[Tuple[float, ...], float]] = []
         self.n_evals = 0
         self.best_x: Optional[Tuple[float, ...]] = None
@@ -85,6 +91,8 @@ class Objective:
         if self.stop_at_zero and value <= 0.0:
             raise StopMinimization()
         if self.max_samples is not None and self.n_evals >= self.max_samples:
+            raise StopMinimization()
+        if self.should_stop is not None and self.should_stop():
             raise StopMinimization()
         return value
 

@@ -14,7 +14,7 @@ suite exercise the backend protocol without SciPy.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

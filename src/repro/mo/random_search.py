@@ -9,7 +9,6 @@ and serves as the sanity baseline everywhere else.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.mo.base import MOBackend, Objective
 from repro.mo.starts import DEFAULT_SAMPLER, StartSampler

@@ -6,6 +6,7 @@ from typing import Callable, Dict
 
 from repro.mo.base import MOBackend
 from repro.mo.mcmc import PurePythonBasinhopping
+from repro.mo.portfolio import PortfolioBackend
 from repro.mo.random_search import RandomSearchBackend
 from repro.mo.scipy_backends import (
     BasinhoppingBackend,
@@ -16,6 +17,7 @@ from repro.mo.scipy_backends import (
 _FACTORIES: Dict[str, Callable[[], MOBackend]] = {
     "basinhopping": BasinhoppingBackend,
     "differential_evolution": DifferentialEvolutionBackend,
+    "portfolio": PortfolioBackend,
     "powell": PowellBackend,
     "py-basinhopping": PurePythonBasinhopping,
     "random-search": RandomSearchBackend,

@@ -11,12 +11,12 @@ All three are used strictly as black boxes, per Section 4.1.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
 
-from repro.mo.base import MOBackend, MOResult, Objective
+from repro.mo.base import MOBackend, Objective
 
 
 class _MagnitudeStep:

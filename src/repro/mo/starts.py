@@ -7,46 +7,82 @@ sit at ``1e-8 … 1e8``; Bessel overflows need ``1e157 … 1e308``), so the
 default sampler draws magnitudes log-uniformly across the full binary64
 exponent range — the same idea as sampling the bit representation
 uniformly, which is what the XSat/CoverMe lineage does.
+
+Samplers are small dataclasses rather than closures so that backends
+holding one (e.g. :class:`~repro.mo.random_search.RandomSearchBackend`)
+stay picklable and can be shipped to the worker processes of
+:mod:`repro.core.parallel`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+import dataclasses
+from typing import Callable, Tuple
 
 import numpy as np
 
 StartSampler = Callable[[np.random.Generator, int], Tuple[float, ...]]
 
 
+@dataclasses.dataclass(frozen=True)
+class WideLogSampler:
+    """Magnitudes ``10^U(min_exp, max_exp)`` with random signs."""
+
+    min_exp: float = -320.0
+    max_exp: float = 308.0
+
+    def __call__(
+        self, rng: np.random.Generator, n_dims: int
+    ) -> Tuple[float, ...]:
+        exps = rng.uniform(self.min_exp, self.max_exp, size=n_dims)
+        signs = rng.choice((-1.0, 1.0), size=n_dims)
+        return tuple(float(s * 10.0**e) for s, e in zip(signs, exps))
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformSampler:
+    """Classic uniform box sampling (used for the small Fig. 2 studies)."""
+
+    low: float
+    high: float
+
+    def __call__(
+        self, rng: np.random.Generator, n_dims: int
+    ) -> Tuple[float, ...]:
+        return tuple(
+            float(v) for v in rng.uniform(self.low, self.high, size=n_dims)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class GaussianSampler:
+    """Zero-centred Gaussian starts."""
+
+    scale: float = 1.0
+
+    def __call__(
+        self, rng: np.random.Generator, n_dims: int
+    ) -> Tuple[float, ...]:
+        return tuple(
+            float(v) for v in rng.normal(0.0, self.scale, size=n_dims)
+        )
+
+
 def wide_log_sampler(
     min_exp: float = -320.0, max_exp: float = 308.0
 ) -> StartSampler:
     """Magnitudes ``10^U(min_exp, max_exp)`` with random signs."""
-
-    def sample(rng: np.random.Generator, n_dims: int) -> Tuple[float, ...]:
-        exps = rng.uniform(min_exp, max_exp, size=n_dims)
-        signs = rng.choice((-1.0, 1.0), size=n_dims)
-        return tuple(float(s * 10.0**e) for s, e in zip(signs, exps))
-
-    return sample
+    return WideLogSampler(min_exp, max_exp)
 
 
 def uniform_sampler(low: float, high: float) -> StartSampler:
-    """Classic uniform box sampling (used for the small Fig. 2 studies)."""
-
-    def sample(rng: np.random.Generator, n_dims: int) -> Tuple[float, ...]:
-        return tuple(float(v) for v in rng.uniform(low, high, size=n_dims))
-
-    return sample
+    """Classic uniform box sampling."""
+    return UniformSampler(low, high)
 
 
 def gaussian_sampler(scale: float = 1.0) -> StartSampler:
     """Zero-centred Gaussian starts."""
-
-    def sample(rng: np.random.Generator, n_dims: int) -> Tuple[float, ...]:
-        return tuple(float(v) for v in rng.normal(0.0, scale, size=n_dims))
-
-    return sample
+    return GaussianSampler(scale)
 
 
-DEFAULT_SAMPLER: StartSampler = wide_log_sampler()
+DEFAULT_SAMPLER: StartSampler = WideLogSampler()

@@ -22,17 +22,7 @@ reaches every site — the point of the paper's requirement.
 
 from __future__ import annotations
 
-from repro.fpir.builder import (
-    FunctionBuilder,
-    call,
-    fadd,
-    fmul,
-    fsub,
-    le,
-    lt,
-    num,
-    v,
-)
+from repro.fpir.builder import FunctionBuilder, call, fmul, fsub, le, lt, num
 from repro.fpir.program import Program
 
 

@@ -10,7 +10,7 @@ Fig. 1(b) constraint SMT solvers struggle with).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.fpir.builder import ExprLike, _expr
 from repro.fpir.nodes import CMP_OPS, Compare, Expr, Var

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from typing import List, Optional, Tuple, Union
+from typing import List
 
 from repro.fpir import externals
 from repro.fpir.nodes import BinOp, Call, Const, Expr, UnOp, Var

@@ -7,7 +7,7 @@ the library touches the global ``numpy.random`` state.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -24,3 +24,29 @@ def make_rng(seed: Optional[int] = None) -> np.random.Generator:
 def spawn(rng: np.random.Generator) -> np.random.Generator:
     """Derive an independent child generator."""
     return np.random.default_rng(rng.integers(0, 2**63 - 1))
+
+
+def spawn_seed_sequences(
+    seed: Optional[int], n: int
+) -> List[np.random.SeedSequence]:
+    """``n`` independent children of one root :class:`SeedSequence`.
+
+    This is the multi-start seeding policy: every start ``i`` of a
+    seeded run owns child ``i``, so the per-start randomness is a pure
+    function of ``(seed, i)`` — independent of whether the starts run
+    serially in one process or fanned out across a worker pool
+    (:mod:`repro.core.parallel`).
+    """
+    root = np.random.SeedSequence(DEFAULT_SEED if seed is None else seed)
+    return root.spawn(n)
+
+
+def derive_start_rngs(
+    seed: Optional[int], n_starts: int
+) -> List[np.random.Generator]:
+    """One independent generator per start (see
+    :func:`spawn_seed_sequences`)."""
+    return [
+        np.random.default_rng(child)
+        for child in spawn_seed_sequences(seed, n_starts)
+    ]

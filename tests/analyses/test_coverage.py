@@ -1,6 +1,5 @@
 """Instance 4: branch-coverage testing (CoverMe)."""
 
-import pytest
 
 from repro.analyses.coverage import (
     B_SET,
@@ -8,7 +7,7 @@ from repro.analyses.coverage import (
     coverage_spec,
 )
 from repro.core.weak_distance import WeakDistance
-from repro.fpir.builder import FunctionBuilder, gt, lt, num, v
+from repro.fpir.builder import FunctionBuilder, lt, num, v
 from repro.fpir.instrument import instrument
 from repro.fpir.program import Program
 from repro.mo.scipy_backends import BasinhoppingBackend

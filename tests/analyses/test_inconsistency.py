@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.analyses.inconsistency import (
     GSL_SUCCESS,

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+
 from repro.analyses.overflow import (
     L_SET,
     OverflowDetection,
@@ -108,6 +109,7 @@ class TestAlgorithm3:
         # Algorithm 3 terminates within nFP + 1 rounds.
         assert report.rounds <= report.n_fp_ops + 1
 
+    @pytest.mark.slow
     def test_bessel_majority_found(self):
         from repro.gsl import bessel
 

@@ -10,7 +10,7 @@ from repro.analyses.path import (
     branch_distance,
 )
 from repro.fpir.builder import FunctionBuilder, gt, lt, num, v
-from repro.fpir.nodes import Compare, Const, Var
+from repro.fpir.nodes import Compare, Var
 from repro.fpir.interpreter import Interpreter
 from repro.fpir.program import Program
 from repro.mo.scipy_backends import BasinhoppingBackend
@@ -21,7 +21,7 @@ from tests.conftest import moderate_doubles
 
 def _eval_distance(expr, env):
     """Evaluate a branch-distance expression with the interpreter."""
-    from repro.fpir.nodes import Assign, Block, Return
+    from repro.fpir.nodes import Block, Return
     from repro.fpir.program import Function, Param
 
     fn = Function(

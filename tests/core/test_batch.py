@@ -1,0 +1,76 @@
+"""The concurrent batch campaign driver (repro.core.batch)."""
+
+import pytest
+
+from repro.core.batch import (
+    BATCH_ANALYSES,
+    BatchJob,
+    run_batch,
+    suite_jobs,
+)
+
+
+def _tiny_jobs(analyses=("fpod", "coverage"), seed=9):
+    return suite_jobs(
+        analyses=analyses,
+        programs=["fig2"],
+        seed=seed,
+        niter=10,
+        rounds=4,
+        max_samples=4000,
+    )
+
+
+class TestSuiteJobs:
+    def test_cross_product_over_all_programs(self):
+        from repro.programs import list_programs
+
+        jobs = suite_jobs(analyses=["fpod", "coverage"])
+        assert len(jobs) == 2 * len(list_programs())
+        assert {j.analysis for j in jobs} == {"fpod", "coverage"}
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError, match="unknown analyses"):
+            suite_jobs(analyses=["fpod", "mystery"])
+
+    def test_default_analyses(self):
+        jobs = suite_jobs(programs=["fig2"])
+        assert [j.analysis for j in jobs] == list(BATCH_ANALYSES)
+
+
+class TestRunBatch:
+    def test_serial_campaign_runs_every_job(self):
+        results = run_batch(_tiny_jobs(), n_workers=1)
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+        assert all(r.seconds > 0 for r in results)
+        fpod = results[0]
+        assert fpod.job.analysis == "fpod"
+        assert "overflowed" in fpod.summary
+
+    def test_parallel_matches_serial(self):
+        serial = run_batch(_tiny_jobs(), n_workers=1)
+        parallel = run_batch(_tiny_jobs(), n_workers=2)
+        assert [r.summary for r in serial] == [
+            r.summary for r in parallel
+        ]
+        assert [r.metrics for r in serial] == [
+            r.metrics for r in parallel
+        ]
+
+    def test_failing_job_captured_not_fatal(self):
+        jobs = [
+            BatchJob(analysis="coverage", program="no-such-program"),
+            _tiny_jobs(analyses=("coverage",))[0],
+        ]
+        results = run_batch(jobs, n_workers=2)
+        assert not results[0].ok
+        assert "no-such-program" in results[0].error
+        assert results[1].ok
+
+    def test_boundary_campaign(self):
+        results = run_batch(
+            _tiny_jobs(analyses=("boundary",)), n_workers=2
+        )
+        assert results[0].ok
+        assert "condition(s) triggered" in results[0].summary

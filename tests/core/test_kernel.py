@@ -1,6 +1,5 @@
 """Algorithm 2 end-to-end: the ReductionKernel."""
 
-import pytest
 
 from repro.analyses.boundary import multiplicative_spec
 from repro.core import (

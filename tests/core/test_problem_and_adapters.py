@@ -5,7 +5,7 @@ import pytest
 from repro.core.adapters import adapt_int_param, map_solution_back
 from repro.core.problem import AnalysisProblem
 from repro.core.result import ReductionOutcome, Verdict
-from repro.fpir.builder import FunctionBuilder, fadd, num, v
+from repro.fpir.builder import FunctionBuilder, fadd, v
 from repro.fpir.interpreter import run_program
 from repro.fpir.program import Param, Program
 from repro.fpir.types import INT

@@ -6,7 +6,7 @@ content of its paper artefact under a CI-sized budget.
 
 import pytest
 
-from repro.experiments import ALL, run_all
+from repro.experiments import ALL
 from repro.experiments import (
     ablation,
     fig3,
@@ -17,6 +17,10 @@ from repro.experiments import (
     table4,
     table5,
 )
+
+# End-to-end benchmark replicas: minutes-scale in aggregate, excluded
+# from the CI tier-1 run (`pytest -m "not slow"`).
+pytestmark = pytest.mark.slow
 
 SEED = 20190622
 

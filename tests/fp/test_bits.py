@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 from hypothesis import given
 
 from repro.fp.bits import (

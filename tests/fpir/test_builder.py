@@ -14,17 +14,7 @@ from repro.fpir.builder import (
     ternary,
     v,
 )
-from repro.fpir.nodes import (
-    Assign,
-    BinOp,
-    Call,
-    Compare,
-    Const,
-    If,
-    Return,
-    Ternary,
-    While,
-)
+from repro.fpir.nodes import Assign, Compare, Const, If, Return, Ternary, While
 from repro.fpir.program import Program
 from repro.fpir.interpreter import run_program
 

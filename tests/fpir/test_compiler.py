@@ -1,6 +1,5 @@
 """Compiler correctness: differential testing against the interpreter."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -17,7 +17,7 @@ from repro.fpir.builder import (
     num,
     v,
 )
-from repro.fpir.exact import ExactInterpreter, run_exact, to_float
+from repro.fpir.exact import run_exact, to_float
 from repro.fpir.interpreter import run_program
 from repro.fpir.program import Program
 

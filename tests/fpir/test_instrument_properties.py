@@ -10,7 +10,6 @@ Two global invariants the whole approach rests on:
    S = ∅ ⇔ min W > 0, and when S ≠ ∅, S = argmin W = the zeros of W.
 """
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

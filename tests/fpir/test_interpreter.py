@@ -22,7 +22,6 @@ from repro.fpir.builder import (
     isub,
     land,
     le,
-    lnot,
     lor,
     lt,
     ne,

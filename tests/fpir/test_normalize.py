@@ -1,6 +1,5 @@
 """Three-address normalization: shape and semantics preservation."""
 
-import pytest
 from hypothesis import given
 
 from repro.fpir.builder import (

@@ -11,7 +11,7 @@ from repro.fpir.builder import (
     num,
     v,
 )
-from repro.fpir.nodes import Assign, BinOp, Compare, Const, UnOp, Var
+from repro.fpir.nodes import Assign, BinOp, Const
 from repro.fpir.program import Program
 from repro.fpir.validate import ValidationError, check, validate
 

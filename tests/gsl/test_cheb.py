@@ -7,7 +7,7 @@ import pytest
 
 from repro.fpir.compiler import compile_program
 from repro.fpir.program import Program
-from repro.gsl.cheb import ChebSeries, build_cheb_function, fit_cheb
+from repro.gsl.cheb import build_cheb_function, fit_cheb
 
 
 @pytest.fixture(scope="module")

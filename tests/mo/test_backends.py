@@ -1,6 +1,5 @@
 """MO backends: each must find (exact) zeros of simple weak distances."""
 
-import math
 
 import numpy as np
 import pytest

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.fpir.interpreter import Interpreter
-from repro.fpir.nodes import Block, Return, Var
+from repro.fpir.nodes import Block, Return
 from repro.fpir.program import Function, Param, Program
 from repro.sat.distance import METRICS, NAIVE, ULP, atom_distance
 from repro.sat.formula import atom

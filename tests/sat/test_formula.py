@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fpir.builder import call, fadd, fmul, num, v
-from repro.sat.formula import Atom, Formula, atom, conjunction
+from repro.sat.formula import Formula, atom, conjunction
 
 
 class TestAtom:

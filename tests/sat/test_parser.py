@@ -1,10 +1,9 @@
 """The constraint-language parser."""
 
-import math
 
 import pytest
 
-from repro.fpir.nodes import BinOp, Call, Const, UnOp, Var
+from repro.fpir.nodes import BinOp, Call, Const, UnOp
 from repro.mo.starts import uniform_sampler
 from repro.sat import XSatSolver, evaluate_formula
 from repro.sat.parser import (
@@ -129,6 +128,7 @@ class TestEndToEnd:
         assert result.is_sat
         assert result.model["x"] == 0.9999999999999999
 
+    @pytest.mark.slow
     def test_parse_and_solve_with_transcendental(self):
         f = parse_formula("sin(x) == 0 && x >= 1 && x <= 4")
         solver = XSatSolver(

@@ -1,6 +1,5 @@
 """Formula translation + the XSat-style solver."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

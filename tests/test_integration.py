@@ -5,7 +5,6 @@ These tests exercise the full pipeline — Client program → Designer spec
 computed ground truth, for several instances at once.
 """
 
-import math
 
 import pytest
 
@@ -20,7 +19,6 @@ from repro.fpir.builder import (
     call,
     fadd,
     fmul,
-    fsub,
     ge,
     lt,
     num,
@@ -128,6 +126,7 @@ class TestAnalysesAgreeOnOneProgram:
 
 
 class TestNumericEndToEnd:
+    @pytest.mark.slow
     def test_bessel_overflow_inputs_replay_to_nonfinite(self):
         from repro.analyses import InconsistencyChecker
         from repro.gsl import bessel

@@ -2,7 +2,6 @@
 
 import time
 
-import pytest
 
 from repro.experiments.common import ExperimentResult, render_ascii_series
 from repro.util.rng import DEFAULT_SEED, make_rng, spawn
