@@ -15,9 +15,9 @@ surprise 0.9999999999999999) and path reachability for the both-
 branches path (expects a witness in [-3, 1]).
 """
 
-from repro.analyses import BoundaryValueAnalysis, PathReachability
+from repro.api import Engine, EngineConfig
 from repro.fpir import pretty_program
-from repro.mo import BasinhoppingBackend, uniform_sampler
+from repro.mo import uniform_sampler
 from repro.programs import fig2
 
 
@@ -27,28 +27,25 @@ def main() -> None:
     print(pretty_program(program))
     print()
 
+    engine = Engine(
+        EngineConfig(
+            seed=1,
+            backend_options={"niter": 40},
+            start_sampler=uniform_sampler(-50.0, 50.0),
+        )
+    )
+
     print("== Boundary value analysis (Fig. 3) ==")
-    bva = BoundaryValueAnalysis(
-        program, backend=BasinhoppingBackend(niter=40)
-    )
-    report = bva.run(
-        n_starts=8,
-        seed=1,
-        start_sampler=uniform_sampler(-50.0, 50.0),
-        max_samples=30_000,
-    )
+    report = engine.run(
+        "boundary", program, n_starts=8, max_samples=30_000
+    ).detail
     found = sorted({x[0] for x in report.boundary_values})
     print(f"samples: {report.n_samples}, boundary values found: {found}")
     print(f"soundness replay passed: {report.sound}")
     print()
 
     print("== Path reachability (Fig. 4): take both branches ==")
-    path = PathReachability(
-        program, backend=BasinhoppingBackend(niter=40)
-    )
-    result = path.run(
-        n_starts=5, seed=2, start_sampler=uniform_sampler(-50.0, 50.0)
-    )
+    result = engine.run("path", program, n_starts=5).detail
     print(f"found: {result.found}, witness: {result.x_star}, "
           f"verified: {result.verified}")
     assert result.verified and -3.0 <= result.x_star[0] <= 1.0

@@ -9,16 +9,19 @@ programs whose zeros are exactly the solution set — and minimizing them
 Quick tour
 ----------
 
->>> from repro.programs import fig2
->>> from repro.analyses import BoundaryValueAnalysis
->>> report = BoundaryValueAnalysis(fig2.make_program()).run(
-...     n_starts=5, seed=1, max_samples=20000)
->>> sorted({x[0] for x in report.boundary_values})[:3]
+>>> from repro.api import Engine, EngineConfig
+>>> report = Engine(EngineConfig(seed=1)).run(
+...     "boundary", "fig2", n_starts=5, max_samples=20000)
+>>> sorted({x[0] for x in report.detail.boundary_values})[:3]
 [-3.0, 0.9999999999999999, 1.0]
 
 Packages
 --------
 
+:mod:`repro.api`
+    The unified front-end: the `Analysis` protocol, the analysis
+    registry, the `AnalysisReport` envelope and the `Engine` facade —
+    one way to run all five instances, serially or on a worker pool.
 :mod:`repro.fpir`
     FPIR, the C-like IR for the programs under analysis: builder,
     interpreter, Python-codegen compiler, instrumentation engine.

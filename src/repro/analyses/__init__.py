@@ -13,39 +13,50 @@
 """
 
 from repro.analyses.boundary import (
+    BoundaryAnalysis,
     BoundaryReport,
     BoundaryValueAnalysis,
     characteristic_spec,
     multiplicative_spec,
 )
-from repro.analyses.coverage import BranchCoverageTesting, CoverageReport
+from repro.analyses.coverage import (
+    BranchCoverageTesting,
+    CoverageAnalysis,
+    CoverageReport,
+)
 from repro.analyses.inconsistency import (
     InconsistencyChecker,
     InconsistencyFinding,
 )
 from repro.analyses.overflow import (
+    OverflowAnalysis,
     OverflowDetection,
     OverflowFinding,
     OverflowReport,
 )
 from repro.analyses.path import (
     BranchConstraint,
+    PathAnalysis,
     PathReachability,
     PathResult,
     PathSpec,
 )
 
 __all__ = [
+    "BoundaryAnalysis",
     "BoundaryReport",
     "BoundaryValueAnalysis",
     "BranchConstraint",
     "BranchCoverageTesting",
+    "CoverageAnalysis",
     "CoverageReport",
     "InconsistencyChecker",
     "InconsistencyFinding",
+    "OverflowAnalysis",
     "OverflowDetection",
     "OverflowFinding",
     "OverflowReport",
+    "PathAnalysis",
     "PathReachability",
     "PathResult",
     "PathSpec",

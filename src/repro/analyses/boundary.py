@@ -26,8 +26,13 @@ The analysis driver mirrors the GNU ``sin`` case study:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.base import Analysis, RoundPlan
+from repro.api.report import FOUND, NOT_FOUND, PARTIAL, AnalysisReport, Finding
+from repro.core.parallel import MultiStartOutcome
+from repro.core.result import Sample
 from repro.core.weak_distance import WeakDistance
 from repro.fpir.instrument import InstrumentationSpec, instrument
 from repro.fpir.labels import CompareSite
@@ -158,6 +163,27 @@ class ConditionStats:
             self.max_value = x
 
 
+def build_hits_distance(
+    program: Program, site_filter: Optional[SiteFilter] = None
+) -> WeakDistance:
+    """The soundness-replay program (``if (a == b) hits++``)."""
+    return WeakDistance(
+        instrument(program, hits_spec(site_filter=site_filter))
+    )
+
+
+def replay_hit_labels(
+    hits_distance: WeakDistance, x: Sequence[float]
+) -> List[str]:
+    """Labels of the boundary conditions that ``x`` triggers."""
+    _, counters = hits_distance.replay(x)
+    return [
+        label
+        for (kind, label), count in counters.items()
+        if kind == HIT_EVENT and count > 0
+    ]
+
+
 @dataclasses.dataclass
 class BoundaryReport:
     """Full outcome of a boundary value analysis run."""
@@ -179,8 +205,56 @@ class BoundaryReport:
         return sum(1 for s in self.per_condition.values() if s.hits > 0)
 
 
+def assemble_boundary_report(
+    samples: Sequence[Sample],
+    n_evals: int,
+    hits_distance: WeakDistance,
+    index,
+    site_filter: Optional[SiteFilter] = None,
+) -> BoundaryReport:
+    """Interpret a recorded sampling sequence as a BoundaryReport.
+
+    Shared by the legacy driver and the :class:`BoundaryAnalysis`
+    engine driver: filter the zero-valued samples (the ``BV`` set),
+    soundness-replay each one, and fold the per-condition statistics.
+    """
+    boundary_values = [x for x, f in samples if f == 0.0]
+    per_condition = {
+        site.label: ConditionStats(label=site.label, text=site.text)
+        for site in index.compares
+        if site_filter is None or site_filter(site)
+    }
+    first_hit_at: Dict[str, int] = {}
+    sound = True
+    sample_no = 0
+    for x, f in samples:
+        sample_no += 1
+        if f != 0.0:
+            continue
+        labels = replay_hit_labels(hits_distance, x)
+        if not labels:
+            sound = False
+            continue
+        for label in labels:
+            per_condition[label].update(tuple(x))
+            first_hit_at.setdefault(label, sample_no)
+    return BoundaryReport(
+        n_samples=n_evals,
+        boundary_values=boundary_values,
+        per_condition=per_condition,
+        sound=sound,
+        first_hit_at=first_hit_at,
+    )
+
+
 class BoundaryValueAnalysis:
-    """Driver for Instance 1 on an arbitrary FPIR program."""
+    """Deprecated driver for Instance 1 (use ``Engine.run("boundary",
+    ...)`` — :class:`BoundaryAnalysis` — instead).
+
+    Kept as a shim for its serial shared-generator semantics; the
+    engine driver derives independent per-start generators so serial
+    and parallel runs agree.
+    """
 
     def __init__(
         self,
@@ -189,6 +263,12 @@ class BoundaryValueAnalysis:
         characteristic: bool = False,
         site_filter: Optional[SiteFilter] = None,
     ) -> None:
+        warnings.warn(
+            "BoundaryValueAnalysis is deprecated; use "
+            "repro.api.Engine.run('boundary', program, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.program = program
         self.backend = backend or BasinhoppingBackend()
         self.site_filter = site_filter
@@ -198,21 +278,14 @@ class BoundaryValueAnalysis:
             else multiplicative_spec(site_filter=site_filter)
         )
         self.weak_distance = WeakDistance(instrument(program, spec))
-        self._hits = WeakDistance(
-            instrument(program, hits_spec(site_filter=site_filter))
-        )
+        self._hits = build_hits_distance(program, site_filter)
         self.index = self.weak_distance.instrumented.index
 
     # -- soundness replay -----------------------------------------------------
 
     def replay_hits(self, x: Sequence[float]) -> List[str]:
         """Labels of the boundary conditions that ``x`` triggers."""
-        _, counters = self._hits.replay(x)
-        return [
-            label
-            for (kind, label), count in counters.items()
-            if kind == HIT_EVENT and count > 0
-        ]
+        return replay_hit_labels(self._hits, x)
 
     # -- the analysis -----------------------------------------------------------
 
@@ -245,31 +318,219 @@ class BoundaryValueAnalysis:
             start = sampler(rng, self.program.num_inputs)
             self.backend.minimize(objective, start, rng)
 
-        boundary_values = [x for x, f in objective.samples if f == 0.0]
-
-        per_condition = {
-            site.label: ConditionStats(label=site.label, text=site.text)
-            for site in self.index.compares
-            if self.site_filter is None or self.site_filter(site)
-        }
-        first_hit_at: Dict[str, int] = {}
-        sound = True
-        sample_no = 0
-        for x, f in objective.samples:
-            sample_no += 1
-            if f != 0.0:
-                continue
-            labels = self.replay_hits(x)
-            if not labels:
-                sound = False
-                continue
-            for label in labels:
-                per_condition[label].update(tuple(x))
-                first_hit_at.setdefault(label, sample_no)
-        return BoundaryReport(
-            n_samples=objective.n_evals,
-            boundary_values=boundary_values,
-            per_condition=per_condition,
-            sound=sound,
-            first_hit_at=first_hit_at,
+        return assemble_boundary_report(
+            objective.samples,
+            objective.n_evals,
+            self._hits,
+            self.index,
+            self.site_filter,
         )
+
+
+# ---------------------------------------------------------------------------
+# The engine driver (repro.api)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _BoundaryState:
+    """Per-run state of :class:`BoundaryAnalysis`."""
+
+    program: Program
+    weak_distance: WeakDistance
+    hits: WeakDistance
+    site_filter: Optional[SiteFilter]
+    n_starts: int
+    sampler: Any
+    max_samples: Optional[int]
+    outcome: Optional[MultiStartOutcome] = None
+
+
+class BoundaryAnalysis(Analysis):
+    """Instance 1 through the unified engine.
+
+    One round of ``n_starts`` starts, every start running to completion
+    with sample recording on (the BV set is *all* zeros ever sampled,
+    so there is no early stop); a ``max_samples`` budget is split
+    evenly across the starts so it is a pure function of the start
+    index and serial/parallel runs collect identical sample sets.
+    """
+
+    name = "boundary"
+    help = "boundary value analysis (Instance 1)"
+    default_n_starts = 20
+    default_sampler = uniform_sampler(-100.0, 100.0)
+    smoke_target = "fig2"
+    smoke_options = {"n_starts": 4, "max_samples": 4000}
+
+    def prepare(
+        self, target: Program, spec: Any, options: Dict[str, Any], config
+    ) -> _BoundaryState:
+        site_filter: Optional[SiteFilter] = spec
+        if options.get("entry_only"):
+            entry = target.entry
+            site_filter = lambda site: site.function == entry  # noqa: E731
+        builder = (
+            characteristic_spec
+            if options.get("characteristic")
+            else multiplicative_spec
+        )
+        return _BoundaryState(
+            program=target,
+            weak_distance=WeakDistance(
+                instrument(target, builder(site_filter=site_filter))
+            ),
+            hits=build_hits_distance(target, site_filter),
+            site_filter=site_filter,
+            n_starts=self.starts_per_round(config, options),
+            sampler=self.sampler(config, options),
+            max_samples=options.get("max_samples"),
+        )
+
+    def plan_round(
+        self, state: _BoundaryState, round_index: int
+    ) -> Optional[RoundPlan]:
+        if round_index > 0:
+            return None
+        per_start = None
+        if state.max_samples is not None:
+            per_start = max(1, state.max_samples // state.n_starts)
+        return RoundPlan(
+            weak_distance=state.weak_distance,
+            n_inputs=state.program.num_inputs,
+            n_starts=state.n_starts,
+            sampler=state.sampler,
+            stop_at_zero=False,
+            record_samples=True,
+            max_evals_per_start=per_start,
+            note="collect BV samples",
+        )
+
+    def absorb(
+        self, state: _BoundaryState, round_index: int,
+        outcome: MultiStartOutcome,
+    ) -> None:
+        state.outcome = outcome
+
+    def finish(self, state: _BoundaryState) -> AnalysisReport:
+        outcome = state.outcome
+        detail = assemble_boundary_report(
+            outcome.samples if outcome else [],
+            outcome.n_evals if outcome else 0,
+            state.hits,
+            state.weak_distance.instrumented.index,
+            state.site_filter,
+        )
+        if not detail.boundary_values:
+            verdict = NOT_FOUND
+        elif detail.sound:
+            verdict = FOUND
+        else:
+            verdict = PARTIAL
+        findings = [
+            Finding(
+                kind="boundary-condition",
+                label=label,
+                x=stats.min_value,
+                detail=f"{stats.text} ({stats.hits} hits)",
+            )
+            for label, stats in sorted(detail.per_condition.items())
+            if stats.hits > 0
+        ]
+        return AnalysisReport(
+            analysis=self.name,
+            target="",
+            verdict=verdict,
+            findings=findings,
+            detail=detail,
+        )
+
+    # -- CLI hooks -------------------------------------------------------------
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        super().configure_parser(parser)
+        parser.add_argument(
+            "--samples", type=int, default=None,
+            help="total sampling budget, split across starts "
+            "(default 100000)",
+        )
+        parser.add_argument(
+            "--entry-only", action="store_true",
+            help="instrument only the entry function's comparisons",
+        )
+        parser.add_argument(
+            "--characteristic", action="store_true",
+            help="use the flat Fig. 7 weak distance (ablation)",
+        )
+
+    @classmethod
+    def options_from_args(cls, args) -> Dict[str, Any]:
+        options: Dict[str, Any] = {}
+        if args.samples is not None:
+            options["max_samples"] = args.samples
+        elif not args.smoke:
+            # The historical CLI default budget; under --smoke the
+            # analysis's (smaller) smoke budget applies instead.
+            options["max_samples"] = 100_000
+        if args.entry_only:
+            options["entry_only"] = True
+        if args.characteristic:
+            options["characteristic"] = True
+        return options
+
+    @classmethod
+    def render(cls, report: AnalysisReport) -> str:
+        from repro.util.tables import format_table
+
+        detail: BoundaryReport = report.detail
+        lines = [
+            f"{report.target}: {len(detail.boundary_values)} boundary"
+            f" values in {detail.n_samples} samples; "
+            f"{detail.conditions_triggered} condition(s) triggered; "
+            f"soundness replay {'OK' if detail.sound else 'FAILED'}"
+        ]
+        rows = []
+        for label, stats in sorted(detail.per_condition.items()):
+            rows.append(
+                (
+                    label,
+                    stats.text,
+                    stats.hits,
+                    "-" if stats.min_value is None
+                    else f"{stats.min_value[0]:.6e}",
+                    "-" if stats.max_value is None
+                    else f"{stats.max_value[0]:.6e}",
+                )
+            )
+        lines.append(
+            format_table(("cond", "comparison", "hits", "min", "max"),
+                         rows)
+        )
+        return "\n".join(lines)
+
+    @classmethod
+    def summarize(cls, report: AnalysisReport) -> str:
+        detail: BoundaryReport = report.detail
+        return (
+            f"{detail.conditions_triggered} condition(s) triggered in "
+            f"{detail.n_samples} samples"
+        )
+
+    @classmethod
+    def metrics(cls, report: AnalysisReport) -> Dict[str, float]:
+        detail: BoundaryReport = report.detail
+        return {
+            "conditions": float(detail.conditions_triggered),
+            "evals": float(detail.n_samples),
+        }
+
+    @classmethod
+    def batch_options(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.mo.starts import wide_log_sampler
+
+        return {
+            "n_starts": params.get("rounds"),
+            "max_samples": params.get("max_samples"),
+            "start_sampler": wide_log_sampler(-12.0, 10.0),
+        }

@@ -25,8 +25,13 @@ Remark suggests.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.base import Analysis, RoundPlan
+from repro.api.report import FOUND, NOT_FOUND, PARTIAL, AnalysisReport, Finding
+from repro.core.parallel import MultiStartOutcome
 from repro.core.weak_distance import WeakDistance
 from repro.fpir.instrument import InstrumentationSpec, instrument
 from repro.fpir.labels import BranchSite
@@ -165,6 +170,36 @@ def path_spec_instrumentation(
     )
 
 
+def verify_path(
+    weak_distance: WeakDistance, path: PathSpec, x: Sequence[float]
+) -> bool:
+    """Replay ``x`` and check the path constraints dynamically."""
+    _, counters = weak_distance.replay(x)
+    for constraint in path.constraints:
+        wanted = (ARM_EVENT, f"{constraint.label}:"
+                  f"{'T' if constraint.taken else 'F'}")
+        unwanted = (ARM_EVENT, f"{constraint.label}:"
+                    f"{'F' if constraint.taken else 'T'}")
+        if counters.get(unwanted, 0) > 0:
+            return False
+        if constraint.must_execute and counters.get(wanted, 0) == 0:
+            return False
+    return True
+
+
+def build_path_distance(
+    program: Program, path: Optional[PathSpec] = None
+) -> Tuple[WeakDistance, PathSpec, Any]:
+    """Label ``program``, default the spec, build the additive W."""
+    from repro.fpir.labels import assign_labels
+
+    probe = program.clone()
+    index = assign_labels(probe)
+    path = path or PathSpec.all_true(index)
+    spec = path_spec_instrumentation(path)
+    return WeakDistance(instrument(program, spec)), path, index
+
+
 @dataclasses.dataclass
 class PathResult:
     """Outcome of a path reachability query."""
@@ -179,7 +214,8 @@ class PathResult:
 
 
 class PathReachability:
-    """Driver for Instance 2."""
+    """Deprecated driver for Instance 2 (use ``Engine.run("path", ...)``
+    — :class:`PathAnalysis` — instead)."""
 
     def __init__(
         self,
@@ -187,34 +223,23 @@ class PathReachability:
         path: Optional[PathSpec] = None,
         backend: Optional[MOBackend] = None,
     ) -> None:
+        warnings.warn(
+            "PathReachability is deprecated; use "
+            "repro.api.Engine.run('path', program, spec=path) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.program = program
         self.backend = backend or BasinhoppingBackend()
-        # Label the program once to let callers build PathSpecs; the
-        # instrumenter re-labels its own clone identically
-        # (deterministic order).
-        from repro.fpir.labels import assign_labels
-
-        probe = program.clone()
-        self.index = assign_labels(probe)
-        self.path = path or PathSpec.all_true(self.index)
-        spec = path_spec_instrumentation(self.path)
-        self.weak_distance = WeakDistance(instrument(program, spec))
+        self.weak_distance, self.path, self.index = build_path_distance(
+            program, path
+        )
 
     # -- verification -----------------------------------------------------------
 
     def verify(self, x: Sequence[float]) -> bool:
         """Replay ``x`` and check the path constraints dynamically."""
-        _, counters = self.weak_distance.replay(x)
-        for constraint in self.path.constraints:
-            wanted = (ARM_EVENT, f"{constraint.label}:"
-                      f"{'T' if constraint.taken else 'F'}")
-            unwanted = (ARM_EVENT, f"{constraint.label}:"
-                        f"{'F' if constraint.taken else 'T'}")
-            if counters.get(unwanted, 0) > 0:
-                return False
-            if constraint.must_execute and counters.get(wanted, 0) == 0:
-                return False
-        return True
+        return verify_path(self.weak_distance, self.path, x)
 
     # -- the analysis -------------------------------------------------------------
 
@@ -252,3 +277,182 @@ class PathReachability:
             n_evals=objective.n_evals,
             verified=verified,
         )
+
+
+# ---------------------------------------------------------------------------
+# The engine driver (repro.api)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _PathState:
+    """Per-run state of :class:`PathAnalysis`."""
+
+    program: Program
+    weak_distance: WeakDistance
+    path: PathSpec
+    n_starts: int
+    sampler: Any
+    record_samples: bool = False
+    outcome: Optional[MultiStartOutcome] = None
+
+
+def parse_constraints(tokens: Sequence[str]) -> List[BranchConstraint]:
+    """Parse CLI constraint tokens ``label:T`` / ``label:F``."""
+    constraints = []
+    for token in tokens:
+        label, _, direction = token.partition(":")
+        if direction not in ("T", "F") or not label:
+            raise ValueError(
+                f"bad path constraint {token!r}; expected label:T or "
+                "label:F"
+            )
+        constraints.append(BranchConstraint(label, direction == "T"))
+    return constraints
+
+
+class PathAnalysis(Analysis):
+    """Instance 2 through the unified engine: one multi-start round of
+    the additive path weak distance, then a verification replay of the
+    representative."""
+
+    name = "path"
+    help = "path reachability (Instance 2)"
+    default_n_starts = 10
+    default_sampler = uniform_sampler(-100.0, 100.0)
+    smoke_target = "fig2"
+    smoke_options = {"n_starts": 4}
+
+    def prepare(
+        self, target: Program, spec: Any, options: Dict[str, Any], config
+    ) -> _PathState:
+        path = spec
+        constraints = options.get("constraints")
+        if path is None and constraints:
+            path = PathSpec(parse_constraints(constraints))
+        weak_distance, path, _index = build_path_distance(target, path)
+        return _PathState(
+            program=target,
+            weak_distance=weak_distance,
+            path=path,
+            n_starts=self.starts_per_round(config, options),
+            sampler=self.sampler(config, options),
+            record_samples=bool(options.get("record_samples")),
+        )
+
+    def plan_round(
+        self, state: _PathState, round_index: int
+    ) -> Optional[RoundPlan]:
+        if round_index > 0:
+            return None
+        return RoundPlan(
+            weak_distance=state.weak_distance,
+            n_inputs=state.program.num_inputs,
+            n_starts=state.n_starts,
+            sampler=state.sampler,
+            record_samples=state.record_samples,
+            note="minimize path distance",
+        )
+
+    def absorb(
+        self, state: _PathState, round_index: int,
+        outcome: MultiStartOutcome,
+    ) -> None:
+        state.outcome = outcome
+
+    def finish(self, state: _PathState) -> AnalysisReport:
+        best = state.outcome.best if state.outcome else None
+        found = best is not None and best.f_star == 0.0
+        verified = found and verify_path(
+            state.weak_distance, state.path, best.x_star
+        )
+        detail = PathResult(
+            found=found,
+            x_star=best.x_star if found else None,
+            w_star=math.inf if best is None else best.f_star,
+            n_evals=state.outcome.n_evals if state.outcome else 0,
+            verified=verified,
+        )
+        if verified:
+            verdict = FOUND
+        elif found:
+            verdict = PARTIAL  # a zero the replay rejected (Limitation 2)
+        else:
+            verdict = NOT_FOUND
+        findings = (
+            [
+                Finding(
+                    kind="path-witness",
+                    label=",".join(
+                        f"{c.label}:{'T' if c.taken else 'F'}"
+                        for c in state.path.constraints
+                    ),
+                    x=best.x_star,
+                    detail="verified" if verified else "unverified",
+                )
+            ]
+            if found
+            else []
+        )
+        return AnalysisReport(
+            analysis=self.name,
+            target="",
+            verdict=verdict,
+            findings=findings,
+            detail=detail,
+        )
+
+    # -- CLI hooks -------------------------------------------------------------
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        super().configure_parser(parser)
+        parser.add_argument(
+            "--constraint",
+            action="append",
+            default=None,
+            metavar="LABEL:T|F",
+            help="constrain one branch (repeatable; default: every "
+            "branch in its true direction)",
+        )
+
+    @classmethod
+    def options_from_args(cls, args) -> Dict[str, Any]:
+        return {"constraints": args.constraint}
+
+    @classmethod
+    def render(cls, report: AnalysisReport) -> str:
+        detail: PathResult = report.detail
+        if detail.found:
+            witness = ", ".join(f"{v:.6g}" for v in detail.x_star)
+            status = "verified" if detail.verified else "NOT verified"
+            return (
+                f"{report.target}: path reached at x* = ({witness}), "
+                f"{status} ({detail.n_evals} evaluations)"
+            )
+        return (
+            f"{report.target}: path not reached; best W = "
+            f"{detail.w_star:.6g} ({detail.n_evals} evaluations)"
+        )
+
+    @classmethod
+    def summarize(cls, report: AnalysisReport) -> str:
+        detail: PathResult = report.detail
+        if detail.verified:
+            return "path reached (verified)"
+        if detail.found:
+            return "path reached (unverified)"
+        return f"path not reached (best W = {detail.w_star:.3g})"
+
+    @classmethod
+    def metrics(cls, report: AnalysisReport) -> Dict[str, float]:
+        detail: PathResult = report.detail
+        return {
+            "found": 1.0 if detail.found else 0.0,
+            "verified": 1.0 if detail.verified else 0.0,
+            "evals": float(detail.n_evals),
+        }
+
+    @classmethod
+    def batch_options(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"n_starts": params.get("rounds")}

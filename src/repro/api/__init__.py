@@ -1,0 +1,54 @@
+"""One API, five analyses: the unified front-end over the reduction.
+
+::
+
+    from repro.api import Engine, EngineConfig
+
+    engine = Engine(EngineConfig(seed=1, n_workers=4))
+    engine.run("overflow", "gsl-bessel")
+    engine.run("sat", "x < 1 && x + 1 >= 2")
+
+* :class:`~repro.api.base.Analysis` — the protocol each instance
+  implements (spec-builder + driver hooks);
+* :mod:`repro.api.registry` — the name-keyed analysis registry the CLI
+  and batch driver are generated from;
+* :class:`~repro.api.report.AnalysisReport` — the uniform result
+  envelope (verdict, findings, counts, timing, per-round trace);
+* :class:`~repro.api.engine.Engine` — the facade that runs any
+  registered analysis with shared seeding and the parallel multi-start
+  pool.
+"""
+
+from repro.api.base import Analysis, RoundPlan
+from repro.api.engine import Engine, EngineConfig
+from repro.api.registry import (
+    available_analyses,
+    canonical_name,
+    get_analysis,
+    register_analysis,
+)
+from repro.api.report import (
+    FOUND,
+    NOT_FOUND,
+    PARTIAL,
+    AnalysisReport,
+    Finding,
+    RoundTrace,
+)
+
+__all__ = [
+    "Analysis",
+    "AnalysisReport",
+    "Engine",
+    "EngineConfig",
+    "FOUND",
+    "Finding",
+    "NOT_FOUND",
+    "PARTIAL",
+    "RoundPlan",
+    "RoundTrace",
+    "available_analyses",
+    "canonical_name",
+    "get_analysis",
+    "register_analysis",
+]

@@ -1,0 +1,165 @@
+"""One engine, five analyses: the unified front-end.
+
+::
+
+    from repro.api import Engine, EngineConfig
+
+    report = Engine(
+        config=EngineConfig(seed=1, n_workers=4, backend="portfolio")
+    ).run("coverage", "fig2")
+
+Every analysis — boundary values, path reachability, overflow
+detection, coverage testing, QF-FP satisfiability — runs through the
+same loop: ask the analysis for its next :class:`~repro.api.base.
+RoundPlan`, derive the round's per-start generators
+(:func:`repro.util.rng.derive_round_rngs`), fan the starts across the
+worker pool (:func:`repro.core.parallel.run_multistart`), and hand the
+merged outcome back to the analysis.  Because the per-start randomness
+is a pure function of ``(seed, round, start)`` and the engine runs the
+pool without racing early-cancel by default
+(:attr:`EngineConfig.deterministic`), a serial run and an
+``n_workers=4`` run with the same seed return identical verdicts and
+representatives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Any, Dict, Optional, Type, Union
+
+from repro.api.base import Analysis
+from repro.api.registry import canonical_name, get_analysis
+from repro.api.report import AnalysisReport, RoundTrace
+from repro.core.parallel import run_multistart
+from repro.mo.base import MOBackend
+from repro.mo.registry import resolve_backend
+from repro.mo.starts import StartSampler
+from repro.util.rng import derive_round_rngs
+
+
+@dataclasses.dataclass
+class EngineConfig:
+    """Tunables shared by every analysis run."""
+
+    seed: Optional[int] = None
+    #: Fan each round's starts across this many worker processes.
+    n_workers: int = 1
+    #: Backend instance or :mod:`repro.mo.registry` name (``None`` =
+    #: basinhopping with the analysis's default tuning).
+    backend: Optional[Union[str, MOBackend]] = None
+    #: Tuning forwarded to :func:`repro.mo.registry.resolve_backend`
+    #: (e.g. ``{"niter": 60}``); overrides the analysis defaults.
+    backend_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Starts per round (``None`` = analysis default).
+    n_starts: Optional[int] = None
+    #: Round budget for stateful drivers (``None`` = analysis default).
+    max_rounds: Optional[int] = None
+    #: Starting-point sampler (``None`` = analysis default).
+    start_sampler: Optional[StartSampler] = None
+    #: ``True`` (default): parallel rounds skip the racing early-cancel
+    #: so serial and parallel runs are bit-identical.  ``False``: race
+    #: the starts — faster, same verdict, but the representative may
+    #: come from whichever start reached zero first.
+    deterministic: bool = True
+
+
+class Engine:
+    """The facade: ``Engine(config).run(analysis, target, spec)``."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+
+    def _backend(self, analysis: Analysis) -> MOBackend:
+        cfg = self.config
+        tuning = dict(analysis.default_backend_options)
+        tuning.update(cfg.backend_options)
+        return resolve_backend(cfg.backend, **tuning)
+
+    def run(
+        self,
+        analysis: Union[str, Type[Analysis], Analysis],
+        target: Any,
+        spec: Any = None,
+        **options: Any,
+    ) -> AnalysisReport:
+        """Run one analysis end to end and return the uniform report.
+
+        ``analysis`` is a registry name (``"boundary"``, ``"path"``,
+        ``"overflow"``/``"fpod"``, ``"coverage"``, ``"sat"``), an
+        :class:`Analysis` subclass, or an instance.  ``target`` is a
+        program (instance or suite name) — or, for ``sat``, a formula
+        or constraint string.  ``spec`` carries the analysis-specific
+        specification (a :class:`~repro.analyses.path.PathSpec`, a
+        boundary site filter, ...); ``options`` the analysis-specific
+        knobs (``max_samples``, ``metric``, ...).
+        """
+        if isinstance(analysis, str):
+            name = canonical_name(analysis)
+            instance: Analysis = get_analysis(name)()
+        elif isinstance(analysis, type):
+            instance = analysis()
+            name = instance.name or analysis.__name__
+        else:
+            instance = analysis
+            name = instance.name or type(analysis).__name__
+        cfg = self.config
+        t0 = time.perf_counter()
+        resolved = instance.resolve_target(target)
+        state = instance.prepare(resolved, spec, options, cfg)
+        backend = self._backend(instance)
+
+        trace = []
+        samples = []
+        n_evals = 0
+        round_index = 0
+        while True:
+            plan = instance.plan_round(state, round_index)
+            if plan is None:
+                break
+            rngs = derive_round_rngs(cfg.seed, round_index, plan.n_starts)
+            starts = [(plan.sampler(rng, plan.n_inputs), rng) for rng in rngs]
+            outcome = run_multistart(
+                plan.weak_distance,
+                plan.n_inputs,
+                backend=backend,
+                starts=starts,
+                n_workers=cfg.n_workers,
+                record_samples=plan.record_samples,
+                max_evals_per_start=plan.max_evals_per_start,
+                stop_at_zero=plan.stop_at_zero,
+                early_cancel=not cfg.deterministic,
+            )
+            instance.absorb(state, round_index, outcome)
+            best = outcome.best
+            trace.append(
+                RoundTrace(
+                    index=round_index,
+                    n_starts=plan.n_starts,
+                    n_evals=outcome.n_evals,
+                    best_w=math.inf if best is None else best.f_star,
+                    found_zero=best is not None and best.f_star == 0.0,
+                    note=plan.note,
+                )
+            )
+            n_evals += outcome.n_evals
+            if plan.record_samples:
+                samples.extend(outcome.samples)
+            round_index += 1
+
+        report: AnalysisReport = instance.finish(state)
+        report.analysis = name
+        if not report.target:
+            if isinstance(target, str):
+                report.target = target
+            else:
+                report.target = instance.describe_target(resolved)
+        report.n_evals = n_evals
+        report.rounds = round_index
+        report.trace = trace
+        report.samples = samples
+        report.elapsed_seconds = time.perf_counter() - t0
+        report.seed = cfg.seed
+        report.n_workers = cfg.n_workers
+        return report

@@ -1,0 +1,77 @@
+"""Name-keyed analysis registry (mirrors :mod:`repro.mo.registry`).
+
+The five paper instances register here by name; the CLI's ``repro run``
+subcommands and ``repro list`` output are generated from this table,
+and :meth:`repro.api.engine.Engine.run` resolves its first argument
+through it.  Entries are lazy ``"module:Class"`` references so that
+``import repro.api`` stays instant and free of cycles (the analysis
+modules import :mod:`repro.api.base` themselves).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Type, Union
+
+from repro.api.base import Analysis
+
+#: name -> lazy "module:Class" reference or a resolved class.
+_SPECS: Dict[str, Union[str, Type[Analysis]]] = {
+    "boundary": "repro.analyses.boundary:BoundaryAnalysis",
+    "path": "repro.analyses.path:PathAnalysis",
+    "overflow": "repro.analyses.overflow:OverflowAnalysis",
+    "coverage": "repro.analyses.coverage:CoverageAnalysis",
+    "sat": "repro.sat.solver:SatAnalysis",
+}
+
+#: Alternate names (the historical CLI called overflow detection
+#: ``fpod``, after the paper's tool).
+_ALIASES: Dict[str, str] = {
+    "fpod": "overflow",
+}
+
+
+def available_analyses() -> List[str]:
+    """Canonical names of all registered analyses."""
+    return sorted(_SPECS)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases (``fpod`` -> ``overflow``)."""
+    return _ALIASES.get(name, name)
+
+
+def get_analysis(name: str) -> Type[Analysis]:
+    """The analysis class registered under ``name`` (alias-aware)."""
+    key = canonical_name(name)
+    try:
+        spec = _SPECS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown analysis {name!r}; known: {available_analyses()}"
+        ) from None
+    if isinstance(spec, str):
+        module_name, _, class_name = spec.partition(":")
+        spec = getattr(importlib.import_module(module_name), class_name)
+        _SPECS[key] = spec
+    return spec
+
+
+def register_analysis(
+    name: str,
+    analysis: Union[str, Type[Analysis]],
+    aliases: tuple = (),
+) -> None:
+    """Register a custom analysis (class or lazy ``"module:Class"``).
+
+    All names are validated before any mutation, so a rejected call
+    leaves the registry untouched.
+    """
+    if name in _SPECS or name in _ALIASES:
+        raise ValueError(f"analysis {name!r} already registered")
+    for alias in aliases:
+        if alias in _SPECS or alias in _ALIASES:
+            raise ValueError(f"analysis alias {alias!r} already registered")
+    _SPECS[name] = analysis
+    for alias in aliases:
+        _ALIASES[alias] = name

@@ -1,19 +1,27 @@
-"""Command-line front-end: the reproduction's answer to ``fpod``.
+"""Command-line front-end, generated from the analysis registry.
 
 Usage (via ``python -m repro``)::
 
     python -m repro list
-    python -m repro fpod gsl-bessel [--seed N] [--niter N] [--retries N]
-    python -m repro boundary glibc-sin --entry-only [--samples N]
-    python -m repro coverage fig2 [--rounds N]
-    python -m repro sat "x < 1 && x + 1 >= 2" [--metric ulp|naive]
+    python -m repro run overflow gsl-bessel [--seed N] [--workers N]
+    python -m repro run sat "x < 1 && x + 1 >= 2" [--metric ulp|naive]
+    python -m repro run coverage fig2 --smoke
     python -m repro batch --analyses fpod,coverage --workers 4
 
-Programs are resolved through :mod:`repro.programs.suite`; constraints
-are parsed by :mod:`repro.sat.parser`.  Every analysis command accepts
-``--backend`` (any :mod:`repro.mo.registry` name, e.g. ``portfolio``
-to race Basinhopping/MCMC/random-search per start); ``batch`` fans a
-whole analysis × program campaign across worker processes.
+``repro run <analysis>`` subcommands and the ``repro list`` output are
+*generated* from :mod:`repro.api.registry`: registering a new
+:class:`~repro.api.base.Analysis` is enough to make it runnable from
+the command line.  Every run accepts the shared engine knobs
+(``--seed``, ``--workers``, ``--starts``, ``--rounds``, ``--backend``,
+``--niter``) plus whatever the analysis contributes via its
+``configure_parser`` hook; ``--smoke`` applies the analysis's tiny CI
+budget.  Backends resolve through
+:func:`repro.mo.registry.resolve_backend` — one wiring for every
+subcommand.
+
+The historical per-analysis subcommands (``fpod``, ``boundary``,
+``coverage``, ``sat``) remain as deprecated aliases of
+``run <analysis>``.
 """
 
 from __future__ import annotations
@@ -21,34 +29,71 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.util.tables import format_table
+#: Deprecated top-level subcommands -> (registry name, forced options).
+#: ``fpod`` keeps its historical inconsistency sweep; ``boundary`` and
+#: ``coverage`` keep their historical magnitude-aware start sampling.
+_LEGACY_COMMANDS: Dict[str, str] = {
+    "fpod": "overflow",
+    "boundary": "boundary",
+    "coverage": "coverage",
+    "sat": "sat",
+}
 
 
-def _backend_argument(cmd: argparse.ArgumentParser) -> None:
+def _engine_arguments(cmd: argparse.ArgumentParser) -> None:
+    """The shared EngineConfig knobs, identical for every analysis."""
     from repro.mo import available_backends
 
+    cmd.add_argument("--seed", type=int, default=None)
+    cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="fan each round's starts across N worker processes",
+    )
+    cmd.add_argument(
+        "--starts", type=int, default=None,
+        help="starts per round (default: analysis-specific)",
+    )
+    cmd.add_argument(
+        "--rounds", type=int, default=None,
+        help="round budget for stateful drivers",
+    )
     cmd.add_argument(
         "--backend",
         choices=available_backends(),
-        default="basinhopping",
+        default=None,
         help="MO backend (portfolio races several per start)",
+    )
+    cmd.add_argument(
+        "--niter", type=int, default=None,
+        help="backend iterations per start",
+    )
+    cmd.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI budget (and a default target)",
     )
 
 
-def _make_backend(name: str, niter: int, local_maxiter: int = 200):
-    """A backend instance honouring the command's tuning defaults."""
-    from repro.mo import make_backend
-    from repro.mo.scipy_backends import BasinhoppingBackend
+def _analysis_parser(sub, command: str, analysis_name: str) -> None:
+    from repro.api import get_analysis
 
-    if name == "basinhopping":
-        return BasinhoppingBackend(niter=niter,
-                                   local_maxiter=local_maxiter)
-    return make_backend(name)
+    cls = get_analysis(analysis_name)
+    help_text = cls.help
+    if command != analysis_name and command not in ("run",):
+        help_text = f"deprecated alias of `run {analysis_name}`"
+    cmd = sub.add_parser(command, help=help_text)
+    _engine_arguments(cmd)
+    cls.configure_parser(cmd)
+    if command == "sat":
+        # The historical sat subcommand sampled uniformly in [-R, R].
+        cmd.set_defaults(range=1e9)
+    cmd.set_defaults(analysis=analysis_name, legacy=command != "run")
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.api import available_analyses, get_analysis
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Weak-distance minimization analyses (PLDI'19 "
@@ -56,32 +101,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered programs")
-
-    fpod = sub.add_parser("fpod", help="overflow detection (Algorithm 3)")
-    fpod.add_argument("program")
-    fpod.add_argument("--seed", type=int, default=None)
-    fpod.add_argument("--niter", type=int, default=40)
-    fpod.add_argument("--retries", type=int, default=4)
-    _backend_argument(fpod)
-
-    boundary = sub.add_parser("boundary", help="boundary value analysis")
-    boundary.add_argument("program")
-    boundary.add_argument("--seed", type=int, default=None)
-    boundary.add_argument("--samples", type=int, default=100_000)
-    boundary.add_argument("--starts", type=int, default=20)
-    boundary.add_argument(
-        "--entry-only",
-        action="store_true",
-        help="instrument only the entry function's comparisons",
+    sub.add_parser(
+        "list", help="list registered analyses and programs"
     )
-    _backend_argument(boundary)
 
-    coverage = sub.add_parser("coverage", help="branch-coverage testing")
-    coverage.add_argument("program")
-    coverage.add_argument("--seed", type=int, default=None)
-    coverage.add_argument("--rounds", type=int, default=40)
-    _backend_argument(coverage)
+    run = sub.add_parser(
+        "run", help="run a registered analysis through the engine"
+    )
+    runsub = run.add_subparsers(dest="analysis_command", required=True)
+    for name in available_analyses():
+        cls = get_analysis(name)
+        cmd = runsub.add_parser(name, help=cls.help)
+        _engine_arguments(cmd)
+        cls.configure_parser(cmd)
+        cmd.set_defaults(analysis=name, legacy=False)
+
+    for command, name in _LEGACY_COMMANDS.items():
+        _analysis_parser(sub, command, name)
 
     batch = sub.add_parser(
         "batch",
@@ -90,7 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--analyses",
         default="fpod,coverage,boundary",
-        help="comma-separated analyses (fpod, coverage, boundary)",
+        help="comma-separated analyses (fpod, coverage, boundary, path)",
     )
     batch.add_argument(
         "--programs",
@@ -106,137 +142,93 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=None)
     batch.add_argument("--niter", type=int, default=30)
     batch.add_argument("--rounds", type=int, default=20)
-
-    sat = sub.add_parser("sat", help="QF-FP satisfiability")
-    sat.add_argument("constraint")
-    sat.add_argument("--seed", type=int, default=None)
-    sat.add_argument("--metric", choices=("ulp", "naive"), default="ulp")
-    sat.add_argument("--starts", type=int, default=30)
-    sat.add_argument(
-        "--range", type=float, default=1e9, metavar="R",
-        help="start points drawn from [-R, R] (default 1e9)",
-    )
-    _backend_argument(sat)
     return parser
 
 
 def _cmd_list() -> int:
+    from repro.api import available_analyses, get_analysis
     from repro.programs import list_programs
 
+    print("analyses:")
+    for name in available_analyses():
+        print(f"  {name:<10} {get_analysis(name).help}")
+    print("programs:")
     for name in list_programs():
-        print(name)
+        print(f"  {name}")
     return 0
 
 
-def _cmd_fpod(args) -> int:
-    from repro.analyses import InconsistencyChecker, OverflowDetection
-    from repro.programs import get_program
-
-    program = get_program(args.program)
-    detector = OverflowDetection(
-        program, backend=_make_backend(args.backend, niter=args.niter)
-    )
-    report = detector.run(seed=args.seed,
-                          retries_per_round=args.retries)
-    print(
-        f"{args.program}: {report.n_overflows}/{report.n_fp_ops} "
-        f"instructions overflowed in {report.rounds} rounds "
-        f"({report.elapsed_seconds:.1f}s, {report.n_evals} evals)"
-    )
-    rows = [
-        (f.label, f.text, ", ".join(f"{v:.3g}" for v in f.x_star))
-        for f in report.findings
-    ]
-    print(format_table(("label", "instruction", "x*"), rows))
-    if report.missed:
-        print("missed:", ", ".join(s.label for s in report.missed))
-
-    checker = InconsistencyChecker(get_program(args.program))
-    findings = checker.sweep(report.inputs)
-    if findings:
-        print(f"\n{len(findings)} inconsistencies "
-              "(status == GSL_SUCCESS, non-finite result):")
-        for f in findings:
-            print(f"  x* = ({', '.join(f'{v:.6g}' for v in f.x_star)}) "
-                  f"val={f.val:.3g} err={f.err:.3g}")
-    return 0
+#: Tuning the historical subcommands applied implicitly; restored for
+#: the deprecated aliases so they keep their old behavior.
+_LEGACY_TUNING: Dict[str, Dict[str, Any]] = {
+    "fpod": {"n_starts": 4},
+    "boundary": {"backend_options": {"niter": 60, "local_maxiter": 150}},
+    "coverage": {"backend_options": {"niter": 50, "local_maxiter": 150}},
+    "sat": {"n_starts": 30},
+}
 
 
-def _cmd_boundary(args) -> int:
-    from repro.analyses import BoundaryValueAnalysis
+def _legacy_options(command: str) -> Dict[str, Any]:
+    """Engine.run options the historical subcommands forced implicitly."""
     from repro.mo import wide_log_sampler
-    from repro.programs import get_program
 
-    program = get_program(args.program)
-    entry = program.entry
-    site_filter = (
-        (lambda site: site.function == entry) if args.entry_only else None
-    )
-    analysis = BoundaryValueAnalysis(
-        program,
-        backend=_make_backend(args.backend, niter=60, local_maxiter=150),
-        site_filter=site_filter,
-    )
-    report = analysis.run(
-        n_starts=args.starts,
+    if command == "fpod":
+        return {"inconsistency": True}
+    if command in ("boundary", "coverage"):
+        return {"start_sampler": wide_log_sampler(-12.0, 10.0)}
+    return {}
+
+
+def _cmd_run(args) -> int:
+    from repro.api import Engine, EngineConfig, get_analysis
+
+    cls = get_analysis(args.analysis)
+    options = cls.options_from_args(args)
+    backend_options: Dict[str, Any] = {}
+    if args.niter is not None:
+        backend_options["niter"] = args.niter
+    n_starts = args.starts
+    max_rounds = args.rounds
+    if args.legacy:
+        for key, value in _legacy_options(args.command).items():
+            options.setdefault(key, value)
+        tuning = _LEGACY_TUNING.get(args.command, {})
+        if n_starts is None:
+            n_starts = tuning.get("n_starts")
+        for key, value in tuning.get("backend_options", {}).items():
+            backend_options.setdefault(key, value)
+    if args.smoke:
+        smoke = dict(cls.smoke_options)
+        smoke_niter = smoke.pop("niter", None)
+        if smoke_niter is not None and args.niter is None:
+            backend_options["niter"] = smoke_niter
+        if n_starts is None:
+            n_starts = smoke.pop("n_starts", None)
+        if max_rounds is None:
+            max_rounds = smoke.pop("max_rounds", None)
+        for key, value in smoke.items():
+            if key in ("n_starts", "max_rounds"):
+                continue
+            # Smoke budgets yield to options the user set explicitly
+            # (explicit flags are already present in `options`).
+            options.setdefault(key, value)
+
+    config = EngineConfig(
         seed=args.seed,
-        start_sampler=wide_log_sampler(-12.0, 10.0),
-        max_samples=args.samples,
+        n_workers=args.workers,
+        backend=args.backend,
+        backend_options=backend_options,
+        n_starts=n_starts,
+        max_rounds=max_rounds,
     )
-    print(
-        f"{args.program}: {len(report.boundary_values)} boundary values"
-        f" in {report.n_samples} samples; "
-        f"{report.conditions_triggered} condition(s) triggered; "
-        f"soundness replay {'OK' if report.sound else 'FAILED'}"
-    )
-    rows = []
-    for label, stats in sorted(report.per_condition.items()):
-        rows.append(
-            (
-                label,
-                stats.text,
-                stats.hits,
-                "-" if stats.min_value is None
-                else f"{stats.min_value[0]:.6e}",
-                "-" if stats.max_value is None
-                else f"{stats.max_value[0]:.6e}",
-            )
-        )
-    print(format_table(("cond", "comparison", "hits", "min", "max"),
-                       rows))
-    return 0
-
-
-def _cmd_coverage(args) -> int:
-    from repro.analyses import BranchCoverageTesting
-    from repro.mo import wide_log_sampler
-    from repro.programs import get_program
-
-    testing = BranchCoverageTesting(
-        get_program(args.program),
-        backend=_make_backend(args.backend, niter=50, local_maxiter=150),
-    )
-    report = testing.run(
-        max_rounds=args.rounds,
-        seed=args.seed,
-        start_sampler=wide_log_sampler(-12.0, 10.0),
-    )
-    print(
-        f"{args.program}: {100.0 * report.coverage:.1f}% branch "
-        f"coverage ({len(report.covered_arms)}/{report.total_arms} "
-        f"arms, {report.rounds} rounds)"
-    )
-    rows = [
-        (arm, f"{x[0]:.6g}" if len(x) == 1
-         else ", ".join(f"{v:.4g}" for v in x))
-        for arm, x in sorted(report.witnesses.items())
-    ]
-    print(format_table(("arm", "witness"), rows))
+    report = Engine(config).run(args.analysis, args.target, **options)
+    print(cls.render(report))
     return 0
 
 
 def _cmd_batch(args) -> int:
     from repro.core.batch import run_batch, suite_jobs
+    from repro.util.tables import format_table
 
     analyses = [a for a in args.analyses.split(",") if a]
     programs = (
@@ -272,40 +264,13 @@ def _cmd_batch(args) -> int:
     return 1 if failed else 0
 
 
-def _cmd_sat(args) -> int:
-    from repro.mo import uniform_sampler
-    from repro.sat import NAIVE, ULP, XSatSolver, parse_formula
-
-    formula = parse_formula(args.constraint)
-    solver = XSatSolver(
-        metric=ULP if args.metric == "ulp" else NAIVE,
-        backend=_make_backend(args.backend, niter=50),
-        n_starts=args.starts,
-        start_sampler=uniform_sampler(-args.range, args.range),
-    )
-    result = solver.solve(formula, seed=args.seed)
-    print(f"constraint: {formula}")
-    print(f"verdict: {result.verdict.value}  "
-          f"({result.n_evals} evaluations)")
-    if result.model:
-        for name, value in result.model.items():
-            print(f"  {name} = {value!r}")
-    else:
-        print(f"  best minimum found: {result.r_star:.6g}")
-    return 0
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handlers = {
-        "list": lambda: _cmd_list(),
-        "fpod": lambda: _cmd_fpod(args),
-        "boundary": lambda: _cmd_boundary(args),
-        "coverage": lambda: _cmd_coverage(args),
-        "sat": lambda: _cmd_sat(args),
-        "batch": lambda: _cmd_batch(args),
-    }
-    return handlers[args.command]()
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "batch":
+        return _cmd_batch(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

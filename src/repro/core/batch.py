@@ -5,9 +5,12 @@ One reduction parallelizes across its starts
 every subject program, the shape of the paper's Tables 3–5 —
 parallelizes across whole analysis runs instead.  Each
 :class:`BatchJob` is a self-contained, picklable description
-(analysis name, program name, seed, budget knobs); workers import the
-program from the suite registry and run the analysis end to end, so
-nothing unpicklable ever crosses the process boundary.
+(analysis name, program name, seed, budget knobs); workers run the job
+through the :class:`repro.api.engine.Engine` facade end to end, so
+nothing unpicklable ever crosses the process boundary and a new
+registered analysis is batch-runnable for free (its
+``batch_options``/``summarize``/``metrics`` hooks supply the
+translation).
 
 A failing job never takes the campaign down: its traceback summary is
 captured on the :class:`BatchResult` and the remaining jobs keep
@@ -22,8 +25,20 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-#: Analyses the batch driver knows how to run.
-BATCH_ANALYSES = ("fpod", "coverage", "boundary")
+#: Default campaign analyses (any registered program-taking analysis —
+#: canonical name or alias — is accepted, these are just the default).
+BATCH_ANALYSES = ("fpod", "coverage", "boundary", "path")
+
+
+def _batch_runnable(name: str) -> bool:
+    """Can ``name`` be crossed with the program suite?"""
+    from repro.api import get_analysis
+
+    try:
+        cls = get_analysis(name)
+    except KeyError:
+        return False
+    return cls.takes_program
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,10 +87,11 @@ def suite_jobs(
         analyses = BATCH_ANALYSES
     if programs is None:
         programs = list_programs()
-    unknown = sorted(set(analyses) - set(BATCH_ANALYSES))
+    unknown = sorted({a for a in analyses if not _batch_runnable(a)})
     if unknown:
         raise ValueError(
-            f"unknown analyses {unknown}; known: {list(BATCH_ANALYSES)}"
+            f"unknown analyses {unknown}; known program-taking "
+            f"analyses include {list(BATCH_ANALYSES)}"
         )
     params = (
         ("niter", niter),
@@ -90,73 +106,28 @@ def suite_jobs(
 
 
 def _execute(job: BatchJob) -> BatchResult:
-    """Run one job start to finish (worker side)."""
-    from repro.mo.scipy_backends import BasinhoppingBackend
-    from repro.programs import get_program
+    """Run one job through the Engine facade (worker side)."""
+    from repro.api import Engine, EngineConfig, get_analysis
 
     t0 = time.perf_counter()
-    program = get_program(job.program)
-    backend = BasinhoppingBackend(niter=job.param("niter", 30))
-    rounds = job.param("rounds", 20)
-    if job.analysis == "fpod":
-        from repro.analyses import OverflowDetection
-
-        report = OverflowDetection(program, backend=backend).run(
-            seed=job.seed, max_rounds=rounds
-        )
-        summary = (
-            f"{report.n_overflows}/{report.n_fp_ops} instructions "
-            f"overflowed"
-        )
-        metrics = {
-            "found": float(report.n_overflows),
-            "sites": float(report.n_fp_ops),
-            "evals": float(report.n_evals),
-        }
-    elif job.analysis == "coverage":
-        from repro.analyses import BranchCoverageTesting
-        from repro.mo.starts import wide_log_sampler
-
-        report = BranchCoverageTesting(program, backend=backend).run(
-            max_rounds=rounds,
+    cls = get_analysis(job.analysis)  # KeyError -> captured on the result
+    params = dict(job.params)
+    engine = Engine(
+        EngineConfig(
             seed=job.seed,
-            start_sampler=wide_log_sampler(-12.0, 10.0),
+            backend_options={"niter": job.param("niter", 30)},
         )
-        summary = (
-            f"{100.0 * report.coverage:.1f}% branch coverage "
-            f"({len(report.covered_arms)}/{report.total_arms} arms)"
-        )
-        metrics = {
-            "coverage": report.coverage,
-            "evals": float(report.n_evals),
-        }
-    elif job.analysis == "boundary":
-        from repro.analyses import BoundaryValueAnalysis
-        from repro.mo.starts import wide_log_sampler
-
-        report = BoundaryValueAnalysis(program, backend=backend).run(
-            n_starts=rounds,
-            seed=job.seed,
-            start_sampler=wide_log_sampler(-12.0, 10.0),
-            max_samples=job.param("max_samples"),
-        )
-        summary = (
-            f"{report.conditions_triggered} condition(s) triggered in "
-            f"{report.n_samples} samples"
-        )
-        metrics = {
-            "conditions": float(report.conditions_triggered),
-            "evals": float(report.n_samples),
-        }
-    else:
-        raise ValueError(
-            f"unknown analysis {job.analysis!r}; "
-            f"known: {list(BATCH_ANALYSES)}"
-        )
+    )
+    options = {
+        key: value
+        for key, value in cls.batch_options(params).items()
+        if value is not None
+    }
+    report = engine.run(job.analysis, job.program, **options)
     return BatchResult(
         job=job,
-        summary=summary,
-        metrics=metrics,
+        summary=cls.summarize(report),
+        metrics=cls.metrics(report),
         seconds=time.perf_counter() - t0,
     )
 

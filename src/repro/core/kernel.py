@@ -94,45 +94,31 @@ class ReductionKernel:
         (shared mutable objectives cannot cross process boundaries).
         """
         cfg = self.config
-        if cfg.n_workers > 1 and objective is None:
-            return self._minimize_parallel(weak_distance, n_inputs, problem)
-        objective = objective or Objective(
-            weak_distance,
-            n_dims=n_inputs,
-            record_samples=cfg.record_samples,
-        )
-        attempts: List[MOResult] = []
-        for rng in derive_start_rngs(cfg.seed, cfg.n_starts):
-            start = cfg.start_sampler(rng, n_inputs)
-            saved = objective.max_samples
-            if cfg.max_evals_per_start is not None:
-                budget = objective.n_evals + cfg.max_evals_per_start
-                objective.max_samples = (
-                    budget if saved is None else min(saved, budget)
-                )
-            try:
-                result = self.backend.minimize(objective, start, rng)
-            finally:
-                objective.max_samples = saved
-            attempts.append(result)
-            if result.stopped_at_zero:
-                break
-        return self._interpret(
-            attempts,
-            n_evals=objective.n_evals,
-            samples=list(objective.samples),
-            problem=problem,
-        )
-
-    def _minimize_parallel(
-        self,
-        weak_distance: WeakDistance,
-        n_inputs: int,
-        problem: Optional[AnalysisProblem],
-    ) -> ReductionOutcome:
+        if objective is not None:
+            attempts: List[MOResult] = []
+            for rng in derive_start_rngs(cfg.seed, cfg.n_starts):
+                start = cfg.start_sampler(rng, n_inputs)
+                saved = objective.max_samples
+                if cfg.max_evals_per_start is not None:
+                    budget = objective.n_evals + cfg.max_evals_per_start
+                    objective.max_samples = (
+                        budget if saved is None else min(saved, budget)
+                    )
+                try:
+                    result = self.backend.minimize(objective, start, rng)
+                finally:
+                    objective.max_samples = saved
+                attempts.append(result)
+                if result.stopped_at_zero:
+                    break
+            return self._interpret(
+                attempts,
+                n_evals=objective.n_evals,
+                samples=list(objective.samples),
+                problem=problem,
+            )
         from repro.core.parallel import run_multistart
 
-        cfg = self.config
         starts = []
         for rng in derive_start_rngs(cfg.seed, cfg.n_starts):
             starts.append((cfg.start_sampler(rng, n_inputs), rng))

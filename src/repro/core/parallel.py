@@ -127,6 +127,10 @@ class StartTask:
     backend: MOBackend
     record_samples: bool = False
     max_evals: Optional[int] = None
+    #: Stop this start as soon as it samples a zero (Section 4.4's
+    #: termination rule).  Analyses that want *every* zero — boundary
+    #: value analysis collects the whole BV set — turn this off.
+    stop_at_zero: bool = True
 
 
 @dataclasses.dataclass
@@ -160,6 +164,7 @@ def _run_start(task: StartTask) -> StartReport:
         weak_distance,
         n_dims=_WORKER_STATE["n_inputs"],
         record_samples=task.record_samples,
+        stop_at_zero=task.stop_at_zero,
         max_samples=task.max_evals,
         should_stop=None if cancel is None else cancel.is_set,
     )
@@ -174,7 +179,12 @@ def _run_start(task: StartTask) -> StartReport:
             raise  # a genuine backend failure, not a cancellation
         # Cancelled between the pre-check and the first evaluation.
         result = None
-    if result is not None and result.stopped_at_zero and cancel is not None:
+    if (
+        result is not None
+        and result.stopped_at_zero
+        and task.stop_at_zero
+        and cancel is not None
+    ):
         cancel.set()
     return StartReport(
         index=task.index,
@@ -209,12 +219,64 @@ class MultiStartOutcome:
     #: Starts that never ran because the race was already over.
     n_cancelled: int = 0
 
+    @property
+    def best(self) -> Optional[MOResult]:
+        """The winning attempt: minimal ``f_star``, earliest start on
+        ties — the same representative a serial loop would pick."""
+        if not self.attempts:
+            return None
+        return min(self.attempts, key=lambda r: r.f_star)
+
 
 def pool_context() -> multiprocessing.context.BaseContext:
     """Fork when available (cheap, inherits imports); spawn otherwise."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_starts_serial(
+    weak_distance: WeakDistance,
+    n_inputs: int,
+    tasks: Sequence[StartTask],
+    early_cancel: bool,
+) -> MultiStartOutcome:
+    """In-process start loop with the same per-start semantics as the
+    pool: one fresh :class:`Objective` per start, so a serial run and a
+    parallel run with the same seed walk identical trajectories.
+
+    ``early_cancel`` plays the role of the pool's racing cancellation:
+    when set, a zero stops the remaining starts (Algorithm 2's serial
+    loop); when clear, every start runs like the deterministic pool
+    path, so attempts/eval counts/samples match it exactly.
+    """
+    attempts: List[MOResult] = []
+    samples: List[Sample] = []
+    n_evals = 0
+    for task in tasks:
+        objective = Objective(
+            weak_distance,
+            n_dims=n_inputs,
+            record_samples=task.record_samples,
+            stop_at_zero=task.stop_at_zero,
+            max_samples=task.max_evals,
+        )
+        result = task.backend.minimize(objective, task.start, task.rng)
+        attempts.append(result)
+        n_evals += objective.n_evals
+        samples.extend(objective.samples)
+        if task.stop_at_zero and early_cancel and result.stopped_at_zero:
+            break
+    return MultiStartOutcome(
+        attempts=attempts,
+        n_evals=n_evals,
+        label_sets={
+            name: set(labels)
+            for name, labels in weak_distance.label_sets.items()
+        },
+        samples=samples,
+        n_cancelled=0,
     )
 
 
@@ -226,19 +288,27 @@ def run_multistart(
     n_workers: int,
     record_samples: bool = False,
     max_evals_per_start: Optional[int] = None,
+    stop_at_zero: bool = True,
+    early_cancel: bool = True,
 ) -> MultiStartOutcome:
-    """Run every ``(start, rng)`` pair through ``backend`` in parallel.
+    """Run every ``(start, rng)`` pair through ``backend``.
 
-    The backend and the weak distance must be picklable; analyses that
-    thread a shared, stateful :class:`~repro.mo.base.Objective` through
-    every start must stay on the serial path instead.
+    With ``n_workers <= 1`` (or a single start) the starts run inline —
+    same per-start objectives, no pool — so every caller gets one code
+    path for both modes.  The backend and the weak distance must be
+    picklable for the pool path; analyses that thread a shared,
+    stateful :class:`~repro.mo.base.Objective` through every start must
+    stay on the kernel's serial path instead.
+
+    ``stop_at_zero=False`` lets every start run to completion and keeps
+    all zero-valued samples (boundary value analysis).  With
+    ``early_cancel=False`` a zero still stops its *own* start but does
+    not cancel the others: the merged outcome is then bit-identical to
+    the serial outcome (same attempts, same representative), which is
+    what :class:`repro.api.engine.Engine` runs by default; the racing
+    default trades that exact reproducibility for wall-clock speed
+    while preserving the verdict.
     """
-    ctx = pool_context()
-    cancel = ctx.Event()
-    payload_blob = pickle.dumps(
-        make_payload(weak_distance, n_inputs),
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
     tasks = [
         StartTask(
             index=i,
@@ -247,9 +317,20 @@ def run_multistart(
             backend=backend,
             record_samples=record_samples,
             max_evals=max_evals_per_start,
+            stop_at_zero=stop_at_zero,
         )
         for i, (start, rng) in enumerate(starts)
     ]
+    if n_workers <= 1 or len(tasks) <= 1:
+        return _run_starts_serial(
+            weak_distance, n_inputs, tasks, early_cancel
+        )
+    ctx = pool_context()
+    cancel = ctx.Event() if (stop_at_zero and early_cancel) else None
+    payload_blob = pickle.dumps(
+        make_payload(weak_distance, n_inputs),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
     reports: List[StartReport] = []
     with ProcessPoolExecutor(
         max_workers=max(1, min(n_workers, len(tasks) or 1)),
@@ -268,7 +349,8 @@ def run_multistart(
                     ) from exc
         except BaseException:
             # Stop the race before the pool's exit handler waits on it.
-            cancel.set()
+            if cancel is not None:
+                cancel.set()
             for future in futures:
                 future.cancel()
             raise

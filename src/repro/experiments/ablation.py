@@ -20,9 +20,8 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.analyses.boundary import BoundaryValueAnalysis
 from repro.core.weak_distance import WeakDistance
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.fpir.instrument import instrument
 from repro.mo.scipy_backends import BasinhoppingBackend
 from repro.mo.starts import uniform_sampler
@@ -30,17 +29,16 @@ from repro.programs import fig2
 
 
 def _boundary_budgeted(characteristic: bool, quick: bool, seed):
-    analysis = BoundaryValueAnalysis(
+    report = run_analysis(
+        "boundary",
         fig2.make_program(),
-        backend=BasinhoppingBackend(niter=15 if quick else 40),
-        characteristic=characteristic,
-    )
-    report = analysis.run(
-        n_starts=3 if quick else 8,
         seed=seed,
-        start_sampler=uniform_sampler(-50.0, 50.0),
+        backend_options={"niter": 15 if quick else 40},
+        n_starts=3 if quick else 8,
+        sampler=uniform_sampler(-50.0, 50.0),
         max_samples=3_000 if quick else 20_000,
-    )
+        characteristic=characteristic,
+    ).detail
     return sorted({x[0] for x in report.boundary_values}), report
 
 
@@ -106,7 +104,6 @@ def _coverage_vs_random(quick: bool, seed):
     """CoverMe-vs-fuzzing shape: branch coverage on the Glibc sin port
     achieved by weak-distance minimization vs the same evaluation
     budget spent on random inputs."""
-    from repro.analyses.coverage import BranchCoverageTesting
     from repro.libm import sin as glibc_sin
     from repro.mo.random_search import RandomSearchBackend
     from repro.mo.starts import wide_log_sampler
@@ -120,15 +117,15 @@ def _coverage_vs_random(quick: bool, seed):
         ("random", RandomSearchBackend(
             n_samples=500 if quick else 2000, sampler=sampler)),
     ):
-        testing = BranchCoverageTesting(
-            glibc_sin.make_program(), backend=backend
-        )
-        report = testing.run(
-            max_rounds=20 if quick else 60,
+        results[name] = run_analysis(
+            "coverage",
+            glibc_sin.make_program(),
             seed=seed,
-            start_sampler=sampler,
-        )
-        results[name] = report
+            backend=backend,
+            n_starts=1,
+            max_rounds=20 if quick else 60,
+            sampler=sampler,
+        ).detail
     return results
 
 

@@ -13,9 +13,47 @@ results on a laptop.  All randomness flows from the single seed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Sequence
+import os
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.util.tables import format_table
+
+
+def run_analysis(
+    name: str,
+    target: Any,
+    *,
+    seed: Optional[int] = None,
+    backend: Any = None,
+    backend_options: Optional[Dict[str, Any]] = None,
+    n_starts: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    sampler: Any = None,
+    spec: Any = None,
+    n_workers: Optional[int] = None,
+    **options: Any,
+):
+    """Run one analysis through the :mod:`repro.api` facade.
+
+    Every experiment drives its analyses through this helper, so the
+    whole harness inherits the engine's seeding discipline — and
+    setting ``REPRO_WORKERS=N`` in the environment fans each round's
+    starts across a worker pool without touching any table script.
+    """
+    from repro.api import Engine, EngineConfig
+
+    if n_workers is None:
+        n_workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
+    config = EngineConfig(
+        seed=seed,
+        n_workers=n_workers,
+        backend=backend,
+        backend_options=backend_options or {},
+        n_starts=n_starts,
+        max_rounds=max_rounds,
+        start_sampler=sampler,
+    )
+    return Engine(config).run(name, target, spec=spec, **options)
 
 
 @dataclasses.dataclass

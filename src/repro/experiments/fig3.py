@@ -12,31 +12,37 @@ from typing import Optional
 
 import numpy as np
 
-from repro.analyses.boundary import BoundaryValueAnalysis
-from repro.experiments.common import ExperimentResult, render_ascii_series
-from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.analyses.boundary import multiplicative_spec
+from repro.core.weak_distance import WeakDistance
+from repro.experiments.common import (
+    ExperimentResult,
+    render_ascii_series,
+    run_analysis,
+)
+from repro.fpir.instrument import instrument
 from repro.mo.starts import uniform_sampler
 from repro.programs import fig2
 
 
 def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     program = fig2.make_program()
-    analysis = BoundaryValueAnalysis(
-        program,
-        backend=BasinhoppingBackend(niter=15 if quick else 60),
-    )
     max_samples = 5_000 if quick else 60_000
-    report = analysis.run(
-        n_starts=3 if quick else 12,
+    report = run_analysis(
+        "boundary",
+        program,
         seed=seed,
-        start_sampler=uniform_sampler(-50.0, 50.0),
+        backend_options={"niter": 15 if quick else 60},
+        n_starts=3 if quick else 12,
+        sampler=uniform_sampler(-50.0, 50.0),
         max_samples=max_samples,
-    )
+    ).detail
 
     # (b) the graph of W.
+    weak_distance = WeakDistance(
+        instrument(program, multiplicative_spec())
+    )
     grid = np.linspace(-6.0, 6.0, 481)
-    graph = [(float(x), analysis.weak_distance((float(x),)))
-             for x in grid]
+    graph = [(float(x), weak_distance((float(x),))) for x in grid]
 
     found = sorted({x[0] for x in report.boundary_values})
     expected = set(fig2.KNOWN_BOUNDARY_VALUES)

@@ -12,32 +12,31 @@ from typing import Optional
 
 import numpy as np
 
-from repro.analyses.path import PathReachability
-from repro.experiments.common import ExperimentResult
-from repro.mo.scipy_backends import BasinhoppingBackend
+from repro.analyses.path import build_path_distance
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.mo.starts import uniform_sampler
 from repro.programs import fig2
 
 
 def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     program = fig2.make_program()
-    analysis = PathReachability(
+    envelope = run_analysis(
+        "path",
         program,
-        backend=BasinhoppingBackend(niter=15 if quick else 60),
-    )
-    result = analysis.run(
-        n_starts=3 if quick else 10,
         seed=seed,
-        start_sampler=uniform_sampler(-50.0, 50.0),
+        backend_options={"niter": 15 if quick else 60},
+        n_starts=3 if quick else 10,
+        sampler=uniform_sampler(-50.0, 50.0),
         record_samples=True,
     )
+    result = envelope.detail
 
     lo, hi = fig2.PATH_SOLUTION_INTERVAL
-    samples = analysis.last_objective.samples
+    samples = envelope.samples
     inside = sum(1 for x, _ in samples if lo <= x[0] <= hi)
+    weak_distance, _path, _index = build_path_distance(program)
     grid = np.linspace(-6.0, 6.0, 481)
-    graph = [(float(x), analysis.weak_distance((float(x),)))
-             for x in grid]
+    graph = [(float(x), weak_distance((float(x),))) for x in grid]
 
     rows = [
         ("found", result.found),

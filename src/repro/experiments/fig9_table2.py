@@ -20,33 +20,33 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analyses.boundary import BoundaryValueAnalysis
-from repro.experiments.common import ExperimentResult
+from repro.analyses.boundary import build_hits_distance, replay_hit_labels
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.libm import sin as glibc_sin
-from repro.mo.scipy_backends import BasinhoppingBackend
 from repro.mo.starts import wide_log_sampler
 
 
 def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     program = glibc_sin.make_program()
-    analysis = BoundaryValueAnalysis(
+    site_filter = lambda site: site.function == "sin_glibc"  # noqa: E731
+    report = run_analysis(
+        "boundary",
         program,
-        backend=BasinhoppingBackend(
-            niter=20 if quick else 60, local_maxiter=150
-        ),
-        site_filter=lambda site: site.function == "sin_glibc",
-    )
-    report = analysis.run(
-        n_starts=10 if quick else 60,
+        spec=site_filter,
         seed=seed,
-        start_sampler=wide_log_sampler(-12.0, 10.0),
+        backend_options={
+            "niter": 20 if quick else 60, "local_maxiter": 150,
+        },
+        n_starts=10 if quick else 60,
+        sampler=wide_log_sampler(-12.0, 10.0),
         max_samples=60_000 if quick else 600_000,
-    )
+    ).detail
+    hits = build_hits_distance(program, site_filter)
 
     # Per condition and sign (the paper's +/- row pairs).
     stats = {}
     for x, in report.boundary_values:
-        for label in analysis.replay_hits((x,)):
+        for label in replay_hit_labels(hits, (x,)):
             sign = "+" if x >= 0.0 else "-"
             key = (label, sign)
             entry = stats.setdefault(
@@ -56,7 +56,9 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
             entry["min"] = min(entry["min"], x)
             entry["max"] = max(entry["max"], x)
 
-    ordered = sorted(analysis.index.compares, key=lambda s: s.label)
+    ordered = sorted(
+        hits.instrumented.index.compares, key=lambda s: s.label
+    )
     site_labels = [
         s.label for s in ordered if s.function == "sin_glibc"
     ]

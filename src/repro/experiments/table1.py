@@ -18,9 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analyses.boundary import BoundaryValueAnalysis
-from repro.analyses.path import PathReachability
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.mo.registry import make_backend
 from repro.mo.starts import uniform_sampler
 from repro.programs import fig2
@@ -44,23 +42,25 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     sampler = uniform_sampler(-50.0, 50.0)
     for name in _BACKENDS:
         # Boundary value analysis.
-        bva = BoundaryValueAnalysis(
-            fig2.make_program(), backend=_backend(name, quick)
-        )
-        report = bva.run(
-            n_starts=3 if quick else 10,
+        report = run_analysis(
+            "boundary",
+            fig2.make_program(),
             seed=seed,
-            start_sampler=sampler,
+            backend=_backend(name, quick),
+            n_starts=3 if quick else 10,
+            sampler=sampler,
             max_samples=4_000 if quick else 40_000,
-        )
+        ).detail
         bvs = sorted({x[0] for x in report.boundary_values})
         # Path reachability.
-        path = PathReachability(
-            fig2.make_program(), backend=_backend(name, quick)
-        )
-        presult = path.run(
-            n_starts=3 if quick else 10, seed=seed, start_sampler=sampler
-        )
+        presult = run_analysis(
+            "path",
+            fig2.make_program(),
+            seed=seed,
+            backend=_backend(name, quick),
+            n_starts=3 if quick else 10,
+            sampler=sampler,
+        ).detail
         rows.append(
             (
                 name,

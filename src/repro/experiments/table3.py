@@ -16,10 +16,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analyses.inconsistency import InconsistencyChecker
-from repro.analyses.overflow import OverflowDetection
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.gsl import airy, bessel, hyperg
-from repro.mo.scipy_backends import BasinhoppingBackend
 from repro.util.timing import Stopwatch
 
 BENCHMARKS = (
@@ -45,21 +43,26 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     rows = []
     data = {}
     for name, module, function in BENCHMARKS:
-        backend = BasinhoppingBackend(
-            niter=15 if quick else 40,
-            local_maxiter=80 if quick else 150,
-        )
-        detector = OverflowDetection(module.make_program(), backend=backend)
         with Stopwatch() as watch:
-            report = detector.run(
-                seed=seed, retries_per_round=2 if quick else 4
-            )
+            report = run_analysis(
+                "overflow",
+                module.make_program(),
+                seed=seed,
+                backend_options={
+                    "niter": 15 if quick else 40,
+                    "local_maxiter": 80 if quick else 150,
+                },
+                n_starts=2 if quick else 4,
+            ).detail
             checker = InconsistencyChecker(
                 module.make_program(),
                 classifier=module.classify_root_cause,
             )
             findings = checker.sweep(_probe_inputs(name, module, report))
         bugs = [f for f in findings if f.is_bug_candidate]
+        # |B| counts distinct bugs (root causes), not triggering
+        # inputs — several inputs may tickle the same defect.
+        bug_causes = sorted({f.root_cause for f in bugs})
         rows.append(
             (
                 name,
@@ -67,7 +70,7 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
                 report.n_fp_ops,
                 report.n_overflows,
                 len(findings),
-                len(bugs),
+                len(bug_causes),
                 f"{watch.elapsed:.1f}",
             )
         )

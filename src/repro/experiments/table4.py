@@ -11,25 +11,28 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analyses.overflow import OverflowDetection
-from repro.experiments.common import ExperimentResult
+from repro.analyses.overflow import fp_op_sites
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.gsl import bessel
-from repro.mo.scipy_backends import BasinhoppingBackend
 
 
 def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
-    detector = OverflowDetection(
-        bessel.make_program(),
-        backend=BasinhoppingBackend(
-            niter=15 if quick else 50,
-            local_maxiter=80 if quick else 150,
-        ),
-    )
-    report = detector.run(seed=seed, retries_per_round=2 if quick else 6)
+    program = bessel.make_program()
+    report = run_analysis(
+        "overflow",
+        program,
+        seed=seed,
+        backend_options={
+            "niter": 15 if quick else 50,
+            "local_maxiter": 80 if quick else 150,
+        },
+        n_starts=2 if quick else 6,
+    ).detail
+    sites = fp_op_sites(program)
 
     found = {f.label: f for f in report.findings}
     rows = []
-    for site in detector.index.fp_ops:
+    for site in sites:
         finding = found.get(site.label)
         if finding is None:
             rows.append((site.label, site.text, "missed", ""))
@@ -40,7 +43,7 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
             )
     constant_op = [
         s.label
-        for s in detector.index.fp_ops
+        for s in sites
         if "2.220446049250313e-16" in s.text
     ]
     return ExperimentResult(

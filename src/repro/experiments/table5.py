@@ -17,10 +17,8 @@ import math
 from typing import Optional
 
 from repro.analyses.inconsistency import InconsistencyChecker
-from repro.analyses.overflow import OverflowDetection
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_analysis
 from repro.experiments.table3 import BENCHMARKS, _probe_inputs
-from repro.mo.scipy_backends import BasinhoppingBackend
 
 
 def _fmt(v: float) -> str:
@@ -37,12 +35,16 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     rows = []
     data = {}
     for name, module, _function in BENCHMARKS:
-        backend = BasinhoppingBackend(
-            niter=15 if quick else 40,
-            local_maxiter=80 if quick else 150,
-        )
-        detector = OverflowDetection(module.make_program(), backend=backend)
-        report = detector.run(seed=seed, retries_per_round=2 if quick else 4)
+        report = run_analysis(
+            "overflow",
+            module.make_program(),
+            seed=seed,
+            backend_options={
+                "niter": 15 if quick else 40,
+                "local_maxiter": 80 if quick else 150,
+            },
+            n_starts=2 if quick else 4,
+        ).detail
         checker = InconsistencyChecker(
             module.make_program(), classifier=module.classify_root_cause
         )

@@ -15,6 +15,7 @@ from repro.mo.registry import (
     available_backends,
     make_backend,
     register_backend,
+    resolve_backend,
 )
 from repro.mo.scipy_backends import (
     BasinhoppingBackend,
@@ -46,6 +47,7 @@ __all__ = [
     "gaussian_sampler",
     "make_backend",
     "register_backend",
+    "resolve_backend",
     "uniform_sampler",
     "wide_log_sampler",
 ]

@@ -12,6 +12,7 @@ from repro.sat.formula import Atom, Formula, atom, conjunction
 from repro.sat.parser import ParseError, parse_expression, parse_formula
 from repro.sat.solver import (
     RandomSamplingSolver,
+    SatAnalysis,
     SatResult,
     SatVerdict,
     XSatSolver,
@@ -20,6 +21,7 @@ from repro.sat.solver import (
 from repro.sat.translate import (
     formula_to_branch_program,
     formula_to_distance_program,
+    formula_to_weak_distance,
 )
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "NAIVE",
     "ParseError",
     "RandomSamplingSolver",
+    "SatAnalysis",
     "SatResult",
     "SatVerdict",
     "ULP",
@@ -39,6 +42,7 @@ __all__ = [
     "evaluate_formula",
     "formula_to_branch_program",
     "formula_to_distance_program",
+    "formula_to_weak_distance",
     "parse_expression",
     "parse_formula",
 ]

@@ -119,3 +119,32 @@ def formula_to_distance_program(
         body=Block(tuple(stmts)),
     )
     return Program([fn], entry="R", globals={"w": 0.0})
+
+
+def formula_to_weak_distance(formula: Formula, metric: str = ULP):
+    """Wrap the XSat ``R`` program as an executable
+    :class:`~repro.core.weak_distance.WeakDistance`.
+
+    ``R`` already stores its value in the global ``w``, so a trivial
+    (hook-free) :class:`~repro.fpir.instrument.InstrumentationSpec` is
+    enough — no rewriting happens.  The wrapper is what lets the SAT
+    instance ride the same parallel payload as every other analysis:
+    :func:`repro.core.parallel.make_payload` ships the program to the
+    worker processes, which rebuild and re-compile it once each.
+    """
+    from repro.core.weak_distance import WeakDistance
+    from repro.fpir.instrument import (
+        InstrumentationSpec,
+        InstrumentedProgram,
+    )
+    from repro.fpir.labels import assign_labels
+
+    program = formula_to_distance_program(formula, metric)
+    index = assign_labels(program)
+    return WeakDistance(
+        InstrumentedProgram(
+            program=program,
+            index=index,
+            spec=InstrumentationSpec(w_var="w", w_init=0.0),
+        )
+    )

@@ -50,3 +50,24 @@ def derive_start_rngs(
         np.random.default_rng(child)
         for child in spawn_seed_sequences(seed, n_starts)
     ]
+
+
+def derive_round_rngs(
+    seed: Optional[int], round_index: int, n_starts: int
+) -> List[np.random.Generator]:
+    """Per-start generators for one *round* of a stateful driver.
+
+    Stateful analyses (Algorithm 3's round loop, coverage's grow-B
+    loop) run many multi-starts in sequence.  Keying the round's
+    :class:`~numpy.random.SeedSequence` by ``spawn_key=(round_index,)``
+    makes every start's randomness a pure function of
+    ``(seed, round_index, start_index)`` — independent of how many
+    workers execute the round and of whatever happened in earlier
+    rounds, which is what lets :class:`repro.api.engine.Engine` promise
+    identical serial and parallel runs.
+    """
+    root = np.random.SeedSequence(
+        DEFAULT_SEED if seed is None else seed,
+        spawn_key=(round_index,),
+    )
+    return [np.random.default_rng(child) for child in root.spawn(n_starts)]

@@ -1,0 +1,81 @@
+"""The analysis registry (repro.api.registry)."""
+
+import pytest
+
+from repro.api import (
+    Analysis,
+    available_analyses,
+    canonical_name,
+    get_analysis,
+    register_analysis,
+)
+from repro.api import registry as registry_module
+
+
+class TestRoundTrip:
+    def test_all_five_instances_registered(self):
+        assert available_analyses() == [
+            "boundary", "coverage", "overflow", "path", "sat",
+        ]
+
+    def test_name_round_trip(self):
+        for name in available_analyses():
+            cls = get_analysis(name)
+            assert issubclass(cls, Analysis)
+            assert cls.name == name
+            # Resolution is cached and stable.
+            assert get_analysis(name) is cls
+
+    def test_fpod_alias_resolves_to_overflow(self):
+        assert canonical_name("fpod") == "overflow"
+        assert get_analysis("fpod") is get_analysis("overflow")
+
+    def test_every_analysis_has_cli_metadata(self):
+        for name in available_analyses():
+            cls = get_analysis(name)
+            assert cls.help
+            assert cls.smoke_target
+
+
+class TestErrors:
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="unknown analysis 'mystery'"):
+            get_analysis("mystery")
+        with pytest.raises(KeyError, match="boundary"):
+            get_analysis("mystery")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_analysis("sat", "repro.sat.solver:SatAnalysis")
+        with pytest.raises(ValueError, match="already registered"):
+            register_analysis("fpod", "repro.sat.solver:SatAnalysis")
+
+
+class TestCustomRegistration:
+    def test_register_and_resolve_custom_analysis(self):
+        class CustomAnalysis(Analysis):
+            name = "custom-test"
+            help = "test analysis"
+
+            def prepare(self, target, spec, options, config):
+                return None
+
+            def plan_round(self, state, round_index):
+                return None
+
+            def absorb(self, state, round_index, outcome):
+                pass
+
+            def finish(self, state):
+                raise NotImplementedError
+
+        register_analysis(
+            "custom-test", CustomAnalysis, aliases=("custom-alias",)
+        )
+        try:
+            assert get_analysis("custom-test") is CustomAnalysis
+            assert get_analysis("custom-alias") is CustomAnalysis
+            assert "custom-test" in available_analyses()
+        finally:
+            del registry_module._SPECS["custom-test"]
+            del registry_module._ALIASES["custom-alias"]

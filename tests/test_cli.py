@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import available_analyses
 from repro.cli import main
 
 
@@ -11,6 +12,49 @@ class TestList:
         out = capsys.readouterr().out
         for name in ("fig2", "gsl-bessel", "glibc-sin"):
             assert name in out
+
+    def test_lists_registered_analyses(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in available_analyses():
+            assert name in out
+
+
+class TestGeneratedRun:
+    """`repro run <analysis>` subcommands come from the registry."""
+
+    @pytest.mark.parametrize("name", available_analyses())
+    def test_smoke_run_every_registered_analysis(self, name, capsys):
+        assert main(["run", name, "--smoke", "--seed", "1"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_analysis_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "mystery", "fig2"])
+        assert excinfo.value.code == 2
+
+    def test_workers_flag(self, capsys):
+        code = main([
+            "run", "coverage", "fig2", "--smoke", "--seed", "2",
+            "--workers", "2",
+        ])
+        assert code == 0
+        assert "branch coverage" in capsys.readouterr().out
+
+    def test_run_fpod_alias(self, capsys):
+        code = main([
+            "run", "overflow", "fig2", "--seed", "3", "--niter", "15",
+        ])
+        assert code == 0
+        assert "instructions overflowed" in capsys.readouterr().out
+
+    def test_run_path(self, capsys):
+        code = main([
+            "run", "path", "fig2", "--seed", "4",
+            "--constraint", "b1:T", "--constraint", "b2:F",
+        ])
+        assert code == 0
+        assert "path" in capsys.readouterr().out
 
 
 class TestSat:
