@@ -1,0 +1,118 @@
+"""Session-service benchmarks: warm-pool reuse and execution modes.
+
+Two questions, quantified:
+
+* How much does the persistent worker-pool service save over cold
+  ``Engine.run`` calls?  A cold call pays process startup and a
+  worker-side payload rebuild per run; a warm session pays them once
+  per distinct program.  CI gates on >= 1.3x for two back-to-back
+  runs (`test_warm_session_reuse_speedup`).
+
+* What does racing mode (``EngineConfig.deterministic=False``, the
+  CLI's ``--racing``) buy and cost?  The comparison table prints
+  cold-pool vs warm-pool vs warm-pool racing wall-clock and evaluation
+  counts side by side (`test_execution_mode_comparison`).
+"""
+
+import time
+
+from repro.api import Engine, EngineConfig, Session
+
+#: The micro workload: a real GSL program, tiny search budget — the
+#: regime where execution-layer overhead dominates, which is exactly
+#: what the session service exists to amortize.
+ANALYSIS = "overflow"
+TARGET = "gsl-bessel"
+OPTIONS = {"max_rounds": 2, "n_starts": 4}
+
+
+def _config(deterministic: bool = True) -> EngineConfig:
+    return EngineConfig(
+        seed=1,
+        n_workers=4,
+        backend="random-search",
+        backend_options={"n_samples": 300},
+        deterministic=deterministic,
+    )
+
+
+def _cold_pair(deterministic: bool = True):
+    """Two back-to-back cold Engine.run calls (a pool spawn each)."""
+    reports = []
+    t0 = time.perf_counter()
+    for _ in range(2):
+        reports.append(
+            Engine(_config(deterministic)).run(ANALYSIS, TARGET, **OPTIONS)
+        )
+    return time.perf_counter() - t0, reports
+
+
+def _warm_pair(deterministic: bool = True):
+    """The same two runs through one session (one pool, one rebuild)."""
+    reports = []
+    t0 = time.perf_counter()
+    with Session(_config(deterministic)) as session:
+        for _ in range(2):
+            reports.append(session.run(ANALYSIS, TARGET, **OPTIONS))
+    return time.perf_counter() - t0, reports
+
+
+def _best_of(fn, repeats: int = 3):
+    best_seconds, reports = fn()
+    for _ in range(repeats - 1):
+        seconds, candidate = fn()
+        if seconds < best_seconds:
+            best_seconds, reports = seconds, candidate
+    return best_seconds, reports
+
+
+def test_warm_session_reuse_speedup():
+    """CI gate: warm-session reuse must beat two cold Engine.run calls
+    by >= 1.3x on the micro workload."""
+    t_cold, cold_reports = _best_of(_cold_pair)
+    t_warm, warm_reports = _best_of(_warm_pair)
+    # Same seed, same deterministic mode: identical analysis results.
+    assert [r.verdict for r in cold_reports] == [
+        r.verdict for r in warm_reports
+    ]
+    assert [r.n_evals for r in cold_reports] == [
+        r.n_evals for r in warm_reports
+    ]
+    speedup = t_cold / t_warm
+    print(
+        f"\nsession reuse: cold 2x Engine.run {t_cold:.3f}s, "
+        f"warm session {t_warm:.3f}s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 1.3, (
+        f"warm session too slow: {speedup:.2f}x "
+        f"(cold {t_cold:.3f}s vs warm {t_warm:.3f}s)"
+    )
+
+
+def test_execution_mode_comparison():
+    """Record cold-pool vs warm-pool vs racing wall-clock so the
+    determinism/speed trade-off is a number, not folklore."""
+    t_cold, cold_reports = _best_of(_cold_pair)
+    t_warm, warm_reports = _best_of(_warm_pair)
+    t_race, race_reports = _best_of(lambda: _warm_pair(deterministic=False))
+
+    rows = [
+        ("cold pool (2x Engine.run)", t_cold, cold_reports),
+        ("warm session", t_warm, warm_reports),
+        ("warm session --racing", t_race, race_reports),
+    ]
+    print("\nexecution-mode comparison (2 runs each):")
+    for label, seconds, reports in rows:
+        evals = sum(r.n_evals for r in reports)
+        verdicts = ",".join(r.verdict for r in reports)
+        print(f"  {label:<28} {seconds:7.3f}s  {evals:>7} evals  {verdicts}")
+
+    # Racing keeps the verdicts (the weak-distance termination rule is
+    # verdict-preserving) and never needs *more* evaluations than the
+    # deterministic schedule.
+    assert [r.verdict for r in race_reports] == [
+        r.verdict for r in warm_reports
+    ]
+    assert sum(r.n_evals for r in race_reports) <= sum(
+        r.n_evals for r in warm_reports
+    )

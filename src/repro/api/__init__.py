@@ -21,6 +21,13 @@
 
 from repro.api.base import Analysis, RoundPlan
 from repro.api.engine import Engine, EngineConfig
+from repro.api.events import (
+    JobFinished,
+    JobStarted,
+    RoundFinished,
+    RoundStarted,
+    SessionEvent,
+)
 from repro.api.registry import (
     available_analyses,
     canonical_name,
@@ -35,6 +42,7 @@ from repro.api.report import (
     Finding,
     RoundTrace,
 )
+from repro.api.session import JobHandle, JobRequest, Session
 
 __all__ = [
     "Analysis",
@@ -43,10 +51,18 @@ __all__ = [
     "EngineConfig",
     "FOUND",
     "Finding",
+    "JobFinished",
+    "JobHandle",
+    "JobRequest",
+    "JobStarted",
     "NOT_FOUND",
     "PARTIAL",
+    "RoundFinished",
     "RoundPlan",
+    "RoundStarted",
     "RoundTrace",
+    "Session",
+    "SessionEvent",
     "available_analyses",
     "canonical_name",
     "get_analysis",

@@ -10,33 +10,37 @@
 
 Every analysis — boundary values, path reachability, overflow
 detection, coverage testing, QF-FP satisfiability — runs through the
-same loop: ask the analysis for its next :class:`~repro.api.base.
-RoundPlan`, derive the round's per-start generators
+same driver loop: ask the analysis for its next :class:`~repro.api.
+base.RoundPlan`, derive the round's per-start generators
 (:func:`repro.util.rng.derive_round_rngs`), fan the starts across the
-worker pool (:func:`repro.core.parallel.run_multistart`), and hand the
-merged outcome back to the analysis.  Because the per-start randomness
-is a pure function of ``(seed, round, start)`` and the engine runs the
-pool without racing early-cancel by default
-(:attr:`EngineConfig.deterministic`), a serial run and an
-``n_workers=4`` run with the same seed return identical verdicts and
-representatives.
+worker pool, and hand the merged outcome back to the analysis.  The
+loop itself lives in :class:`repro.api.session.Session`;
+:meth:`Engine.run` is a thin synchronous wrapper over a one-shot
+session.  Because the per-start randomness is a pure function of
+``(seed, round, start)`` and the engine runs the pool without racing
+early-cancel by default (:attr:`EngineConfig.deterministic`), a serial
+run and an ``n_workers=4`` run with the same seed return identical
+verdicts and representatives.
+
+Long-lived callers should hold a :class:`~repro.api.session.Session`
+(or share a :class:`~repro.core.pool.WorkerPool` via
+:attr:`EngineConfig.pool`) instead of calling ``Engine.run`` in a
+loop: a session keeps its workers warm and caches compiled weak
+distances by program content hash across jobs and rounds.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-import time
-from typing import Any, Dict, Optional, Type, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Type, Union
 
 from repro.api.base import Analysis
-from repro.api.registry import canonical_name, get_analysis
-from repro.api.report import AnalysisReport, RoundTrace
-from repro.core.parallel import run_multistart
+from repro.api.report import AnalysisReport
 from repro.mo.base import MOBackend
-from repro.mo.registry import resolve_backend
 from repro.mo.starts import StartSampler
-from repro.util.rng import derive_round_rngs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pool import WorkerPool
 
 
 @dataclasses.dataclass
@@ -61,8 +65,15 @@ class EngineConfig:
     #: ``True`` (default): parallel rounds skip the racing early-cancel
     #: so serial and parallel runs are bit-identical.  ``False``: race
     #: the starts — faster, same verdict, but the representative may
-    #: come from whichever start reached zero first.
+    #: come from whichever start reached zero first (the CLI's
+    #: ``--racing``).
     deterministic: bool = True
+    #: A shared persistent :class:`~repro.core.pool.WorkerPool`.  When
+    #: set, runs fan their starts across these warm workers (and
+    #: ``n_workers`` is ignored); the pool is owned by the caller and
+    #: survives the engine/session using it.  ``None`` = the session
+    #: builds its own pool from ``n_workers``.
+    pool: Optional["WorkerPool"] = None
 
 
 class Engine:
@@ -70,12 +81,6 @@ class Engine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
-
-    def _backend(self, analysis: Analysis) -> MOBackend:
-        cfg = self.config
-        tuning = dict(analysis.default_backend_options)
-        tuning.update(cfg.backend_options)
-        return resolve_backend(cfg.backend, **tuning)
 
     def run(
         self,
@@ -94,72 +99,12 @@ class Engine:
         specification (a :class:`~repro.analyses.path.PathSpec`, a
         boundary site filter, ...); ``options`` the analysis-specific
         knobs (``max_samples``, ``metric``, ...).
+
+        This is a one-shot session: workers (if any) are spawned for
+        this run and torn down after — unless :attr:`EngineConfig.pool`
+        points at a shared pool, which stays warm across calls.
         """
-        if isinstance(analysis, str):
-            name = canonical_name(analysis)
-            instance: Analysis = get_analysis(name)()
-        elif isinstance(analysis, type):
-            instance = analysis()
-            name = instance.name or analysis.__name__
-        else:
-            instance = analysis
-            name = instance.name or type(analysis).__name__
-        cfg = self.config
-        t0 = time.perf_counter()
-        resolved = instance.resolve_target(target)
-        state = instance.prepare(resolved, spec, options, cfg)
-        backend = self._backend(instance)
+        from repro.api.session import Session
 
-        trace = []
-        samples = []
-        n_evals = 0
-        round_index = 0
-        while True:
-            plan = instance.plan_round(state, round_index)
-            if plan is None:
-                break
-            rngs = derive_round_rngs(cfg.seed, round_index, plan.n_starts)
-            starts = [(plan.sampler(rng, plan.n_inputs), rng) for rng in rngs]
-            outcome = run_multistart(
-                plan.weak_distance,
-                plan.n_inputs,
-                backend=backend,
-                starts=starts,
-                n_workers=cfg.n_workers,
-                record_samples=plan.record_samples,
-                max_evals_per_start=plan.max_evals_per_start,
-                stop_at_zero=plan.stop_at_zero,
-                early_cancel=not cfg.deterministic,
-            )
-            instance.absorb(state, round_index, outcome)
-            best = outcome.best
-            trace.append(
-                RoundTrace(
-                    index=round_index,
-                    n_starts=plan.n_starts,
-                    n_evals=outcome.n_evals,
-                    best_w=math.inf if best is None else best.f_star,
-                    found_zero=best is not None and best.f_star == 0.0,
-                    note=plan.note,
-                )
-            )
-            n_evals += outcome.n_evals
-            if plan.record_samples:
-                samples.extend(outcome.samples)
-            round_index += 1
-
-        report: AnalysisReport = instance.finish(state)
-        report.analysis = name
-        if not report.target:
-            if isinstance(target, str):
-                report.target = target
-            else:
-                report.target = instance.describe_target(resolved)
-        report.n_evals = n_evals
-        report.rounds = round_index
-        report.trace = trace
-        report.samples = samples
-        report.elapsed_seconds = time.perf_counter() - t0
-        report.seed = cfg.seed
-        report.n_workers = cfg.n_workers
-        return report
+        with Session(config=self.config) as session:
+            return session.run(analysis, target, spec=spec, **options)

@@ -1,0 +1,97 @@
+"""Typed progress events streamed by `repro.api.Session` jobs.
+
+A session job emits one :class:`JobStarted`, then a
+:class:`RoundStarted`/:class:`RoundFinished` pair per driver round, and
+finally one :class:`JobFinished` (also on failure and cancellation).
+Callbacks receive them synchronously from the thread driving the job —
+a session running several jobs concurrently delivers events from
+several threads, so a callback shared across jobs must be thread-safe
+(the CLI's live renderer holds a lock around its writes).
+
+Events are plain frozen dataclasses: cheap to construct, safe to stash,
+and easy to assert on in tests.  :func:`render_event` is the shared
+one-line textual rendering used by ``repro run --progress`` and
+``repro batch --progress``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionEvent:
+    """Base class: identifies the emitting job."""
+
+    job_id: int
+    analysis: str
+    target: str
+
+
+@dataclasses.dataclass(frozen=True)
+class JobStarted(SessionEvent):
+    """The job's driver loop is about to run its first round."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundStarted(SessionEvent):
+    """One multi-start round is about to fan out."""
+
+    round_index: int
+    n_starts: int
+    note: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundFinished(SessionEvent):
+    """One multi-start round's merged outcome, as the driver saw it."""
+
+    round_index: int
+    n_evals: int
+    best_w: float
+    found_zero: bool
+    note: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class JobFinished(SessionEvent):
+    """The job is done (successfully, cancelled, or with an error)."""
+
+    verdict: Optional[str]
+    rounds: int
+    n_evals: int
+    elapsed_seconds: float
+    error: Optional[str] = None
+    cancelled: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.cancelled
+
+
+#: Signature of a session/job progress callback.
+EventCallback = Callable[[SessionEvent], None]
+
+
+def render_event(event: SessionEvent) -> Optional[str]:
+    """One-line rendering for live CLI progress (None = not rendered)."""
+    tag = f"[job {event.job_id} {event.analysis} {event.target}]"
+    if isinstance(event, JobStarted):
+        return f"{tag} started"
+    if isinstance(event, RoundStarted):
+        note = f" ({event.note})" if event.note else ""
+        return f"{tag} round {event.round_index}: {event.n_starts} starts{note}"
+    if isinstance(event, RoundFinished):
+        zero = "zero found" if event.found_zero else f"best W {event.best_w:.4g}"
+        return f"{tag} round {event.round_index} done: {event.n_evals} evals, {zero}"
+    if isinstance(event, JobFinished):
+        if event.cancelled:
+            return f"{tag} cancelled after {event.elapsed_seconds:.2f}s"
+        if event.error is not None:
+            return f"{tag} FAILED: {event.error}"
+        return (
+            f"{tag} finished: {event.verdict} in {event.elapsed_seconds:.2f}s "
+            f"({event.n_evals} evals, {event.rounds} rounds)"
+        )
+    return None

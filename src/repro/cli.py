@@ -6,16 +6,21 @@ Usage (via ``python -m repro``)::
     python -m repro run overflow gsl-bessel [--seed N] [--workers N]
     python -m repro run sat "x < 1 && x + 1 >= 2" [--metric ulp|naive]
     python -m repro run coverage fig2 --smoke
+    python -m repro run path fig2 --workers 4 --racing --progress
     python -m repro batch --analyses fpod,coverage --workers 4
+    python -m repro batch --analyses sat --formulas constraints.txt
 
 ``repro run <analysis>`` subcommands and the ``repro list`` output are
 *generated* from :mod:`repro.api.registry`: registering a new
 :class:`~repro.api.base.Analysis` is enough to make it runnable from
 the command line.  Every run accepts the shared engine knobs
 (``--seed``, ``--workers``, ``--starts``, ``--rounds``, ``--backend``,
-``--niter``) plus whatever the analysis contributes via its
-``configure_parser`` hook; ``--smoke`` applies the analysis's tiny CI
-budget.  Backends resolve through
+``--niter``, ``--racing``, ``--progress``) plus whatever the analysis
+contributes via its ``configure_parser`` hook; ``--smoke`` applies the
+analysis's tiny CI budget.  Runs execute through a
+:class:`repro.api.Session` (one warm worker pool for all rounds);
+``--progress`` streams the session's typed round events to stderr.
+Backends resolve through
 :func:`repro.mo.registry.resolve_backend` — one wiring for every
 subcommand.
 
@@ -72,6 +77,16 @@ def _engine_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--smoke", action="store_true",
         help="tiny CI budget (and a default target)",
+    )
+    cmd.add_argument(
+        "--racing", action="store_true",
+        help="race the starts (EngineConfig.deterministic=False): "
+             "first zero cancels the round — faster, same verdict, "
+             "run-dependent representatives",
+    )
+    cmd.add_argument(
+        "--progress", action="store_true",
+        help="stream per-round progress events to stderr",
     )
 
 
@@ -142,6 +157,26 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=None)
     batch.add_argument("--niter", type=int, default=30)
     batch.add_argument("--rounds", type=int, default=20)
+    batch.add_argument(
+        "--formulas",
+        default=None,
+        metavar="PATH",
+        help="SAT campaign corpus: a file with one constraint per "
+             "line, or a directory of .smt2-style constraint files "
+             "(requires 'sat' in --analyses)",
+    )
+    batch.add_argument(
+        "--starts", type=int, default=None,
+        help="starts per formula for --formulas jobs",
+    )
+    batch.add_argument(
+        "--racing", action="store_true",
+        help="run every job in racing (non-deterministic) mode",
+    )
+    batch.add_argument(
+        "--progress", action="store_true",
+        help="stream per-job progress events to stderr",
+    )
     return parser
 
 
@@ -179,8 +214,25 @@ def _legacy_options(command: str) -> Dict[str, Any]:
     return {}
 
 
+def _progress_printer():
+    """A thread-safe event renderer writing one line per event."""
+    import threading
+
+    from repro.api.events import render_event
+
+    lock = threading.Lock()
+
+    def on_event(event) -> None:
+        line = render_event(event)
+        if line is not None:
+            with lock:
+                print(line, file=sys.stderr, flush=True)
+
+    return on_event
+
+
 def _cmd_run(args) -> int:
-    from repro.api import Engine, EngineConfig, get_analysis
+    from repro.api import EngineConfig, Session, get_analysis
 
     cls = get_analysis(args.analysis)
     options = cls.options_from_args(args)
@@ -220,14 +272,17 @@ def _cmd_run(args) -> int:
         backend_options=backend_options,
         n_starts=n_starts,
         max_rounds=max_rounds,
+        deterministic=not args.racing,
     )
-    report = Engine(config).run(args.analysis, args.target, **options)
+    on_event = _progress_printer() if args.progress else None
+    with Session(config=config, on_event=on_event) as session:
+        report = session.run(args.analysis, args.target, **options)
     print(cls.render(report))
     return 0
 
 
 def _cmd_batch(args) -> int:
-    from repro.core.batch import run_batch, suite_jobs
+    from repro.core.batch import formula_jobs, run_batch, suite_jobs
     from repro.util.tables import format_table
 
     analyses = [a for a in args.analyses.split(",") if a]
@@ -236,30 +291,55 @@ def _cmd_batch(args) -> int:
         if args.programs
         else None
     )
+    program_analyses = [a for a in analyses if a != "sat"]
+    jobs = []
     try:
-        jobs = suite_jobs(
-            analyses=analyses,
-            programs=programs,
-            seed=args.seed,
-            niter=args.niter,
-            rounds=args.rounds,
-        )
-    except ValueError as exc:
+        if "sat" in analyses:
+            if args.formulas is None:
+                raise ValueError(
+                    "a sat campaign needs --formulas FILE-OR-DIR "
+                    "(one constraint per line, or one .smt2-style "
+                    "file per formula)"
+                )
+            jobs.extend(
+                formula_jobs(
+                    args.formulas,
+                    seed=args.seed,
+                    niter=args.niter,
+                    n_starts=args.starts,
+                    racing=args.racing,
+                )
+            )
+        elif args.formulas is not None:
+            raise ValueError("--formulas requires 'sat' in --analyses")
+        if program_analyses:
+            jobs.extend(
+                suite_jobs(
+                    analyses=program_analyses,
+                    programs=programs,
+                    seed=args.seed,
+                    niter=args.niter,
+                    rounds=args.rounds,
+                    racing=args.racing,
+                )
+            )
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     n_workers = args.workers or os.cpu_count() or 1
-    results = run_batch(jobs, n_workers=n_workers)
+    on_event = _progress_printer() if args.progress else None
+    results = run_batch(jobs, n_workers=n_workers, on_event=on_event)
     rows = [
         (
             r.job.analysis,
-            r.job.program,
+            r.job.display,
             r.summary if r.ok else f"ERROR: {r.error}",
             f"{r.seconds:.1f}s",
         )
         for r in results
     ]
     print(f"{len(jobs)} jobs on {n_workers} worker(s):")
-    print(format_table(("analysis", "program", "result", "time"), rows))
+    print(format_table(("analysis", "target", "result", "time"), rows))
     failed = sum(1 for r in results if not r.ok)
     return 1 if failed else 0
 

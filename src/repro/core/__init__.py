@@ -11,19 +11,31 @@ three-layer architecture of Section 5:
   that mitigates Limitation 2;
 * :mod:`repro.core.parallel` — the process-pool multi-start engine
   (``KernelConfig.n_workers``) with racing early-cancel;
-* :mod:`repro.core.batch` — concurrent analysis × program campaigns;
+* :mod:`repro.core.pool` — the persistent worker-pool service
+  (warm workers, payload cache by content hash, cancel slots) behind
+  :class:`repro.api.session.Session`;
+* :mod:`repro.core.batch` — concurrent analysis × program campaigns
+  (and multi-formula SAT campaigns) over one shared session;
 * :mod:`repro.core.adapters` — Limitation 1 adapters for non-F^N
   domains.
 """
 
 from repro.core.adapters import adapt_int_param, map_solution_back
-from repro.core.batch import BatchJob, BatchResult, run_batch, suite_jobs
+from repro.core.batch import (
+    BatchJob,
+    BatchResult,
+    formula_jobs,
+    read_formula_sources,
+    run_batch,
+    suite_jobs,
+)
 from repro.core.kernel import KernelConfig, ReductionKernel
 from repro.core.parallel import (
     MultiStartOutcome,
     WorkerCrashError,
     run_multistart,
 )
+from repro.core.pool import WorkerPool
 from repro.core.problem import AnalysisProblem
 from repro.core.result import ReductionOutcome, Verdict
 from repro.core.weak_distance import WeakDistance
@@ -39,8 +51,11 @@ __all__ = [
     "Verdict",
     "WeakDistance",
     "WorkerCrashError",
+    "WorkerPool",
     "adapt_int_param",
     "map_solution_back",
+    "formula_jobs",
+    "read_formula_sources",
     "run_batch",
     "run_multistart",
     "suite_jobs",

@@ -25,9 +25,7 @@ from repro.fpir.program import Function, Param, Program
 from repro.fpir.types import DOUBLE, INT
 
 
-def adapt_int_param(
-    program: Program, wrapper_name: str = "adapted_entry"
-) -> Program:
+def adapt_int_param(program: Program, wrapper_name: str = "adapted_entry") -> Program:
     """Wrap an entry with INT parameters into an all-double entry.
 
     Each INT parameter ``p`` becomes a double parameter whose value is
@@ -65,9 +63,7 @@ def adapt_int_param(
     )
 
 
-def map_solution_back(
-    program: Program, x_star: Sequence[float]
-) -> Tuple:
+def map_solution_back(program: Program, x_star: Sequence[float]) -> Tuple:
     """Map a wrapper-domain solution to the original domain.
 
     For INT parameters of the *wrapped* entry this is C truncation —

@@ -3,14 +3,22 @@
 One reduction parallelizes across its starts
 (:mod:`repro.core.parallel`); a *benchmark campaign* — every analysis ×
 every subject program, the shape of the paper's Tables 3–5 —
-parallelizes across whole analysis runs instead.  Each
-:class:`BatchJob` is a self-contained, picklable description
-(analysis name, program name, seed, budget knobs); workers run the job
-through the :class:`repro.api.engine.Engine` facade end to end, so
-nothing unpicklable ever crosses the process boundary and a new
-registered analysis is batch-runnable for free (its
+parallelizes across whole analysis runs.  Campaigns run through one
+shared :class:`repro.api.session.Session`: every job's rounds fan
+their starts across the same persistent worker pool
+(:mod:`repro.core.pool`), so campaign-level and start-level
+parallelism compose under a single worker budget, warm workers are
+reused across jobs, and a program analyzed by several jobs is rebuilt
+and compiled once per worker instead of once per job.
+
+Each :class:`BatchJob` is a self-contained description (analysis name,
+target, seed, budget knobs); the registered analysis's
 ``batch_options``/``summarize``/``metrics`` hooks supply the
-translation).
+translation, so a new registered analysis is batch-runnable for free.
+Besides the program cross product (:func:`suite_jobs`), SAT campaigns
+fan a whole constraint corpus through the solver
+(:func:`formula_jobs` / :func:`read_formula_sources`) — one formula
+per line of a file, or one per ``.smt2``-style file of a directory.
 
 A failing job never takes the campaign down: its traceback summary is
 captured on the :class:`BatchResult` and the remaining jobs keep
@@ -20,9 +28,8 @@ running.
 from __future__ import annotations
 
 import dataclasses
-import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Default campaign analyses (any registered program-taking analysis —
@@ -43,18 +50,28 @@ def _batch_runnable(name: str) -> bool:
 
 @dataclasses.dataclass(frozen=True)
 class BatchJob:
-    """One analysis run over one suite program."""
+    """One analysis run over one target (suite program or formula)."""
 
     analysis: str
+    #: The engine target: a suite program name, or (``sat``) the
+    #: constraint text itself.
     program: str
     seed: Optional[int] = None
     #: Budget knobs, as a tuple of pairs so the job stays hashable:
     #: ``niter`` (backend iterations), ``rounds`` (driver rounds /
-    #: starts), ``max_samples`` (boundary-analysis sample cap).
+    #: starts), ``max_samples`` (boundary-analysis sample cap),
+    #: ``n_starts`` (sat starts).
     params: Tuple[Tuple[str, Any], ...] = ()
+    #: Display name for campaign tables (defaults to ``program``; set
+    #: for formula jobs, whose constraint text makes a poor column).
+    label: str = ""
 
     def param(self, name: str, default: Any = None) -> Any:
         return dict(self.params).get(name, default)
+
+    @property
+    def display(self) -> str:
+        return self.label or self.program
 
 
 @dataclasses.dataclass
@@ -79,8 +96,14 @@ def suite_jobs(
     niter: int = 30,
     rounds: int = 20,
     max_samples: Optional[int] = None,
+    racing: bool = False,
 ) -> List[BatchJob]:
-    """The cross product: every requested analysis on every program."""
+    """The cross product: every requested analysis on every program.
+
+    ``racing=True`` runs every job in the engine's non-deterministic
+    racing mode (first zero cancels the round's remaining starts —
+    faster, same verdicts, representatives may differ between runs).
+    """
     from repro.programs import list_programs
 
     if analyses is None:
@@ -97,6 +120,7 @@ def suite_jobs(
         ("niter", niter),
         ("rounds", rounds),
         ("max_samples", max_samples),
+        ("racing", racing),
     )
     return [
         BatchJob(analysis=a, program=p, seed=seed, params=params)
@@ -105,82 +129,170 @@ def suite_jobs(
     ]
 
 
-def _execute(job: BatchJob) -> BatchResult:
-    """Run one job through the Engine facade (worker side)."""
-    from repro.api import Engine, EngineConfig, get_analysis
+# ---------------------------------------------------------------------------
+# Multi-formula SAT campaigns (the XSat workload shape)
+# ---------------------------------------------------------------------------
 
-    t0 = time.perf_counter()
-    cls = get_analysis(job.analysis)  # KeyError -> captured on the result
-    params = dict(job.params)
-    engine = Engine(
-        EngineConfig(
-            seed=job.seed,
-            backend_options={"niter": job.param("niter", 30)},
+#: Comment leaders recognized in formula files (``;`` is the
+#: SMT-LIB convention, ``#`` the shell one).
+_FORMULA_COMMENTS = (";", "#", "//")
+
+
+def _strip_formula_line(line: str) -> str:
+    stripped = line.strip()
+    for leader in _FORMULA_COMMENTS:
+        if stripped.startswith(leader):
+            return ""
+    return stripped
+
+
+def read_formula_sources(path: str) -> List[Tuple[str, str]]:
+    """``(label, constraint)`` pairs from a file or directory.
+
+    A *file* holds one constraint per non-empty, non-comment line
+    (labelled ``<stem>:<lineno>``).  A *directory* holds one
+    ``.smt2``-style constraint file per formula: its non-comment lines
+    are joined into a single constraint, labelled by the file's stem.
+    """
+    root = Path(path)
+    if not root.exists():
+        raise FileNotFoundError(f"no formula file or directory at {path!r}")
+    sources: List[Tuple[str, str]] = []
+    if root.is_dir():
+        for entry in sorted(root.iterdir()):
+            if not entry.is_file():
+                continue
+            lines = [
+                _strip_formula_line(line)
+                for line in entry.read_text().splitlines()
+            ]
+            constraint = " ".join(line for line in lines if line)
+            if constraint:
+                sources.append((entry.stem, constraint))
+    else:
+        for lineno, line in enumerate(root.read_text().splitlines(), start=1):
+            constraint = _strip_formula_line(line)
+            if constraint:
+                sources.append((f"{root.stem}:{lineno}", constraint))
+    if not sources:
+        raise ValueError(f"no constraints found under {path!r}")
+    return sources
+
+
+def formula_jobs(
+    source: str,
+    seed: Optional[int] = None,
+    niter: int = 50,
+    n_starts: Optional[int] = None,
+    racing: bool = False,
+) -> List[BatchJob]:
+    """One ``sat`` job per constraint found under ``source``."""
+    params = (("niter", niter), ("n_starts", n_starts), ("racing", racing))
+    return [
+        BatchJob(
+            analysis="sat",
+            program=constraint,
+            seed=seed,
+            params=params,
+            label=label,
         )
-    )
+        for label, constraint in read_formula_sources(source)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Campaign execution over one shared session
+# ---------------------------------------------------------------------------
+
+
+def _job_request(job: BatchJob):
+    """Translate one :class:`BatchJob` into a session job request.
+
+    Raises (e.g. ``KeyError`` for an unknown analysis) instead of
+    capturing — the caller turns per-job exceptions into
+    :class:`BatchResult` errors.
+    """
+    from repro.api import EngineConfig, JobRequest, get_analysis
+
+    cls = get_analysis(job.analysis)
+    params = dict(job.params)
     options = {
         key: value
         for key, value in cls.batch_options(params).items()
         if value is not None
     }
-    report = engine.run(job.analysis, job.program, **options)
-    return BatchResult(
-        job=job,
-        summary=cls.summarize(report),
-        metrics=cls.metrics(report),
-        seconds=time.perf_counter() - t0,
+    config = EngineConfig(
+        seed=job.seed,
+        backend_options={"niter": job.param("niter", 30)},
+        deterministic=not job.param("racing", False),
+    )
+    return JobRequest(
+        analysis=job.analysis,
+        target=job.program,
+        options=options,
+        config=config,
     )
 
 
-def _execute_guarded(job: BatchJob) -> BatchResult:
-    t0 = time.perf_counter()
-    try:
-        return _execute(job)
-    except Exception as exc:
-        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-        return BatchResult(
-            job=job,
-            summary="",
-            metrics={},
-            seconds=time.perf_counter() - t0,
-            error=detail,
-        )
-
-
 def run_batch(
-    jobs: Sequence[BatchJob], n_workers: int = 1
+    jobs: Sequence[BatchJob],
+    n_workers: int = 1,
+    session=None,
+    on_event=None,
 ) -> List[BatchResult]:
-    """Run ``jobs``, fanning them across ``n_workers`` processes.
+    """Run ``jobs`` through one shared worker-pool session.
 
     Results come back in job order; per-job failures are captured on
-    the result (``error``) instead of aborting the campaign.
+    the result (``error``) instead of aborting the campaign.  Pass an
+    existing :class:`repro.api.session.Session` to compose the
+    campaign with other work on the same warm pool; otherwise a
+    session with ``n_workers`` processes is created for the campaign
+    and torn down after.  ``on_event`` streams every job's typed
+    progress events (:mod:`repro.api.events`); it is attached per job,
+    so it works with an injected session too.
     """
-    if n_workers <= 1 or len(jobs) <= 1:
-        return [_execute_guarded(job) for job in jobs]
-    from repro.core.parallel import pool_context
+    from repro.api import EngineConfig, Session
 
     results: Dict[int, BatchResult] = {}
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(jobs)),
-        mp_context=pool_context(),
-    ) as pool:
-        futures = {
-            pool.submit(_execute_guarded, job): i
-            for i, job in enumerate(jobs)
-        }
-        for future in as_completed(futures):
-            index = futures[future]
+    own_session = session is None
+    if own_session:
+        session = Session(EngineConfig(n_workers=n_workers))
+    try:
+        handles: List[Tuple[int, Any]] = []
+        for index, job in enumerate(jobs):
             try:
-                results[index] = future.result()
-            except Exception as exc:  # e.g. BrokenProcessPool
-                detail = traceback.format_exception_only(
-                    type(exc), exc
-                )[-1].strip()
+                request = _job_request(job)
+                handle = session.submit(
+                    request.analysis,
+                    request.target,
+                    spec=request.spec,
+                    config=request.config,
+                    on_event=on_event,
+                    **request.options,
+                )
+                handles.append((index, handle))
+            except Exception as exc:
+                results[index] = _error_result(jobs[index], exc)
+        from repro.api import get_analysis
+
+        for index, handle in handles:
+            try:
+                report = handle.result()
+                cls = get_analysis(jobs[index].analysis)
                 results[index] = BatchResult(
                     job=jobs[index],
-                    summary="",
-                    metrics={},
-                    seconds=0.0,
-                    error=detail,
+                    summary=cls.summarize(report),
+                    metrics=cls.metrics(report),
+                    seconds=report.elapsed_seconds,
                 )
+            except Exception as exc:
+                results[index] = _error_result(jobs[index], exc)
+    finally:
+        if own_session:
+            session.close()
     return [results[i] for i in range(len(jobs))]
+
+
+def _error_result(job: BatchJob, exc: Exception) -> BatchResult:
+    detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    return BatchResult(job=job, summary="", metrics={}, seconds=0.0, error=detail)

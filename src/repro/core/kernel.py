@@ -183,6 +183,4 @@ class ReductionKernel:
     ) -> ReductionOutcome:
         """Run Algorithm 2: build W for ⟨Prog; S⟩ and minimize it."""
         weak_distance = self.build_weak_distance(problem, spec)
-        return self.minimize(
-            weak_distance, problem.n_inputs, problem=problem
-        )
+        return self.minimize(weak_distance, problem.n_inputs, problem=problem)

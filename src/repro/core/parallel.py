@@ -25,15 +25,23 @@ the starts of one reduction across a pool of worker processes:
   first worker to reach a zero sets it, every other worker's
   :class:`~repro.mo.base.Objective` polls it per evaluation and stops.
 
-* **Merged bookkeeping.**  Per-start label-set state, recorded sampling
-  sequences, and evaluation counts are merged back (in start order)
-  into the parent's ``WeakDistance`` and the returned
+* **Merged bookkeeping.**  Per-start label-set *deltas* (labels a
+  worker added on top of the shipped snapshot — in practice empty,
+  since the drivers only grow label sets between rounds), recorded
+  sampling sequences, and evaluation counts are merged back (in start
+  order) into the parent's ``WeakDistance`` and the returned
   :class:`MultiStartOutcome`, so stateful analyses (Algorithm 3's set
   ``L``, coverage's set ``B``) keep converging across rounds.
 
 * **Failure surfacing.**  A crash in any worker cancels the rest and is
   re-raised in the parent as :class:`WorkerCrashError` naming the
   start.
+
+One-shot pools pay process startup and payload rebuild on every call;
+``run_multistart(..., pool=...)`` routes the same tasks through a
+persistent :class:`repro.core.pool.WorkerPool` instead, whose warm
+workers cache rebuilt weak distances by payload content hash (see
+:mod:`repro.core.pool` and :class:`repro.api.session.Session`).
 """
 
 from __future__ import annotations
@@ -41,8 +49,9 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -56,9 +65,7 @@ class WorkerCrashError(RuntimeError):
     """A multi-start worker process died or raised; the run is aborted."""
 
     def __init__(self, start_index: int, cause: BaseException) -> None:
-        super().__init__(
-            f"worker running start #{start_index} crashed: {cause!r}"
-        )
+        super().__init__(f"worker running start #{start_index} crashed: {cause!r}")
         self.start_index = start_index
         self.cause = cause
 
@@ -78,24 +85,41 @@ class WeakDistancePayload:
     exact: bool
     max_loop_steps: int
     #: Snapshot of the parent's runtime label sets (e.g. Algorithm 3's
-    #: ``L``) at fan-out time.
-    label_state: Dict[str, frozenset]
+    #: ``L``) at fan-out time.  Persistent pools ship this per *task*
+    #: instead (the payload itself stays label-free so its content hash
+    #: only changes when the program does).
+    label_state: Dict[str, FrozenSet[str]]
+
+
+def snapshot_label_state(
+    weak_distance: WeakDistance,
+) -> Dict[str, FrozenSet[str]]:
+    """Freeze the parent's runtime label sets for shipping."""
+    return {
+        name: frozenset(labels)
+        for name, labels in weak_distance.label_sets.items()
+    }
 
 
 def make_payload(
-    weak_distance: WeakDistance, n_inputs: int
+    weak_distance: WeakDistance,
+    n_inputs: int,
+    with_labels: bool = True,
 ) -> WeakDistancePayload:
-    """Snapshot ``weak_distance`` into a picklable payload."""
+    """Snapshot ``weak_distance`` into a picklable payload.
+
+    ``with_labels=False`` leaves the label-state snapshot empty — the
+    persistent-pool protocol, where label state travels with each task
+    so the payload blob (and therefore its content hash) depends only
+    on the program.
+    """
     return WeakDistancePayload(
         instrumented=weak_distance.instrumented,
         n_inputs=n_inputs,
         use_compiler=weak_distance.use_compiler,
         exact=weak_distance.exact,
         max_loop_steps=weak_distance.max_loop_steps,
-        label_state={
-            name: frozenset(labels)
-            for name, labels in weak_distance.label_sets.items()
-        },
+        label_state=snapshot_label_state(weak_distance) if with_labels else {},
     )
 
 
@@ -110,6 +134,38 @@ def rebuild_weak_distance(payload: WeakDistancePayload) -> WeakDistance:
     for name, labels in payload.label_state.items():
         weak_distance.label_sets.setdefault(name, set()).update(labels)
     return weak_distance
+
+
+def sync_label_state(
+    weak_distance: WeakDistance, state: Dict[str, FrozenSet[str]]
+) -> None:
+    """Make ``weak_distance``'s runtime label sets match ``state``.
+
+    Mutates the existing set objects in place: the compiled runtime and
+    any live interpreter context hold references to them.
+    """
+    for name, labels in state.items():
+        current = weak_distance.label_sets.setdefault(name, set())
+        current.clear()
+        current.update(labels)
+
+
+def label_state_delta(
+    weak_distance: WeakDistance, base: Dict[str, FrozenSet[str]]
+) -> Dict[str, Set[str]]:
+    """Labels present on ``weak_distance`` but absent from ``base``.
+
+    This is what a worker ships back per start: in the common case the
+    drivers only grow label sets *between* rounds (parent side), so the
+    delta is empty and the merge payload stays tiny no matter how large
+    the accumulated sets are.
+    """
+    delta: Dict[str, Set[str]] = {}
+    for name, labels in weak_distance.label_sets.items():
+        fresh = set(labels) - set(base.get(name, frozenset()))
+        if fresh:
+            delta[name] = fresh
+    return delta
 
 
 # ---------------------------------------------------------------------------
@@ -141,8 +197,15 @@ class StartReport:
     #: ``None`` when the start was cancelled before its first evaluation.
     result: Optional[MOResult]
     n_evals: int
+    #: Label-set *delta*: labels this worker's W accumulated on top of
+    #: the state the parent shipped (usually empty — see
+    #: :func:`label_state_delta`).
     label_state: Dict[str, Set[str]]
     samples: List[Sample]
+    #: True when serving this start forced a worker-side payload
+    #: rebuild (a persistent-pool cache miss; always False on the
+    #: one-shot path, which rebuilds in the pool initializer).
+    rebuilt: bool = False
 
 
 _WORKER_STATE: dict = {}
@@ -152,33 +215,56 @@ def _init_worker(payload_blob: bytes, cancel_event) -> None:
     payload = pickle.loads(payload_blob)
     _WORKER_STATE["weak_distance"] = rebuild_weak_distance(payload)
     _WORKER_STATE["n_inputs"] = payload.n_inputs
+    _WORKER_STATE["base_labels"] = dict(payload.label_state)
     _WORKER_STATE["cancel"] = cancel_event
+
+
+def run_task(
+    weak_distance: WeakDistance,
+    n_inputs: int,
+    task: StartTask,
+    should_stop=None,
+    already_stopped: bool = False,
+) -> Tuple[Optional[MOResult], int, List[Sample]]:
+    """Run one start against ``weak_distance`` (any execution context).
+
+    Shared by the one-shot pool worker, the persistent-pool worker and
+    the in-process serial loop, so every path constructs the objective
+    identically — the heart of the serial == parallel determinism
+    contract.  Returns ``(result, n_evals, samples)``; ``result`` is
+    ``None`` when the start was cancelled before its first evaluation.
+    """
+    if already_stopped:
+        return None, 0, []
+    objective = Objective(
+        weak_distance,
+        n_dims=n_inputs,
+        record_samples=task.record_samples,
+        stop_at_zero=task.stop_at_zero,
+        max_samples=task.max_evals,
+        should_stop=should_stop,
+    )
+    try:
+        result = task.backend.minimize(objective, task.start, task.rng)
+    except RuntimeError:
+        if objective.n_evals or should_stop is None or not should_stop():
+            raise  # a genuine backend failure, not a cancellation
+        # Cancelled between the pre-check and the first evaluation.
+        result = None
+    return result, objective.n_evals, list(objective.samples)
 
 
 def _run_start(task: StartTask) -> StartReport:
     weak_distance: WeakDistance = _WORKER_STATE["weak_distance"]
     cancel = _WORKER_STATE["cancel"]
-    if cancel is not None and cancel.is_set():
-        return StartReport(task.index, None, 0, {}, [])
-    objective = Objective(
+    should_stop = None if cancel is None else cancel.is_set
+    result, n_evals, samples = run_task(
         weak_distance,
-        n_dims=_WORKER_STATE["n_inputs"],
-        record_samples=task.record_samples,
-        stop_at_zero=task.stop_at_zero,
-        max_samples=task.max_evals,
-        should_stop=None if cancel is None else cancel.is_set,
+        _WORKER_STATE["n_inputs"],
+        task,
+        should_stop=should_stop,
+        already_stopped=cancel is not None and cancel.is_set(),
     )
-    try:
-        result = task.backend.minimize(objective, task.start, task.rng)
-    except RuntimeError:
-        if (
-            objective.n_evals
-            or cancel is None
-            or not cancel.is_set()
-        ):
-            raise  # a genuine backend failure, not a cancellation
-        # Cancelled between the pre-check and the first evaluation.
-        result = None
     if (
         result is not None
         and result.stopped_at_zero
@@ -189,12 +275,9 @@ def _run_start(task: StartTask) -> StartReport:
     return StartReport(
         index=task.index,
         result=result,
-        n_evals=objective.n_evals,
-        label_state={
-            name: set(labels)
-            for name, labels in weak_distance.label_sets.items()
-        },
-        samples=list(objective.samples),
+        n_evals=n_evals,
+        label_state=label_state_delta(weak_distance, _WORKER_STATE["base_labels"]),
+        samples=samples,
     )
 
 
@@ -218,6 +301,9 @@ class MultiStartOutcome:
     samples: List[Sample]
     #: Starts that never ran because the race was already over.
     n_cancelled: int = 0
+    #: Worker-side payload rebuilds this round forced (persistent-pool
+    #: cache misses; 0 on the serial and one-shot paths).
+    n_rebuilds: int = 0
 
     @property
     def best(self) -> Optional[MOResult]:
@@ -231,8 +317,47 @@ class MultiStartOutcome:
 def pool_context() -> multiprocessing.context.BaseContext:
     """Fork when available (cheap, inherits imports); spawn otherwise."""
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def merge_reports(
+    weak_distance: WeakDistance, reports: Sequence[StartReport]
+) -> MultiStartOutcome:
+    """Fold per-start worker reports into one :class:`MultiStartOutcome`.
+
+    Reports are merged in start order, and the label-set union is
+    written back into the parent's ``WeakDistance`` so stateful
+    analyses see exactly what a serial run would have accumulated.
+    """
+    ordered = sorted(reports, key=lambda report: report.index)
+    merged_labels: Dict[str, Set[str]] = {
+        name: set(labels) for name, labels in weak_distance.label_sets.items()
+    }
+    samples: List[Sample] = []
+    attempts: List[MOResult] = []
+    n_evals = 0
+    n_cancelled = 0
+    n_rebuilds = 0
+    for report in ordered:
+        n_evals += report.n_evals
+        if report.result is None:
+            n_cancelled += 1
+        else:
+            attempts.append(report.result)
+        for name, labels in report.label_state.items():
+            merged_labels.setdefault(name, set()).update(labels)
+        samples.extend(report.samples)
+        if report.rebuilt:
+            n_rebuilds += 1
+    for name, labels in merged_labels.items():
+        weak_distance.label_sets.setdefault(name, set()).update(labels)
+    return MultiStartOutcome(
+        attempts=attempts,
+        n_evals=n_evals,
+        label_sets=merged_labels,
+        samples=samples,
+        n_cancelled=n_cancelled,
+        n_rebuilds=n_rebuilds,
     )
 
 
@@ -241,6 +366,7 @@ def _run_starts_serial(
     n_inputs: int,
     tasks: Sequence[StartTask],
     early_cancel: bool,
+    stop_event: Optional[threading.Event] = None,
 ) -> MultiStartOutcome:
     """In-process start loop with the same per-start semantics as the
     pool: one fresh :class:`Objective` per start, so a serial run and a
@@ -250,23 +376,30 @@ def _run_starts_serial(
     when set, a zero stops the remaining starts (Algorithm 2's serial
     loop); when clear, every start runs like the deterministic pool
     path, so attempts/eval counts/samples match it exactly.
+    ``stop_event`` is the cooperative job-cancellation hook
+    (:meth:`repro.api.session.JobHandle.cancel`); it never fires in an
+    uncancelled run, so it cannot perturb determinism.
     """
     attempts: List[MOResult] = []
     samples: List[Sample] = []
     n_evals = 0
+    should_stop = None if stop_event is None else stop_event.is_set
     for task in tasks:
-        objective = Objective(
-            weak_distance,
-            n_dims=n_inputs,
-            record_samples=task.record_samples,
-            stop_at_zero=task.stop_at_zero,
-            max_samples=task.max_evals,
+        if stop_event is not None and stop_event.is_set():
+            break
+        result, task_evals, task_samples = run_task(
+            weak_distance, n_inputs, task, should_stop=should_stop
         )
-        result = task.backend.minimize(objective, task.start, task.rng)
-        attempts.append(result)
-        n_evals += objective.n_evals
-        samples.extend(objective.samples)
-        if task.stop_at_zero and early_cancel and result.stopped_at_zero:
+        if result is not None:
+            attempts.append(result)
+        n_evals += task_evals
+        samples.extend(task_samples)
+        if (
+            task.stop_at_zero
+            and early_cancel
+            and result is not None
+            and result.stopped_at_zero
+        ):
             break
     return MultiStartOutcome(
         attempts=attempts,
@@ -290,6 +423,8 @@ def run_multistart(
     max_evals_per_start: Optional[int] = None,
     stop_at_zero: bool = True,
     early_cancel: bool = True,
+    pool=None,
+    stop_event: Optional[threading.Event] = None,
 ) -> MultiStartOutcome:
     """Run every ``(start, rng)`` pair through ``backend``.
 
@@ -300,6 +435,13 @@ def run_multistart(
     stateful :class:`~repro.mo.base.Objective` through every start must
     stay on the kernel's serial path instead.
 
+    ``pool`` routes the starts through a persistent
+    :class:`repro.core.pool.WorkerPool` instead of a one-shot executor:
+    the pool's warm workers cache rebuilt weak distances by payload
+    content hash, so repeated rounds and jobs over the same program
+    skip the rebuild/re-compile entirely.  When a pool is given it owns
+    the worker budget and ``n_workers`` is ignored.
+
     ``stop_at_zero=False`` lets every start run to completion and keeps
     all zero-valued samples (boundary value analysis).  With
     ``early_cancel=False`` a zero still stops its *own* start but does
@@ -308,6 +450,10 @@ def run_multistart(
     what :class:`repro.api.engine.Engine` runs by default; the racing
     default trades that exact reproducibility for wall-clock speed
     while preserving the verdict.
+
+    ``stop_event`` (a :class:`threading.Event`) cancels the remaining
+    work cooperatively — between starts on the serial path, mid-round
+    through the pool's cancel slots on the pooled path.
     """
     tasks = [
         StartTask(
@@ -321,9 +467,18 @@ def run_multistart(
         )
         for i, (start, rng) in enumerate(starts)
     ]
+    if pool is not None and tasks:
+        reports = pool.run_round(
+            weak_distance,
+            n_inputs,
+            tasks,
+            race=bool(stop_at_zero and early_cancel),
+            stop_event=stop_event,
+        )
+        return merge_reports(weak_distance, reports)
     if n_workers <= 1 or len(tasks) <= 1:
         return _run_starts_serial(
-            weak_distance, n_inputs, tasks, early_cancel
+            weak_distance, n_inputs, tasks, early_cancel, stop_event
         )
     ctx = pool_context()
     cancel = ctx.Event() if (stop_at_zero and early_cancel) else None
@@ -332,55 +487,32 @@ def run_multistart(
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     reports: List[StartReport] = []
-    with ProcessPoolExecutor(
-        max_workers=max(1, min(n_workers, len(tasks) or 1)),
-        mp_context=ctx,
-        initializer=_init_worker,
-        initargs=(payload_blob, cancel),
-    ) as pool:
-        futures = {pool.submit(_run_start, task): task for task in tasks}
-        try:
-            for future in as_completed(futures):
-                try:
-                    reports.append(future.result())
-                except Exception as exc:
-                    raise WorkerCrashError(
-                        futures[future].index, exc
-                    ) from exc
-        except BaseException:
-            # Stop the race before the pool's exit handler waits on it.
-            if cancel is not None:
-                cancel.set()
-            for future in futures:
-                future.cancel()
-            raise
-
-    reports.sort(key=lambda report: report.index)
-    merged_labels: Dict[str, Set[str]] = {
-        name: set(labels)
-        for name, labels in weak_distance.label_sets.items()
-    }
-    samples: List[Sample] = []
-    attempts: List[MOResult] = []
-    n_evals = 0
-    n_cancelled = 0
-    for report in reports:
-        n_evals += report.n_evals
-        if report.result is None:
-            n_cancelled += 1
-        else:
-            attempts.append(report.result)
-        for name, labels in report.label_state.items():
-            merged_labels.setdefault(name, set()).update(labels)
-        samples.extend(report.samples)
-    # Fold the union back into the parent's W so stateful analyses see
-    # exactly what a serial run would have accumulated.
-    for name, labels in merged_labels.items():
-        weak_distance.label_sets.setdefault(name, set()).update(labels)
-    return MultiStartOutcome(
-        attempts=attempts,
-        n_evals=n_evals,
-        label_sets=merged_labels,
-        samples=samples,
-        n_cancelled=n_cancelled,
-    )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max(1, min(n_workers, len(tasks) or 1)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(payload_blob, cancel),
+        ) as executor:
+            futures = {executor.submit(_run_start, task): task for task in tasks}
+            try:
+                for future in as_completed(futures):
+                    try:
+                        reports.append(future.result())
+                    except Exception as exc:
+                        raise WorkerCrashError(futures[future].index, exc) from exc
+            except BaseException:
+                # Stop the race before the pool's exit handler waits on it.
+                if cancel is not None:
+                    cancel.set()
+                for future in futures:
+                    future.cancel()
+                raise
+    finally:
+        # Never leave the shared event set once the pool is gone: a
+        # crash used to strand it set, which is harmless for this
+        # one-shot executor but poisons any caller that reuses the
+        # event (and mirrors the persistent pool's slot-release rule).
+        if cancel is not None:
+            cancel.clear()
+    return merge_reports(weak_distance, reports)

@@ -1,0 +1,438 @@
+"""The persistent worker-pool service behind `repro.api.Session`.
+
+One-shot execution (:func:`repro.core.parallel.run_multistart` without
+a pool) pays process startup and a worker-side payload rebuild on every
+round of every job.  A :class:`WorkerPool` owns one
+:class:`~concurrent.futures.ProcessPoolExecutor` for its lifetime and
+amortizes both costs:
+
+* **Warm workers.**  Processes are spawned once (lazily, on the first
+  round) and reused by every subsequent round and job, no matter which
+  analysis or program they serve.
+
+* **Payload cache by content hash.**  The parent pickles one label-free
+  :class:`~repro.core.parallel.WeakDistancePayload` per distinct
+  program and keys it by the SHA-256 of the blob.  Workers keep a small
+  LRU of rebuilt weak distances keyed by that digest, so they rebuild
+  and re-compile W only when the *program* actually changes — a second
+  job over the same program, or the twentieth round of Algorithm 3,
+  reuses the compiled W directly.  Runtime label state (Algorithm 3's
+  ``L``, coverage's ``B``) travels with each task and is synced into
+  the cached W in place, so the digest never churns on driver progress.
+
+* **Cancel slots.**  The one-shot pool shares a single
+  ``multiprocessing.Event``; a persistent pool runs many rounds — from
+  many concurrent jobs — over one set of workers, so it allocates each
+  round a *slot* in a shared flag array instead.  Workers poll their
+  task's slot per evaluation; the first racing zero sets it, and
+  :meth:`repro.api.session.JobHandle.cancel` sets it from the parent to
+  stop a round mid-flight.  Slots are always cleared on release, even
+  when the round aborts with :class:`WorkerCrashError` — the pool stays
+  usable for the next job (the one-shot path's strand-the-event bug
+  cannot recur here).
+
+The pool is thread-safe: concurrent jobs submit rounds from their own
+driver threads and share the worker budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+import weakref
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.parallel import (
+    StartReport,
+    StartTask,
+    WorkerCrashError,
+    label_state_delta,
+    make_payload,
+    pool_context,
+    rebuild_weak_distance,
+    run_task,
+    snapshot_label_state,
+    sync_label_state,
+)
+from repro.core.weak_distance import WeakDistance
+
+#: Concurrent rounds that can hold a cancel slot; rounds beyond this
+#: run without mid-round cancellation (still cancellable between
+#: rounds) instead of blocking.
+CANCEL_SLOTS = 32
+
+#: Rebuilt weak distances each worker keeps (LRU by program digest).
+WORKER_CACHE_SIZE = 8
+
+#: How often (seconds) a round waiting on its futures polls the
+#: parent-side stop event.
+_STOP_POLL_SECONDS = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _PayloadCacheMiss(Exception):
+    """A worker lacked the payload for a digest shipped without its blob.
+
+    Not a crash: the parent resubmits the start with the blob attached
+    (happens when a worker never served the digest's warm-up round —
+    e.g. it sat idle, or the executor was recreated after a break).
+    """
+
+    def __init__(self, digest: str) -> None:
+        super().__init__(digest)
+        self.digest = digest
+
+
+class _PoolTask:
+    """One start plus the context a warm worker needs to serve it.
+
+    ``blob`` is the pickled program payload — shipped while the digest
+    is cold (first round per program), dropped to ``None`` once the
+    pool has seen a full round complete for it, so steady-state rounds
+    pay digest-plus-label-state IPC instead of re-sending the program
+    with every start.
+    """
+
+    __slots__ = ("digest", "blob", "label_state", "slot", "race", "task")
+
+    def __init__(
+        self,
+        digest: str,
+        blob: Optional[bytes],
+        label_state: Dict[str, FrozenSet[str]],
+        slot: Optional[int],
+        race: bool,
+        task: StartTask,
+    ) -> None:
+        self.digest = digest
+        self.blob = blob
+        self.label_state = label_state
+        self.slot = slot
+        self.race = race
+        self.task = task
+
+
+class _SlotPoll:
+    """Picks one cancel-slot flag out of the shared array (worker side)."""
+
+    __slots__ = ("flags", "slot")
+
+    def __init__(self, flags, slot: int) -> None:
+        self.flags = flags
+        self.slot = slot
+
+    def __call__(self) -> bool:
+        return self.flags[self.slot] != 0
+
+
+_POOL_STATE: dict = {}
+
+
+def _init_pool_worker(cancel_flags) -> None:
+    _POOL_STATE["flags"] = cancel_flags
+    _POOL_STATE["cache"] = OrderedDict()
+
+
+def _cached_weak_distance(ptask: _PoolTask) -> Tuple[WeakDistance, int, bool]:
+    """The worker's rebuilt W for this task's program (LRU by digest)."""
+    cache: OrderedDict = _POOL_STATE["cache"]
+    entry = cache.get(ptask.digest)
+    rebuilt = False
+    if entry is None:
+        if ptask.blob is None:
+            raise _PayloadCacheMiss(ptask.digest)
+        payload = pickle.loads(ptask.blob)
+        entry = (rebuild_weak_distance(payload), payload.n_inputs)
+        cache[ptask.digest] = entry
+        rebuilt = True
+        while len(cache) > WORKER_CACHE_SIZE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(ptask.digest)
+    return entry[0], entry[1], rebuilt
+
+
+def _run_pool_start(ptask: _PoolTask) -> StartReport:
+    weak_distance, n_inputs, rebuilt = _cached_weak_distance(ptask)
+    sync_label_state(weak_distance, ptask.label_state)
+    flags = _POOL_STATE["flags"]
+    slot = ptask.slot
+    task = ptask.task
+    should_stop = None
+    already_stopped = False
+    if slot is not None:
+        should_stop = _SlotPoll(flags, slot)
+        already_stopped = should_stop()
+    result, n_evals, samples = run_task(
+        weak_distance,
+        n_inputs,
+        task,
+        should_stop=should_stop,
+        already_stopped=already_stopped,
+    )
+    if (
+        result is not None
+        and result.stopped_at_zero
+        and task.stop_at_zero
+        and ptask.race
+        and slot is not None
+    ):
+        flags[slot] = 1
+    return StartReport(
+        index=task.index,
+        result=result,
+        n_evals=n_evals,
+        label_state=label_state_delta(weak_distance, ptask.label_state),
+        samples=samples,
+        rebuilt=rebuilt,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A long-lived process pool shared by rounds, jobs and sessions.
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with WorkerPool(4) as pool:
+            outcome = run_multistart(w, n, backend, starts, 0, pool=pool)
+
+    Most callers never construct one directly —
+    :class:`repro.api.session.Session` owns a pool for its lifetime and
+    :class:`repro.api.engine.EngineConfig.pool` lets several engines or
+    sessions share one.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._ctx = pool_context()
+        self._lock = threading.Lock()
+        self._flags = self._ctx.Array("b", CANCEL_SLOTS, lock=False)
+        self._free_slots = set(range(CANCEL_SLOTS))
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._blobs: "weakref.WeakKeyDictionary[WeakDistance, Tuple[str, bytes]]"
+        self._blobs = weakref.WeakKeyDictionary()
+        self._closed = False
+        #: Rounds executed over the pool's lifetime.
+        self.n_rounds = 0
+        #: Worker-side payload rebuilds observed (cache misses; at most
+        #: ``n_workers`` per distinct program).
+        self.n_rebuilds = 0
+        #: Distinct program digests shipped so far.
+        self._digests: set = set()
+        #: Digests with a completed round behind them: their blobs are
+        #: no longer attached to every task (workers that still miss
+        #: one raise :class:`_PayloadCacheMiss` and get a resend).
+        self._warm_digests: set = set()
+        # Spawn the workers now, from the constructing thread.  Session
+        # drivers call run_round from a thread pool, and forking a
+        # multi-threaded parent there can inherit locks mid-operation;
+        # construction normally happens on the main thread, where the
+        # fork is safe.  (Executor recreation after a hard break stays
+        # lazy — a rare path that accepts the hazard.)
+        self._ensure_executor()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the executor down; the pool cannot be reused."""
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=self._ctx,
+                    initializer=_init_pool_worker,
+                    initargs=(self._flags,),
+                )
+            return self._executor
+
+    def _retire_broken_executor(self) -> None:
+        """Drop a broken executor so the next round spawns a fresh one."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            # Fresh workers start with empty caches: blobs must ship
+            # again until each digest re-warms.
+            self._warm_digests.clear()
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- payload blobs -----------------------------------------------------
+
+    def _program_blob(
+        self, weak_distance: WeakDistance, n_inputs: int
+    ) -> Tuple[str, bytes]:
+        """The label-free payload blob and its content digest.
+
+        Cached per live ``WeakDistance`` (weakly, so finished jobs do
+        not pin programs in parent memory); two distinct objects
+        instrumenting the same program pickle to identical bytes and
+        therefore share one digest — the worker-side cache key.
+        """
+        with self._lock:
+            cached = self._blobs.get(weak_distance)
+        if cached is not None:
+            return cached
+        blob = pickle.dumps(
+            make_payload(weak_distance, n_inputs, with_labels=False),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(blob).hexdigest()
+        with self._lock:
+            self._blobs[weak_distance] = (digest, blob)
+            self._digests.add(digest)
+        return digest, blob
+
+    @property
+    def n_programs(self) -> int:
+        """Distinct program payloads shipped over the pool's lifetime."""
+        return len(self._digests)
+
+    # -- cancel slots ------------------------------------------------------
+
+    def _acquire_slot(self) -> Optional[int]:
+        with self._lock:
+            if not self._free_slots:
+                return None
+            slot = self._free_slots.pop()
+        self._flags[slot] = 0
+        return slot
+
+    def _release_slot(self, slot: Optional[int]) -> None:
+        if slot is None:
+            return
+        # Clearing before reuse is the pool-service analogue of the
+        # one-shot engine's clear-on-teardown: a crashed or cancelled
+        # round must never leave its flag set for the next round.
+        self._flags[slot] = 0
+        with self._lock:
+            self._free_slots.add(slot)
+
+    # -- rounds ------------------------------------------------------------
+
+    def run_round(
+        self,
+        weak_distance: WeakDistance,
+        n_inputs: int,
+        tasks: Sequence[StartTask],
+        race: bool = False,
+        stop_event: Optional[threading.Event] = None,
+    ) -> List[StartReport]:
+        """Fan one round's ``tasks`` across the warm workers.
+
+        ``race=True`` lets the first zero cancel the round's remaining
+        starts (the racing mode); ``stop_event`` cancels the round from
+        the parent mid-flight (job cancellation).  Reports come back
+        unordered; :func:`repro.core.parallel.merge_reports` sorts and
+        merges them.  A raising task aborts the round with
+        :class:`WorkerCrashError` but leaves the pool serviceable.
+        """
+        if not tasks:
+            return []
+        executor = self._ensure_executor()
+        digest, blob = self._program_blob(weak_distance, n_inputs)
+        with self._lock:
+            shipped_blob = None if digest in self._warm_digests else blob
+        label_state = snapshot_label_state(weak_distance)
+        slot = self._acquire_slot() if (race or stop_event is not None) else None
+        futures: Dict[object, _PoolTask] = {}
+        reports: List[StartReport] = []
+        try:
+            for task in tasks:
+                ptask = _PoolTask(digest, shipped_blob, label_state, slot, race, task)
+                futures[executor.submit(_run_pool_start, ptask)] = ptask
+            pending = set(futures)
+            poll = stop_event is not None and slot is not None
+            flagged = False
+            while pending:
+                done, pending = wait(
+                    pending,
+                    timeout=_STOP_POLL_SECONDS if poll else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    ptask = futures[future]
+                    try:
+                        reports.append(future.result())
+                    except _PayloadCacheMiss:
+                        # The worker serving this start never saw the
+                        # digest's warm-up blob (idle then, or a fresh
+                        # process): resend the start with it attached.
+                        retry = _PoolTask(
+                            digest, blob, label_state, slot, race, ptask.task
+                        )
+                        retry_future = executor.submit(_run_pool_start, retry)
+                        futures[retry_future] = retry
+                        pending.add(retry_future)
+                    except BrokenProcessPool as exc:
+                        self._retire_broken_executor()
+                        raise WorkerCrashError(ptask.task.index, exc) from exc
+                    except Exception as exc:
+                        raise WorkerCrashError(ptask.task.index, exc) from exc
+                if (
+                    poll
+                    and not flagged
+                    and stop_event is not None
+                    and stop_event.is_set()
+                ):
+                    self._flags[slot] = 1
+                    flagged = True
+        except BaseException:
+            if slot is not None:
+                self._flags[slot] = 1
+            for future in futures:
+                future.cancel()
+            raise
+        else:
+            with self._lock:
+                self._warm_digests.add(digest)
+        finally:
+            # Wait out any starts still running so no worker can touch
+            # the slot after it is recycled, then release it cleared.
+            wait(list(futures))
+            self._release_slot(slot)
+            with self._lock:
+                self.n_rounds += 1
+                self.n_rebuilds += sum(1 for r in reports if r.rebuilt)
+        return reports
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters (rounds served, cache behavior)."""
+        return {
+            "n_workers": self.n_workers,
+            "rounds": self.n_rounds,
+            "programs": self.n_programs,
+            "rebuilds": self.n_rebuilds,
+        }

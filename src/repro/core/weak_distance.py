@@ -168,14 +168,10 @@ class WeakDistance:
         self, samples: Sequence[Sequence[float]], membership
     ) -> bool:
         """Def. 3.1(b) on a sample set, given a membership oracle."""
-        return all(
-            membership(tuple(x)) for x in samples if self(x) == 0.0
-        )
+        return all(membership(tuple(x)) for x in samples if self(x) == 0.0)
 
     def check_member_implies_zero(
         self, samples: Sequence[Sequence[float]], membership
     ) -> bool:
         """Def. 3.1(c) on a sample set, given a membership oracle."""
-        return all(
-            self(x) == 0.0 for x in samples if membership(tuple(x))
-        )
+        return all(self(x) == 0.0 for x in samples if membership(tuple(x)))

@@ -12,11 +12,42 @@ results on a laptop.  All randomness flows from the single seed.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.util.tables import format_table
+
+#: Shared persistent worker pools, keyed by worker count.  The whole
+#: experiment harness runs hundreds of engine calls; sharing one pool
+#: across them keeps the workers warm and lets the pool's payload
+#: cache carry compiled programs from one table to the next.
+_SHARED_POOLS: Dict[int, Any] = {}
+
+
+def shared_pool(n_workers: int):
+    """The harness-wide :class:`repro.core.pool.WorkerPool` for
+    ``n_workers`` (None for serial runs)."""
+    if n_workers <= 1:
+        return None
+    pool = _SHARED_POOLS.get(n_workers)
+    if pool is None or pool.closed:
+        from repro.core.pool import WorkerPool
+
+        pool = WorkerPool(n_workers)
+        _SHARED_POOLS[n_workers] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Tear down the harness pools (atexit, and test isolation)."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        pool.close()
+
+
+atexit.register(close_shared_pools)
 
 
 def run_analysis(
@@ -38,7 +69,9 @@ def run_analysis(
     Every experiment drives its analyses through this helper, so the
     whole harness inherits the engine's seeding discipline — and
     setting ``REPRO_WORKERS=N`` in the environment fans each round's
-    starts across a worker pool without touching any table script.
+    starts across a *shared persistent* worker pool (one per worker
+    count, kept warm for the whole process) without touching any table
+    script.
     """
     from repro.api import Engine, EngineConfig
 
@@ -52,6 +85,7 @@ def run_analysis(
         n_starts=n_starts,
         max_rounds=max_rounds,
         start_sampler=sampler,
+        pool=shared_pool(n_workers),
     )
     return Engine(config).run(name, target, spec=spec, **options)
 

@@ -82,6 +82,12 @@ class PortfolioBackend(MOBackend):
                 break
             if saved is not None and objective.n_evals >= saved:
                 break  # the overall budget is exhausted
+            if objective.should_stop is not None and objective.should_stop():
+                # External cancellation (another start's racing zero, a
+                # session job cancel): don't hand the objective to the
+                # remaining members — each would burn an evaluation
+                # just to observe the stop signal.
+                break
         assert result is not None
         # The objective's best is monotone, so the winner is the first
         # member after whose run the final best was already attained.

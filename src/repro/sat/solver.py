@@ -256,6 +256,12 @@ class SatAnalysis(Analysis):
             "evals": float(detail.n_evals),
         }
 
+    @classmethod
+    def batch_options(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Multi-formula campaigns (``repro batch --formulas``) budget
+        the solver by starts per formula."""
+        return {"n_starts": params.get("n_starts")}
+
 
 class XSatSolver:
     """Deprecated front-end for Instance 5 (use ``Engine.run("sat",

@@ -1,0 +1,292 @@
+"""The persistent Session service: async jobs, events, warm pool."""
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.api import (
+    Engine,
+    EngineConfig,
+    JobFinished,
+    JobRequest,
+    JobStarted,
+    RoundFinished,
+    RoundStarted,
+    Session,
+)
+from repro.api.session import JobHandle
+from repro.core import WorkerCrashError, WorkerPool
+from repro.mo.base import MOBackend
+from repro.mo.random_search import RandomSearchBackend
+from repro.mo.starts import uniform_sampler
+
+#: Same CI-sized workloads as the engine parity suite.
+CASES = [
+    ("boundary", "fig2", {"n_starts": 6, "max_samples": 6000}),
+    ("path", "fig2", {"n_starts": 6}),
+    ("overflow", "fig2", {}),
+    ("coverage", "fig2", {}),
+    ("sat", "x < 1 && x + 1 >= 2", {}),
+]
+
+
+class CrashBackend(MOBackend):
+    name = "crash"
+
+    def minimize(self, objective, start, rng):
+        raise ValueError("backend exploded")
+
+
+def _fingerprint(report):
+    return (
+        report.verdict,
+        [(f.kind, f.label, f.x) for f in report.findings],
+    )
+
+
+class TestPayloadCache:
+    def test_two_jobs_one_rebuild_per_distinct_program(self):
+        """The acceptance bar: a two-job session performs exactly one
+        worker-side payload rebuild per distinct program."""
+        with WorkerPool(1) as pool:
+            with Session(EngineConfig(seed=5, pool=pool)) as session:
+                first = session.run("overflow", "fig2")
+                second = session.run("overflow", "fig2")
+                assert first.verdict == second.verdict
+                # Both jobs, all their rounds: one program, one rebuild.
+                assert first.rounds + second.rounds > 2
+                assert pool.n_programs == 1
+                assert pool.n_rebuilds == 1
+                third = session.run("overflow", "fig1a")
+                assert third.rounds >= 1
+                assert pool.n_programs == 2
+                assert pool.n_rebuilds == 2
+
+    def test_rebuilds_bounded_by_workers(self):
+        with Session(EngineConfig(seed=7, n_workers=2)) as session:
+            session.run("path", "fig2", n_starts=6)
+            session.run("path", "fig2", n_starts=6)
+            stats = session.stats()
+        assert stats["jobs"] == 2
+        assert stats["programs"] == 1
+        assert stats["rebuilds"] <= 2  # at most one per worker
+
+
+class TestSerialWarmPoolParity:
+    @pytest.mark.parametrize("name,target,options", CASES)
+    def test_all_analyses_agree_with_serial(self, name, target, options):
+        """Serial vs warm-pool n_workers=4 through one shared session:
+        identical verdicts, representatives, eval counts, samples."""
+        serial = Engine(EngineConfig(seed=11)).run(name, target, **options)
+        with Session(EngineConfig(seed=11, n_workers=4)) as session:
+            warm = session.run(name, target, **options)
+        assert _fingerprint(serial) == _fingerprint(warm)
+        assert serial.n_evals == warm.n_evals
+        assert [t.n_evals for t in serial.trace] == [
+            t.n_evals for t in warm.trace
+        ]
+        assert serial.samples == warm.samples
+
+
+class TestAsyncSubmission:
+    def test_submit_returns_quickly_and_results_in_any_order(self):
+        with Session(EngineConfig(seed=2, n_workers=2)) as session:
+            first = session.submit("path", "fig2", n_starts=4)
+            second = session.submit("sat", "x < 1 && x + 1 >= 2")
+            second_report = second.result(timeout=120)
+            first_report = first.result(timeout=120)
+        assert first.done() and second.done()
+        assert first_report.verdict == "found"
+        assert second_report.verdict == "found"
+        assert first.job_id != second.job_id
+
+    def test_run_many_preserves_job_order(self):
+        jobs = [
+            JobRequest("path", "fig2", options={"n_starts": 4}),
+            ("sat", "x < 1 && x + 1 >= 2"),
+            {"analysis": "sat", "target": "x > 1 && x < 0",
+             "options": {"n_starts": 3}},
+        ]
+        with Session(EngineConfig(seed=3, n_workers=2)) as session:
+            reports = session.run_many(jobs)
+        assert [r.analysis for r in reports] == ["path", "sat", "sat"]
+        assert reports[0].verdict == "found"
+        assert reports[2].verdict == "not-found"
+
+    def test_run_many_captures_errors(self):
+        jobs = [
+            ("coverage", "no-such-program"),
+            JobRequest("path", "fig2", options={"n_starts": 4}),
+        ]
+        with Session(EngineConfig(seed=3)) as session:
+            results = session.run_many(jobs, capture_errors=True)
+        assert isinstance(results[0], KeyError)
+        assert "no-such-program" in str(results[0])
+        assert results[1].verdict == "found"
+
+    def test_per_job_config_overrides_session_seed(self):
+        with Session(EngineConfig(seed=1)) as session:
+            default = session.run("path", "fig2", n_starts=4)
+            override = session.run(
+                "path", "fig2", n_starts=4, config=EngineConfig(seed=99)
+            )
+        assert default.seed == 1
+        assert override.seed == 99
+
+    def test_closed_session_rejects_jobs(self):
+        session = Session(EngineConfig(seed=1))
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit("path", "fig2")
+
+
+class TestEvents:
+    def test_typed_event_stream_shape(self):
+        events = []
+        lock = threading.Lock()
+
+        def on_event(event):
+            with lock:
+                events.append(event)
+
+        with Session(EngineConfig(seed=4), on_event=on_event) as session:
+            report = session.run("overflow", "fig2")
+        kinds = [type(e) for e in events]
+        assert kinds[0] is JobStarted
+        assert kinds[-1] is JobFinished
+        starts = [e for e in events if isinstance(e, RoundStarted)]
+        finishes = [e for e in events if isinstance(e, RoundFinished)]
+        assert len(starts) == len(finishes) == report.rounds
+        assert [e.round_index for e in finishes] == list(range(report.rounds))
+        assert sum(e.n_evals for e in finishes) == report.n_evals
+        finished = events[-1]
+        assert finished.ok
+        assert finished.verdict == report.verdict
+        assert all(e.analysis == "overflow" for e in events)
+
+    def test_job_error_emits_finished_event(self):
+        events = []
+        with Session(EngineConfig(seed=4), on_event=events.append) as session:
+            handle = session.submit("coverage", "no-such-program")
+            with pytest.raises(KeyError):
+                handle.result(timeout=60)
+        finished = [e for e in events if isinstance(e, JobFinished)]
+        assert len(finished) == 1
+        assert not finished[0].ok
+        assert "no-such-program" in finished[0].error
+
+
+class TestCancellation:
+    def test_cancel_mid_round(self):
+        """cancel() stops a round in flight, not just between rounds."""
+        started = threading.Event()
+
+        def on_event(event):
+            if isinstance(event, RoundStarted):
+                started.set()
+
+        config = EngineConfig(
+            seed=3,
+            n_workers=2,
+            # One enormous round: ~minutes if allowed to finish.
+            backend=RandomSearchBackend(
+                n_samples=5_000_000, sampler=uniform_sampler(10.0, 20.0)
+            ),
+            start_sampler=uniform_sampler(10.0, 20.0),
+        )
+        t0 = time.perf_counter()
+        with Session(config, on_event=on_event) as session:
+            handle = session.submit("path", "fig2", n_starts=4)
+            assert started.wait(timeout=60)
+            time.sleep(0.2)  # let the workers get going mid-round
+            assert handle.cancel()
+            with pytest.raises(CancelledError):
+                handle.result(timeout=60)
+        assert handle.cancelled() and handle.done()
+        assert time.perf_counter() - t0 < 30.0
+        # A finished job cannot be cancelled again.
+        assert not handle.cancel()
+
+    def test_successful_cancel_always_wins_over_late_completion(self):
+        """A True cancel() implies CancelledError even when the driver
+        was already wrapping up the final round."""
+        handle = JobHandle(0, "path", "fig2")
+        assert handle.cancel()
+        handle._complete(object(), None, False)  # driver finished anyway
+        assert handle.cancelled()
+        with pytest.raises(CancelledError):
+            handle.result(timeout=1)
+
+    def test_run_many_captures_cancelled_jobs(self, monkeypatch):
+        """CancelledError derives from BaseException; capture_errors
+        must still swallow it."""
+        session = Session(EngineConfig())
+        cancelled = JobHandle(0, "path", "fig2")
+        cancelled._complete(None, None, True)
+        monkeypatch.setattr(session, "submit", lambda *a, **k: cancelled)
+        results = session.run_many([("path", "fig2")], capture_errors=True)
+        assert isinstance(results[0], CancelledError)
+        session.close()
+
+    def test_cancelled_job_emits_cancelled_event(self):
+        events = []
+        config = EngineConfig(
+            seed=3,
+            n_workers=2,
+            backend=RandomSearchBackend(
+                n_samples=5_000_000, sampler=uniform_sampler(10.0, 20.0)
+            ),
+            start_sampler=uniform_sampler(10.0, 20.0),
+        )
+        with Session(config, on_event=events.append) as session:
+            handle = session.submit("path", "fig2", n_starts=4)
+            while not any(isinstance(e, RoundStarted) for e in events):
+                time.sleep(0.01)
+            handle.cancel()
+            with pytest.raises(CancelledError):
+                handle.result(timeout=60)
+        finished = [e for e in events if isinstance(e, JobFinished)]
+        assert len(finished) == 1 and finished[0].cancelled
+
+
+class TestCrashRecovery:
+    def test_worker_crash_leaves_pool_usable_for_next_job(self):
+        with Session(EngineConfig(seed=1, n_workers=2)) as session:
+            crashing = session.submit(
+                "path", "fig2", n_starts=3,
+                config=EngineConfig(seed=1, backend=CrashBackend()),
+            )
+            with pytest.raises(WorkerCrashError, match="backend exploded"):
+                crashing.result(timeout=120)
+            # Same session, same (still-warm) pool: next job succeeds.
+            report = session.run("path", "fig2", n_starts=4)
+            assert report.verdict == "found"
+            pool = session.pool
+            assert pool is not None and not pool.closed
+
+
+class TestEngineDelegation:
+    def test_engine_run_is_a_one_shot_session(self):
+        report = Engine(EngineConfig(seed=11, n_workers=2)).run(
+            "path", "fig2", n_starts=4
+        )
+        assert report.verdict == "found"
+        assert report.n_workers == 2
+
+    def test_injected_pool_drives_job_concurrency(self):
+        # config.n_workers stays 1 when only pool= is set; the job
+        # concurrency must come from the pool's worker count.
+        with WorkerPool(2) as pool:
+            with Session(EngineConfig(pool=pool)) as session:
+                assert session._max_parallel_jobs == 2
+
+    def test_engine_reuses_externally_owned_pool(self):
+        with WorkerPool(2) as pool:
+            engine = Engine(EngineConfig(seed=11, pool=pool))
+            engine.run("path", "fig2", n_starts=4)
+            engine.run("path", "fig2", n_starts=4)
+            assert pool.n_rebuilds <= 2  # warm across Engine.run calls
+            assert pool.n_programs == 1
+            assert not pool.closed  # the engine never closes a shared pool

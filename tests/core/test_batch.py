@@ -5,6 +5,8 @@ import pytest
 from repro.core.batch import (
     BATCH_ANALYSES,
     BatchJob,
+    formula_jobs,
+    read_formula_sources,
     run_batch,
     suite_jobs,
 )
@@ -74,3 +76,83 @@ class TestRunBatch:
         )
         assert results[0].ok
         assert "condition(s) triggered" in results[0].summary
+
+    def test_campaign_shares_one_session_pool(self):
+        """Campaign-level and start-level parallelism compose: every
+        job's starts fan across the same warm worker pool."""
+        from repro.api import EngineConfig, Session
+
+        jobs = _tiny_jobs(analyses=("fpod",)) * 2
+        with Session(EngineConfig(n_workers=2)) as session:
+            results = run_batch(jobs, session=session)
+            stats = session.stats()
+        assert all(r.ok for r in results)
+        assert stats["jobs"] == 2
+        # Both fpod jobs analyze fig2: one program, a rebuild per
+        # worker at most — never one per job or per round.
+        assert stats["programs"] == 1
+        assert stats["rebuilds"] <= 2
+
+    def test_racing_campaign_matches_deterministic_verdicts(self):
+        deterministic = run_batch(_tiny_jobs(), n_workers=2)
+        racing = run_batch(
+            suite_jobs(
+                analyses=("fpod", "coverage"),
+                programs=["fig2"],
+                seed=9,
+                niter=10,
+                rounds=4,
+                max_samples=4000,
+                racing=True,
+            ),
+            n_workers=2,
+        )
+        assert [r.ok for r in racing] == [r.ok for r in deterministic]
+
+
+class TestFormulaCampaigns:
+    SAT_LINES = (
+        "# smoke corpus\n"
+        "x < 1 && x + 1 >= 2\n"
+        "\n"
+        "; unsat-shaped\n"
+        "x > 1 && x < 0\n"
+    )
+
+    def test_read_formulas_from_file(self, tmp_path):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text(self.SAT_LINES)
+        sources = read_formula_sources(str(corpus))
+        assert sources == [
+            ("corpus:2", "x < 1 && x + 1 >= 2"),
+            ("corpus:5", "x > 1 && x < 0"),
+        ]
+
+    def test_read_formulas_from_directory(self, tmp_path):
+        (tmp_path / "a.smt2").write_text("; comment\nx == 3\n")
+        (tmp_path / "b.smt2").write_text("x < 1 &&\nx + 1 >= 2\n")
+        sources = read_formula_sources(str(tmp_path))
+        assert sources == [
+            ("a", "x == 3"),
+            ("b", "x < 1 && x + 1 >= 2"),
+        ]
+
+    def test_missing_or_empty_corpus_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_formula_sources(str(tmp_path / "nope.txt"))
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing here\n")
+        with pytest.raises(ValueError, match="no constraints"):
+            read_formula_sources(str(empty))
+
+    def test_formula_campaign_through_session(self, tmp_path):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text(self.SAT_LINES)
+        jobs = formula_jobs(str(corpus), seed=12, niter=15, n_starts=5)
+        assert [j.display for j in jobs] == ["corpus:2", "corpus:5"]
+        results = run_batch(jobs, n_workers=2)
+        assert all(r.ok for r in results)
+        assert results[0].summary == "sat"
+        assert results[0].metrics["sat"] == 1.0
+        assert results[1].summary.startswith("unknown")
+        assert results[1].metrics["sat"] == 0.0

@@ -98,6 +98,56 @@ class TestFpod:
             main(["fpod", "no-such-program"])
 
 
+class TestSessionFlags:
+    def test_racing_flag(self, capsys):
+        code = main([
+            "run", "path", "fig2", "--seed", "6", "--starts", "4",
+            "--workers", "2", "--racing",
+        ])
+        assert code == 0
+        assert "path" in capsys.readouterr().out
+
+    def test_progress_flag_streams_round_events(self, capsys):
+        code = main([
+            "run", "coverage", "fig2", "--smoke", "--seed", "2",
+            "--progress",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "branch coverage" in captured.out
+        assert "round 0" in captured.err
+        assert "finished:" in captured.err
+
+
+class TestBatchFormulas:
+    def test_sat_campaign_from_file(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("x < 1 && x + 1 >= 2\nx > 1 && x < 0\n")
+        code = main([
+            "batch", "--analyses", "sat", "--formulas", str(corpus),
+            "--seed", "12", "--niter", "15", "--starts", "5",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corpus:1" in out and "corpus:2" in out
+        assert "sat" in out and "unknown" in out
+
+    def test_sat_without_formulas_rejected(self, capsys):
+        code = main(["batch", "--analyses", "sat"])
+        assert code == 2
+        assert "--formulas" in capsys.readouterr().err
+
+    def test_formulas_without_sat_rejected(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("x == 3\n")
+        code = main([
+            "batch", "--analyses", "fpod", "--formulas", str(corpus),
+        ])
+        assert code == 2
+        assert "requires 'sat'" in capsys.readouterr().err
+
+
 class TestBoundaryAndCoverage:
     def test_boundary_fig2(self, capsys):
         code = main([
