@@ -1,0 +1,75 @@
+"""Bring-your-own-program targets for the Python→FPIR frontend.
+
+Every function here is written in the frontend's restricted subset
+(floats, arithmetic, comparisons, ``if``/``while``, ``math.*`` calls,
+helper functions — see :mod:`repro.fpir.frontend`), so each one is a
+complete analysis target with no FPIR in sight::
+
+    python -m repro run boundary --target examples/python_targets.py::fig2
+    python -m repro run coverage --target examples/python_targets.py::sum_of_sines
+
+    from repro.api import Engine
+    from examples.python_targets import fig2
+    Engine().run("boundary", fig2)          # callables work directly
+
+``fig1a``/``fig1b``/``fig2`` mirror the hand-built FPIR programs of the
+paper's Figures 1 and 2 statement for statement; the parity tests
+(``tests/api/test_targets.py``) assert that analyzing these lowered
+versions returns verdicts and representatives identical to analyzing
+the registered suite programs.
+"""
+
+import math
+
+
+def fig1a(x):
+    """Fig. 1(a): the assertion `x + 1 < 2` fails inside `if (x < 1)`.
+
+    Assertion failure is modelled as a flag the entry returns, exactly
+    as in ``repro.programs.fig1.make_program_a``.
+    """
+    violated = 0.0
+    if x < 1.0:
+        x = x + 1.0
+        if x >= 2.0:
+            violated = 1.0
+    return violated
+
+
+def fig1b(x):
+    """Fig. 1(b): the `x + tan(x)` variant that defeats SMT solvers."""
+    violated = 0.0
+    if x < 1.0:
+        x = x + math.tan(x)
+        if x >= 2.0:
+            violated = 1.0
+    return violated
+
+
+def fig2(x):
+    """Fig. 2, the paper's running example (Section 4)."""
+    if x <= 1.0:
+        x = x + 1.0
+    y = x * x
+    if y <= 4.0:
+        x = x - 1.0
+    return x
+
+
+def clamp(v, lo, hi):
+    """A helper lowered transitively when `sum_of_sines` calls it."""
+    if v < lo:
+        return lo
+    if v > hi:
+        return hi
+    return v
+
+
+def sum_of_sines(x, y):
+    """A 2-input target exercising math calls, a helper, and a loop."""
+    total = 0.0
+    k = 1.0
+    while k <= 4.0:
+        total = total + math.sin(k * x) / k
+        k = k + 1.0
+    return clamp(total + math.cos(y), -1.5, 1.5)

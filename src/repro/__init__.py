@@ -24,7 +24,9 @@ Packages
     one way to run all five instances, serially or on a worker pool.
 :mod:`repro.fpir`
     FPIR, the C-like IR for the programs under analysis: builder,
-    interpreter, Python-codegen compiler, instrumentation engine.
+    Python→FPIR frontend (any function in the restricted subset is a
+    target), interpreter, Python-codegen compiler, instrumentation
+    engine.
 :mod:`repro.core`
     The reduction theory: problems, weak distances, Algorithm 2.
 :mod:`repro.analyses`

@@ -12,6 +12,9 @@
   implements (spec-builder + driver hooks);
 * :mod:`repro.api.registry` — the name-keyed analysis registry the CLI
   and batch driver are generated from;
+* :mod:`repro.api.targets` — first-class targets: suite programs,
+  arbitrary Python functions (callable / ``pkg.mod:fn`` /
+  ``file.py::fn``, lowered by :mod:`repro.fpir.frontend`), formulas;
 * :class:`~repro.api.report.AnalysisReport` — the uniform result
   envelope (verdict, findings, counts, timing, per-round trace);
 * :class:`~repro.api.engine.Engine` — the facade that runs any
@@ -24,9 +27,11 @@ from repro.api.engine import Engine, EngineConfig
 from repro.api.events import (
     JobFinished,
     JobStarted,
+    JsonlEventSink,
     RoundFinished,
     RoundStarted,
     SessionEvent,
+    event_to_dict,
 )
 from repro.api.registry import (
     available_analyses,
@@ -43,6 +48,15 @@ from repro.api.report import (
     RoundTrace,
 )
 from repro.api.session import JobHandle, JobRequest, Session
+from repro.api.targets import (
+    FormulaTarget,
+    ProgramTarget,
+    PythonTarget,
+    Target,
+    TargetError,
+    coerce_target,
+    parse_target_spec,
+)
 
 __all__ = [
     "Analysis",
@@ -51,20 +65,29 @@ __all__ = [
     "EngineConfig",
     "FOUND",
     "Finding",
+    "FormulaTarget",
     "JobFinished",
     "JobHandle",
     "JobRequest",
     "JobStarted",
+    "JsonlEventSink",
     "NOT_FOUND",
     "PARTIAL",
+    "ProgramTarget",
+    "PythonTarget",
     "RoundFinished",
     "RoundPlan",
     "RoundStarted",
     "RoundTrace",
     "Session",
     "SessionEvent",
+    "Target",
+    "TargetError",
     "available_analyses",
     "canonical_name",
+    "coerce_target",
+    "event_to_dict",
     "get_analysis",
+    "parse_target_spec",
     "register_analysis",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import abc
 import argparse
 import dataclasses
+import warnings
 from typing import Any, ClassVar, Dict, Optional
 
 from repro.core.parallel import MultiStartOutcome
@@ -60,9 +61,34 @@ class Analysis(abc.ABC):
     name: ClassVar[str] = ""
     #: One-line description, shown by ``repro list`` and ``--help``.
     help: ClassVar[str] = ""
-    #: True when the target is a suite program (the batch driver can
-    #: cross it with the program registry); sat targets formulas.
+    #: What kind of :class:`~repro.api.targets.Target` this analysis
+    #: consumes: ``"program"`` (an FPIR program — suite name, Python
+    #: function, or Program instance) or ``"formula"`` (the SAT
+    #: instance's constraints).
+    target_kind: ClassVar[str] = "program"
+    #: Deprecated pre-Target spelling of :attr:`target_kind`
+    #: (``takes_program = False`` meant "targets formulas").  Kept in
+    #: sync automatically; subclasses should set ``target_kind``.
     takes_program: ClassVar[bool] = True
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        # Migration shim: subclasses written against the pre-Target API
+        # declared `takes_program` instead of `target_kind`.  Honor the
+        # old flag (with a warning) and keep both spellings coherent.
+        declares_takes = "takes_program" in cls.__dict__
+        declares_kind = "target_kind" in cls.__dict__
+        if declares_takes and not declares_kind:
+            kind = "program" if cls.takes_program else "formula"
+            warnings.warn(
+                f"{cls.__name__} sets the deprecated `takes_program` "
+                f"class attribute; set `target_kind = {kind!r}` instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cls.target_kind = kind
+        else:
+            cls.takes_program = cls.target_kind == "program"
     #: Default starts per round when neither the caller nor the
     #: EngineConfig picks one.
     default_n_starts: ClassVar[int] = 8
@@ -80,13 +106,18 @@ class Analysis(abc.ABC):
     # -- engine-side hooks ----------------------------------------------------
 
     def resolve_target(self, target: Any) -> Any:
-        """Turn a CLI/registry target into the object :meth:`prepare`
-        expects.  Default: look a string up in the program suite."""
-        if isinstance(target, str):
-            from repro.programs import get_program
+        """Turn any accepted target form into the object
+        :meth:`prepare` expects.
 
-            return get_program(target)
-        return target
+        The default routes everything through
+        :func:`repro.api.targets.coerce_target`, so every analysis
+        accepts a :class:`~repro.api.targets.Target`, a suite name, a
+        Python callable, a ``pkg.mod:fn`` / ``file.py::fn`` spec
+        string, or a ready Program/Formula.
+        """
+        from repro.api.targets import coerce_target
+
+        return coerce_target(target, kind=self.target_kind).resolve()
 
     def describe_target(self, target: Any) -> str:
         """Human-readable target name for the report envelope."""

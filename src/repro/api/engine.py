@@ -93,9 +93,13 @@ class Engine:
 
         ``analysis`` is a registry name (``"boundary"``, ``"path"``,
         ``"overflow"``/``"fpod"``, ``"coverage"``, ``"sat"``), an
-        :class:`Analysis` subclass, or an instance.  ``target`` is a
-        program (instance or suite name) — or, for ``sat``, a formula
-        or constraint string.  ``spec`` carries the analysis-specific
+        :class:`Analysis` subclass, or an instance.  ``target`` is any
+        first-class target form (:mod:`repro.api.targets`): a suite
+        name, a Python callable or ``pkg.mod:fn`` / ``file.py::fn``
+        spec (lowered to FPIR by :mod:`repro.fpir.frontend`), a
+        :class:`~repro.fpir.program.Program`, a
+        :class:`~repro.api.targets.Target` — or, for ``sat``, a
+        formula or constraint string.  ``spec`` carries the analysis-specific
         specification (a :class:`~repro.analyses.path.PathSpec`, a
         boundary site filter, ...); ``options`` the analysis-specific
         knobs (``max_samples``, ``metric``, ...).

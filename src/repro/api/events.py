@@ -11,13 +11,21 @@ several threads, so a callback shared across jobs must be thread-safe
 Events are plain frozen dataclasses: cheap to construct, safe to stash,
 and easy to assert on in tests.  :func:`render_event` is the shared
 one-line textual rendering used by ``repro run --progress`` and
-``repro batch --progress``.
+``repro batch --progress``; :class:`JsonlEventSink` is the
+machine-readable counterpart — one JSON object per line, the format
+external dashboards tail to watch long campaigns
+(``Session(event_sink=...)``, ``repro run --events-out``).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+import io
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,3 +103,67 @@ def render_event(event: SessionEvent) -> Optional[str]:
             f"({event.n_evals} evals, {event.rounds} rounds)"
         )
     return None
+
+
+def event_to_dict(event: SessionEvent) -> Dict[str, Any]:
+    """A JSON-ready dict: the event's fields plus its type name."""
+    payload: Dict[str, Any] = {"event": type(event).__name__}
+    payload.update(dataclasses.asdict(event))
+    return payload
+
+
+class JsonlEventSink:
+    """Writes session events as JSON Lines — one object per event.
+
+    Accepts a path (opened for append-less overwrite, closed by
+    :meth:`close`) or any text file object (left open — the caller owns
+    it).  Each record carries the event fields, the event type under
+    ``"event"``, and a wall-clock ``"ts"`` (seconds since the epoch).
+    Writes are locked and flushed per event, so a session driving
+    several jobs from several threads produces whole, ordered lines
+    that an external ``tail -f`` consumer can parse immediately.
+
+    Usable directly as an ``on_event`` callback, or through the
+    ``Session(event_sink=...)`` convenience::
+
+        with Session(config, event_sink="events.jsonl") as session:
+            session.run("coverage", "fig2")
+    """
+
+    def __init__(self, destination: Union[str, Path, io.TextIOBase]) -> None:
+        if isinstance(destination, (str, Path)):
+            self._file = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = destination
+            self._owns_file = False
+        self._lock = threading.Lock()
+        self._closed = False
+        self.n_events = 0
+
+    def __call__(self, event: SessionEvent) -> None:
+        record = event_to_dict(event)
+        record["ts"] = time.time()
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+            self.n_events += 1
+
+    def close(self) -> None:
+        """Flush and (for path destinations) close the underlying file."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

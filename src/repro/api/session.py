@@ -49,6 +49,7 @@ from repro.api.events import (
     EventCallback,
     JobFinished,
     JobStarted,
+    JsonlEventSink,
     RoundFinished,
     RoundStarted,
     SessionEvent,
@@ -167,9 +168,18 @@ class Session:
     a :class:`~repro.core.pool.WorkerPool`; ``config.pool`` injects an
     externally owned pool instead (shared across sessions, never closed
     by this one).  ``on_event`` receives every job's typed progress
-    events (see :mod:`repro.api.events`).  ``max_parallel_jobs`` caps
-    how many submitted jobs drive rounds concurrently (default: the
-    worker count).
+    events (see :mod:`repro.api.events`); ``event_sink`` additionally
+    mirrors them machine-readably — pass a path/file to get a JSONL
+    stream (:class:`~repro.api.events.JsonlEventSink`, owned and closed
+    by the session) or any callback.  ``max_parallel_jobs`` caps how
+    many submitted jobs drive rounds concurrently (default: the worker
+    count).
+
+    Targets are first-class (:mod:`repro.api.targets`): ``submit`` /
+    ``run`` accept a suite program name, a Python callable or
+    ``pkg.mod:fn`` / ``file.py::fn`` spec (lowered through the
+    Python→FPIR frontend), a constraint string (``sat``), a ready
+    Program/Formula, or an explicit :class:`~repro.api.targets.Target`.
     """
 
     def __init__(
@@ -177,9 +187,21 @@ class Session:
         config: Optional[EngineConfig] = None,
         on_event: Optional[EventCallback] = None,
         max_parallel_jobs: Optional[int] = None,
+        event_sink: Optional[Any] = None,
     ) -> None:
         self.config = config or EngineConfig()
         self._on_event = on_event
+        # event_sink: a JSONL destination every event is mirrored to —
+        # a path/file (wrapped in a JsonlEventSink owned and closed by
+        # the session) or a ready callback (caller-owned).
+        self._event_sink: Optional[EventCallback] = None
+        self._owns_sink = False
+        if event_sink is not None:
+            if callable(event_sink):
+                self._event_sink = event_sink
+            else:
+                self._event_sink = JsonlEventSink(event_sink)
+                self._owns_sink = True
         if self.config.pool is not None:
             self._pool: Optional[WorkerPool] = self.config.pool
             self._owns_pool = False
@@ -225,6 +247,8 @@ class Session:
             threads.shutdown(wait=True)
         if self._owns_pool and self._pool is not None:
             self._pool.close()
+        if self._owns_sink and self._event_sink is not None:
+            self._event_sink.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -336,8 +360,9 @@ class Session:
             name = analysis
         else:
             name = getattr(analysis, "name", "") or str(analysis)
-        target_name = target if isinstance(target, str) else str(target)
-        return JobHandle(job_id, str(name), target_name)
+        from repro.api.targets import describe_target
+
+        return JobHandle(job_id, str(name), describe_target(target))
 
     def _ensure_threads(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -357,6 +382,8 @@ class Session:
     ) -> None:
         if self._on_event is not None:
             self._on_event(event)
+        if self._event_sink is not None:
+            self._event_sink(event)
         if extra is not None:
             extra(event)
 
@@ -525,8 +552,12 @@ class Session:
         report: AnalysisReport = instance.finish(state)
         report.analysis = name
         if not report.target:
+            from repro.api.targets import Target
+
             if isinstance(target, str):
                 report.target = target
+            elif isinstance(target, Target):
+                report.target = target.describe()
             else:
                 report.target = instance.describe_target(resolved)
         report.n_evals = n_evals

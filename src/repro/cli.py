@@ -3,12 +3,21 @@
 Usage (via ``python -m repro``)::
 
     python -m repro list
+    python -m repro targets [--resolve SPEC]
     python -m repro run overflow gsl-bessel [--seed N] [--workers N]
     python -m repro run sat "x < 1 && x + 1 >= 2" [--metric ulp|naive]
     python -m repro run coverage fig2 --smoke
     python -m repro run path fig2 --workers 4 --racing --progress
+    python -m repro run boundary --target examples/python_targets.py::fig2
+    python -m repro run overflow --target mypkg.models:price --events-out ev.jsonl
     python -m repro batch --analyses fpod,coverage --workers 4
     python -m repro batch --analyses sat --formulas constraints.txt
+    python -m repro batch --targets fig2,examples/python_targets.py::fig1a
+
+``--target`` accepts first-class target specs (:mod:`repro.api.targets`):
+a suite program name, ``pkg.mod:fn``, or ``file.py::fn`` — the latter
+two lower the named Python function to FPIR through
+:mod:`repro.fpir.frontend`.
 
 ``repro run <analysis>`` subcommands and the ``repro list`` output are
 *generated* from :mod:`repro.api.registry`: registering a new
@@ -88,6 +97,16 @@ def _engine_arguments(cmd: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="stream per-round progress events to stderr",
     )
+    cmd.add_argument(
+        "--target", dest="target_spec", default=None, metavar="SPEC",
+        help="target spec overriding the positional target: a suite "
+             "program name, pkg.mod:fn, or file.py::fn (the Python "
+             "frontend lowers the function to FPIR)",
+    )
+    cmd.add_argument(
+        "--events-out", dest="events_out", default=None, metavar="PATH",
+        help="write every session event as JSON Lines to PATH",
+    )
 
 
 def _analysis_parser(sub, command: str, analysis_name: str) -> None:
@@ -116,13 +135,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser(
-        "list", help="list registered analyses and programs"
+    sub.add_parser("list", help="list registered analyses and programs")
+
+    targets = sub.add_parser(
+        "targets",
+        help="list registered program targets and the target-spec "
+             "grammar",
+    )
+    targets.add_argument(
+        "--resolve", metavar="SPEC", default=None,
+        help="resolve SPEC (suite name, pkg.mod:fn, or file.py::fn) "
+             "and show the lowered program's signature",
     )
 
-    run = sub.add_parser(
-        "run", help="run a registered analysis through the engine"
-    )
+    run = sub.add_parser("run", help="run a registered analysis through the engine")
     runsub = run.add_subparsers(dest="analysis_command", required=True)
     for name in available_analyses():
         cls = get_analysis(name)
@@ -144,9 +170,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated analyses (fpod, coverage, boundary, path)",
     )
     batch.add_argument(
+        "--targets",
         "--programs",
+        dest="targets",
         default=None,
-        help="comma-separated program names (default: all registered)",
+        help="comma-separated targets: suite program names and/or "
+             "Python-frontend specs pkg.mod:fn / file.py::fn "
+             "(default: all registered programs; --programs is a "
+             "deprecated alias)",
     )
     batch.add_argument(
         "--workers",
@@ -177,6 +208,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="stream per-job progress events to stderr",
     )
+    batch.add_argument(
+        "--events-out", dest="events_out", default=None, metavar="PATH",
+        help="write every campaign event as JSON Lines to PATH",
+    )
     return parser
 
 
@@ -190,6 +225,35 @@ def _cmd_list() -> int:
     print("programs:")
     for name in list_programs():
         print(f"  {name}")
+    return 0
+
+
+def _cmd_targets(args) -> int:
+    from repro.api import TargetError, parse_target_spec
+    from repro.fpir.frontend import FrontendError
+    from repro.programs import list_programs
+
+    if args.resolve is not None:
+        try:
+            target = parse_target_spec(args.resolve)
+            program = target.resolve()
+        except (TargetError, FrontendError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        params = ", ".join(p.name for p in program.entry_function.params)
+        print(f"{target.describe()}: entry {program.entry}({params})")
+        print(
+            f"  {len(program.functions)} function(s), "
+            f"{program.num_inputs} double input(s)"
+        )
+        return 0
+    print("suite programs (repro run <analysis> <name>):")
+    for name in list_programs():
+        print(f"  {name}")
+    print("python targets (repro run <analysis> --target SPEC):")
+    print("  pkg.mod:fn      import pkg.mod, lower fn via the frontend")
+    print("  file.py::fn     lower fn from a Python source file")
+    print("sat targets: constraint text, e.g. \"x < 1 && x + 1 >= 2\"")
     return 0
 
 
@@ -274,9 +338,21 @@ def _cmd_run(args) -> int:
         max_rounds=max_rounds,
         deterministic=not args.racing,
     )
+    target = args.target_spec if args.target_spec else args.target
     on_event = _progress_printer() if args.progress else None
-    with Session(config=config, on_event=on_event) as session:
-        report = session.run(args.analysis, args.target, **options)
+    from repro.api import TargetError
+    from repro.fpir.frontend import FrontendError
+
+    try:
+        with Session(
+            config=config, on_event=on_event, event_sink=args.events_out
+        ) as session:
+            report = session.run(args.analysis, target, **options)
+    except (TargetError, FrontendError) as exc:
+        # Bad spec / unsupported Python subset: show the located
+        # diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(cls.render(report))
     return 0
 
@@ -286,11 +362,7 @@ def _cmd_batch(args) -> int:
     from repro.util.tables import format_table
 
     analyses = [a for a in args.analyses.split(",") if a]
-    programs = (
-        [p for p in args.programs.split(",") if p]
-        if args.programs
-        else None
-    )
+    targets = ([t for t in args.targets.split(",") if t] if args.targets else None)
     program_analyses = [a for a in analyses if a != "sat"]
     jobs = []
     try:
@@ -316,7 +388,7 @@ def _cmd_batch(args) -> int:
             jobs.extend(
                 suite_jobs(
                     analyses=program_analyses,
-                    programs=programs,
+                    targets=targets,
                     seed=args.seed,
                     niter=args.niter,
                     rounds=args.rounds,
@@ -328,7 +400,12 @@ def _cmd_batch(args) -> int:
         return 2
     n_workers = args.workers or os.cpu_count() or 1
     on_event = _progress_printer() if args.progress else None
-    results = run_batch(jobs, n_workers=n_workers, on_event=on_event)
+    results = run_batch(
+        jobs,
+        n_workers=n_workers,
+        on_event=on_event,
+        event_sink=args.events_out,
+    )
     rows = [
         (
             r.job.analysis,
@@ -348,6 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "targets":
+        return _cmd_targets(args)
     if args.command == "batch":
         return _cmd_batch(args)
     return _cmd_run(args)

@@ -12,13 +12,16 @@ reused across jobs, and a program analyzed by several jobs is rebuilt
 and compiled once per worker instead of once per job.
 
 Each :class:`BatchJob` is a self-contained description (analysis name,
-target, seed, budget knobs); the registered analysis's
+target spec, seed, budget knobs); the registered analysis's
 ``batch_options``/``summarize``/``metrics`` hooks supply the
 translation, so a new registered analysis is batch-runnable for free.
-Besides the program cross product (:func:`suite_jobs`), SAT campaigns
-fan a whole constraint corpus through the solver
-(:func:`formula_jobs` / :func:`read_formula_sources`) — one formula
-per line of a file, or one per ``.smt2``-style file of a directory.
+Campaigns cross analyses over first-class *targets*
+(:mod:`repro.api.targets`): :func:`suite_jobs` accepts any mix of
+suite-registry names and Python-frontend specs (``pkg.mod:fn``,
+``file.py::fn``), defaulting to the whole suite.  SAT campaigns fan a
+whole constraint corpus through the solver (:func:`formula_jobs` /
+:func:`read_formula_sources`) — one formula per line of a file, or one
+per ``.smt2``-style file of a directory.
 
 A failing job never takes the campaign down: its traceback summary is
 captured on the :class:`BatchResult` and the remaining jobs keep
@@ -29,49 +32,85 @@ from __future__ import annotations
 
 import dataclasses
 import traceback
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-#: Default campaign analyses (any registered program-taking analysis —
+#: Default campaign analyses (any registered program-kind analysis —
 #: canonical name or alias — is accepted, these are just the default).
 BATCH_ANALYSES = ("fpod", "coverage", "boundary", "path")
 
 
 def _batch_runnable(name: str) -> bool:
-    """Can ``name`` be crossed with the program suite?"""
+    """Can ``name`` be crossed with program-kind targets?"""
     from repro.api import get_analysis
 
     try:
         cls = get_analysis(name)
     except KeyError:
         return False
-    return cls.takes_program
+    return cls.target_kind == "program"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, init=False)
 class BatchJob:
-    """One analysis run over one target (suite program or formula)."""
+    """One analysis run over one target."""
 
     analysis: str
-    #: The engine target: a suite program name, or (``sat``) the
+    #: The engine target spec: a suite program name, a Python-frontend
+    #: spec (``pkg.mod:fn`` / ``file.py::fn``), or (``sat``) the
     #: constraint text itself.
-    program: str
+    target: str
     seed: Optional[int] = None
     #: Budget knobs, as a tuple of pairs so the job stays hashable:
     #: ``niter`` (backend iterations), ``rounds`` (driver rounds /
     #: starts), ``max_samples`` (boundary-analysis sample cap),
     #: ``n_starts`` (sat starts).
     params: Tuple[Tuple[str, Any], ...] = ()
-    #: Display name for campaign tables (defaults to ``program``; set
+    #: Display name for campaign tables (defaults to ``target``; set
     #: for formula jobs, whose constraint text makes a poor column).
     label: str = ""
+
+    def __init__(
+        self,
+        analysis: str,
+        target: Optional[str] = None,
+        seed: Optional[int] = None,
+        params: Tuple[Tuple[str, Any], ...] = (),
+        label: str = "",
+        program: Optional[str] = None,
+    ) -> None:
+        if target is None:
+            if program is None:
+                raise TypeError("BatchJob requires a target")
+            warnings.warn(
+                "BatchJob(program=...) is deprecated; use target=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            target = program
+        elif program is not None:
+            raise TypeError(
+                "BatchJob got both target= and its deprecated alias "
+                "program=; pass target= only"
+            )
+        object.__setattr__(self, "analysis", analysis)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "params", tuple(params))
+        object.__setattr__(self, "label", label)
+
+    @property
+    def program(self) -> str:
+        """Deprecated alias of :attr:`target`."""
+        return self.target
 
     def param(self, name: str, default: Any = None) -> Any:
         return dict(self.params).get(name, default)
 
     @property
     def display(self) -> str:
-        return self.label or self.program
+        return self.label or self.target
 
 
 @dataclasses.dataclass
@@ -91,31 +130,75 @@ class BatchResult:
 
 def suite_jobs(
     analyses: Optional[Sequence[str]] = None,
-    programs: Optional[Sequence[str]] = None,
+    targets: Optional[Sequence[str]] = None,
     seed: Optional[int] = None,
     niter: int = 30,
     rounds: int = 20,
     max_samples: Optional[int] = None,
     racing: bool = False,
+    programs: Optional[Sequence[str]] = None,
 ) -> List[BatchJob]:
-    """The cross product: every requested analysis on every program.
+    """The cross product: every requested analysis on every target.
 
-    ``racing=True`` runs every job in the engine's non-deterministic
-    racing mode (first zero cancels the round's remaining starts —
-    faster, same verdicts, representatives may differ between runs).
+    ``targets`` mixes suite-registry names with Python-frontend specs
+    (``pkg.mod:fn``, ``file.py::fn``) and defaults to the whole suite.
+    Every target is validated up front so typos fail the campaign
+    before any job runs: suite names against the registry, file specs
+    by fully lowering the file (cached, so the jobs reuse the result),
+    module specs by locating the module without executing it (parent
+    packages of a dotted path are imported, as the import machinery
+    requires) — only a bad *entry name* inside an otherwise-importable
+    module is left to surface at job time.  ``programs`` is the deprecated pre-Target
+    spelling of ``targets``.  ``racing=True`` runs every job in the
+    engine's non-deterministic racing mode (first zero cancels the
+    round's remaining starts — faster, same verdicts, representatives
+    may differ between runs).
     """
+    from repro.api.targets import (
+        ProgramTarget,
+        PythonTarget,
+        TargetError,
+        parse_target_spec,
+    )
+    from repro.fpir.frontend import FrontendError
     from repro.programs import list_programs
 
+    if programs is not None:
+        warnings.warn(
+            "suite_jobs(programs=...) is deprecated; use targets=",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if targets is None:
+            targets = programs
     if analyses is None:
         analyses = BATCH_ANALYSES
-    if programs is None:
-        programs = list_programs()
+    if targets is None:
+        targets = list_programs()
     unknown = sorted({a for a in analyses if not _batch_runnable(a)})
     if unknown:
         raise ValueError(
-            f"unknown analyses {unknown}; known program-taking "
+            f"unknown analyses {unknown}; known program-kind "
             f"analyses include {list(BATCH_ANALYSES)}"
         )
+    suite = set(list_programs())
+    resolved = []
+    for spec in targets:
+        try:
+            target = parse_target_spec(spec)
+        except TargetError as exc:
+            raise ValueError(f"bad target {spec!r}: {exc}") from exc
+        if isinstance(target, ProgramTarget) and target.name not in suite:
+            raise ValueError(
+                f"unknown program {spec!r}; registered: {sorted(suite)} "
+                "(or use a pkg.mod:fn / file.py::fn Python target)"
+            )
+        if isinstance(target, PythonTarget):
+            try:
+                target.check()
+            except (TargetError, FrontendError) as exc:
+                raise ValueError(f"bad target {spec!r}: {exc}") from exc
+        resolved.append((spec, target))
     params = (
         ("niter", niter),
         ("rounds", rounds),
@@ -123,9 +206,15 @@ def suite_jobs(
         ("racing", racing),
     )
     return [
-        BatchJob(analysis=a, program=p, seed=seed, params=params)
+        BatchJob(
+            analysis=a,
+            target=spec,
+            seed=seed,
+            params=params,
+            label=target.describe(),
+        )
         for a in analyses
-        for p in programs
+        for spec, target in resolved
     ]
 
 
@@ -191,7 +280,7 @@ def formula_jobs(
     return [
         BatchJob(
             analysis="sat",
-            program=constraint,
+            target=constraint,
             seed=seed,
             params=params,
             label=label,
@@ -228,7 +317,7 @@ def _job_request(job: BatchJob):
     )
     return JobRequest(
         analysis=job.analysis,
-        target=job.program,
+        target=job.target,
         options=options,
         config=config,
     )
@@ -239,6 +328,7 @@ def run_batch(
     n_workers: int = 1,
     session=None,
     on_event=None,
+    event_sink=None,
 ) -> List[BatchResult]:
     """Run ``jobs`` through one shared worker-pool session.
 
@@ -249,14 +339,16 @@ def run_batch(
     session with ``n_workers`` processes is created for the campaign
     and torn down after.  ``on_event`` streams every job's typed
     progress events (:mod:`repro.api.events`); it is attached per job,
-    so it works with an injected session too.
+    so it works with an injected session too.  ``event_sink`` mirrors
+    the events machine-readably (a JSONL path/file or callback; only
+    honored when the campaign builds its own session).
     """
     from repro.api import EngineConfig, Session
 
     results: Dict[int, BatchResult] = {}
     own_session = session is None
     if own_session:
-        session = Session(EngineConfig(n_workers=n_workers))
+        session = Session(EngineConfig(n_workers=n_workers), event_sink=event_sink)
     try:
         handles: List[Tuple[int, Any]] = []
         for index, job in enumerate(jobs):

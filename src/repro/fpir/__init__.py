@@ -5,7 +5,9 @@ This package is the reproduction's substrate for the paper's
 
 * an AST (:mod:`repro.fpir.nodes`) and program container
   (:mod:`repro.fpir.program`),
-* a construction DSL (:mod:`repro.fpir.builder`),
+* a construction DSL (:mod:`repro.fpir.builder`) and a Python→FPIR
+  frontend lowering a restricted Python subset
+  (:mod:`repro.fpir.frontend`),
 * three-address normalization (:mod:`repro.fpir.normalize`) and
   instruction labelling (:mod:`repro.fpir.labels`),
 * a reference interpreter (:mod:`repro.fpir.interpreter`) and a
@@ -17,6 +19,12 @@ This package is the reproduction's substrate for the paper's
 
 from repro.fpir.compiler import CompiledProgram, compile_program
 from repro.fpir.exact import ExactInterpreter, run_exact
+from repro.fpir.frontend import (
+    FrontendError,
+    lower_callable,
+    lower_file,
+    lower_source,
+)
 from repro.fpir.instrument import (
     InstrumentationSpec,
     InstrumentedProgram,
@@ -42,6 +50,7 @@ __all__ = [
     "ExactInterpreter",
     "ExecutionContext",
     "ExecutionResult",
+    "FrontendError",
     "Function",
     "HaltExecution",
     "InstrumentationSpec",
@@ -57,6 +66,9 @@ __all__ = [
     "check",
     "compile_program",
     "instrument",
+    "lower_callable",
+    "lower_file",
+    "lower_source",
     "normalize_program",
     "pretty_expr",
     "pretty_function",

@@ -241,9 +241,7 @@ class FunctionBuilder:
 class _IfHandle:
     """Handle returned by :meth:`FunctionBuilder.if_`; provides ``orelse``."""
 
-    def __init__(
-        self, fb: FunctionBuilder, cond: Expr, then: List[Stmt]
-    ) -> None:
+    def __init__(self, fb: FunctionBuilder, cond: Expr, then: List[Stmt]) -> None:
         self.fb = fb
         self.cond = cond
         self.then = then

@@ -42,9 +42,11 @@ Number = Union[Fraction, float, int]
 
 
 def _is_exactable(x: Any) -> bool:
-    return isinstance(x, Fraction) or (
-        isinstance(x, float) and math.isfinite(x)
-    ) or isinstance(x, int)
+    return (
+        isinstance(x, Fraction)
+        or (isinstance(x, float) and math.isfinite(x))
+        or isinstance(x, int)
+    )
 
 
 def _frac(x: Number) -> Fraction:
@@ -100,9 +102,7 @@ class ExactInterpreter(Interpreter):
         self._bin_table = self._EXACT_BIN
 
     def _call_external(self, name, args):
-        floated = [
-            float(a) if isinstance(a, Fraction) else a for a in args
-        ]
+        floated = [float(a) if isinstance(a, Fraction) else a for a in args]
         return super()._call_external(name, floated)
 
     def run(
@@ -111,8 +111,7 @@ class ExactInterpreter(Interpreter):
         ctx: Optional[ExecutionContext] = None,
     ) -> ExecutionResult:
         exact_args = [
-            Fraction(a) if _is_exactable(a) and not isinstance(a, bool)
-            else a
+            Fraction(a) if _is_exactable(a) and not isinstance(a, bool) else a
             for a in args
         ]
         result = super().run(exact_args, ctx)

@@ -1,0 +1,949 @@
+"""Python → FPIR frontend: lower a restricted Python subset to FPIR.
+
+The paper's Client layer (§5.1) says the user "provides the program
+under analysis".  Hand-writing :class:`~repro.fpir.builder.
+FunctionBuilder` code is fine for porting GSL, but it makes *every new
+scenario* a change to this repository.  This module closes that gap:
+any Python function written in the floats-only subset below lowers to
+an ordinary FPIR :class:`~repro.fpir.program.Program`, so the whole
+analysis stack — instrumentation, the interpreter/compiler pair, the
+parallel multi-start engine — applies to it unchanged::
+
+    def prog(x):
+        if x <= 1.0:
+            x = x + 1.0
+        y = x * x
+        if y <= 4.0:
+            x = x - 1.0
+        return x
+
+    program = lower_callable(prog)          # a 1-input FPIR Program
+
+The supported subset (anything else raises :class:`FrontendError`
+pointing at the offending source line):
+
+* ``def`` with plain positional parameters — every parameter is an
+  IEEE binary64 double (``dom(Prog) = F^N``);
+* assignments (plain, annotated, augmented) to simple names;
+* ``if``/``elif``/``else``, ``while``, ``return``, ``pass``,
+  docstrings;
+* float arithmetic ``+ - * /`` (lowered to ``fadd``/``fsub``/
+  ``fmul``/``fdiv``), ``**`` (lowered to the ``pow`` external), unary
+  ``-``/``+``, comparisons (including chains), ``and``/``or``/``not``,
+  conditional expressions ``a if c else b``;
+* numeric literals (lowered to double constants, as in C) and module
+  constants bound to plain numbers;
+* calls to ``math.*`` functions with a registered FPIR external
+  (``sqrt``, ``sin``, ``cos``, ``tan``, ``exp``, ``log``, ``pow``,
+  ``floor``, ``fabs``, ``ldexp``), the ``abs`` builtin (lowered to
+  ``fabs``), and calls to *helper functions* — other Python functions
+  in the same module/source, which are lowered recursively into the
+  same program.
+
+Chained comparisons (``a < b < c``) duplicate their middle operands;
+the subset has no side effects, so this is semantics-preserving.
+
+Three entry points cover the Target API's spec forms
+(:mod:`repro.api.targets`): :func:`lower_callable` for function
+objects, :func:`lower_source` for source text, :func:`lower_file` for
+``file.py::function`` specs.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import linecache
+import textwrap
+import types
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from repro.fpir.nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    If,
+    Return,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+from repro.fpir.program import Function, Param, Program
+from repro.fpir.validate import validate
+
+
+class FrontendError(Exception):
+    """A construct outside the supported Python subset.
+
+    Carries the source location and line so callers (the CLI, tests)
+    can show *where* the lowering failed, not just why.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: Optional[ast.AST] = None,
+        source_lines: Optional[Sequence[str]] = None,
+        filename: str = "<python>",
+        hint: str = "",
+    ) -> None:
+        self.reason = message
+        self.filename = filename
+        self.hint = hint
+        self.lineno = getattr(node, "lineno", None)
+        self.col_offset = getattr(node, "col_offset", None)
+        self.source_line = ""
+        if (
+            self.lineno is not None
+            and source_lines is not None
+            and 1 <= self.lineno <= len(source_lines)
+        ):
+            self.source_line = source_lines[self.lineno - 1].rstrip()
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        parts = [self.reason]
+        if self.lineno is not None:
+            parts[0] = f"{self.filename}:{self.lineno}: {self.reason}"
+        if self.source_line:
+            parts.append(f"    {self.source_line}")
+            if self.col_offset is not None:
+                parts.append("    " + " " * self.col_offset + "^")
+        if self.hint:
+            parts.append(f"hint: {self.hint}")
+        return "\n".join(parts)
+
+
+#: Python binary operators → FPIR float opcodes.
+_BINOPS = {
+    ast.Add: "fadd",
+    ast.Sub: "fsub",
+    ast.Mult: "fmul",
+    ast.Div: "fdiv",
+}
+
+#: Python comparison operators → FPIR comparison opcodes.
+_CMPOPS = {
+    ast.Lt: "lt",
+    ast.LtE: "le",
+    ast.Gt: "gt",
+    ast.GtE: "ge",
+    ast.Eq: "eq",
+    ast.NotEq: "ne",
+}
+
+#: ``math`` attributes with a same-named registered FPIR external.
+MATH_EXTERNALS = (
+    "sqrt",
+    "pow",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "tan",
+    "floor",
+    "fabs",
+    "ldexp",
+)
+
+#: Builtins lowered to externals.
+_BUILTIN_EXTERNALS = {"abs": "fabs"}
+
+
+def _is_boolean_shaped(node: ast.expr) -> bool:
+    """Does ``node`` evaluate to a bool in Python (so Python's
+    operand-returning ``and``/``or`` and FPIR's boolean one agree)?"""
+    if isinstance(node, ast.Compare):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return True
+    if isinstance(node, ast.BoolOp):
+        return all(_is_boolean_shaped(value) for value in node.values)
+    return False
+
+
+def _assigned_names(fn_def: ast.FunctionDef) -> Set[str]:
+    """Every name the function body assigns (Python makes them local)."""
+    names: Set[str] = set()
+    for node in ast.walk(fn_def):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+class _ModuleEnv:
+    """Name-resolution context shared by all functions being lowered.
+
+    The source-text entry points populate it by scanning module-level
+    statements; :class:`_CallableEnv` resolves through a live
+    function's ``__globals__`` instead.
+    """
+
+    def __init__(
+        self,
+        defs: Dict[str, ast.FunctionDef],
+        constants: Dict[str, float],
+        math_names: Set[str],
+        math_functions: Dict[str, str],
+        source_lines: Sequence[str],
+        filename: str,
+    ) -> None:
+        self._defs = defs
+        self._constants = constants
+        self._math_names = math_names
+        self._math_functions = math_functions
+        self.source_lines = source_lines
+        self.filename = filename
+        #: Helper names already lowered (or being lowered — recursion).
+        self.lowered: Set[str] = set()
+        self.functions: List[Function] = []
+
+    # -- name resolution (overridable) --------------------------------------
+
+    def function_def(self, name: str) -> Optional[ast.FunctionDef]:
+        """The helper definition bound to ``name``, if any."""
+        return self._defs.get(name)
+
+    def constant(self, name: str) -> Optional[float]:
+        """The module-level numeric constant bound to ``name``, if any."""
+        return self._constants.get(name)
+
+    def is_math_module(self, name: str) -> bool:
+        """Is ``name`` bound to the ``math`` module?"""
+        return name in self._math_names
+
+    def math_external(self, name: str) -> Optional[str]:
+        """External for a bare name bound to a supported math function."""
+        return self._math_functions.get(name)
+
+    # -- shared machinery ---------------------------------------------------
+
+    def known_functions(self) -> List[str]:
+        return sorted(self._defs)
+
+    def error(
+        self, message: str, node: Optional[ast.AST] = None, hint: str = ""
+    ) -> FrontendError:
+        return FrontendError(
+            message,
+            node=node,
+            source_lines=self.source_lines,
+            filename=self.filename,
+            hint=hint,
+        )
+
+    def lower_function(self, name: str) -> str:
+        """Lower the function bound to ``name`` (once) and return the
+        name it carries inside the lowered program.
+
+        In source mode bindings and definitions share a namespace, so
+        the two names coincide; :class:`_CallableEnv` maps aliased
+        bindings (``from m import f as g``) onto the definition name.
+        """
+        if name not in self.lowered:
+            self.lowered.add(name)
+            fn_ast = self.function_def(name)
+            assert fn_ast is not None
+            self.functions.append(_FunctionLowerer(fn_ast, self).lower())
+        return name
+
+
+class _FunctionLowerer:
+    """Lowers one ``ast.FunctionDef`` to an FPIR :class:`Function`."""
+
+    def __init__(self, fn: ast.FunctionDef, env: _ModuleEnv) -> None:
+        self.fn = fn
+        self.env = env
+        self.params = self._params()
+        #: Names assigned so far, in lowering order (resolvable reads).
+        self.locals: Set[str] = set(self.params)
+        #: Names assigned *anywhere* in the function.  Python scoping
+        #: makes these local throughout the body, so a read before the
+        #: first assignment must not fall back to a module constant.
+        self.assigned = set(self.params) | _assigned_names(fn)
+
+    # -- signature ----------------------------------------------------------
+
+    def _params(self) -> List[str]:
+        args = self.fn.args
+        for what, present in (
+            ("*args", args.vararg),
+            ("**kwargs", args.kwarg),
+        ):
+            if present is not None:
+                raise self.env.error(
+                    f"function {self.fn.name!r} uses {what}; only plain "
+                    "positional parameters are supported",
+                    node=present,
+                )
+        if args.posonlyargs or args.kwonlyargs:
+            raise self.env.error(
+                f"function {self.fn.name!r} uses positional-only or "
+                "keyword-only parameters; only plain parameters are "
+                "supported",
+                node=self.fn,
+            )
+        if args.defaults or args.kw_defaults:
+            raise self.env.error(
+                f"function {self.fn.name!r} has parameter defaults; "
+                "every parameter is a required double",
+                node=self.fn,
+            )
+        if self.fn.decorator_list:
+            raise self.env.error(
+                f"function {self.fn.name!r} is decorated; decorators "
+                "change calling semantics and cannot be lowered",
+                node=self.fn.decorator_list[0],
+            )
+        return [a.arg for a in args.args]
+
+    def lower(self) -> Function:
+        body = self._block(self.fn.body, allow_docstring=True)
+        return Function(
+            name=self.fn.name,
+            params=[Param(name) for name in self.params],
+            body=Block(tuple(body)),
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(
+        self, stmts: Sequence[ast.stmt], allow_docstring: bool = False
+    ) -> List[Stmt]:
+        out: List[Stmt] = []
+        for index, stmt in enumerate(stmts):
+            if (
+                allow_docstring
+                and index == 0
+                and isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                continue
+            out.extend(self._stmt(stmt))
+        return out
+
+    def _stmt(self, stmt: ast.stmt) -> List[Stmt]:
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1:
+                raise self.env.error(
+                    "multiple assignment targets are not supported",
+                    node=stmt,
+                )
+            return [self._assign(stmt.targets[0], stmt.value, stmt)]
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                raise self.env.error(
+                    "annotated declaration without a value has no FPIR "
+                    "equivalent",
+                    node=stmt,
+                )
+            return [self._assign(stmt.target, stmt.value, stmt)]
+        if isinstance(stmt, ast.AugAssign):
+            op = _BINOPS.get(type(stmt.op))
+            if op is None:
+                raise self.env.error(
+                    f"augmented assignment operator "
+                    f"{type(stmt.op).__name__!r} is not supported "
+                    "(only += -= *= /=)",
+                    node=stmt,
+                )
+            if not isinstance(stmt.target, ast.Name):
+                raise self.env.error(
+                    "augmented assignment target must be a simple name",
+                    node=stmt,
+                )
+            name = stmt.target.id
+            if name not in self.locals:
+                raise self.env.error(
+                    f"augmented assignment to undefined variable {name!r}",
+                    node=stmt,
+                )
+            return [Assign(name, BinOp(op, Var(name), self._expr(stmt.value)))]
+        if isinstance(stmt, ast.If):
+            cond = self._expr(stmt.test, as_condition=True)
+            then = self._block(stmt.body)
+            orelse = self._block(stmt.orelse)
+            return [If(cond, Block(tuple(then)), Block(tuple(orelse)))]
+        if isinstance(stmt, ast.While):
+            if stmt.orelse:
+                raise self.env.error("while/else is not supported", node=stmt.orelse[0])
+            cond = self._expr(stmt.test, as_condition=True)
+            body = self._block(stmt.body)
+            return [While(cond, Block(tuple(body)))]
+        if isinstance(stmt, ast.Return):
+            value = None if stmt.value is None else self._expr(stmt.value)
+            return [Return(value)]
+        if isinstance(stmt, ast.Pass):
+            return []
+        if isinstance(stmt, ast.Assert):
+            raise self.env.error(
+                "assert statements are not supported",
+                node=stmt,
+                hint="model assertion failure as a flag variable the "
+                "entry returns (see examples/python_targets.py)",
+            )
+        if isinstance(stmt, ast.For):
+            raise self.env.error(
+                "for loops are not supported (FPIR has no iterables)",
+                node=stmt,
+                hint="rewrite as a while loop over a float counter",
+            )
+        if isinstance(stmt, ast.Expr):
+            raise self.env.error(
+                "expression statements have no effect in the pure "
+                "subset and are not supported",
+                node=stmt,
+            )
+        raise self.env.error(
+            f"{type(stmt).__name__} statements are not supported",
+            node=stmt,
+        )
+
+    def _assign(self, target: ast.expr, value: ast.expr, stmt: ast.stmt) -> Stmt:
+        if not isinstance(target, ast.Name):
+            raise self.env.error(
+                "assignment target must be a simple name "
+                "(no tuples, attributes, or subscripts)",
+                node=stmt,
+            )
+        expr = self._expr(value)
+        self.locals.add(target.id)
+        return Assign(target.id, expr)
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self, node: ast.expr, as_condition: bool = False) -> Expr:
+        """Lower one expression.
+
+        ``as_condition`` marks truthiness positions (``if``/``while``
+        tests, ``not``, the test of a conditional expression), where
+        Python's operand-returning ``and``/``or`` and FPIR's boolean
+        ``and``/``or`` agree.  In *value* position they differ
+        (``2.0 and 3.0`` is ``3.0`` in Python, a boolean in FPIR), so
+        there ``and``/``or`` is only accepted over boolean-valued
+        operands — anything else is a located error, never a silent
+        mistranslation.
+        """
+        if isinstance(node, ast.Constant):
+            return self._constant(node)
+        if isinstance(node, ast.Name):
+            return self._name(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._unaryop(node)
+        if isinstance(node, ast.BoolOp):
+            if not as_condition and not all(
+                _is_boolean_shaped(value) for value in node.values
+            ):
+                raise self.env.error(
+                    "and/or returns one of its operands in Python but "
+                    "lowers to a boolean in FPIR; outside a condition "
+                    "it is only supported over boolean operands",
+                    node=node,
+                    hint="select values with `a if cond else b` instead",
+                )
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            expr = self._expr(node.values[0], as_condition)
+            for value in node.values[1:]:
+                expr = BinOp(op, expr, self._expr(value, as_condition))
+            return expr
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.IfExp):
+            return Ternary(
+                self._expr(node.test, as_condition=True),
+                self._expr(node.body, as_condition),
+                self._expr(node.orelse, as_condition),
+            )
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise self.env.error(
+            f"{type(node).__name__} expressions are not supported",
+            node=node,
+        )
+
+    def _constant(self, node: ast.Constant) -> Const:
+        value = node.value
+        if isinstance(value, bool):
+            return Const(value)
+        if isinstance(value, (int, float)):
+            # Numeric literals are doubles, as in C source.
+            return Const(float(value))
+        raise self.env.error(
+            f"constant {value!r} is not a number; the subset is "
+            "floats-only",
+            node=node,
+        )
+
+    def _name(self, node: ast.Name) -> Expr:
+        name = node.id
+        if name in self.locals:
+            return Var(name)
+        if name in self.assigned:
+            raise self.env.error(
+                f"local variable {name!r} is read before its first "
+                "assignment (Python raises UnboundLocalError here)",
+                node=node,
+            )
+        constant = self.env.constant(name)
+        if constant is not None:
+            return Const(constant)
+        if self.env.function_def(name) is not None:
+            raise self.env.error(
+                f"function {name!r} used as a value (only direct calls "
+                "are supported)",
+                node=node,
+            )
+        raise self.env.error(
+            f"undefined variable {name!r} (not a parameter, local, or "
+            "module numeric constant)",
+            node=node,
+        )
+
+    def _binop(self, node: ast.BinOp) -> Expr:
+        if isinstance(node.op, ast.Pow):
+            return Call("pow", (self._expr(node.left), self._expr(node.right)))
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise self.env.error(
+                f"operator {type(node.op).__name__!r} is not supported "
+                "(floats have + - * / and **)",
+                node=node,
+                hint="use math.floor and / for integer-style arithmetic",
+            )
+        return BinOp(op, self._expr(node.left), self._expr(node.right))
+
+    def _unaryop(self, node: ast.UnaryOp) -> Expr:
+        if isinstance(node.op, ast.USub):
+            # Fold negated literals so `-3.0` lowers to the constant the
+            # builder DSL would write (`num(-3.0)`).
+            if isinstance(node.operand, ast.Constant) and isinstance(
+                node.operand.value, (int, float)
+            ):
+                return Const(-float(node.operand.value))
+            return UnOp("fneg", self._expr(node.operand))
+        if isinstance(node.op, ast.UAdd):
+            return self._expr(node.operand)
+        if isinstance(node.op, ast.Not):
+            # `not x` is truthiness in Python and FPIR alike, so the
+            # operand is a condition position.
+            return UnOp("not", self._expr(node.operand, as_condition=True))
+        raise self.env.error(
+            f"unary operator {type(node.op).__name__!r} is not supported",
+            node=node,
+        )
+
+    def _compare(self, node: ast.Compare) -> Expr:
+        operands = [node.left, *node.comparators]
+        parts: List[Expr] = []
+        for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+            cmp_op = _CMPOPS.get(type(op))
+            if cmp_op is None:
+                raise self.env.error(
+                    f"comparison {type(op).__name__!r} is not supported "
+                    "(no is/in)",
+                    node=node,
+                )
+            parts.append(Compare(cmp_op, self._expr(lhs), self._expr(rhs)))
+        expr = parts[0]
+        for part in parts[1:]:
+            expr = BinOp("and", expr, part)
+        return expr
+
+    def _call(self, node: ast.Call) -> Expr:
+        if node.keywords:
+            raise self.env.error(
+                "keyword arguments are not supported in calls",
+                node=node,
+            )
+        args = tuple(self._expr(a) for a in node.args)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and self.env.is_math_module(
+                func.value.id
+            ):
+                if func.attr not in MATH_EXTERNALS:
+                    raise self.env.error(
+                        f"math.{func.attr} has no registered FPIR external",
+                        node=node,
+                        hint="supported: "
+                        + ", ".join(f"math.{n}" for n in MATH_EXTERNALS),
+                    )
+                return Call(func.attr, args)
+            raise self.env.error(
+                "only math.<fn> attribute calls are supported",
+                node=node,
+            )
+        if not isinstance(func, ast.Name):
+            raise self.env.error(
+                "call target must be a simple name or math.<fn>",
+                node=node,
+            )
+        name = func.id
+        if name in self.assigned:
+            raise self.env.error(
+                f"{name!r} is a local variable, not a callable",
+                node=node,
+            )
+        helper = self.env.function_def(name)
+        if helper is not None:
+            want = len(helper.args.args)
+            if len(args) != want:
+                raise self.env.error(
+                    f"call to {name!r} with {len(args)} argument(s); "
+                    f"it takes {want}",
+                    node=node,
+                )
+            return Call(self.env.lower_function(name), args)
+        external = self.env.math_external(name)
+        if external is not None:
+            return Call(external, args)
+        if name in _BUILTIN_EXTERNALS:
+            return Call(_BUILTIN_EXTERNALS[name], args)
+        raise self.env.error(
+            f"call to unknown function {name!r}",
+            node=node,
+            hint="callable helpers must be plain functions in the same "
+            "module/source; math functions must be spelled math.<fn> "
+            "or imported from math",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module-level analysis: helper defs, constants, math bindings
+# ---------------------------------------------------------------------------
+
+
+def _scan_module(
+    tree: ast.Module, source_lines: Sequence[str], filename: str
+) -> _ModuleEnv:
+    """Build the name-resolution context from module-level statements."""
+    defs: Dict[str, ast.FunctionDef] = {}
+    constants: Dict[str, float] = {}
+    math_names: Set[str] = set()
+    math_functions: Dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            defs[stmt.name] = stmt
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "math":
+                    math_names.add(alias.asname or "math")
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module == "math":
+                for alias in stmt.names:
+                    if alias.name in MATH_EXTERNALS:
+                        math_functions[alias.asname or alias.name] = alias.name
+        elif isinstance(stmt, ast.Assign):
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                value = _literal_number(stmt.value)
+                if value is not None:
+                    constants[stmt.targets[0].id] = value
+    return _ModuleEnv(
+        defs=defs,
+        constants=constants,
+        math_names=math_names,
+        math_functions=math_functions,
+        source_lines=source_lines,
+        filename=filename,
+    )
+
+
+def _literal_number(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+class _CallableEnv(_ModuleEnv):
+    """Resolution through a live function's ``__globals__``.
+
+    Helper definitions, numeric constants and ``math`` bindings are
+    looked up lazily, so lowering one function never parses unrelated
+    module code.  Each helper is lowered in a *child* environment
+    backed by the helper's own ``__globals__``, source and filename —
+    a helper imported from another module resolves its constants and
+    its own helpers where it was defined, and its diagnostics point
+    at its real file and line.
+    """
+
+    def __init__(self, fn: types.FunctionType) -> None:
+        fn_def, source_lines, filename = _parse_function(fn)
+        super().__init__(
+            defs={},
+            constants={},
+            math_names=set(),
+            math_functions={},
+            source_lines=source_lines,
+            filename=filename,
+        )
+        self._fn = fn
+        self._globals = fn.__globals__
+        self.entry_def = fn_def
+        #: Binding name -> resolved helper function object.
+        self._objs: Dict[str, types.FunctionType] = {}
+        #: Binding name -> the helper's (or entry's) FunctionDef.
+        self._defs = {fn_def.name: fn_def}
+        #: Definition name -> code object, shared across the child
+        #: environments so two *different* functions can never collide
+        #: silently under one lowered name.
+        self._codes: Dict[str, types.CodeType] = {fn_def.name: fn.__code__}
+
+    def _child(self, fn: types.FunctionType) -> "_CallableEnv":
+        child = _CallableEnv(fn)
+        child.lowered = self.lowered
+        child.functions = self.functions
+        child._codes = self._codes
+        return child
+
+    def function_def(self, name: str) -> Optional[ast.FunctionDef]:
+        cached = self._defs.get(name)
+        if cached is not None:
+            return cached
+        value = self._globals.get(name)
+        if not isinstance(value, types.FunctionType):
+            return None
+        try:
+            helper, _, _ = _parse_function(value)
+        except FrontendError:
+            return None
+        self._defs[name] = helper
+        self._objs[name] = value
+        return helper
+
+    def lower_function(self, name: str) -> str:
+        fn_def = self.function_def(name)
+        assert fn_def is not None
+        canonical = fn_def.name
+        helper = self._objs.get(name)
+        code = self._fn.__code__ if helper is None else helper.__code__
+        prior = self._codes.get(canonical)
+        if prior is not None and prior is not code:
+            raise self.error(
+                f"two different functions named {canonical!r} are "
+                f"reachable from the target (the binding {name!r} "
+                "aliases one of them); rename one so the lowered "
+                "program has unambiguous function names"
+            )
+        if canonical in self.lowered:
+            return canonical
+        self.lowered.add(canonical)
+        self._codes[canonical] = code
+        if helper is None:
+            self.functions.append(_FunctionLowerer(fn_def, self).lower())
+        else:
+            child = self._child(helper)
+            self.functions.append(_FunctionLowerer(child.entry_def, child).lower())
+        return canonical
+
+    def constant(self, name: str) -> Optional[float]:
+        value = self._globals.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        return None
+
+    def is_math_module(self, name: str) -> bool:
+        import math as math_module
+
+        return self._globals.get(name) is math_module
+
+    def math_external(self, name: str) -> Optional[str]:
+        value = self._globals.get(name)
+        if (
+            getattr(value, "__module__", None) == "math"
+            and getattr(value, "__name__", None) in MATH_EXTERNALS
+        ):
+            return value.__name__
+        return None
+
+
+def _parse_function(fn: types.FunctionType):
+    """``(fn_def, source_lines, filename)`` with file-true line numbers.
+
+    The definition is parsed from its dedented source, then its line
+    numbers are shifted back to the enclosing file's, so diagnostics
+    echo the line the user actually wrote (``source_lines`` are the
+    whole file's when it is readable).
+    """
+    try:
+        lines, first_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError) as exc:
+        raise FrontendError(
+            f"cannot recover source for {fn.__qualname__!r} "
+            "(interactively defined functions need a file)"
+        ) from exc
+    source = textwrap.dedent("".join(lines))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - getsource artifacts
+        raise FrontendError(
+            f"cannot parse source of {fn.__qualname__!r}: {exc.msg}"
+        ) from exc
+    fn_def = tree.body[0]
+    if not isinstance(fn_def, ast.FunctionDef):
+        raise FrontendError(
+            f"source of {fn.__qualname__!r} is not a plain function "
+            "definition"
+        )
+    ast.increment_lineno(fn_def, first_line - 1)
+    filename = getattr(fn.__code__, "co_filename", "<python>")
+    file_lines = linecache.getlines(filename)
+    if not file_lines:
+        # No readable file (exec'd code): pad the recovered source so
+        # the shifted line numbers still index correctly.
+        file_lines = [""] * (first_line - 1) + source.splitlines()
+    return fn_def, [line.rstrip("\n") for line in file_lines], filename
+
+
+def _finish(env: _ModuleEnv, entry: str) -> Program:
+    """Assemble, validate and return the lowered program."""
+    # Functions appear in the order their lowering finished (helpers
+    # before callers) — deterministic, which keeps labelling stable.
+    program = Program(env.functions, entry=entry)
+    errors = validate(program)
+    if errors:
+        raise FrontendError(
+            "lowered program failed FPIR validation: " + "; ".join(errors),
+            filename=env.filename,
+        )
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lower_source(
+    source: str,
+    entry: Optional[str] = None,
+    filename: str = "<source>",
+) -> Program:
+    """Lower Python source text to a :class:`Program`.
+
+    ``source`` holds one or more ``def``s; ``entry`` names the entry
+    function (optional when the source defines exactly one).  Helper
+    functions the entry calls are lowered transitively; unrelated
+    definitions are ignored, so one file can hold many targets.
+    """
+    dedented = textwrap.dedent(source)
+    try:
+        tree = ast.parse(dedented)
+    except SyntaxError as exc:
+        raise FrontendError(
+            f"invalid Python source: {exc.msg} (line {exc.lineno})",
+            filename=filename,
+        ) from exc
+    env = _scan_module(tree, dedented.splitlines(), filename)
+    known = env.known_functions()
+    if not known:
+        raise FrontendError("source defines no functions", filename=filename)
+    if entry is None:
+        if len(known) != 1:
+            raise FrontendError(
+                f"source defines {len(known)} functions "
+                f"({', '.join(known)}); pass entry= to pick one",
+                filename=filename,
+            )
+        entry = known[0]
+    if env.function_def(entry) is None:
+        raise FrontendError(
+            f"no function named {entry!r} in source; "
+            f"defined: {', '.join(known)}",
+            filename=filename,
+        )
+    env.lower_function(entry)
+    return _finish(env, entry)
+
+
+def lower_file(path: Union[str, Path], entry: str) -> Program:
+    """Lower ``entry`` from the Python file at ``path``.
+
+    This is the resolver behind ``file.py::function`` target specs.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise FrontendError(f"no Python file at {str(path)!r}")
+    return lower_source(file_path.read_text(), entry=entry, filename=str(path))
+
+
+def lower_callable(fn: Callable, name: Optional[str] = None) -> Program:
+    """Lower a live Python function object to a :class:`Program`.
+
+    The function's source is recovered with :mod:`inspect`; helper
+    functions, numeric constants and the ``math`` module are resolved
+    through the function's ``__globals__``, so ordinary module-level
+    code lowers as written.  ``name`` renames the entry function.
+    """
+    if not isinstance(fn, types.FunctionType):
+        raise FrontendError(
+            f"cannot lower {fn!r}: not a plain Python function "
+            "(builtins and callables without source are unsupported)"
+        )
+    if fn.__closure__:
+        raise FrontendError(
+            f"cannot lower {fn.__qualname__!r}: closures over enclosing "
+            "scopes are not supported (use module-level functions)"
+        )
+    env = _CallableEnv(fn)
+    entry = env.entry_def.name
+    env.lower_function(entry)
+    program = _finish(env, entry)
+    if name is not None and name != entry:
+        program = _rename_entry(program, name)
+    return program
+
+
+def _rename_entry(program: Program, name: str) -> Program:
+    """A copy of ``program`` with its entry function renamed.
+
+    Call sites are rewritten too, so a self-recursive entry stays
+    well-formed under its new name; the rewrite happens on a clone,
+    leaving the input program untouched.
+    """
+    from repro.fpir.walk import iter_stmt_exprs, iter_stmts, iter_subexprs
+
+    old = program.entry
+    program = program.clone()
+    functions = []
+    for fn in program.functions.values():
+        if fn.name == old:
+            fn = Function(
+                name=name,
+                params=fn.params,
+                body=fn.body,
+                return_type=fn.return_type,
+            )
+        functions.append(fn)
+        for stmt in iter_stmts(fn.body):
+            for root in iter_stmt_exprs(stmt):
+                for expr in iter_subexprs(root):
+                    if isinstance(expr, Call) and expr.func == old:
+                        expr.func = name
+    return Program(
+        functions,
+        entry=name,
+        globals=dict(program.globals),
+        arrays=dict(program.arrays),
+    )

@@ -163,9 +163,7 @@ class _Rewriter:
             return []
         return hook(site, stmt)
 
-    def _arm_injections(
-        self, stmt: Union[If, While], taken: bool
-    ) -> List[Stmt]:
+    def _arm_injections(self, stmt: Union[If, While], taken: bool) -> List[Stmt]:
         hook = self.spec.arm_prologue
         if hook is None or stmt.label is None:
             return []
@@ -201,15 +199,12 @@ class _Rewriter:
         if cls is If:
             pre = self._compare_injections(stmt)
             pre += self._branch_injections(stmt)
-            then = self._arm_injections(stmt, True) + list(
-                self.block(stmt.then).stmts
-            )
+            then = self._arm_injections(stmt, True) + list(self.block(stmt.then).stmts)
             orelse = self._arm_injections(stmt, False) + list(
                 self.block(stmt.orelse).stmts
             )
             return pre + [
-                If(stmt.cond, Block(tuple(then)), Block(tuple(orelse)),
-                   stmt.label)
+                If(stmt.cond, Block(tuple(then)), Block(tuple(orelse)), stmt.label)
             ]
         if cls is While:
             pre = self._compare_injections(stmt)
@@ -230,9 +225,7 @@ class _Rewriter:
         return [stmt]
 
 
-def instrument(
-    program: Program, spec: InstrumentationSpec
-) -> InstrumentedProgram:
+def instrument(program: Program, spec: InstrumentationSpec) -> InstrumentedProgram:
     """Apply ``spec`` to a clone of ``program`` (the original is untouched).
 
     The clone is (optionally) normalized, labelled, rewritten, and given
@@ -257,8 +250,6 @@ def instrument(
         functions.append(fn)
 
     if spec.w_var in prog.globals:
-        raise ValueError(
-            f"program already has a global named {spec.w_var!r}"
-        )
+        raise ValueError(f"program already has a global named {spec.w_var!r}")
     prog.add_global(spec.w_var, spec.w_init)
     return InstrumentedProgram(program=prog, index=index, spec=spec)

@@ -85,9 +85,7 @@ class ExecutionContext:
     globals: Dict[str, Any] = dataclasses.field(default_factory=dict)
     label_sets: Dict[str, Set[str]] = dataclasses.field(default_factory=dict)
     events: Dict[str, str] = dataclasses.field(default_factory=dict)
-    counters: Dict[Tuple[str, str], int] = dataclasses.field(
-        default_factory=dict
-    )
+    counters: Dict[Tuple[str, str], int] = dataclasses.field(default_factory=dict)
     max_steps: int = 2_000_000
     reset_globals: bool = True
     steps: int = 0
@@ -205,9 +203,7 @@ class Interpreter:
         """Invoke a registered external (subclass hook)."""
         return externals.lookup(name)(*args)
 
-    def _call_function(
-        self, name: str, args: List[Any], ctx: ExecutionContext
-    ) -> Any:
+    def _call_function(self, name: str, args: List[Any], ctx: ExecutionContext) -> Any:
         fn = self.program.functions[name]
         env: Dict[str, Any] = dict(zip(fn.param_names, args))
         try:
@@ -229,9 +225,7 @@ class Interpreter:
     ) -> None:
         ctx.steps += 1
         if ctx.steps > ctx.max_steps:
-            raise StepLimitExceeded(
-                f"exceeded {ctx.max_steps} interpreted statements"
-            )
+            raise StepLimitExceeded(f"exceeded {ctx.max_steps} interpreted statements")
         cls = stmt.__class__
         if cls is Assign:
             value = self._eval(stmt.expr, env, ctx)
@@ -293,16 +287,12 @@ class Interpreter:
                 return bool(self._eval(expr.lhs, env, ctx)) or bool(
                     self._eval(expr.rhs, env, ctx)
                 )
-            return fn(
-                self._eval(expr.lhs, env, ctx), self._eval(expr.rhs, env, ctx)
-            )
+            return fn(self._eval(expr.lhs, env, ctx), self._eval(expr.rhs, env, ctx))
         if cls is Compare:
             fn = _CMP.get(expr.op)
             if fn is None:
                 raise InterpreterError(f"unknown comparison {expr.op!r}")
-            return fn(
-                self._eval(expr.lhs, env, ctx), self._eval(expr.rhs, env, ctx)
-            )
+            return fn(self._eval(expr.lhs, env, ctx), self._eval(expr.rhs, env, ctx))
         if cls is UnOp:
             value = self._eval(expr.operand, env, ctx)
             if expr.op == "fneg":

@@ -60,9 +60,7 @@ class _Normalizer:
 
     # -- expressions --------------------------------------------------------
 
-    def flatten(
-        self, expr: Expr, keep_root: bool
-    ) -> Tuple[List[Stmt], Expr]:
+    def flatten(self, expr: Expr, keep_root: bool) -> Tuple[List[Stmt], Expr]:
         """Rewrite ``expr`` so nested float BinOps become temporaries.
 
         When ``keep_root`` is true and the root itself is a float BinOp,
@@ -118,9 +116,7 @@ class _Normalizer:
             return pre + [Assign(s.name, expr)]
         if cls is If:
             pre, cond = self.flatten(s.cond, keep_root=False)
-            return pre + [
-                If(cond, self.block(s.then), self.block(s.orelse), s.label)
-            ]
+            return pre + [If(cond, self.block(s.then), self.block(s.orelse), s.label)]
         if cls is While:
             pre, cond = self.flatten(s.cond, keep_root=False)
             # Loop-carried condition temps must be recomputed at the end
@@ -162,9 +158,7 @@ def normalize_program(program: Program) -> Program:
     they are unique across functions (simplifies debugging).
     """
     temps = _TempGen()
-    functions = [
-        normalize_function(fn, temps) for fn in program.functions.values()
-    ]
+    functions = [normalize_function(fn, temps) for fn in program.functions.values()]
     return Program(
         functions,
         entry=program.entry,

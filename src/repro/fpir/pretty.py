@@ -145,11 +145,9 @@ def pretty_program(program: Program) -> str:
         lines.append(f"array {name}[{len(values)}]")
     if lines:
         lines.append("")
-    lines.extend(
-        pretty_function(fn) for fn in program.functions.values()
-    )
-    return "\n\n".join(lines) if not program.globals else "\n".join(
-        lines[: len(program.globals) + len(program.arrays)]
-    ) + "\n\n" + "\n\n".join(
-        pretty_function(fn) for fn in program.functions.values()
-    )
+    lines.extend(pretty_function(fn) for fn in program.functions.values())
+    if not program.globals:
+        return "\n\n".join(lines)
+    header = "\n".join(lines[: len(program.globals) + len(program.arrays)])
+    bodies = "\n\n".join(pretty_function(fn) for fn in program.functions.values())
+    return header + "\n\n" + bodies

@@ -37,9 +37,7 @@ class Function:
     return_type: Optional[Type] = DOUBLE
 
     def __post_init__(self) -> None:
-        self.params = [
-            p if isinstance(p, Param) else Param(*p) for p in self.params
-        ]
+        self.params = [p if isinstance(p, Param) else Param(*p) for p in self.params]
 
     @property
     def param_names(self) -> List[str]:

@@ -49,9 +49,7 @@ def validate(program: Program) -> List[str]:
         for expr in iter_all_exprs(fn.body):
             cls = expr.__class__
             if cls is Var and expr.name not in known:
-                errors.append(
-                    f"{fn.name}: use of undefined variable {expr.name!r}"
-                )
+                errors.append(f"{fn.name}: use of undefined variable {expr.name!r}")
             elif cls is BinOp and expr.op not in _ALL_BIN_OPS:
                 errors.append(f"{fn.name}: unknown operator {expr.op!r}")
             elif cls is Compare and expr.op not in CMP_OPS:
@@ -61,9 +59,7 @@ def validate(program: Program) -> List[str]:
             elif cls is Call:
                 errors.extend(_check_call(program, fn.name, expr))
             elif cls is ArrayIndex and expr.name not in program.arrays:
-                errors.append(
-                    f"{fn.name}: unknown constant array {expr.name!r}"
-                )
+                errors.append(f"{fn.name}: unknown constant array {expr.name!r}")
         for stmt in iter_stmts(fn.body):
             if isinstance(stmt, Assign) and stmt.name in program.arrays:
                 errors.append(

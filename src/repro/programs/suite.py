@@ -14,10 +14,20 @@ from repro.fpir.program import Program
 _REGISTRY: Dict[str, Callable[[], Program]] = {}
 
 
-def register_program(name: str, factory: Callable[[], Program]) -> None:
-    """Register a program factory under ``name``."""
-    if name in _REGISTRY:
-        raise ValueError(f"program {name!r} already registered")
+def register_program(
+    name: str, factory: Callable[[], Program], force: bool = False
+) -> None:
+    """Register a program factory under ``name``.
+
+    ``force=True`` replaces an existing registration — re-running a
+    notebook cell or reloading an interactive module re-registers its
+    programs idempotently instead of erroring.
+    """
+    if name in _REGISTRY and not force:
+        raise ValueError(
+            f"program {name!r} already registered "
+            "(pass force=True to replace it)"
+        )
     _REGISTRY[name] = factory
 
 

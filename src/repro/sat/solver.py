@@ -118,19 +118,12 @@ class SatAnalysis(Analysis):
 
     name = "sat"
     help = "QF-FP satisfiability (Instance 5, XSat)"
-    takes_program = False
+    target_kind = "formula"
     default_n_starts = 20
     default_sampler = wide_log_sampler()
     default_backend_options = {"niter": 50}
     smoke_target = "x < 1 && x + 1 >= 2"
     smoke_options = {"n_starts": 5, "niter": 15}
-
-    def resolve_target(self, target: Any) -> Formula:
-        if isinstance(target, str):
-            from repro.sat.parser import parse_formula
-
-            return parse_formula(target)
-        return target
 
     def describe_target(self, target: Formula) -> str:
         return str(target)

@@ -178,6 +178,70 @@ class TestEvents:
         assert "no-such-program" in finished[0].error
 
 
+class TestJsonlEventSink:
+    """The machine-readable event stream (ROADMAP dashboard item)."""
+
+    def _read_records(self, path):
+        import json
+
+        with open(path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh]
+
+    def test_session_writes_jsonl_to_path(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        with Session(EngineConfig(seed=4), event_sink=str(out)) as session:
+            report = session.run("overflow", "fig2")
+        records = self._read_records(out)
+        assert records[0]["event"] == "JobStarted"
+        assert records[-1]["event"] == "JobFinished"
+        assert records[-1]["verdict"] == report.verdict
+        rounds = [r for r in records if r["event"] == "RoundFinished"]
+        assert len(rounds) == report.rounds
+        assert all(r["analysis"] == "overflow" for r in records)
+        assert all("ts" in r for r in records)
+
+    def test_sink_composes_with_on_event(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        seen = []
+        with Session(
+            EngineConfig(seed=2), on_event=seen.append, event_sink=str(out)
+        ) as session:
+            session.run("coverage", "fig2")
+        assert len(self._read_records(out)) == len(seen)
+
+    def test_caller_owned_sink_stays_open(self, tmp_path):
+        from repro.api import JsonlEventSink
+
+        out = tmp_path / "events.jsonl"
+        with JsonlEventSink(out) as sink:
+            with Session(EngineConfig(seed=2), event_sink=sink) as session:
+                session.run("coverage", "fig2")
+            # The session must not have closed a sink it did not open.
+            assert sink.n_events > 0
+            before = sink.n_events
+            sink(JobStarted(job_id=99, analysis="probe", target="t"))
+            assert sink.n_events == before + 1
+        records = self._read_records(out)
+        assert records[-1]["analysis"] == "probe"
+
+    def test_event_to_dict_roundtrip(self):
+        from repro.api import event_to_dict
+
+        event = RoundFinished(
+            job_id=1,
+            analysis="path",
+            target="fig2",
+            round_index=0,
+            n_evals=10,
+            best_w=0.5,
+            found_zero=False,
+        )
+        record = event_to_dict(event)
+        assert record["event"] == "RoundFinished"
+        assert record["best_w"] == 0.5
+        assert record["found_zero"] is False
+
+
 class TestCancellation:
     def test_cancel_mid_round(self):
         """cancel() stops a round in flight, not just between rounds."""

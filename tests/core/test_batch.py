@@ -15,7 +15,7 @@ from repro.core.batch import (
 def _tiny_jobs(analyses=("fpod", "coverage"), seed=9):
     return suite_jobs(
         analyses=analyses,
-        programs=["fig2"],
+        targets=["fig2"],
         seed=seed,
         niter=10,
         rounds=4,
@@ -36,8 +36,44 @@ class TestSuiteJobs:
             suite_jobs(analyses=["fpod", "mystery"])
 
     def test_default_analyses(self):
-        jobs = suite_jobs(programs=["fig2"])
+        jobs = suite_jobs(targets=["fig2"])
         assert [j.analysis for j in jobs] == list(BATCH_ANALYSES)
+
+    def test_python_frontend_targets_cross(self):
+        jobs = suite_jobs(
+            analyses=["coverage"],
+            targets=["fig2", "examples/python_targets.py::fig1a"],
+        )
+        assert [j.display for j in jobs] == [
+            "fig2",
+            "examples/python_targets.py::fig1a",
+        ]
+
+    def test_bad_targets_fail_before_any_job_runs(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown program"):
+            suite_jobs(analyses=["coverage"], targets=["no-such-program"])
+        with pytest.raises(ValueError, match="bad target"):
+            suite_jobs(analyses=["coverage"], targets=["file.py::"])
+        missing = str(tmp_path / "nope.py") + "::f"
+        with pytest.raises(ValueError, match="bad target"):
+            suite_jobs(analyses=["coverage"], targets=[missing])
+        with pytest.raises(ValueError, match="bad target"):
+            suite_jobs(analyses=["coverage"], targets=["no.such.module:f"])
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    return [x]\n")
+        with pytest.raises(ValueError, match="bad target"):
+            suite_jobs(analyses=["coverage"], targets=[f"{bad}::f"])
+
+    def test_deprecated_programs_spelling_still_works(self):
+        with pytest.warns(DeprecationWarning, match="programs"):
+            jobs = suite_jobs(analyses=["coverage"], programs=["fig2"])
+        assert jobs[0].target == "fig2"
+        with pytest.warns(DeprecationWarning, match="program"):
+            job = BatchJob(analysis="coverage", program="fig2")
+        assert job.target == "fig2"
+        assert job.program == "fig2"
+        with pytest.raises(TypeError, match="both target= and"):
+            BatchJob(analysis="coverage", target="fig2", program="fig1a")
 
 
 class TestRunBatch:
@@ -62,13 +98,25 @@ class TestRunBatch:
 
     def test_failing_job_captured_not_fatal(self):
         jobs = [
-            BatchJob(analysis="coverage", program="no-such-program"),
+            BatchJob(analysis="coverage", target="no-such-program"),
             _tiny_jobs(analyses=("coverage",))[0],
         ]
         results = run_batch(jobs, n_workers=2)
         assert not results[0].ok
         assert "no-such-program" in results[0].error
         assert results[1].ok
+
+    def test_python_target_campaign_end_to_end(self):
+        jobs = suite_jobs(
+            analyses=("coverage",),
+            targets=["examples/python_targets.py::fig2"],
+            seed=9,
+            niter=10,
+            rounds=4,
+        )
+        results = run_batch(jobs, n_workers=1)
+        assert results[0].ok
+        assert "branch coverage" in results[0].summary
 
     def test_boundary_campaign(self):
         results = run_batch(
@@ -98,7 +146,7 @@ class TestRunBatch:
         racing = run_batch(
             suite_jobs(
                 analyses=("fpod", "coverage"),
-                programs=["fig2"],
+                targets=["fig2"],
                 seed=9,
                 niter=10,
                 rounds=4,

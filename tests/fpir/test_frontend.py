@@ -1,0 +1,370 @@
+"""The Python→FPIR frontend: lowering, parity, diagnostics."""
+
+import math
+
+import pytest
+
+from repro.fpir.frontend import (
+    FrontendError,
+    lower_callable,
+    lower_file,
+    lower_source,
+)
+from repro.fpir.interpreter import run_program
+from repro.programs import fig1, fig2
+
+from examples.python_targets import (
+    fig1a as py_fig1a,
+    fig1b as py_fig1b,
+    fig2 as py_fig2,
+    sum_of_sines,
+)
+
+#: (python function, hand-built FPIR factory) parity pairs.
+PARITY = [
+    (py_fig1a, fig1.make_program_a),
+    (py_fig1b, fig1.make_program_b),
+    (py_fig2, fig2.make_program),
+]
+
+#: Inputs probing both branches, the boundary inputs, and specials.
+PROBES = (
+    -10.0,
+    -3.0,
+    -1.0,
+    0.0,
+    0.5,
+    0.9999999999999999,
+    1.0,
+    1.5,
+    2.0,
+    3.0,
+    1e300,
+    float("inf"),
+    float("nan"),
+)
+
+
+class TestBuilderParity:
+    """Lowered Python and hand-built FPIR must be the *same* program."""
+
+    @pytest.mark.parametrize(
+        "py_fn,factory", PARITY, ids=[f.__name__ for f, _ in PARITY]
+    )
+    def test_structurally_identical_body(self, py_fn, factory):
+        lowered = lower_callable(py_fn)
+        hand = factory()
+        assert lowered.num_inputs == hand.num_inputs
+        assert lowered.entry_function.body == hand.entry_function.body
+
+    @pytest.mark.parametrize(
+        "py_fn,factory", PARITY, ids=[f.__name__ for f, _ in PARITY]
+    )
+    def test_interpreter_equivalence(self, py_fn, factory):
+        lowered = lower_callable(py_fn)
+        hand = factory()
+        for x in PROBES:
+            got = run_program(lowered, (x,)).value
+            want = run_program(hand, (x,)).value
+            assert got == want or (got != got and want != want), x
+
+    def test_lowered_matches_python_semantics(self):
+        lowered = lower_callable(py_fig2)
+        for x in (-3.0, 0.25, 1.0, 7.5):
+            assert run_program(lowered, (x,)).value == py_fig2(x)
+
+
+class TestLowerCallable:
+    def test_helpers_and_math_lower_transitively(self):
+        program = lower_callable(sum_of_sines)
+        assert set(program.functions) == {"sum_of_sines", "clamp"}
+        assert program.entry == "sum_of_sines"
+        assert program.num_inputs == 2
+        got = run_program(program, (0.3, 1.2)).value
+        assert got == sum_of_sines(0.3, 1.2)
+
+    def test_rename_entry(self):
+        program = lower_callable(py_fig2, name="prog")
+        assert program.entry == "prog"
+        assert run_program(program, (0.5,)).value == py_fig2(0.5)
+
+    def test_rename_entry_rewrites_recursive_calls(self):
+        from repro.fpir.validate import validate
+
+        program = lower_callable(_countdown, name="prog")
+        assert validate(program) == []
+        assert run_program(program, (3.0,)).value == 0.0
+
+    def test_module_constants_resolve_through_globals(self):
+        program = lower_callable(_uses_constant)
+        assert run_program(program, (2.0,)).value == 2.0 * _SCALE
+
+    def test_non_function_rejected(self):
+        with pytest.raises(FrontendError, match="not a plain Python"):
+            lower_callable(math.sqrt)
+
+    def test_closure_rejected(self):
+        offset = 1.5
+
+        def closure(x):
+            return x + offset
+
+        with pytest.raises(FrontendError, match="closure"):
+            lower_callable(closure)
+
+
+class TestCrossModuleHelpers:
+    """Helpers resolve through *their own* module's globals."""
+
+    HELPERS = "K = 2.0\n\n\ndef scaled(v):\n    return v * K\n"
+    ENTRY = (
+        "from fe_xmod_helpers import scaled\n"
+        "from fe_xmod_helpers import scaled as sc\n"
+        "\n"
+        "K = 5.0\n"
+        "\n"
+        "\n"
+        "def entry(x):\n"
+        "    return scaled(x)\n"
+        "\n"
+        "\n"
+        "def entry_aliased(x):\n"
+        "    return sc(x)\n"
+        "\n"
+        "\n"
+        "def diag_probe(x):\n"
+        "    y = x + 1.0\n"
+        "    return [y]\n"
+    )
+
+    @pytest.fixture()
+    def entry_module(self, tmp_path, monkeypatch):
+        (tmp_path / "fe_xmod_helpers.py").write_text(self.HELPERS)
+        (tmp_path / "fe_xmod_entry.py").write_text(self.ENTRY)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        import importlib
+        import sys
+
+        importlib.invalidate_caches()
+        for name in ("fe_xmod_helpers", "fe_xmod_entry"):
+            sys.modules.pop(name, None)
+        module = importlib.import_module("fe_xmod_entry")
+        yield module
+        for name in ("fe_xmod_helpers", "fe_xmod_entry"):
+            sys.modules.pop(name, None)
+
+    def test_helper_constants_use_helper_module_globals(self, entry_module):
+        # entry's module rebinds K = 5.0; the helper must still see its
+        # own module's K = 2.0, exactly like the Python call does.
+        program = lower_callable(entry_module.entry)
+        assert run_program(program, (3.0,)).value == entry_module.entry(3.0)
+        assert run_program(program, (3.0,)).value == 6.0
+
+    def test_aliased_helper_lowers_under_definition_name(self, entry_module):
+        program = lower_callable(entry_module.entry_aliased)
+        assert set(program.functions) == {"entry_aliased", "scaled"}
+        assert run_program(program, (3.0,)).value == 6.0
+
+    def test_diagnostics_carry_file_true_line_numbers(self, entry_module):
+        expected_line = self.ENTRY.splitlines().index("    return [y]") + 1
+        with pytest.raises(FrontendError) as excinfo:
+            lower_callable(entry_module.diag_probe)
+        err = excinfo.value
+        assert err.lineno == expected_line
+        assert err.filename.endswith("fe_xmod_entry.py")
+        assert "return [y]" in str(err)
+
+    def test_same_name_helpers_from_two_modules_rejected(
+        self, tmp_path, monkeypatch
+    ):
+        (tmp_path / "fe_xmod_helpers.py").write_text(self.HELPERS)
+        (tmp_path / "fe_xmod_other.py").write_text(
+            "def scaled(v):\n    return v + 1.0\n"
+        )
+        (tmp_path / "fe_xmod_clash.py").write_text(
+            "from fe_xmod_helpers import scaled\n"
+            "from fe_xmod_other import scaled as other_scaled\n"
+            "\n"
+            "\n"
+            "def entry(x):\n"
+            "    return scaled(x) + other_scaled(x)\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        import importlib
+        import sys
+
+        importlib.invalidate_caches()
+        module = importlib.import_module("fe_xmod_clash")
+        try:
+            with pytest.raises(FrontendError, match="two different functions"):
+                lower_callable(module.entry)
+        finally:
+            for name in (
+                "fe_xmod_helpers",
+                "fe_xmod_other",
+                "fe_xmod_clash",
+            ):
+                sys.modules.pop(name, None)
+
+
+class TestLowerSource:
+    def test_single_function_needs_no_entry(self):
+        program = lower_source("def f(x):\n    return x + 1.0\n")
+        assert program.entry == "f"
+
+    def test_entry_picks_among_many(self):
+        source = "def f(x):\n    return x\n\ndef g(x):\n    return -x\n"
+        assert lower_source(source, entry="g").entry == "g"
+        with pytest.raises(FrontendError, match="pass entry="):
+            lower_source(source)
+        with pytest.raises(FrontendError, match="no function named"):
+            lower_source(source, entry="h")
+
+    def test_from_math_import_binds_bare_names(self):
+        source = (
+            "from math import sqrt\n"
+            "def f(x):\n"
+            "    return sqrt(x * x)\n"
+        )
+        program = lower_source(source)
+        assert run_program(program, (-3.0,)).value == 3.0
+
+    def test_unused_unsupported_function_is_ignored(self):
+        source = (
+            "def weird(x):\n"
+            "    return [x]\n"
+            "\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        assert lower_source(source, entry="f").entry == "f"
+
+    def test_chained_comparison(self):
+        program = lower_source(
+            "def f(x):\n    return 1.0 if 0.0 < x < 2.0 else 0.0\n"
+        )
+        assert run_program(program, (1.0,)).value == 1.0
+        assert run_program(program, (2.5,)).value == 0.0
+
+    def test_bool_ops_allowed_in_conditions(self):
+        program = lower_source(
+            "def f(x):\n"
+            "    if x > 0.0 and x < 2.0:\n"
+            "        return 1.0\n"
+            "    while x > 5.0 or not x > -5.0:\n"
+            "        x = x / 2.0\n"
+            "    return x\n"
+        )
+        assert run_program(program, (1.0,)).value == 1.0
+        assert run_program(program, (40.0,)).value == 5.0
+
+    def test_bool_ops_over_boolean_operands_in_value_position(self):
+        program = lower_source(
+            "def f(x):\n    return x > 0.0 and x < 2.0\n"
+        )
+        assert run_program(program, (1.0,)).value is True
+        assert run_program(program, (3.0,)).value is False
+
+    def test_operand_returning_and_rejected_in_value_position(self):
+        # Python's `2.0 and 3.0` is 3.0; FPIR's is a boolean.  The
+        # frontend must refuse rather than silently change semantics.
+        with pytest.raises(FrontendError, match="operands in Python"):
+            lower_source("def f(x):\n    return x and x + 1.0\n")
+        with pytest.raises(FrontendError, match="operands in Python"):
+            lower_source("def f(x):\n    y = x or 1.0\n    return y\n")
+
+    def test_local_read_before_assignment_rejected(self):
+        # `C` is local throughout the body (Python scoping); reading it
+        # before the assignment must not fall back to the module
+        # constant.
+        with pytest.raises(FrontendError, match="before its first"):
+            lower_source(
+                "C = 2.0\n"
+                "def f(x):\n"
+                "    y = C\n"
+                "    C = 3.0\n"
+                "    return y + C + x\n",
+                entry="f",
+            )
+
+    def test_augmented_assignment_and_pow(self):
+        program = lower_source(
+            "def f(x):\n    x += 1.0\n    return x ** 2.0\n"
+        )
+        assert run_program(program, (2.0,)).value == 9.0
+
+
+class TestLowerFile:
+    def test_file_spec_resolves(self):
+        program = lower_file("examples/python_targets.py", "fig2")
+        assert program.entry == "fig2"
+
+    def test_missing_file(self):
+        with pytest.raises(FrontendError, match="no Python file"):
+            lower_file("examples/no_such_file.py", "fig2")
+
+
+class TestDiagnostics:
+    """Unsupported constructs must fail with located, actionable errors."""
+
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("def f(x):\n    for i in x:\n        pass\n", "for loops"),
+            ("def f(x):\n    assert x > 0\n    return x\n", "assert"),
+            ("def f(x):\n    return 'text'\n", "floats-only"),
+            ("def f(x):\n    return x % 2.0\n", "Mod"),
+            ("def f(x):\n    return x.real\n", "Attribute"),
+            ("def f(x):\n    a, b = x, x\n    return a\n", "simple name"),
+            ("def f(x):\n    return mystery(x)\n", "unknown function"),
+            ("def f(x):\n    return math.erf(x)\n",
+             "only math.<fn> attribute calls"),
+            ("def f(x, n=2.0):\n    return x\n", "defaults"),
+            ("def f(*xs):\n    return 0.0\n", r"\*args"),
+            ("def f(x):\n    return y\n", "undefined variable"),
+            ("def f(x):\n    while x > 0:\n        x = x - 1\n"
+             "    else:\n        x = 0.0\n    return x\n", "while/else"),
+            ("import math\ndef f(x):\n    return math.erf(x)\n",
+             "no registered FPIR external"),
+        ],
+    )
+    def test_unsupported_constructs(self, source, pattern):
+        with pytest.raises(FrontendError, match=pattern):
+            lower_source(source)
+
+    def test_error_carries_location_and_source_line(self):
+        source = "def f(x):\n    y = x + 1.0\n    for i in y:\n        pass\n"
+        with pytest.raises(FrontendError) as excinfo:
+            lower_source(source, filename="probe.py")
+        err = excinfo.value
+        assert err.lineno == 3
+        assert err.filename == "probe.py"
+        assert "for i in y:" in str(err)
+        assert "hint:" in str(err)
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(FrontendError, match="invalid Python source"):
+            lower_source("def f(x:\n    return x\n")
+
+    def test_helper_arity_checked(self):
+        source = (
+            "def helper(a, b):\n"
+            "    return a + b\n"
+            "def f(x):\n"
+            "    return helper(x)\n"
+        )
+        with pytest.raises(FrontendError, match="takes 2"):
+            lower_source(source, entry="f")
+
+
+_SCALE = 2.5
+
+
+def _uses_constant(x):
+    return x * _SCALE
+
+
+def _countdown(x):
+    if x > 0.0:
+        return _countdown(x - 1.0)
+    return x

@@ -148,6 +148,124 @@ class TestBatchFormulas:
         assert "requires 'sat'" in capsys.readouterr().err
 
 
+class TestTargetsCommand:
+    def test_lists_programs_and_spec_grammar(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "pkg.mod:fn" in out
+        assert "file.py::fn" in out
+
+    def test_resolve_suite_name(self, capsys):
+        assert main(["targets", "--resolve", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "entry prog(x)" in out
+        assert "1 double input(s)" in out
+
+    def test_resolve_python_file_spec(self, capsys):
+        code = main([
+            "targets", "--resolve",
+            "examples/python_targets.py::sum_of_sines",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entry sum_of_sines(x, y)" in out
+        assert "2 function(s)" in out
+
+    def test_resolve_bad_spec(self, capsys):
+        code = main([
+            "targets", "--resolve", "examples/python_targets.py::nope",
+        ])
+        assert code == 2
+        assert "no function named" in capsys.readouterr().err
+
+
+class TestPythonTargets:
+    def test_run_boundary_on_python_file_target(self, capsys):
+        code = main([
+            "run", "boundary", "--smoke", "--seed", "1",
+            "--target", "examples/python_targets.py::fig2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "examples/python_targets.py::fig2" in out
+        assert "soundness replay OK" in out
+
+    def test_run_coverage_on_module_target(self, capsys):
+        code = main([
+            "run", "coverage", "--smoke", "--seed", "2",
+            "--target", "examples.python_targets:fig1a",
+        ])
+        assert code == 0
+        assert "branch coverage" in capsys.readouterr().out
+
+    def test_frontend_diagnostic_reaches_user(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    return [x]\n")
+        code = main([
+            "run", "coverage", "--smoke", "--seed", "1",
+            "--target", f"{bad}::f",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "not supported" in err
+        assert "return [x]" in err
+
+    def test_bad_spec_exits_cleanly(self, capsys):
+        code = main([
+            "run", "coverage", "--smoke", "--seed", "1",
+            "--target", "examples/python_targets.py::",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_crosses_python_targets(self, capsys):
+        code = main([
+            "batch", "--analyses", "coverage",
+            "--targets", "fig2,examples/python_targets.py::fig1a",
+            "--seed", "5", "--niter", "10", "--rounds", "4",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "examples/python_targets.py::fig1a" in out
+        assert "branch coverage" in out
+
+
+class TestEventsOut:
+    def test_run_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "events.jsonl"
+        code = main([
+            "run", "coverage", "fig2", "--smoke", "--seed", "2",
+            "--events-out", str(out),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert records[0]["event"] == "JobStarted"
+        assert records[-1]["event"] == "JobFinished"
+        assert any(r["event"] == "RoundFinished" for r in records)
+
+    def test_batch_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "events.jsonl"
+        code = main([
+            "batch", "--analyses", "coverage", "--targets", "fig2",
+            "--seed", "3", "--niter", "10", "--rounds", "4",
+            "--events-out", str(out),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert sum(r["event"] == "JobFinished" for r in records) == 1
+
+
 class TestBoundaryAndCoverage:
     def test_boundary_fig2(self, capsys):
         code = main([
