@@ -87,9 +87,7 @@ def multiplicative_spec(
             )
         ]
 
-    return InstrumentationSpec(
-        w_var=w_var, w_init=1.0, before_compare=before_compare
-    )
+    return InstrumentationSpec(w_var=w_var, w_init=1.0, before_compare=before_compare)
 
 
 def characteristic_spec(
@@ -115,9 +113,7 @@ def characteristic_spec(
             )
         ]
 
-    return InstrumentationSpec(
-        w_var=w_var, w_init=1.0, before_compare=before_compare
-    )
+    return InstrumentationSpec(w_var=w_var, w_init=1.0, before_compare=before_compare)
 
 
 def hits_spec(
@@ -167,14 +163,10 @@ def build_hits_distance(
     program: Program, site_filter: Optional[SiteFilter] = None
 ) -> WeakDistance:
     """The soundness-replay program (``if (a == b) hits++``)."""
-    return WeakDistance(
-        instrument(program, hits_spec(site_filter=site_filter))
-    )
+    return WeakDistance(instrument(program, hits_spec(site_filter=site_filter)))
 
 
-def replay_hit_labels(
-    hits_distance: WeakDistance, x: Sequence[float]
-) -> List[str]:
+def replay_hit_labels(hits_distance: WeakDistance, x: Sequence[float]) -> List[str]:
     """Labels of the boundary conditions that ``x`` triggers."""
     _, counters = hits_distance.replay(x)
     return [
@@ -407,7 +399,9 @@ class BoundaryAnalysis(Analysis):
         )
 
     def absorb(
-        self, state: _BoundaryState, round_index: int,
+        self,
+        state: _BoundaryState,
+        round_index: int,
         outcome: MultiStartOutcome,
     ) -> None:
         state.outcome = outcome
@@ -451,16 +445,20 @@ class BoundaryAnalysis(Analysis):
     def configure_parser(cls, parser) -> None:
         super().configure_parser(parser)
         parser.add_argument(
-            "--samples", type=int, default=None,
+            "--samples",
+            type=int,
+            default=None,
             help="total sampling budget, split across starts "
             "(default 100000)",
         )
         parser.add_argument(
-            "--entry-only", action="store_true",
+            "--entry-only",
+            action="store_true",
             help="instrument only the entry function's comparisons",
         )
         parser.add_argument(
-            "--characteristic", action="store_true",
+            "--characteristic",
+            action="store_true",
             help="use the flat Fig. 7 weak distance (ablation)",
         )
 
@@ -497,16 +495,11 @@ class BoundaryAnalysis(Analysis):
                     label,
                     stats.text,
                     stats.hits,
-                    "-" if stats.min_value is None
-                    else f"{stats.min_value[0]:.6e}",
-                    "-" if stats.max_value is None
-                    else f"{stats.max_value[0]:.6e}",
+                    "-" if stats.min_value is None else f"{stats.min_value[0]:.6e}",
+                    "-" if stats.max_value is None else f"{stats.max_value[0]:.6e}",
                 )
             )
-        lines.append(
-            format_table(("cond", "comparison", "hits", "min", "max"),
-                         rows)
-        )
+        lines.append(format_table(("cond", "comparison", "hits", "min", "max"), rows))
         return "\n".join(lines)
 
     @classmethod

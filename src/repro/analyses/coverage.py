@@ -65,9 +65,7 @@ def _arm(label: str, taken: bool) -> str:
     return f"{label}:{'T' if taken else 'F'}"
 
 
-def executed_arms(
-    weak_distance: WeakDistance, x: Sequence[float]
-) -> Set[str]:
+def executed_arms(weak_distance: WeakDistance, x: Sequence[float]) -> Set[str]:
     """Replay ``x`` and collect the branch arms it covers."""
     _, counters = weak_distance.replay(x)
     return {
@@ -100,9 +98,7 @@ def coverage_spec(w_var: str = "w") -> InstrumentationSpec:
         out: List[Stmt] = []
         for taken, dist in ((True, dist_true), (False, dist_false)):
             guard = UnOp("not", InLabelSet(B_SET, _arm(site.label, taken)))
-            update = Assign(
-                w_var, BinOp("fadd", Var(w_var), dist)
-            )
+            update = Assign(w_var, BinOp("fadd", Var(w_var), dist))
             out.append(If(guard, Block((update,)), Block(())))
         return out
 
@@ -154,9 +150,7 @@ class BranchCoverageTesting:
         )
         self.program = program
         self.backend = backend or BasinhoppingBackend(niter=40)
-        self.weak_distance = WeakDistance(
-            instrument(program, coverage_spec())
-        )
+        self.weak_distance = WeakDistance(instrument(program, coverage_spec()))
         self.index = self.weak_distance.instrumented.index
         self.all_arms = all_branch_arms(self.index)
 
@@ -180,9 +174,7 @@ class BranchCoverageTesting:
         rounds = 0
         while len(covered) < len(self.all_arms) and rounds < max_rounds:
             rounds += 1
-            objective = Objective(
-                self.weak_distance, n_dims=self.program.num_inputs
-            )
+            objective = Objective(self.weak_distance, n_dims=self.program.num_inputs)
             start = sampler(rng, self.program.num_inputs)
             result = self.backend.minimize(objective, start, rng)
             n_evals += objective.n_evals
@@ -251,9 +243,7 @@ class CoverageAnalysis(Analysis):
             program=target,
             weak_distance=weak_distance,
             covered=covered,
-            all_arms=all_branch_arms(
-                weak_distance.instrumented.index
-            ),
+            all_arms=all_branch_arms(weak_distance.instrumented.index),
             budget=budget if budget is not None else 30,
             n_starts=self.starts_per_round(config, options),
             sampler=self.sampler(config, options),
@@ -262,22 +252,20 @@ class CoverageAnalysis(Analysis):
     def plan_round(
         self, state: _CoverageState, round_index: int
     ) -> Optional[RoundPlan]:
-        if (
-            len(state.covered) >= len(state.all_arms)
-            or round_index >= state.budget
-        ):
+        if len(state.covered) >= len(state.all_arms) or round_index >= state.budget:
             return None
         return RoundPlan(
             weak_distance=state.weak_distance,
             n_inputs=state.program.num_inputs,
             n_starts=state.n_starts,
             sampler=state.sampler,
-            note=f"grow B ({len(state.covered)}/{len(state.all_arms)}"
-            " arms)",
+            note=f"grow B ({len(state.covered)}/{len(state.all_arms)} arms)",
         )
 
     def absorb(
-        self, state: _CoverageState, round_index: int,
+        self,
+        state: _CoverageState,
+        round_index: int,
         outcome: MultiStartOutcome,
     ) -> None:
         state.rounds += 1
@@ -287,10 +275,7 @@ class CoverageAnalysis(Analysis):
         # spent reaching it, so harvest them all (in start order, for
         # the serial/parallel determinism guarantee).
         for attempt in outcome.attempts:
-            newly = (
-                executed_arms(state.weak_distance, attempt.x_star)
-                - state.covered
-            )
+            newly = executed_arms(state.weak_distance, attempt.x_star) - state.covered
             for arm in sorted(newly):
                 state.witnesses[arm] = attempt.x_star
             state.covered |= newly
@@ -334,8 +319,7 @@ class CoverageAnalysis(Analysis):
             f"arms, {detail.rounds} rounds)"
         ]
         rows = [
-            (arm, f"{x[0]:.6g}" if len(x) == 1
-             else ", ".join(f"{v:.4g}" for v in x))
+            (arm, f"{x[0]:.6g}" if len(x) == 1 else ", ".join(f"{v:.4g}" for v in x))
             for arm, x in sorted(detail.witnesses.items())
         ]
         lines.append(format_table(("arm", "witness"), rows))

@@ -30,9 +30,7 @@ from repro.fpir.program import Program
 GSL_SUCCESS = 0
 
 #: classifier(x, status, val, err) -> human-readable root cause
-RootCauseClassifier = Callable[
-    [Tuple[float, ...], int, float, float], str
-]
+RootCauseClassifier = Callable[[Tuple[float, ...], int, float, float], str]
 
 
 @dataclasses.dataclass
@@ -57,8 +55,7 @@ class InconsistencyFinding:
             "large exponent",
             "negative in sqrt",
         )
-        return not any(m in self.root_cause.lower()
-                       for m in benign_markers)
+        return not any(m in self.root_cause.lower() for m in benign_markers)
 
 
 class InconsistencyChecker:
@@ -107,9 +104,7 @@ class InconsistencyChecker:
             root_cause=cause,
         )
 
-    def sweep(
-        self, inputs: Sequence[Sequence[float]]
-    ) -> List[InconsistencyFinding]:
+    def sweep(self, inputs: Sequence[Sequence[float]]) -> List[InconsistencyFinding]:
         """Check many inputs; deduplicate by root cause + non-finite
         pattern so Table 5 lists each distinct issue once."""
         findings: List[InconsistencyFinding] = []

@@ -151,9 +151,7 @@ class OverflowDetection:
         )
         self.program = program
         self.backend = backend or BasinhoppingBackend(niter=40)
-        self.weak_distance = WeakDistance(
-            instrument(program, overflow_spec())
-        )
+        self.weak_distance = WeakDistance(instrument(program, overflow_spec()))
         self.index = self.weak_distance.instrumented.index
 
     @property
@@ -189,9 +187,7 @@ class OverflowDetection:
 
         while len(covered) <= self.n_fp_ops and rounds < budget:
             rounds += 1
-            objective = Objective(
-                weak_distance, n_dims=self.program.num_inputs
-            )
+            objective = Objective(weak_distance, n_dims=self.program.num_inputs)
             best = None
             for _ in range(max(1, retries_per_round)):
                 start = start_sampler(rng, self.program.num_inputs)
@@ -226,11 +222,7 @@ class OverflowDetection:
                 break
             covered.add(target)
 
-        missed = [
-            site
-            for site in self.index.fp_ops
-            if site.label not in found_labels
-        ]
+        missed = [site for site in self.index.fp_ops if site.label not in found_labels]
         return OverflowReport(
             n_fp_ops=self.n_fp_ops,
             findings=findings,
@@ -267,9 +259,7 @@ class _OverflowState:
     sampler: Any
     check_inconsistency: bool
     t0: float
-    findings: List[OverflowFinding] = dataclasses.field(
-        default_factory=list
-    )
+    findings: List[OverflowFinding] = dataclasses.field(default_factory=list)
     found_labels: set = dataclasses.field(default_factory=set)
     rounds: int = 0
     n_evals: int = 0
@@ -333,7 +323,9 @@ class OverflowAnalysis(Analysis):
         )
 
     def absorb(
-        self, state: _OverflowState, round_index: int,
+        self,
+        state: _OverflowState,
+        round_index: int,
         outcome: MultiStartOutcome,
     ) -> None:
         state.rounds += 1
@@ -367,11 +359,7 @@ class OverflowAnalysis(Analysis):
 
     def finish(self, state: _OverflowState) -> AnalysisReport:
         index = state.weak_distance.instrumented.index
-        missed = [
-            site
-            for site in index.fp_ops
-            if site.label not in state.found_labels
-        ]
+        missed = [site for site in index.fp_ops if site.label not in state.found_labels]
         detail = OverflowReport(
             n_fp_ops=state.n_fp_ops,
             findings=state.findings,
@@ -392,9 +380,7 @@ class OverflowAnalysis(Analysis):
         if state.check_inconsistency and detail.inputs:
             from repro.analyses.inconsistency import InconsistencyChecker
 
-            for item in InconsistencyChecker(state.program).sweep(
-                detail.inputs
-            ):
+            for item in InconsistencyChecker(state.program).sweep(detail.inputs):
                 findings.append(
                     Finding(
                         kind="inconsistency",
@@ -423,11 +409,14 @@ class OverflowAnalysis(Analysis):
     def configure_parser(cls, parser) -> None:
         super().configure_parser(parser)
         parser.add_argument(
-            "--retries", type=int, default=None,
+            "--retries",
+            type=int,
+            default=None,
             help="starts per round (alias of --starts)",
         )
         parser.add_argument(
-            "--inconsistency", action="store_true",
+            "--inconsistency",
+            action="store_true",
             help="sweep findings for GSL-style inconsistencies",
         )
 
@@ -456,12 +445,8 @@ class OverflowAnalysis(Analysis):
         ]
         lines.append(format_table(("label", "instruction", "x*"), rows))
         if detail.missed:
-            lines.append(
-                "missed: " + ", ".join(s.label for s in detail.missed)
-            )
-        inconsistencies = [
-            f for f in report.findings if f.kind == "inconsistency"
-        ]
+            lines.append("missed: " + ", ".join(s.label for s in detail.missed))
+        inconsistencies = [f for f in report.findings if f.kind == "inconsistency"]
         if inconsistencies:
             lines.append(
                 f"\n{len(inconsistencies)} inconsistencies "
@@ -475,10 +460,7 @@ class OverflowAnalysis(Analysis):
     @classmethod
     def summarize(cls, report: AnalysisReport) -> str:
         detail: OverflowReport = report.detail
-        return (
-            f"{detail.n_overflows}/{detail.n_fp_ops} instructions "
-            f"overflowed"
-        )
+        return f"{detail.n_overflows}/{detail.n_fp_ops} instructions overflowed"
 
     @classmethod
     def metrics(cls, report: AnalysisReport) -> Dict[str, float]:

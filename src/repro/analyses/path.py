@@ -57,8 +57,7 @@ from repro.util.rng import make_rng
 ARM_EVENT = "arm"
 
 #: op -> op of the negated comparison.
-_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt",
-           "eq": "ne", "ne": "eq"}
+_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
 
 
 def branch_distance(cmp: Compare, wanted: bool) -> Expr:
@@ -87,15 +86,11 @@ def branch_distance(cmp: Compare, wanted: bool) -> Expr:
         # paper's Fig. 4 stub, verbatim).
         return Ternary(Compare(op, a, b), zero, diff_ab)
     if op == "lt":
-        return Ternary(
-            Compare(op, a, b), zero, BinOp("fadd", diff_ab, pad)
-        )
+        return Ternary(Compare(op, a, b), zero, BinOp("fadd", diff_ab, pad))
     if op == "ge":
         return Ternary(Compare(op, a, b), zero, diff_ba)
     if op == "gt":
-        return Ternary(
-            Compare(op, a, b), zero, BinOp("fadd", diff_ba, pad)
-        )
+        return Ternary(Compare(op, a, b), zero, BinOp("fadd", diff_ba, pad))
     if op == "eq":
         return abs_diff
     # op == "ne": flat unit penalty on the (measure-zero) equality set.
@@ -121,24 +116,17 @@ class PathSpec:
 
     def __init__(self, constraints: Sequence[BranchConstraint]) -> None:
         self.constraints = list(constraints)
-        self.by_label: Dict[str, BranchConstraint] = {
-            c.label: c for c in constraints
-        }
+        self.by_label: Dict[str, BranchConstraint] = {c.label: c for c in constraints}
 
     @classmethod
     def all_true(cls, program_index) -> "PathSpec":
         """The Fig. 4 spec: every branch takes its true direction."""
         return cls(
-            [
-                BranchConstraint(site.label, True)
-                for site in program_index.branches
-            ]
+            [BranchConstraint(site.label, True) for site in program_index.branches]
         )
 
 
-def path_spec_instrumentation(
-    path: PathSpec, w_var: str = "w"
-) -> InstrumentationSpec:
+def path_spec_instrumentation(path: PathSpec, w_var: str = "w") -> InstrumentationSpec:
     """Build the additive path weak distance + verification events."""
 
     def before_branch(site: BranchSite, stmt) -> List[Stmt]:
@@ -176,10 +164,10 @@ def verify_path(
     """Replay ``x`` and check the path constraints dynamically."""
     _, counters = weak_distance.replay(x)
     for constraint in path.constraints:
-        wanted = (ARM_EVENT, f"{constraint.label}:"
-                  f"{'T' if constraint.taken else 'F'}")
-        unwanted = (ARM_EVENT, f"{constraint.label}:"
-                    f"{'F' if constraint.taken else 'T'}")
+        direction = "T" if constraint.taken else "F"
+        opposite = "F" if constraint.taken else "T"
+        wanted = (ARM_EVENT, f"{constraint.label}:{direction}")
+        unwanted = (ARM_EVENT, f"{constraint.label}:{opposite}")
         if counters.get(unwanted, 0) > 0:
             return False
         if constraint.must_execute and counters.get(wanted, 0) == 0:
@@ -231,9 +219,7 @@ class PathReachability:
         )
         self.program = program
         self.backend = backend or BasinhoppingBackend()
-        self.weak_distance, self.path, self.index = build_path_distance(
-            program, path
-        )
+        self.weak_distance, self.path, self.index = build_path_distance(program, path)
 
     # -- verification -----------------------------------------------------------
 
@@ -304,8 +290,7 @@ def parse_constraints(tokens: Sequence[str]) -> List[BranchConstraint]:
         label, _, direction = token.partition(":")
         if direction not in ("T", "F") or not label:
             raise ValueError(
-                f"bad path constraint {token!r}; expected label:T or "
-                "label:F"
+                f"bad path constraint {token!r}; expected label:T or label:F"
             )
         constraints.append(BranchConstraint(label, direction == "T"))
     return constraints
@@ -340,9 +325,7 @@ class PathAnalysis(Analysis):
             record_samples=bool(options.get("record_samples")),
         )
 
-    def plan_round(
-        self, state: _PathState, round_index: int
-    ) -> Optional[RoundPlan]:
+    def plan_round(self, state: _PathState, round_index: int) -> Optional[RoundPlan]:
         if round_index > 0:
             return None
         return RoundPlan(
@@ -355,7 +338,9 @@ class PathAnalysis(Analysis):
         )
 
     def absorb(
-        self, state: _PathState, round_index: int,
+        self,
+        state: _PathState,
+        round_index: int,
         outcome: MultiStartOutcome,
     ) -> None:
         state.outcome = outcome
@@ -363,9 +348,7 @@ class PathAnalysis(Analysis):
     def finish(self, state: _PathState) -> AnalysisReport:
         best = state.outcome.best if state.outcome else None
         found = best is not None and best.f_star == 0.0
-        verified = found and verify_path(
-            state.weak_distance, state.path, best.x_star
-        )
+        verified = found and verify_path(state.weak_distance, state.path, best.x_star)
         detail = PathResult(
             found=found,
             x_star=best.x_star if found else None,

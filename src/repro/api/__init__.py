@@ -29,8 +29,10 @@ from repro.api.events import (
     JobStarted,
     JsonlEventSink,
     RoundFinished,
+    RoundRetried,
     RoundStarted,
     SessionEvent,
+    StartCrashed,
     event_to_dict,
 )
 from repro.api.registry import (
@@ -77,10 +79,12 @@ __all__ = [
     "PythonTarget",
     "RoundFinished",
     "RoundPlan",
+    "RoundRetried",
     "RoundStarted",
     "RoundTrace",
     "Session",
     "SessionEvent",
+    "StartCrashed",
     "Target",
     "TargetError",
     "available_analyses",

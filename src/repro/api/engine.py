@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Type, Union
 
 from repro.api.base import Analysis
 from repro.api.report import AnalysisReport
+from repro.core.parallel import DEFAULT_CRASH_RETRIES
 from repro.mo.base import MOBackend
 from repro.mo.starts import StartSampler
 
@@ -62,6 +63,14 @@ class EngineConfig:
     max_rounds: Optional[int] = None
     #: Starting-point sampler (``None`` = analysis default).
     start_sampler: Optional[StartSampler] = None
+    #: Crash-salvage cycles one round may spend resubmitting lost
+    #: starts after a worker crash (raising backend or process death)
+    #: before the job fails with
+    #: :class:`~repro.core.parallel.WorkerCrashError`.  Completed
+    #: sibling starts are never discarded, and retried starts replay
+    #: their shipped generators byte-identically, so a healed run
+    #: matches a crash-free serial run exactly.
+    max_crash_retries: int = DEFAULT_CRASH_RETRIES
     #: ``True`` (default): parallel rounds skip the racing early-cancel
     #: so serial and parallel runs are bit-identical.  ``False``: race
     #: the starts — faster, same verdict, but the representative may

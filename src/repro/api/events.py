@@ -1,8 +1,11 @@
 """Typed progress events streamed by `repro.api.Session` jobs.
 
 A session job emits one :class:`JobStarted`, then a
-:class:`RoundStarted`/:class:`RoundFinished` pair per driver round, and
-finally one :class:`JobFinished` (also on failure and cancellation).
+:class:`RoundStarted`/:class:`RoundFinished` pair per driver round —
+with a :class:`StartCrashed`/:class:`RoundRetried` pair interposed for
+every crash-salvage cycle a round needs — and finally one
+:class:`JobFinished` (also on failure and cancellation; a cancelled
+job that salvaged a partial report says so via ``partial``).
 Callbacks receive them synchronously from the thread driving the job —
 a session running several jobs concurrently delivers events from
 several threads, so a callback shared across jobs must be thread-safe
@@ -60,6 +63,36 @@ class RoundFinished(SessionEvent):
     best_w: float
     found_zero: bool
     note: str = ""
+    #: True when the round was cut short (cancellation landed
+    #: mid-round); the counts cover only the starts that finished.
+    interrupted: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class StartCrashed(SessionEvent):
+    """A worker crashed while serving one start of a round.
+
+    ``start_index`` names the start whose failure surfaced the crash
+    (a broken executor also loses its in-flight siblings — see the
+    paired :class:`RoundRetried` for the full lost set).
+    """
+
+    round_index: int
+    start_index: int
+    error: str
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRetried(SessionEvent):
+    """A crashed round is being salvaged: completed starts were kept
+    and the ``n_lost`` unfinished ones resubmitted to a fresh
+    executor (salvage cycle ``attempt`` of ``max_attempts``)."""
+
+    round_index: int
+    n_lost: int
+    attempt: int
+    max_attempts: int
+    error: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +105,10 @@ class JobFinished(SessionEvent):
     elapsed_seconds: float
     error: Optional[str] = None
     cancelled: bool = False
+    #: True when the job was cancelled but a partial report was
+    #: salvaged from the starts that finished first
+    #: (``JobHandle.partial_result``).
+    partial: bool = False
 
     @property
     def ok(self) -> bool:
@@ -92,10 +129,25 @@ def render_event(event: SessionEvent) -> Optional[str]:
         return f"{tag} round {event.round_index}: {event.n_starts} starts{note}"
     if isinstance(event, RoundFinished):
         zero = "zero found" if event.found_zero else f"best W {event.best_w:.4g}"
-        return f"{tag} round {event.round_index} done: {event.n_evals} evals, {zero}"
+        cut = " [interrupted]" if event.interrupted else ""
+        return (
+            f"{tag} round {event.round_index} done: {event.n_evals} evals, {zero}{cut}"
+        )
+    if isinstance(event, StartCrashed):
+        return (
+            f"{tag} round {event.round_index}: start {event.start_index} "
+            f"crashed ({event.error})"
+        )
+    if isinstance(event, RoundRetried):
+        return (
+            f"{tag} round {event.round_index}: retry "
+            f"{event.attempt}/{event.max_attempts} — resubmitting "
+            f"{event.n_lost} lost start(s)"
+        )
     if isinstance(event, JobFinished):
         if event.cancelled:
-            return f"{tag} cancelled after {event.elapsed_seconds:.2f}s"
+            salvage = " (partial report salvaged)" if event.partial else ""
+            return f"{tag} cancelled after {event.elapsed_seconds:.2f}s{salvage}"
         if event.error is not None:
             return f"{tag} FAILED: {event.error}"
         return (

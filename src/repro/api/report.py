@@ -79,6 +79,15 @@ class AnalysisReport:
     #: Provenance: the seed and worker count the engine ran with.
     seed: Optional[int] = None
     n_workers: int = 1
+    #: True when the job was cancelled mid-run and this report was
+    #: salvaged from the rounds/starts that finished before the flag
+    #: landed.  The verdict and findings are then a *lower bound* on
+    #: what a full run would establish — meaningful for accumulating
+    #: analyses (boundary's BV set, coverage's arms, sat label sets).
+    partial: bool = False
+    #: Crash-salvage cycles the run needed (lost starts resubmitted
+    #: after worker crashes; 0 = no worker ever crashed).
+    n_crash_retries: int = 0
 
     @property
     def found(self) -> bool:

@@ -24,13 +24,23 @@ events::
   shared pool.  ``handle.result()`` / ``.done()`` / ``.cancel()`` give
   the usual future surface — cancellation takes effect *mid-round*
   through the pool's cancel slots.
+* Cancellation is lossless: the starts that finished before the flag
+  landed are absorbed and ``handle.cancel(wait=True)`` /
+  ``handle.partial_result()`` return a real
+  :class:`~repro.api.report.AnalysisReport` flagged ``partial=True``.
+* Jobs are self-healing: a worker crash mid-round keeps the completed
+  sibling starts and resubmits only the lost ones (typed
+  :class:`~repro.api.events.StartCrashed` /
+  :class:`~repro.api.events.RoundRetried` events narrate each salvage
+  cycle; ``EngineConfig.max_crash_retries`` bounds them per round).
 * :meth:`Session.run_many` submits a whole campaign and gathers the
   reports; campaign-level and start-level parallelism compose under
   the one worker budget (`repro.core.batch` is built on it).
 * Determinism is unchanged from the engine: per-start randomness is a
   pure function of ``(seed, round, start)`` and deterministic mode
   never races, so a serial run and a warm-pool ``n_workers=4`` run
-  return identical verdicts and representatives.
+  return identical verdicts and representatives — and a crash-healed
+  or salvaged run replays its retried starts byte-identically.
 """
 
 from __future__ import annotations
@@ -51,8 +61,10 @@ from repro.api.events import (
     JobStarted,
     JsonlEventSink,
     RoundFinished,
+    RoundRetried,
     RoundStarted,
     SessionEvent,
+    StartCrashed,
 )
 from repro.api.registry import canonical_name, get_analysis
 from repro.api.report import AnalysisReport, RoundTrace
@@ -103,27 +115,62 @@ class JobHandle:
     def cancelled(self) -> bool:
         return self._was_cancelled
 
-    def cancel(self) -> bool:
-        """Request cancellation; takes effect mid-round.
+    def cancel(self, wait: bool = False, timeout: Optional[float] = None):
+        """Request cancellation; takes effect mid-round, losslessly.
 
-        Returns False when the job had already finished.  After a
-        successful cancel, :meth:`result` raises
+        Plain ``cancel()`` returns False when the job had already
+        finished, True otherwise.  After a successful cancel,
+        :meth:`result` raises
         :class:`concurrent.futures.CancelledError` (unless the job
-        failed first, in which case its error wins).
+        failed first, in which case its error wins) — but the work done
+        before the flag landed is *not* discarded: the driver salvages
+        the starts and rounds that finished into an
+        :class:`~repro.api.report.AnalysisReport` flagged
+        ``partial=True``, available via :meth:`partial_result`.
+
+        ``cancel(wait=True)`` is the blocking convenience: it requests
+        cancellation and returns that salvaged partial report (or the
+        full report, if the job beat the flag).
         """
         with self._state_lock:
             if self._finished.is_set():
-                return False
-            self._stop.set()
-            return True
+                requested = False
+            else:
+                self._stop.set()
+                requested = True
+        if wait:
+            return self.partial_result(timeout=timeout)
+        return requested
+
+    def partial_result(
+        self, timeout: Optional[float] = None
+    ) -> Optional[AnalysisReport]:
+        """Block until the job settles and return whatever report exists.
+
+        For a completed job this is the full report
+        (``partial=False``); for a cancelled one it is the salvaged
+        partial report (``partial=True``) covering the starts that
+        finished before cancellation landed, or ``None`` when nothing
+        was salvageable.  Raises the job's exception if it failed and
+        :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        if not self._finished.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} ({self.analysis}) still running "
+                f"after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._report
 
     def result(self, timeout: Optional[float] = None) -> AnalysisReport:
         """Block until the job finishes and return its report.
 
         Raises the job's exception if it failed,
         :class:`~concurrent.futures.CancelledError` if it was
-        cancelled, and :class:`TimeoutError` if ``timeout`` elapses
-        first.
+        cancelled (the salvaged partial report stays available via
+        :meth:`partial_result`), and :class:`TimeoutError` if
+        ``timeout`` elapses first.
         """
         if not self._finished.wait(timeout):
             raise TimeoutError(
@@ -151,9 +198,10 @@ class JobHandle:
         with self._state_lock:
             if not cancelled and error is None and self._stop.is_set():
                 # A cancel() returned True while the last round was
-                # wrapping up: honor its contract over the report.
+                # wrapping up: honor its contract (result() raises
+                # CancelledError) but keep the finished report — it is
+                # complete salvage, served by partial_result().
                 cancelled = True
-                report = None
             self._report = report
             self._error = error
             self._was_cancelled = cancelled
@@ -420,22 +468,24 @@ class Session:
             handle._complete(None, exc, False)
             return
         if not cancelled and handle._stop.is_set():
-            # cancel() won the race against the final round.
+            # cancel() won the race against the final round; the
+            # report is complete and survives as the salvage.
             cancelled = True
         self._emit(
             JobFinished(
                 job_id=handle.job_id,
                 analysis=handle.analysis,
                 target=handle.target,
-                verdict=None if cancelled else report.verdict,
-                rounds=report.rounds if not cancelled else 0,
-                n_evals=report.n_evals if not cancelled else 0,
-                elapsed_seconds=report.elapsed_seconds,
+                verdict=report.verdict if report is not None else None,
+                rounds=report.rounds if report is not None else 0,
+                n_evals=report.n_evals if report is not None else 0,
+                elapsed_seconds=report.elapsed_seconds if report is not None else 0.0,
                 cancelled=cancelled,
+                partial=report.partial if report is not None else False,
             ),
             on_event,
         )
-        handle._complete(None if cancelled else report, None, cancelled)
+        handle._complete(report, None, cancelled)
 
     def _execute(
         self,
@@ -474,6 +524,7 @@ class Session:
         trace = []
         samples = []
         n_evals = 0
+        n_crash_retries = 0
         round_index = 0
         cancelled = False
         while True:
@@ -495,6 +546,31 @@ class Session:
                     note=plan.note,
                 )
             )
+
+            def on_crash(notice, _round: int = round_index) -> None:
+                emit(
+                    StartCrashed(
+                        job_id=handle.job_id,
+                        analysis=name,
+                        target=handle.target,
+                        round_index=_round,
+                        start_index=notice.start_index,
+                        error=notice.error,
+                    )
+                )
+                emit(
+                    RoundRetried(
+                        job_id=handle.job_id,
+                        analysis=name,
+                        target=handle.target,
+                        round_index=_round,
+                        n_lost=len(notice.lost),
+                        attempt=notice.attempt,
+                        max_attempts=notice.max_attempts,
+                        error=notice.error,
+                    )
+                )
+
             outcome = run_multistart(
                 plan.weak_distance,
                 plan.n_inputs,
@@ -507,12 +583,15 @@ class Session:
                 early_cancel=not cfg.deterministic,
                 pool=pool,
                 stop_event=handle._stop,
+                max_crash_retries=cfg.max_crash_retries,
+                on_crash=on_crash,
             )
-            if handle._stop.is_set():
-                # Cancelled mid-round: the outcome is partial, so do
-                # not absorb it — the report is discarded anyway.
-                cancelled = True
-                break
+            n_crash_retries += outcome.n_crash_retries
+            interrupted = outcome.interrupted or handle._stop.is_set()
+            # A cancelled round is *partial*, not worthless: absorb
+            # the starts that finished before the flag landed, so the
+            # salvaged report keeps their findings (boundary's BV
+            # samples, coverage's arms, sat label sets).
             instance.absorb(state, round_index, outcome)
             best = outcome.best
             trace.append(
@@ -535,22 +614,20 @@ class Session:
                     best_w=math.inf if best is None else best.f_star,
                     found_zero=best is not None and best.f_star == 0.0,
                     note=plan.note,
+                    interrupted=interrupted,
                 )
             )
             n_evals += outcome.n_evals
             if plan.record_samples:
                 samples.extend(outcome.samples)
             round_index += 1
-
-        if cancelled:
-            report = AnalysisReport(
-                analysis=name, target=handle.target, verdict="cancelled"
-            )
-            report.elapsed_seconds = time.perf_counter() - t0
-            return report, True
+            if interrupted:
+                cancelled = True
+                break
 
         report: AnalysisReport = instance.finish(state)
         report.analysis = name
+        report.partial = cancelled
         if not report.target:
             from repro.api.targets import Target
 
@@ -567,4 +644,5 @@ class Session:
         report.elapsed_seconds = time.perf_counter() - t0
         report.seed = cfg.seed
         report.n_workers = pool.n_workers if pool is not None else cfg.n_workers
-        return report, False
+        report.n_crash_retries = n_crash_retries
+        return report, cancelled

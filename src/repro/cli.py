@@ -28,10 +28,16 @@ the command line.  Every run accepts the shared engine knobs
 contributes via its ``configure_parser`` hook; ``--smoke`` applies the
 analysis's tiny CI budget.  Runs execute through a
 :class:`repro.api.Session` (one warm worker pool for all rounds);
-``--progress`` streams the session's typed round events to stderr.
-Backends resolve through
+``--progress`` streams the session's typed round events to stderr —
+including the fault-tolerance events (``StartCrashed`` /
+``RoundRetried``) emitted when a worker dies and the round is healed
+by resubmitting its lost starts.  Backends resolve through
 :func:`repro.mo.registry.resolve_backend` — one wiring for every
 subcommand.
+
+Exit status: 0 = complete run, 1 = batch campaign with failed jobs,
+2 = bad target/spec, 3 = a *partial* result (a run or campaign job
+whose report was salvaged from a cancelled job's completed starts).
 
 The historical per-analysis subcommands (``fpod``, ``boundary``,
 ``coverage``, ``sat``) remain as deprecated aliases of
@@ -354,6 +360,17 @@ def _cmd_run(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(cls.render(report))
+    if report.n_crash_retries:
+        print(
+            f"note: {report.n_crash_retries} crash-salvage "
+            "cycle(s) healed this run",
+            file=sys.stderr,
+        )
+    if report.partial:
+        # Salvaged from a cancelled job: distinguishable from a
+        # complete run by exit status (see module docstring).
+        print("note: partial report (job was cancelled)", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -406,11 +423,21 @@ def _cmd_batch(args) -> int:
         on_event=on_event,
         event_sink=args.events_out,
     )
+    def _result_cell(r) -> str:
+        if not r.ok:
+            return f"ERROR: {r.error}"
+        cell = r.summary
+        if r.partial:
+            cell += " [partial]"
+        if r.crash_retries:
+            cell += f" [{r.crash_retries} crash retr.]"
+        return cell
+
     rows = [
         (
             r.job.analysis,
             r.job.display,
-            r.summary if r.ok else f"ERROR: {r.error}",
+            _result_cell(r),
             f"{r.seconds:.1f}s",
         )
         for r in results
@@ -418,7 +445,17 @@ def _cmd_batch(args) -> int:
     print(f"{len(jobs)} jobs on {n_workers} worker(s):")
     print(format_table(("analysis", "target", "result", "time"), rows))
     failed = sum(1 for r in results if not r.ok)
-    return 1 if failed else 0
+    partial = sum(1 for r in results if r.partial)
+    retries = sum(r.crash_retries for r in results)
+    if failed or partial or retries:
+        print(
+            f"{failed} failed, {partial} partial, "
+            f"{retries} crash-salvage cycle(s)",
+            file=sys.stderr,
+        )
+    if failed:
+        return 1
+    return 3 if partial else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

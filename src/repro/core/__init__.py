@@ -31,6 +31,8 @@ from repro.core.batch import (
 )
 from repro.core.kernel import KernelConfig, ReductionKernel
 from repro.core.parallel import (
+    DEFAULT_CRASH_RETRIES,
+    CrashNotice,
     MultiStartOutcome,
     WorkerCrashError,
     run_multistart,
@@ -44,6 +46,8 @@ __all__ = [
     "AnalysisProblem",
     "BatchJob",
     "BatchResult",
+    "CrashNotice",
+    "DEFAULT_CRASH_RETRIES",
     "KernelConfig",
     "MultiStartOutcome",
     "ReductionKernel",

@@ -122,6 +122,12 @@ class BatchResult:
     metrics: Dict[str, float]
     seconds: float
     error: Optional[str] = None
+    #: True when the job was cancelled mid-run and its report was
+    #: salvaged from the starts that finished (``AnalysisReport.partial``).
+    partial: bool = False
+    #: Crash-salvage cycles the job's rounds needed (worker deaths
+    #: healed by resubmitting the lost starts; 0 = crash-free).
+    crash_retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -333,7 +339,10 @@ def run_batch(
     """Run ``jobs`` through one shared worker-pool session.
 
     Results come back in job order; per-job failures are captured on
-    the result (``error``) instead of aborting the campaign.  Pass an
+    the result (``error``) instead of aborting the campaign, a
+    crash-healed job reports its salvage cycles (``crash_retries``),
+    and a job cancelled mid-run contributes its salvaged partial
+    report (``partial=True``) rather than vanishing.  Pass an
     existing :class:`repro.api.session.Session` to compose the
     campaign with other work on the same warm pool; otherwise a
     session with ``n_workers`` processes is created for the campaign
@@ -365,19 +374,30 @@ def run_batch(
                 handles.append((index, handle))
             except Exception as exc:
                 results[index] = _error_result(jobs[index], exc)
+        from concurrent.futures import CancelledError
+
         from repro.api import get_analysis
 
         for index, handle in handles:
             try:
-                report = handle.result()
+                try:
+                    report = handle.result()
+                except CancelledError:
+                    # A cancelled job still yields its salvaged
+                    # partial report when one exists.
+                    report = handle.partial_result()
+                    if report is None:
+                        raise
                 cls = get_analysis(jobs[index].analysis)
                 results[index] = BatchResult(
                     job=jobs[index],
                     summary=cls.summarize(report),
                     metrics=cls.metrics(report),
                     seconds=report.elapsed_seconds,
+                    partial=report.partial,
+                    crash_retries=report.n_crash_retries,
                 )
-            except Exception as exc:
+            except (Exception, CancelledError) as exc:
                 results[index] = _error_result(jobs[index], exc)
     finally:
         if own_session:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Union
 
+from repro.core.parallel import DEFAULT_CRASH_RETRIES
 from repro.core.problem import AnalysisProblem
 from repro.core.result import ReductionOutcome, Verdict
 from repro.core.weak_distance import WeakDistance
@@ -49,6 +50,12 @@ class KernelConfig:
     n_workers: int = 1
     #: Optional per-start evaluation budget (serial and parallel).
     max_evals_per_start: Optional[int] = None
+    #: Crash-salvage cycles a parallel round may spend resubmitting
+    #: lost starts to a fresh executor before
+    #: :class:`~repro.core.parallel.WorkerCrashError` aborts the run.
+    #: Retried starts re-ship their untouched per-start generators, so
+    #: a healed run stays byte-identical to a crash-free serial run.
+    max_crash_retries: int = DEFAULT_CRASH_RETRIES
 
 
 class ReductionKernel:
@@ -130,6 +137,7 @@ class ReductionKernel:
             n_workers=cfg.n_workers,
             record_samples=cfg.record_samples,
             max_evals_per_start=cfg.max_evals_per_start,
+            max_crash_retries=cfg.max_crash_retries,
         )
         return self._interpret(
             merged.attempts,

@@ -33,9 +33,12 @@ the starts of one reduction across a pool of worker processes:
   :class:`MultiStartOutcome`, so stateful analyses (Algorithm 3's set
   ``L``, coverage's set ``B``) keep converging across rounds.
 
-* **Failure surfacing.**  A crash in any worker cancels the rest and is
-  re-raised in the parent as :class:`WorkerCrashError` naming the
-  start.
+* **Self-healing rounds.**  A crash in any worker no longer discards
+  the round: completed sibling reports are kept and only the lost
+  starts are resubmitted to a fresh executor, replaying their shipped
+  per-start generators byte-identically (bounded by
+  ``max_crash_retries``; exhaustion raises :class:`WorkerCrashError`
+  naming the start).
 
 One-shot pools pay process startup and payload rebuild on every call;
 ``run_multistart(..., pool=...)`` routes the same tasks through a
@@ -50,7 +53,12 @@ import dataclasses
 import multiprocessing
 import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -61,13 +69,46 @@ from repro.fpir.instrument import InstrumentedProgram
 from repro.mo.base import MOBackend, MOResult, Objective
 
 
+#: Salvage cycles a round may spend resubmitting crashed starts before
+#: giving up (see :class:`CrashNotice`); the default for
+#: ``KernelConfig.max_crash_retries`` and
+#: ``EngineConfig.max_crash_retries``.
+DEFAULT_CRASH_RETRIES = 2
+
+#: How often (seconds) a round waiting on its futures polls the
+#: parent-side stop event (shared with :mod:`repro.core.pool`).
+STOP_POLL_SECONDS = 0.05
+
+
 class WorkerCrashError(RuntimeError):
-    """A multi-start worker process died or raised; the run is aborted."""
+    """A multi-start worker died or raised and the retry budget ran out.
+
+    Raised only once ``max_crash_retries`` salvage cycles (resubmitting
+    the lost starts to a fresh executor) have failed to complete the
+    round; completed sibling starts are never the casualty of a single
+    crash anymore.
+    """
 
     def __init__(self, start_index: int, cause: BaseException) -> None:
         super().__init__(f"worker running start #{start_index} crashed: {cause!r}")
         self.start_index = start_index
         self.cause = cause
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashNotice:
+    """One salvage cycle, reported to ``run_multistart(on_crash=...)``.
+
+    ``start_index`` is the start whose failure surfaced the crash;
+    ``lost`` lists every start being resubmitted (a broken executor
+    loses all of its in-flight siblings, not just the crashed one).
+    """
+
+    start_index: int
+    lost: Tuple[int, ...]
+    attempt: int
+    max_attempts: int
+    error: str
 
 
 # ---------------------------------------------------------------------------
@@ -304,6 +345,14 @@ class MultiStartOutcome:
     #: Worker-side payload rebuilds this round forced (persistent-pool
     #: cache misses; 0 on the serial and one-shot paths).
     n_rebuilds: int = 0
+    #: Crash-salvage cycles this round needed (lost starts resubmitted
+    #: to a fresh executor; 0 = no worker ever crashed).
+    n_crash_retries: int = 0
+    #: True when a ``stop_event`` cancelled the round mid-flight: the
+    #: outcome covers only the starts that finished before the flag
+    #: landed (a *partial* round — still mergeable, see
+    #: :func:`merge_reports`).
+    interrupted: bool = False
 
     @property
     def best(self) -> Optional[MOResult]:
@@ -321,13 +370,20 @@ def pool_context() -> multiprocessing.context.BaseContext:
 
 
 def merge_reports(
-    weak_distance: WeakDistance, reports: Sequence[StartReport]
+    weak_distance: WeakDistance,
+    reports: Sequence[StartReport],
+    n_crash_retries: int = 0,
+    interrupted: bool = False,
 ) -> MultiStartOutcome:
     """Fold per-start worker reports into one :class:`MultiStartOutcome`.
 
     Reports are merged in start order, and the label-set union is
     written back into the parent's ``WeakDistance`` so stateful
     analyses see exactly what a serial run would have accumulated.
+    ``reports`` may cover only a subset of the round's starts — a
+    cancelled or crash-salvaged round merges whatever finished, and
+    the per-start determinism contract guarantees each merged report
+    is byte-identical to its serial counterpart.
     """
     ordered = sorted(reports, key=lambda report: report.index)
     merged_labels: Dict[str, Set[str]] = {
@@ -358,6 +414,8 @@ def merge_reports(
         samples=samples,
         n_cancelled=n_cancelled,
         n_rebuilds=n_rebuilds,
+        n_crash_retries=n_crash_retries,
+        interrupted=interrupted,
     )
 
 
@@ -383,9 +441,11 @@ def _run_starts_serial(
     attempts: List[MOResult] = []
     samples: List[Sample] = []
     n_evals = 0
+    interrupted = False
     should_stop = None if stop_event is None else stop_event.is_set
     for task in tasks:
         if stop_event is not None and stop_event.is_set():
+            interrupted = True
             break
         result, task_evals, task_samples = run_task(
             weak_distance, n_inputs, task, should_stop=should_stop
@@ -401,6 +461,8 @@ def _run_starts_serial(
             and result.stopped_at_zero
         ):
             break
+    if stop_event is not None and stop_event.is_set():
+        interrupted = True
     return MultiStartOutcome(
         attempts=attempts,
         n_evals=n_evals,
@@ -410,6 +472,7 @@ def _run_starts_serial(
         },
         samples=samples,
         n_cancelled=0,
+        interrupted=interrupted,
     )
 
 
@@ -425,6 +488,8 @@ def run_multistart(
     early_cancel: bool = True,
     pool=None,
     stop_event: Optional[threading.Event] = None,
+    max_crash_retries: Optional[int] = None,
+    on_crash=None,
 ) -> MultiStartOutcome:
     """Run every ``(start, rng)`` pair through ``backend``.
 
@@ -453,8 +518,22 @@ def run_multistart(
 
     ``stop_event`` (a :class:`threading.Event`) cancels the remaining
     work cooperatively — between starts on the serial path, mid-round
-    through the pool's cancel slots on the pooled path.
+    through the pool's cancel slots on the pooled path, and parent-side
+    on the one-shot executor path (queued starts are withdrawn; racing
+    runs also stop in-flight starts through the shared event).  A
+    cancelled round returns a *partial* outcome (``interrupted=True``)
+    holding every start that finished before the flag landed.
+
+    ``max_crash_retries`` bounds the salvage cycles a round may spend
+    on crashed workers (``None`` = :data:`DEFAULT_CRASH_RETRIES`):
+    completed sibling reports are kept, the lost starts are resubmitted
+    to a fresh executor, and — because each retried start re-ships the
+    parent's untouched per-start generator — the healed round is
+    byte-identical to a crash-free serial run.  ``on_crash`` receives a
+    :class:`CrashNotice` per salvage cycle.
     """
+    if max_crash_retries is None:
+        max_crash_retries = DEFAULT_CRASH_RETRIES
     tasks = [
         StartTask(
             index=i,
@@ -468,14 +547,21 @@ def run_multistart(
         for i, (start, rng) in enumerate(starts)
     ]
     if pool is not None and tasks:
-        reports = pool.run_round(
+        round_result = pool.run_round(
             weak_distance,
             n_inputs,
             tasks,
             race=bool(stop_at_zero and early_cancel),
             stop_event=stop_event,
+            max_crash_retries=max_crash_retries,
+            on_crash=on_crash,
         )
-        return merge_reports(weak_distance, reports)
+        return merge_reports(
+            weak_distance,
+            round_result.reports,
+            n_crash_retries=round_result.n_crash_retries,
+            interrupted=round_result.interrupted,
+        )
     if n_workers <= 1 or len(tasks) <= 1:
         return _run_starts_serial(
             weak_distance, n_inputs, tasks, early_cancel, stop_event
@@ -487,27 +573,106 @@ def run_multistart(
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     reports: List[StartReport] = []
+    remaining: Dict[int, StartTask] = {task.index: task for task in tasks}
+    n_retries = 0
+    interrupted = False
+    flagged = False
     try:
-        with ProcessPoolExecutor(
-            max_workers=max(1, min(n_workers, len(tasks) or 1)),
-            mp_context=ctx,
-            initializer=_init_worker,
-            initargs=(payload_blob, cancel),
-        ) as executor:
-            futures = {executor.submit(_run_start, task): task for task in tasks}
-            try:
-                for future in as_completed(futures):
+        while remaining:
+            crash: Optional[BaseException] = None
+            crash_index = 0
+            cycle = sorted(remaining.values(), key=lambda task: task.index)
+            with ProcessPoolExecutor(
+                max_workers=max(1, min(n_workers, len(cycle) or 1)),
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(payload_blob, cancel),
+            ) as executor:
+                futures: Dict[object, StartTask] = {}
+                for task in cycle:
                     try:
-                        reports.append(future.result())
-                    except Exception as exc:
-                        raise WorkerCrashError(futures[future].index, exc) from exc
-            except BaseException:
-                # Stop the race before the pool's exit handler waits on it.
-                if cancel is not None:
-                    cancel.set()
-                for future in futures:
-                    future.cancel()
-                raise
+                        future = executor.submit(_run_start, task)
+                    except RuntimeError as exc:
+                        # A worker died while the cycle was still being
+                        # dispatched (BrokenProcessPool is a
+                        # RuntimeError): harvest what was submitted and
+                        # let the retry loop resubmit the rest.
+                        crash, crash_index = exc, task.index
+                        break
+                    futures[future] = task
+                try:
+                    pending = set(futures)
+                    while pending:
+                        done, pending = wait(
+                            pending,
+                            timeout=(
+                                STOP_POLL_SECONDS
+                                if stop_event is not None
+                                else None
+                            ),
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for future in done:
+                            task = futures[future]
+                            try:
+                                reports.append(future.result())
+                                del remaining[task.index]
+                            except CancelledError:
+                                # Withdrawn after the stop flag landed:
+                                # the start never ran and is part of
+                                # the cancellation loss, not a retry.
+                                del remaining[task.index]
+                            except Exception as exc:
+                                # First crash wins the naming; keep
+                                # harvesting the sibling futures (a
+                                # broken executor fails them all
+                                # immediately).
+                                if crash is None:
+                                    crash, crash_index = exc, task.index
+                        if (
+                            stop_event is not None
+                            and not flagged
+                            and stop_event.is_set()
+                        ):
+                            # Job cancellation: withdraw queued starts
+                            # and (in racing mode) stop the running
+                            # ones through the shared event.
+                            flagged = True
+                            interrupted = True
+                            if cancel is not None:
+                                cancel.set()
+                            for future in futures:
+                                future.cancel()
+                except BaseException:
+                    # Stop the race before the pool's exit handler
+                    # waits on it.
+                    if cancel is not None:
+                        cancel.set()
+                    for future in futures:
+                        future.cancel()
+                    raise
+            if crash is None or not remaining:
+                break
+            if flagged:
+                # Cancelled: salvage what completed, spend no retries.
+                break
+            if cancel is not None and cancel.is_set():
+                # The race is already over; the lost starts would be
+                # cancelled on arrival, so there is nothing to retry.
+                break
+            if n_retries >= max_crash_retries:
+                raise WorkerCrashError(crash_index, crash) from crash
+            n_retries += 1
+            if on_crash is not None:
+                on_crash(
+                    CrashNotice(
+                        start_index=crash_index,
+                        lost=tuple(sorted(remaining)),
+                        attempt=n_retries,
+                        max_attempts=max_crash_retries,
+                        error=repr(crash),
+                    )
+                )
     finally:
         # Never leave the shared event set once the pool is gone: a
         # crash used to strand it set, which is harmless for this
@@ -515,4 +680,9 @@ def run_multistart(
         # event (and mirrors the persistent pool's slot-release rule).
         if cancel is not None:
             cancel.clear()
-    return merge_reports(weak_distance, reports)
+    return merge_reports(
+        weak_distance,
+        reports,
+        n_crash_retries=n_retries,
+        interrupted=interrupted,
+    )

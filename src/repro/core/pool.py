@@ -26,27 +26,46 @@ amortizes both costs:
   round a *slot* in a shared flag array instead.  Workers poll their
   task's slot per evaluation; the first racing zero sets it, and
   :meth:`repro.api.session.JobHandle.cancel` sets it from the parent to
-  stop a round mid-flight.  Slots are always cleared on release, even
-  when the round aborts with :class:`WorkerCrashError` — the pool stays
-  usable for the next job (the one-shot path's strand-the-event bug
-  cannot recur here).
+  stop a round mid-flight.  A round that could not get a slot (all
+  :data:`CANCEL_SLOTS` taken) still observes its ``stop_event``
+  parent-side: queued starts are withdrawn and running ones are merely
+  waited out.  Slots are always cleared on release, even when the
+  round aborts with :class:`WorkerCrashError` — the pool stays usable
+  for the next job (the one-shot path's strand-the-event bug cannot
+  recur here).
+
+* **Self-healing rounds.**  A worker crash — a raising backend or a
+  process death that breaks the whole executor — no longer forfeits
+  the round.  :meth:`WorkerPool.run_round` keeps every completed
+  sibling report, retires the broken executor, and resubmits only the
+  lost starts to a fresh one (bounded per round by
+  ``max_crash_retries``).  Each resubmitted start re-ships the
+  parent's untouched per-start generator, so a healed round is
+  byte-identical to a crash-free serial run.
 
 The pool is thread-safe: concurrent jobs submit rounds from their own
-driver threads and share the worker budget.
+driver threads and share the worker budget.  When a broken executor
+takes down the in-flight rounds of *several* jobs at once, each round
+salvages independently — the first to notice retires the executor and
+the rest resubmit to its replacement.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import pickle
 import threading
 import weakref
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.parallel import (
+    DEFAULT_CRASH_RETRIES,
+    STOP_POLL_SECONDS,
+    CrashNotice,
     StartReport,
     StartTask,
     WorkerCrashError,
@@ -67,11 +86,6 @@ CANCEL_SLOTS = 32
 
 #: Rebuilt weak distances each worker keeps (LRU by program digest).
 WORKER_CACHE_SIZE = 8
-
-#: How often (seconds) a round waiting on its futures polls the
-#: parent-side stop event.
-_STOP_POLL_SECONDS = 0.05
-
 
 # ---------------------------------------------------------------------------
 # Worker side
@@ -131,6 +145,19 @@ class _SlotPoll:
 
     def __call__(self) -> bool:
         return self.flags[self.slot] != 0
+
+
+@dataclasses.dataclass
+class RoundResult:
+    """What :meth:`WorkerPool.run_round` hands back for one round."""
+
+    #: Unordered per-start reports; covers every start of a clean
+    #: round, a subset for a cancelled one.
+    reports: List[StartReport]
+    #: Crash-salvage cycles this round needed.
+    n_crash_retries: int = 0
+    #: True when the round's ``stop_event`` cancelled it mid-flight.
+    interrupted: bool = False
 
 
 _POOL_STATE: dict = {}
@@ -232,6 +259,11 @@ class WorkerPool:
         #: Worker-side payload rebuilds observed (cache misses; at most
         #: ``n_workers`` per distinct program).
         self.n_rebuilds = 0
+        #: Crash-salvage cycles performed (lost starts resubmitted to a
+        #: fresh executor after a worker crash).
+        self.n_crash_retries = 0
+        #: Broken executors retired over the pool's lifetime.
+        self.n_broken_executors = 0
         #: Distinct program digests shipped so far.
         self._digests: set = set()
         #: Digests with a completed round behind them: their blobs are
@@ -279,13 +311,25 @@ class WorkerPool:
                 )
             return self._executor
 
-    def _retire_broken_executor(self) -> None:
-        """Drop a broken executor so the next round spawns a fresh one."""
+    def _retire_broken_executor(
+        self, broken: Optional[ProcessPoolExecutor] = None
+    ) -> None:
+        """Drop a broken executor so the next round spawns a fresh one.
+
+        ``broken`` guards concurrent salvage: several rounds sharing
+        the executor all observe the same break, and only the first
+        may retire it — the rest would otherwise tear down the healthy
+        replacement their siblings already resubmitted to.
+        """
         with self._lock:
+            if broken is not None and self._executor is not broken:
+                return
             executor, self._executor = self._executor, None
             # Fresh workers start with empty caches: blobs must ship
             # again until each digest re-warms.
             self._warm_digests.clear()
+            if executor is not None:
+                self.n_broken_executors += 1
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -349,90 +393,194 @@ class WorkerPool:
         tasks: Sequence[StartTask],
         race: bool = False,
         stop_event: Optional[threading.Event] = None,
-    ) -> List[StartReport]:
+        max_crash_retries: int = DEFAULT_CRASH_RETRIES,
+        on_crash=None,
+    ) -> RoundResult:
         """Fan one round's ``tasks`` across the warm workers.
 
         ``race=True`` lets the first zero cancel the round's remaining
         starts (the racing mode); ``stop_event`` cancels the round from
-        the parent mid-flight (job cancellation).  Reports come back
-        unordered; :func:`repro.core.parallel.merge_reports` sorts and
-        merges them.  A raising task aborts the round with
-        :class:`WorkerCrashError` but leaves the pool serviceable.
+        the parent mid-flight (job cancellation) and marks the result
+        ``interrupted`` — the completed starts are still returned.
+        Reports come back unordered;
+        :func:`repro.core.parallel.merge_reports` sorts and merges
+        them.  A crashing start (raising backend or a process death
+        that breaks the executor) costs only the unfinished starts,
+        which are resubmitted to a fresh executor for up to
+        ``max_crash_retries`` salvage cycles (each reported to
+        ``on_crash`` as a :class:`~repro.core.parallel.CrashNotice`);
+        only exhaustion aborts the round with
+        :class:`WorkerCrashError`, and even then the pool stays
+        serviceable.
         """
         if not tasks:
-            return []
-        executor = self._ensure_executor()
+            return RoundResult([])
         digest, blob = self._program_blob(weak_distance, n_inputs)
-        with self._lock:
-            shipped_blob = None if digest in self._warm_digests else blob
         label_state = snapshot_label_state(weak_distance)
         slot = self._acquire_slot() if (race or stop_event is not None) else None
-        futures: Dict[object, _PoolTask] = {}
         reports: List[StartReport] = []
+        pending_tasks: Dict[int, StartTask] = {task.index: task for task in tasks}
+        all_futures: List[object] = []
+        n_retries = 0
+        interrupted = False
+        flagged = False
+        clean = False
         try:
-            for task in tasks:
-                ptask = _PoolTask(digest, shipped_blob, label_state, slot, race, task)
-                futures[executor.submit(_run_pool_start, ptask)] = ptask
-            pending = set(futures)
-            poll = stop_event is not None and slot is not None
-            flagged = False
-            while pending:
-                done, pending = wait(
-                    pending,
-                    timeout=_STOP_POLL_SECONDS if poll else None,
-                    return_when=FIRST_COMPLETED,
-                )
-                for future in done:
-                    ptask = futures[future]
+            while pending_tasks:
+                executor = self._ensure_executor()
+                with self._lock:
+                    shipped_blob = None if digest in self._warm_digests else blob
+                crash: Optional[BaseException] = None
+                crash_index = 0
+                broken = False
+                futures: Dict[object, _PoolTask] = {}
+                for task in sorted(pending_tasks.values(), key=lambda t: t.index):
+                    ptask = _PoolTask(
+                        digest, shipped_blob, label_state, slot, race, task
+                    )
                     try:
-                        reports.append(future.result())
-                    except _PayloadCacheMiss:
-                        # The worker serving this start never saw the
-                        # digest's warm-up blob (idle then, or a fresh
-                        # process): resend the start with it attached.
-                        retry = _PoolTask(
-                            digest, blob, label_state, slot, race, ptask.task
+                        future = executor.submit(_run_pool_start, ptask)
+                    except RuntimeError as exc:
+                        # The executor broke — or a sibling round's
+                        # salvage retired it — between _ensure and
+                        # submit (BrokenProcessPool is a RuntimeError).
+                        # Treat it as this cycle's crash so the retry
+                        # loop resubmits on a replacement instead of
+                        # failing the round.
+                        crash, crash_index = exc, task.index
+                        broken = True
+                        break
+                    futures[future] = ptask
+                all_futures.extend(futures)
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(
+                        pending,
+                        timeout=STOP_POLL_SECONDS if stop_event is not None else None,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        ptask = futures[future]
+                        try:
+                            reports.append(future.result())
+                            pending_tasks.pop(ptask.task.index, None)
+                        except CancelledError:
+                            # A future this round withdrew after its
+                            # stop flag landed: the start never ran
+                            # and must not be resubmitted.
+                            pending_tasks.pop(ptask.task.index, None)
+                        except _PayloadCacheMiss:
+                            if flagged or (
+                                stop_event is not None and stop_event.is_set()
+                            ):
+                                # The round is being cancelled: do not
+                                # resubmit on the cache-miss path
+                                # either — the start stays unserved.
+                                pending_tasks.pop(ptask.task.index, None)
+                                continue
+                            # The worker serving this start never saw
+                            # the digest's warm-up blob (idle then, or
+                            # a fresh process): resend the start with
+                            # it attached.
+                            retry = _PoolTask(
+                                digest, blob, label_state, slot, race, ptask.task
+                            )
+                            try:
+                                retry_future = executor.submit(
+                                    _run_pool_start, retry
+                                )
+                            except RuntimeError as exc:
+                                # Executor gone mid-round (see the
+                                # dispatch loop): leave the start in
+                                # pending_tasks for the retry cycle.
+                                broken = True
+                                if crash is None:
+                                    crash = exc
+                                    crash_index = ptask.task.index
+                                continue
+                            futures[retry_future] = retry
+                            all_futures.append(retry_future)
+                            pending.add(retry_future)
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            if crash is None:
+                                crash, crash_index = exc, ptask.task.index
+                        except Exception as exc:
+                            if crash is None:
+                                crash, crash_index = exc, ptask.task.index
+                    if stop_event is not None and not flagged and stop_event.is_set():
+                        flagged = True
+                        interrupted = True
+                        if slot is not None:
+                            self._flags[slot] = 1
+                        else:
+                            # Slotless round (cancel slots exhausted):
+                            # the workers cannot see a flag, so stop
+                            # dispatching instead — queued starts are
+                            # withdrawn, running ones are waited out
+                            # and still harvested.
+                            for future in futures:
+                                future.cancel()
+                if broken:
+                    self._retire_broken_executor(executor)
+                if crash is None or not pending_tasks:
+                    break
+                if flagged:
+                    # The job is being cancelled anyway: salvage what
+                    # completed instead of spending retries.
+                    break
+                if race and slot is not None and self._flags[slot]:
+                    # The race is already over (a zero landed): lost
+                    # starts would cancel on arrival, so there is
+                    # nothing worth resubmitting.
+                    break
+                if n_retries >= max_crash_retries:
+                    raise WorkerCrashError(crash_index, crash) from crash
+                n_retries += 1
+                with self._lock:
+                    self.n_crash_retries += 1
+                if on_crash is not None:
+                    on_crash(
+                        CrashNotice(
+                            start_index=crash_index,
+                            lost=tuple(sorted(pending_tasks)),
+                            attempt=n_retries,
+                            max_attempts=max_crash_retries,
+                            error=repr(crash),
                         )
-                        retry_future = executor.submit(_run_pool_start, retry)
-                        futures[retry_future] = retry
-                        pending.add(retry_future)
-                    except BrokenProcessPool as exc:
-                        self._retire_broken_executor()
-                        raise WorkerCrashError(ptask.task.index, exc) from exc
-                    except Exception as exc:
-                        raise WorkerCrashError(ptask.task.index, exc) from exc
-                if (
-                    poll
-                    and not flagged
-                    and stop_event is not None
-                    and stop_event.is_set()
-                ):
-                    self._flags[slot] = 1
-                    flagged = True
+                    )
+            clean = not interrupted
         except BaseException:
             if slot is not None:
                 self._flags[slot] = 1
-            for future in futures:
+            for future in all_futures:
                 future.cancel()
             raise
         else:
-            with self._lock:
-                self._warm_digests.add(digest)
+            if clean:
+                with self._lock:
+                    self._warm_digests.add(digest)
         finally:
             # Wait out any starts still running so no worker can touch
             # the slot after it is recycled, then release it cleared.
-            wait(list(futures))
+            wait(all_futures)
             self._release_slot(slot)
             with self._lock:
                 self.n_rounds += 1
                 self.n_rebuilds += sum(1 for r in reports if r.rebuilt)
-        return reports
+        return RoundResult(
+            reports=reports,
+            n_crash_retries=n_retries,
+            interrupted=interrupted,
+        )
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime counters (rounds served, cache behavior)."""
+        """Lifetime counters (rounds served, cache and crash behavior)."""
         return {
             "n_workers": self.n_workers,
             "rounds": self.n_rounds,
             "programs": self.n_programs,
             "rebuilds": self.n_rebuilds,
+            "crash_retries": self.n_crash_retries,
+            "broken_executors": self.n_broken_executors,
         }

@@ -1,0 +1,50 @@
+"""Chaos-testing helpers for the self-healing execution stack.
+
+The fault-tolerance contract (see :mod:`repro.core.pool`) is only
+worth anything if it survives *real* process deaths, so the test and
+benchmark layers share one picklable backend that kills a live worker
+mid-round.  It lives in the package — not copy-pasted per test module —
+so the kill/claim protocol stays in one place and downstream users can
+chaos-test their own deployments with it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Optional
+
+from repro.mo.base import MOBackend
+from repro.mo.random_search import RandomSearchBackend
+
+
+class KillWorkerOnceBackend(MOBackend):
+    """SIGKILLs its own worker process exactly once, then behaves.
+
+    The first minimization served *outside* the constructing (parent)
+    process atomically claims ``marker`` (``O_CREAT | O_EXCL``) and
+    kills its process — a real worker death that breaks the whole
+    executor, not a tidy exception.  Every later call — the
+    crash-salvage resubmissions, and any serial run in the parent —
+    delegates to ``inner`` (default: a small
+    :class:`~repro.mo.random_search.RandomSearchBackend`), so a healed
+    run can be compared byte-for-byte against a crash-free one.
+    """
+
+    name = "kill-once"
+
+    def __init__(self, marker, inner: Optional[MOBackend] = None) -> None:
+        self.marker = str(marker)
+        self.parent_pid = os.getpid()
+        self.inner = inner if inner is not None else RandomSearchBackend(n_samples=40)
+
+    def minimize(self, objective, start, rng):
+        if os.getpid() != self.parent_pid:
+            try:
+                fd = os.open(self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pass
+            else:
+                os.close(fd)
+                os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.minimize(objective, start, rng)

@@ -1,5 +1,6 @@
 """The persistent Session service: async jobs, events, warm pool."""
 
+import os
 import threading
 import time
 from concurrent.futures import CancelledError
@@ -13,14 +14,17 @@ from repro.api import (
     JobRequest,
     JobStarted,
     RoundFinished,
+    RoundRetried,
     RoundStarted,
     Session,
+    StartCrashed,
 )
 from repro.api.session import JobHandle
 from repro.core import WorkerCrashError, WorkerPool
 from repro.mo.base import MOBackend
 from repro.mo.random_search import RandomSearchBackend
 from repro.mo.starts import uniform_sampler
+from repro.testing import KillWorkerOnceBackend
 
 #: Same CI-sized workloads as the engine parity suite.
 CASES = [
@@ -37,6 +41,54 @@ class CrashBackend(MOBackend):
 
     def minimize(self, objective, start, rng):
         raise ValueError("backend exploded")
+
+
+class GatedBackend(MOBackend):
+    """Deterministic cancel-salvage orchestration.
+
+    The first ``n_fast`` minimizations (atomic ticket files under
+    ``gate_dir``) run the inner backend and drop a ``done-<ticket>``
+    marker; every later call blocks until the round's cancel flag
+    lands, so a test can wait for the fast starts to finish, cancel,
+    and know exactly which starts the salvage may contain.
+    """
+
+    name = "gated"
+
+    def __init__(self, gate_dir, n_fast, inner):
+        self.gate_dir = str(gate_dir)
+        self.n_fast = n_fast
+        self.inner = inner
+
+    def _claim(self) -> int:
+        for ticket in range(10_000):
+            path = os.path.join(self.gate_dir, f"claim-{ticket}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return ticket
+        raise RuntimeError("gate overflow")
+
+    def minimize(self, objective, start, rng):
+        ticket = self._claim()
+        if ticket < self.n_fast:
+            result = self.inner.minimize(objective, start, rng)
+            done = os.open(
+                os.path.join(self.gate_dir, f"done-{ticket}"),
+                os.O_CREAT | os.O_WRONLY,
+            )
+            os.close(done)
+            return result
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if objective.should_stop is not None and objective.should_stop():
+                # Mimics a cancellation before the first evaluation:
+                # run_task turns this into a result-less report.
+                raise RuntimeError("cancelled at the gate")
+            time.sleep(0.01)
+        raise RuntimeError("gate never released")
 
 
 def _fingerprint(report):
@@ -313,6 +365,167 @@ class TestCancellation:
                 handle.result(timeout=60)
         finished = [e for e in events if isinstance(e, JobFinished)]
         assert len(finished) == 1 and finished[0].cancelled
+
+
+def _wait_for_files(paths, timeout=120.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if all(os.path.exists(p) for p in paths):
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestChaosSelfHealing:
+    """Kill a live worker mid-round through the whole service stack."""
+
+    def test_chaos_killed_worker_job_heals_and_siblings_unaffected(
+        self, tmp_path
+    ):
+        marker = tmp_path / "killed"
+        chaos = KillWorkerOnceBackend(
+            marker,
+            inner=RandomSearchBackend(
+                n_samples=40, sampler=uniform_sampler(10.0, 20.0)
+            ),
+        )
+        # The crash-free reference: a serial run in the parent process
+        # (where the chaos backend never fires).
+        serial = Engine(EngineConfig(seed=13, backend=chaos)).run(
+            "path", "fig2", n_starts=6
+        )
+        events = []
+        lock = threading.Lock()
+
+        def on_event(event):
+            with lock:
+                events.append(event)
+
+        with Session(
+            EngineConfig(seed=13, n_workers=2), on_event=on_event
+        ) as session:
+            victim = session.submit(
+                "path", "fig2", n_starts=6,
+                config=EngineConfig(seed=13, backend=chaos),
+            )
+            sibling = session.submit("sat", "x < 1 && x + 1 >= 2")
+            healed = victim.result(timeout=240)
+            sibling_report = sibling.result(timeout=240)
+            stats = session.stats()
+        assert marker.exists()  # a worker really died mid-round
+        # (a) the job completed with serial-parity results.
+        assert _fingerprint(serial) == _fingerprint(healed)
+        assert serial.n_evals == healed.n_evals
+        assert serial.samples == healed.samples
+        assert healed.n_crash_retries >= 1
+        assert not healed.partial
+        # (b) the sibling job on the shared pool still succeeded.
+        assert sibling_report.verdict == "found"
+        # (c) the pool's lifetime stats count the salvage.
+        assert stats["crash_retries"] >= 1
+        assert stats["broken_executors"] >= 1
+        # The salvage narrated itself through typed events.
+        crashes = [e for e in events if isinstance(e, StartCrashed)]
+        retries = [e for e in events if isinstance(e, RoundRetried)]
+        assert crashes and retries
+        assert retries[0].n_lost >= 1
+        assert retries[0].attempt == 1
+        finished = {
+            e.job_id: e for e in events if isinstance(e, JobFinished)
+        }
+        assert finished[victim.job_id].ok
+        assert finished[sibling.job_id].ok
+
+
+class TestCancelSalvage:
+    """cancel() is lossless: completed starts become a partial report."""
+
+    def test_cancel_salvages_partial_coverage_report(self, tmp_path):
+        inner = RandomSearchBackend(
+            n_samples=500, sampler=uniform_sampler(-100.0, 100.0)
+        )
+        sampler = uniform_sampler(-100.0, 100.0)
+        full = Engine(
+            EngineConfig(seed=21, backend=inner, start_sampler=sampler)
+        ).run("coverage", "fig2", n_starts=6, max_rounds=1)
+        assert full.detail.covered_arms
+        events = []
+        gated = GatedBackend(tmp_path, n_fast=2, inner=inner)
+        with Session(
+            EngineConfig(
+                seed=21, n_workers=2, backend=gated, start_sampler=sampler
+            ),
+            on_event=events.append,
+        ) as session:
+            handle = session.submit(
+                "coverage", "fig2", n_starts=6, max_rounds=1
+            )
+            assert _wait_for_files(
+                [tmp_path / "done-0", tmp_path / "done-1"]
+            )
+            report = handle.cancel(wait=True, timeout=240)
+        # result() keeps its CancelledError contract...
+        assert handle.cancelled()
+        with pytest.raises(CancelledError):
+            handle.result(timeout=5)
+        # ...but the salvage is a real AnalysisReport, flagged partial,
+        # with a non-empty label set that is a subset of the full
+        # run's (the completed starts replayed the same trajectories).
+        assert report is not None and report.partial
+        assert report.detail.covered_arms
+        assert report.detail.covered_arms <= full.detail.covered_arms
+        assert handle.partial_result(timeout=5) is report
+        finished = [e for e in events if isinstance(e, JobFinished)]
+        assert len(finished) == 1
+        assert finished[0].cancelled and finished[0].partial
+
+    def test_cancel_salvages_partial_boundary_report(self, tmp_path):
+        from repro.mo.registry import resolve_backend
+
+        sampler = uniform_sampler(-100.0, 100.0)
+        full = Engine(EngineConfig(seed=21, start_sampler=sampler)).run(
+            "boundary", "fig2", n_starts=6, max_samples=6000
+        )
+        full_labels = {f.label for f in full.findings}
+        assert full_labels  # fig2 has reachable boundary conditions
+        gated = GatedBackend(
+            tmp_path, n_fast=2, inner=resolve_backend(None)
+        )
+        with Session(
+            EngineConfig(
+                seed=21, n_workers=2, backend=gated, start_sampler=sampler
+            )
+        ) as session:
+            handle = session.submit(
+                "boundary", "fig2", n_starts=6, max_samples=6000
+            )
+            assert _wait_for_files(
+                [tmp_path / "done-0", tmp_path / "done-1"]
+            )
+            report = handle.cancel(wait=True, timeout=240)
+        assert report is not None and report.partial
+        # Real salvage: the completed starts' recorded samples made it
+        # into the partial report...
+        assert report.samples
+        assert set(report.samples) <= set(full.samples)
+        # ...and the partial BV label set is a subset of the full
+        # run's (satellite acceptance).
+        partial_labels = {f.label for f in report.findings}
+        assert partial_labels <= full_labels
+        partial_bv = set(map(tuple, report.detail.boundary_values))
+        full_bv = set(map(tuple, full.detail.boundary_values))
+        assert partial_bv <= full_bv
+
+    def test_partial_result_on_completed_job_is_the_full_report(self):
+        with Session(EngineConfig(seed=2)) as session:
+            handle = session.submit("path", "fig2", n_starts=4)
+            report = handle.result(timeout=120)
+            assert handle.partial_result(timeout=5) is report
+            assert not report.partial
+            # cancel(wait=True) after completion also hands the full
+            # report back instead of pretending nothing exists.
+            assert handle.cancel(wait=True, timeout=5) is report
+            assert not handle.cancelled()
 
 
 class TestCrashRecovery:

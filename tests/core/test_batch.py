@@ -158,6 +158,65 @@ class TestRunBatch:
         assert [r.ok for r in racing] == [r.ok for r in deterministic]
 
 
+class TestResilienceAccounting:
+    """Per-job crash/partial accounting in campaign summaries."""
+
+    def test_cancelled_job_contributes_partial_result(self, monkeypatch):
+        from repro.analyses.coverage import CoverageReport
+        from repro.api import AnalysisReport, EngineConfig, Session
+        from repro.api.session import JobHandle
+
+        report = AnalysisReport(
+            analysis="coverage",
+            target="fig2",
+            verdict="partial",
+            partial=True,
+            n_crash_retries=3,
+            detail=CoverageReport(
+                total_arms=4,
+                covered_arms={"b1:T"},
+                witnesses={"b1:T": (1.0,)},
+                rounds=1,
+                n_evals=10,
+            ),
+        )
+        handle = JobHandle(0, "coverage", "fig2")
+        handle._complete(report, None, True)
+        session = Session(EngineConfig())
+        monkeypatch.setattr(session, "submit", lambda *a, **k: handle)
+        results = run_batch(
+            [BatchJob("coverage", "fig2")], session=session
+        )
+        session.close()
+        result = results[0]
+        # The salvaged partial report counts as a result, not a loss.
+        assert result.ok
+        assert result.partial
+        assert result.crash_retries == 3
+        assert "1/4 arms" in result.summary
+
+    def test_complete_jobs_report_no_partial_no_retries(self):
+        results = run_batch(_tiny_jobs(analyses=("fpod",)), n_workers=1)
+        assert all(r.ok for r in results)
+        assert all(not r.partial for r in results)
+        assert all(r.crash_retries == 0 for r in results)
+
+    def test_cancelled_job_without_salvage_is_an_error(self, monkeypatch):
+        from repro.api import EngineConfig, Session
+        from repro.api.session import JobHandle
+
+        handle = JobHandle(0, "coverage", "fig2")
+        handle._complete(None, None, True)  # cancelled, nothing salvaged
+        session = Session(EngineConfig())
+        monkeypatch.setattr(session, "submit", lambda *a, **k: handle)
+        results = run_batch(
+            [BatchJob("coverage", "fig2")], session=session
+        )
+        session.close()
+        assert not results[0].ok
+        assert "cancelled" in results[0].error
+
+
 class TestFormulaCampaigns:
     SAT_LINES = (
         "# smoke corpus\n"

@@ -241,6 +241,71 @@ class TestWorkerCrash:
         assert 0 <= excinfo.value.start_index < 3
         assert "backend exploded" in str(excinfo.value)
 
+    def test_one_shot_kill_heals_with_serial_parity(self, tmp_path):
+        from repro.testing import KillWorkerOnceBackend
+
+        def chaos():
+            return KillWorkerOnceBackend(
+                tmp_path / "killed",
+                inner=RandomSearchBackend(
+                    n_samples=40, sampler=uniform_sampler(10.0, 20.0)
+                ),
+            )
+
+        weak_distance = WeakDistance(
+            instrument(_equality_program(), multiplicative_spec())
+        )
+
+        def starts():
+            # Fresh generators per run: the serial path advances them
+            # in-process, so sharing one list would skew the replay.
+            return [
+                (uniform_sampler(10.0, 20.0)(rng, 1), rng)
+                for rng in derive_start_rngs(5, 6)
+            ]
+
+        serial = run_multistart(
+            weak_distance, 1, chaos(), starts(), n_workers=1,
+            early_cancel=False,
+        )
+        healed = run_multistart(
+            weak_distance, 1, chaos(), starts(), n_workers=2,
+            early_cancel=False,
+        )
+        assert (tmp_path / "killed").exists()
+        assert healed.n_crash_retries >= 1
+        assert [r.x_star for r in serial.attempts] == [
+            r.x_star for r in healed.attempts
+        ]
+        assert serial.n_evals == healed.n_evals
+
+
+class TestOneShotStopEvent:
+    def test_one_shot_round_observes_stop_event(self):
+        """The one-shot executor path honors job cancellation too:
+        a pre-set stop event withdraws queued starts and marks the
+        outcome interrupted instead of running the round to the end."""
+        import threading
+
+        weak_distance = WeakDistance(
+            instrument(_equality_program(), multiplicative_spec())
+        )
+        backend = RandomSearchBackend(
+            n_samples=20_000, sampler=uniform_sampler(10.0, 20.0)
+        )
+        starts = [
+            (uniform_sampler(10.0, 20.0)(rng, 1), rng)
+            for rng in derive_start_rngs(3, 8)
+        ]
+        stop = threading.Event()
+        stop.set()
+        outcome = run_multistart(
+            weak_distance, 1, backend, starts, n_workers=2,
+            early_cancel=False, stop_event=stop,
+        )
+        assert outcome.interrupted
+        assert len(outcome.attempts) < 8
+
 
 class TestLabelSetMerge:
     """Algorithm 3-style stateful runs keep converging in parallel."""

@@ -1,5 +1,7 @@
 """The persistent worker-pool service (repro.core.pool)."""
 
+import threading
+
 import pytest
 
 from repro.analyses.boundary import multiplicative_spec
@@ -14,6 +16,7 @@ from repro.fpir.program import Program
 from repro.mo.base import MOBackend
 from repro.mo.random_search import RandomSearchBackend
 from repro.mo.starts import uniform_sampler
+from repro.testing import KillWorkerOnceBackend
 from repro.util.rng import derive_start_rngs
 
 
@@ -47,6 +50,11 @@ class CrashBackend(MOBackend):
 
     def minimize(self, objective, start, rng):
         raise ValueError("backend exploded")
+
+
+def _kill_once(marker):
+    """Shared chaos backend wired to this suite's sampler range."""
+    return KillWorkerOnceBackend(marker, inner=_backend(40))
 
 
 class TestPooledRounds:
@@ -181,6 +189,127 @@ class TestCrashRecovery:
                 _weak_distance(), 1, _backend(), _starts(5, 2),
                 n_workers=1, pool=pool,
             )
+
+
+class TestChaosCrashRecovery:
+    """os.kill a live worker mid-round: the round must self-heal."""
+
+    def test_chaos_killed_worker_round_heals_with_serial_parity(
+        self, tmp_path
+    ):
+        backend = _kill_once(tmp_path / "killed")
+        serial = run_multistart(
+            _weak_distance(), 1, backend, _starts(5, 6), n_workers=1,
+            early_cancel=False,
+        )
+        with WorkerPool(2) as pool:
+            healed = run_multistart(
+                _weak_distance(), 1, backend, _starts(5, 6), n_workers=1,
+                early_cancel=False, pool=pool,
+            )
+            stats = pool.stats()
+        assert (tmp_path / "killed").exists()  # a worker really died
+        assert stats["crash_retries"] >= 1
+        assert stats["broken_executors"] >= 1
+        assert healed.n_crash_retries >= 1
+        # Byte-identical salvage: completed siblings were kept and the
+        # lost starts replayed their shipped generators, so the healed
+        # round equals the crash-free serial run exactly.
+        assert [r.f_star for r in serial.attempts] == [
+            r.f_star for r in healed.attempts
+        ]
+        assert [r.x_star for r in serial.attempts] == [
+            r.x_star for r in healed.attempts
+        ]
+        assert serial.n_evals == healed.n_evals
+
+    def test_chaos_pool_serves_next_round_after_kill(self, tmp_path):
+        backend = _kill_once(tmp_path / "killed")
+        with WorkerPool(2) as pool:
+            run_multistart(
+                _weak_distance(), 1, backend, _starts(5, 4), n_workers=1,
+                early_cancel=False, pool=pool,
+            )
+            # Every cancel slot came back cleared and the (recreated)
+            # executor serves the next round.
+            assert len(pool._free_slots) == CANCEL_SLOTS
+            assert all(flag == 0 for flag in pool._flags)
+            outcome = run_multistart(
+                _weak_distance(), 1, _backend(), _starts(6, 3),
+                n_workers=1, early_cancel=False, pool=pool,
+            )
+            assert len(outcome.attempts) == 3
+
+    def test_retry_budget_exhaustion_still_raises(self):
+        from repro.core import WorkerCrashError
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerCrashError, match="backend exploded"):
+                run_multistart(
+                    _weak_distance(), 1, CrashBackend(), _starts(1, 3),
+                    n_workers=1, pool=pool, max_crash_retries=1,
+                )
+            assert pool.stats()["crash_retries"] == 1
+            # The pool survives even budget exhaustion.
+            outcome = run_multistart(
+                _weak_distance(), 1, _backend(), _starts(5, 2),
+                n_workers=1, pool=pool,
+            )
+            assert len(outcome.attempts) == 2
+
+
+class TestStopEventSalvage:
+    def test_slotless_round_still_observes_stop_event(self):
+        """All cancel slots taken: the round used to ignore its
+        stop_event entirely; it must now stop dispatching parent-side
+        and return the harvested partial outcome."""
+        weak_distance = _weak_distance()
+        with WorkerPool(1) as pool:
+            held = [pool._acquire_slot() for _ in range(CANCEL_SLOTS)]
+            assert all(slot is not None for slot in held)
+            assert pool._acquire_slot() is None
+            stop = threading.Event()
+            stop.set()  # cancelled before the round can dispatch
+            outcome = run_multistart(
+                weak_distance, 1, _backend(20_000), _starts(3, 8),
+                n_workers=1, early_cancel=False, pool=pool,
+                stop_event=stop,
+            )
+            for slot in held:
+                pool._release_slot(slot)
+            assert outcome.interrupted
+            assert len(outcome.attempts) < 8
+            # The pool still serves the next (slotted) round.
+            follow_up = run_multistart(
+                weak_distance, 1, _backend(), _starts(5, 3),
+                n_workers=1, early_cancel=False, pool=pool,
+            )
+            assert len(follow_up.attempts) == 3
+            assert not follow_up.interrupted
+
+    def test_cache_miss_not_resubmitted_once_cancelled(self):
+        """A cold worker's payload-cache miss must not resurrect a
+        start after the round's cancel flag landed."""
+        weak_distance = _weak_distance()
+        with WorkerPool(2) as pool:
+            # Warm the digest with a one-start round: at most one of
+            # the two workers saw the blob.
+            run_multistart(
+                weak_distance, 1, _backend(), _starts(1, 1),
+                n_workers=1, pool=pool,
+            )
+            assert pool.n_rebuilds == 1
+            stop = threading.Event()
+            stop.set()
+            outcome = run_multistart(
+                weak_distance, 1, _backend(20_000), _starts(2, 6),
+                n_workers=1, early_cancel=False, pool=pool,
+                stop_event=stop,
+            )
+            assert outcome.interrupted
+            # The cold worker's misses were dropped, not resubmitted
+            # with the blob: no new worker-side rebuild happened.
+            assert pool.n_rebuilds == 1
 
 
 class TestRacingCancellation:
