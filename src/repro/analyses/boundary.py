@@ -370,7 +370,8 @@ class BoundaryAnalysis(Analysis):
         return _BoundaryState(
             program=target,
             weak_distance=WeakDistance(
-                instrument(target, builder(site_filter=site_filter))
+                instrument(target, builder(site_filter=site_filter)),
+                eval_mode=self.eval_mode(config, options),
             ),
             hits=build_hits_distance(target, site_filter),
             site_filter=site_filter,

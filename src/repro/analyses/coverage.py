@@ -235,7 +235,10 @@ class CoverageAnalysis(Analysis):
     def prepare(
         self, target: Program, spec: Any, options: Dict[str, Any], config
     ) -> _CoverageState:
-        weak_distance = WeakDistance(instrument(target, coverage_spec()))
+        weak_distance = WeakDistance(
+            instrument(target, coverage_spec()),
+            eval_mode=self.eval_mode(config, options),
+        )
         covered = weak_distance.label_sets.setdefault(B_SET, set())
         covered.clear()
         budget = self.round_budget(config, options)

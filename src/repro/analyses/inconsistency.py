@@ -133,3 +133,46 @@ def _sign_pattern(v: float) -> str:
     if v == float("-inf"):
         return "-inf"
     return "finite"
+
+
+# ---------------------------------------------------------------------------
+# The engine driver (repro.api)
+# ---------------------------------------------------------------------------
+
+
+from repro.analyses.overflow import OverflowAnalysis  # noqa: E402
+
+
+class InconsistencyAnalysis(OverflowAnalysis):
+    """Section 6.3.2 through the unified engine.
+
+    Inconsistency checking is overflow detection plus a replay sweep:
+    run Algorithm 3 to collect overflow-triggering inputs, then replay
+    each against the GSL-convention program and flag the runs where
+    ``status == GSL_SUCCESS`` but ``val``/``err`` is non-finite.  This
+    driver *is* :class:`~repro.analyses.overflow.OverflowAnalysis` with
+    the sweep forced on and the verdict read from the inconsistency
+    findings instead of the overflow ones.
+    """
+
+    name = "inconsistency"
+    help = "GSL status/result inconsistency checking (Section 6.3.2)"
+    smoke_target = "gsl-hyperg"
+
+    def prepare(self, target, spec, options, config):
+        options = dict(options)
+        options["inconsistency"] = True
+        return super().prepare(target, spec, options, config)
+
+    def finish(self, state):
+        from repro.api.report import FOUND, NOT_FOUND
+
+        report = super().finish(state)
+        found = any(f.kind == "inconsistency" for f in report.findings)
+        report.verdict = FOUND if found else NOT_FOUND
+        return report
+
+    @classmethod
+    def summarize(cls, report) -> str:
+        n = sum(1 for f in report.findings if f.kind == "inconsistency")
+        return f"{n} inconsistencies"

@@ -285,7 +285,10 @@ class OverflowAnalysis(Analysis):
     def prepare(
         self, target: Program, spec: Any, options: Dict[str, Any], config
     ) -> _OverflowState:
-        weak_distance = WeakDistance(instrument(target, overflow_spec()))
+        weak_distance = WeakDistance(
+            instrument(target, overflow_spec()),
+            eval_mode=self.eval_mode(config, options),
+        )
         covered = weak_distance.label_sets.setdefault(L_SET, set())
         covered.clear()
         index = weak_distance.instrumented.index

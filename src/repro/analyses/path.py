@@ -176,7 +176,9 @@ def verify_path(
 
 
 def build_path_distance(
-    program: Program, path: Optional[PathSpec] = None
+    program: Program,
+    path: Optional[PathSpec] = None,
+    eval_mode: Optional[str] = None,
 ) -> Tuple[WeakDistance, PathSpec, Any]:
     """Label ``program``, default the spec, build the additive W."""
     from repro.fpir.labels import assign_labels
@@ -185,7 +187,11 @@ def build_path_distance(
     index = assign_labels(probe)
     path = path or PathSpec.all_true(index)
     spec = path_spec_instrumentation(path)
-    return WeakDistance(instrument(program, spec)), path, index
+    return (
+        WeakDistance(instrument(program, spec), eval_mode=eval_mode),
+        path,
+        index,
+    )
 
 
 @dataclasses.dataclass
@@ -315,7 +321,9 @@ class PathAnalysis(Analysis):
         constraints = options.get("constraints")
         if path is None and constraints:
             path = PathSpec(parse_constraints(constraints))
-        weak_distance, path, _index = build_path_distance(target, path)
+        weak_distance, path, _index = build_path_distance(
+            target, path, eval_mode=self.eval_mode(config, options)
+        )
         return _PathState(
             program=target,
             weak_distance=weak_distance,

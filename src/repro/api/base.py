@@ -220,3 +220,9 @@ class Analysis(abc.ABC):
             or config.start_sampler
             or self.default_sampler
         )
+
+    def eval_mode(self, config, options: Dict[str, Any]) -> Optional[str]:
+        """Effective weak-distance evaluation tier (explicit option,
+        then the engine config; ``None`` lets ``WeakDistance`` default
+        to the compiled scalar tier)."""
+        return options.get("eval_mode") or getattr(config, "eval_mode", None)

@@ -22,6 +22,7 @@ _SPECS: Dict[str, Union[str, Type[Analysis]]] = {
     "overflow": "repro.analyses.overflow:OverflowAnalysis",
     "coverage": "repro.analyses.coverage:CoverageAnalysis",
     "sat": "repro.sat.solver:SatAnalysis",
+    "inconsistency": "repro.analyses.inconsistency:InconsistencyAnalysis",
 }
 
 #: Alternate names (the historical CLI called overflow detection

@@ -24,7 +24,8 @@ two lower the named Python function to FPIR through
 :class:`~repro.api.base.Analysis` is enough to make it runnable from
 the command line.  Every run accepts the shared engine knobs
 (``--seed``, ``--workers``, ``--starts``, ``--rounds``, ``--backend``,
-``--niter``, ``--racing``, ``--progress``) plus whatever the analysis
+``--niter``, ``--eval-mode``, ``--racing``, ``--progress``) plus
+whatever the analysis
 contributes via its ``configure_parser`` hook; ``--smoke`` applies the
 analysis's tiny CI budget.  Runs execute through a
 :class:`repro.api.Session` (one warm worker pool for all rounds);
@@ -88,6 +89,15 @@ def _engine_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--niter", type=int, default=None,
         help="backend iterations per start",
+    )
+    cmd.add_argument(
+        "--eval-mode",
+        dest="eval_mode",
+        choices=("compiled", "interpreter", "vectorized"),
+        default=None,
+        help="weak-distance tier: compiled scalar (default), reference "
+             "interpreter, or the vectorized batch kernel (bit-parity "
+             "with the scalar tiers, populations scored in one call)",
     )
     cmd.add_argument(
         "--smoke", action="store_true",
@@ -343,6 +353,7 @@ def _cmd_run(args) -> int:
         n_starts=n_starts,
         max_rounds=max_rounds,
         deterministic=not args.racing,
+        eval_mode=args.eval_mode,
     )
     target = args.target_spec if args.target_spec else args.target
     on_event = _progress_printer() if args.progress else None

@@ -56,6 +56,13 @@ class KernelConfig:
     #: Retried starts re-ship their untouched per-start generators, so
     #: a healed run stays byte-identical to a crash-free serial run.
     max_crash_retries: int = DEFAULT_CRASH_RETRIES
+    #: Evaluation tier for W (``"compiled"``, ``"interpreter"`` or
+    #: ``"vectorized"``; ``None`` = compiled).  ``"vectorized"`` keeps
+    #: the compiled scalar path for single-point calls and adds the
+    #: batched NumPy kernel that batch-native MO backends exploit —
+    #: with bit-parity to the scalar tiers, so the verdict and the
+    #: sampled sequence are ``eval_mode``-invariant.
+    eval_mode: Optional[str] = None
 
 
 class ReductionKernel:
@@ -81,7 +88,10 @@ class ReductionKernel:
         self, problem: AnalysisProblem, spec: InstrumentationSpec
     ) -> WeakDistance:
         """Instrument the Client's program with the Designer's spec."""
-        return WeakDistance(instrument(problem.program, spec))
+        return WeakDistance(
+            instrument(problem.program, spec),
+            eval_mode=self.config.eval_mode,
+        )
 
     # -- step 3: minimization ---------------------------------------------------
 

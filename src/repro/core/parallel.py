@@ -130,6 +130,12 @@ class WeakDistancePayload:
     #: instead (the payload itself stays label-free so its content hash
     #: only changes when the program does).
     label_state: Dict[str, FrozenSet[str]]
+    #: Evaluation tier the rebuilt W runs in (``"compiled"``,
+    #: ``"interpreter"`` or ``"vectorized"``).  Part of the payload —
+    #: and therefore of the persistent pool's content hash — because it
+    #: selects a different executable: warm workers lower the batch
+    #: bytecode once per (program, tier) digest.
+    eval_mode: str = "compiled"
 
 
 def snapshot_label_state(
@@ -161,6 +167,7 @@ def make_payload(
         exact=weak_distance.exact,
         max_loop_steps=weak_distance.max_loop_steps,
         label_state=snapshot_label_state(weak_distance) if with_labels else {},
+        eval_mode=weak_distance.eval_mode,
     )
 
 
@@ -171,6 +178,7 @@ def rebuild_weak_distance(payload: WeakDistancePayload) -> WeakDistance:
         use_compiler=payload.use_compiler,
         exact=payload.exact,
         max_loop_steps=payload.max_loop_steps,
+        eval_mode=payload.eval_mode,
     )
     for name, labels in payload.label_state.items():
         weak_distance.label_sets.setdefault(name, set()).update(labels)

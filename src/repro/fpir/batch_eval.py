@@ -1,0 +1,658 @@
+"""NumPy masked-lane evaluation of lowered FPIR instruction streams.
+
+This is the execution half of the batched weak-distance tier: a
+:class:`BatchProgram` wraps a :class:`repro.fpir.vm.VMProgram` and
+scores an ``(N, d)`` block of candidate points in one call, giving each
+point its own *lane* of every slot array.  Control flow becomes mask
+algebra: a ``Branch`` runs its arms under ``mask & cond`` and
+``mask & ~cond``, a ``Loop`` keeps iterating while any lane's condition
+holds, ``Halt``/``Return`` retire lanes from their scope, and stores to
+named variables merge through ``np.where`` so retired or diverged lanes
+keep their values.
+
+Invariants (the bit-parity contract)
+------------------------------------
+
+* **Bit parity with the scalar tiers.**  For every lane ``i``,
+  ``run(X)`` leaves exactly the values the reference interpreter
+  produces for ``X[i]`` — same bits, including signed zeros and
+  infinities.  All lane arithmetic runs under ``np.errstate(all=
+  "ignore")`` so overflow and division produce C-style quiet inf/NaN,
+  matching :mod:`repro.fp.arith`.
+* **Calibrated externals.**  A NumPy candidate for an external (e.g.
+  ``np.exp`` for ``exp``) is used only after being verified bit-exact
+  against the registered scalar external on a deterministic probe set
+  (IEEE special values plus random 64-bit patterns).  Candidates that
+  deviate — NumPy's SIMD transcendentals may round differently from
+  libm — are replaced by lane-wise application of the scalar external,
+  which is slower but exact by construction.
+* **NaN/inf in masked lanes.**  Both arms of a select-safe ternary are
+  evaluated on all lanes; lanes that the scalar tiers would never
+  evaluate may compute inf/NaN garbage, which the select mask then
+  discards.  This is safe precisely because select-safe expressions
+  cannot fault (see :func:`repro.fpir.vm._select_safe`); faultable
+  expressions run under branch masks instead.
+* **Step budget.**  Each lane carries its own loop-iteration counter
+  mirroring ``CompiledRuntime.check_loop``; a lane exceeding
+  ``max_loop_steps`` is retired with ``exhausted=True`` and its caller
+  reads W as ``inf`` — the batch equivalent of ``StepLimitExceeded``.
+* **Events and counters are not recorded.**  ``RecordEvent`` is a
+  no-op here: event/counter observation drives scalar *replays*
+  (:meth:`repro.core.weak_distance.WeakDistance.replay`), never batch
+  minimization, so batch runs only produce values and globals.
+* **Strict-by-batch faults.**  Conditions that raise ``InterpreterError``
+  for a single scalar point (array index out of range, integer division
+  by zero on an *active* lane) raise :class:`BatchExecutionError` for
+  the whole batch; callers fall back to the scalar tier, which
+  reproduces the per-point error faithfully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fpir import externals
+from repro.fpir.vm import (
+    BatchCompilationError,
+    BinaryInstr,
+    BoolInstr,
+    Branch,
+    CompareInstr,
+    CopySlot,
+    EventInstr,
+    ExternalInstr,
+    Frame,
+    GatherInstr,
+    HaltInstr,
+    LoadConst,
+    Loop,
+    ReturnInstr,
+    SelectInstr,
+    SetMemberInstr,
+    StoreSlot,
+    UnaryInstr,
+    VMProgram,
+    lower_program,
+)
+from repro.fpir.program import Program
+
+_INT64_MIN = -(2**63)
+
+
+class BatchExecutionError(Exception):
+    """A whole-batch fault (bad index, idiv by zero, unexpected value).
+
+    The scalar tiers raise ``InterpreterError`` for the one offending
+    point; the batch tier cannot attribute the fault to a lane cheaply,
+    so it rejects the batch and lets the caller re-run scalar.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Lane coercions (mirroring the interpreter's bool()/int() calls)
+# ---------------------------------------------------------------------------
+
+
+def _as_bool(arr: np.ndarray) -> np.ndarray:
+    """Python truthiness per lane (NaN is truthy, like ``bool(nan)``)."""
+    if arr.dtype == np.bool_:
+        return arr
+    return arr != 0
+
+
+def _as_int(arr: np.ndarray) -> np.ndarray:
+    """``int()`` per lane: truncation toward zero onto int64 lanes."""
+    if arr.dtype == np.int64:
+        return arr
+    if arr.dtype == np.bool_:
+        return arr.astype(np.int64)
+    return np.trunc(arr).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized externals, admitted only after bit-exact calibration
+# ---------------------------------------------------------------------------
+
+
+def _v_pow(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    xf = np.asarray(x, dtype=np.float64)
+    yf = np.asarray(y, dtype=np.float64)
+    out = np.power(xf, yf)
+    # math.pow raises ValueError for 0.0 ** negative-finite (c_pow maps
+    # it to NaN) where C99/np.power give ±inf.
+    return np.where((xf == 0.0) & (yf < 0) & np.isfinite(yf), np.nan, out)
+
+
+def _v_ldexp(x: np.ndarray, n: np.ndarray) -> np.ndarray:
+    xf = np.asarray(x, dtype=np.float64)
+    # Exponents beyond ±66000 saturate to 0/±inf regardless; clipping
+    # keeps the cast to the exponent dtype np.ldexp accepts lossless.
+    ni = np.clip(_as_int(n), -66000, 66000)
+    return np.ldexp(xf, ni)
+
+
+def _v_hi(x: np.ndarray) -> np.ndarray:
+    bits = np.ascontiguousarray(x, dtype=np.float64).view(np.uint64)
+    return (bits >> np.uint64(32)).astype(np.int64)
+
+
+def _v_lo(x: np.ndarray) -> np.ndarray:
+    bits = np.ascontiguousarray(x, dtype=np.float64).view(np.uint64)
+    return (bits & np.uint64(0xFFFFFFFF)).astype(np.int64)
+
+
+def _v_bits_to_double(n: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(_as_int(n)).view(np.float64)
+
+
+def _v_d2i(x: np.ndarray) -> np.ndarray:
+    xf = np.asarray(x, dtype=np.float64)
+    bad = np.isnan(xf) | (xf >= 2.0**63) | (xf <= -(2.0**63))
+    out = np.trunc(np.where(bad, 0.0, xf)).astype(np.int64)
+    return np.where(bad, np.int64(_INT64_MIN), out)
+
+
+def _v_i2d(n: np.ndarray) -> np.ndarray:
+    return np.asarray(n).astype(np.float64)
+
+
+#: NumPy candidates per external name; each is admitted only if it
+#: reproduces the scalar external bit-for-bit on the probe set.
+_CANDIDATES: Dict[str, Tuple[int, Callable]] = {
+    "sqrt": (1, np.sqrt),
+    "exp": (1, np.exp),
+    "log": (1, np.log),
+    "sin": (1, np.sin),
+    "cos": (1, np.cos),
+    "tan": (1, np.tan),
+    "floor": (1, np.floor),
+    "fabs": (1, np.fabs),
+    "pow": (2, _v_pow),
+    "ldexp": (2, _v_ldexp),
+    "__hi": (1, _v_hi),
+    "__lo": (1, _v_lo),
+    "__bits_to_double": (1, _v_bits_to_double),
+    "__d2i": (1, _v_d2i),
+    "__i2d": (1, _v_i2d),
+}
+
+#: Externals whose candidate consumes integer lanes (probe with int64).
+_INT_ARG_EXTERNALS = frozenset({"__bits_to_double", "__i2d"})
+
+_PROBE_COUNT = 4096
+_PROBE_SEED = 0xF00D
+
+_calibration_cache: Dict[str, Optional[Callable]] = {}
+
+
+def _float_probes() -> np.ndarray:
+    rng = np.random.Generator(np.random.PCG64(_PROBE_SEED))
+    patterns = rng.integers(0, 2**64, size=_PROBE_COUNT, dtype=np.uint64)
+    specials = np.array(
+        [
+            0.0, -0.0, 1.0, -1.0, 0.5, -0.5, 2.0, -2.0,
+            1e-308, -1e-308, 5e-324, -5e-324, 1e308, -1e308,
+            math.inf, -math.inf, math.nan, math.pi, -math.pi,
+            709.0, 710.0, -745.0, -746.0, 1e16, 1e-16, 1000.0, -1000.0,
+        ]
+    )
+    magnitudes = np.float64(10.0) ** rng.uniform(-300, 300, size=512)
+    signs = np.where(rng.random(512) < 0.5, -1.0, 1.0)
+    return np.concatenate(
+        [specials, patterns.view(np.float64), magnitudes * signs]
+    )
+
+
+def _int_probes() -> np.ndarray:
+    rng = np.random.Generator(np.random.PCG64(_PROBE_SEED + 1))
+    small = np.arange(-40, 40, dtype=np.int64)
+    wide = rng.integers(
+        _INT64_MIN, 2**63 - 1, size=_PROBE_COUNT, dtype=np.int64
+    )
+    return np.concatenate([small, wide])
+
+
+def _bits_equal(vec: np.ndarray, ref: List[Any]) -> bool:
+    ref_arr = np.asarray(ref)
+    if vec.shape != ref_arr.shape:
+        return False
+    if vec.dtype == np.float64 and ref_arr.dtype == np.float64:
+        both_nan = np.isnan(vec) & np.isnan(ref_arr)
+        same = vec.view(np.uint64) == ref_arr.view(np.uint64)
+        return bool(np.all(same | both_nan))
+    try:
+        return bool(np.all(vec == ref_arr)) and vec.dtype == ref_arr.dtype
+    except Exception:
+        return False
+
+
+def _calibrate(name: str) -> Optional[Callable]:
+    """The admitted vector implementation for ``name``, or None.
+
+    Deterministic per process: the probe set is fixed-seeded, so an
+    external either always vectorizes on a given platform or never
+    does — reproducibility is never platform-rounding-dependent.
+    """
+    if name in _calibration_cache:
+        return _calibration_cache[name]
+    entry = _CANDIDATES.get(name)
+    result: Optional[Callable] = None
+    if entry is not None:
+        arity, candidate = entry
+        scalar = externals.lookup(name)
+        probes = (
+            _int_probes() if name in _INT_ARG_EXTERNALS else _float_probes()
+        )
+        try:
+            with np.errstate(all="ignore"):
+                if arity == 1:
+                    vec = candidate(probes)
+                    ref = [scalar(v.item()) for v in probes]
+                else:
+                    if name == "ldexp":
+                        second = np.concatenate(
+                            [
+                                np.arange(-80, 80, dtype=np.int64),
+                                np.array(
+                                    [
+                                        -66000,
+                                        -2200,
+                                        -1074,
+                                        -1022,
+                                        0,
+                                        1022,
+                                        1024,
+                                        2200,
+                                        66000,
+                                    ],
+                                    dtype=np.int64,
+                                ),
+                            ]
+                        )
+                        a = np.repeat(_float_probes()[:256], len(second))
+                        b = np.tile(second, 256)
+                    else:
+                        floats = _float_probes()
+                        half = len(floats) // 2
+                        a = floats[:half]
+                        b = floats[half : 2 * half]
+                    vec = candidate(a, b)
+                    ref = [
+                        scalar(x.item(), y.item()) for x, y in zip(a, b)
+                    ]
+            if _bits_equal(np.asarray(vec), ref):
+                result = candidate
+        except Exception:
+            result = None
+    _calibration_cache[name] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Batch execution
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Per-lane outcome of one batched run."""
+
+    #: Entry-function return values (None when no lane returned one).
+    values: Optional[np.ndarray]
+    #: Final per-lane value of every program global.
+    globals: Dict[str, np.ndarray]
+    #: Lanes stopped by ``Halt``.
+    halted: np.ndarray
+    #: Lanes that exceeded the loop budget (scalar ``StepLimitExceeded``).
+    exhausted: np.ndarray
+
+
+class _LaneFrame:
+    __slots__ = ("returned", "ret")
+
+    def __init__(self, returned: np.ndarray, ret: int) -> None:
+        self.returned = returned
+        self.ret = ret
+
+
+class _LaneState:
+    __slots__ = (
+        "slots", "stopped", "halted", "exhausted", "loop_steps",
+        "max_loop_steps", "sets", "n",
+    )
+
+    def __init__(self, n: int, n_slots: int, sets, max_loop_steps: int):
+        self.slots: List[Optional[np.ndarray]] = [None] * n_slots
+        self.stopped = np.zeros(n, dtype=bool)
+        self.halted = np.zeros(n, dtype=bool)
+        self.exhausted = np.zeros(n, dtype=bool)
+        self.loop_steps = np.zeros(n, dtype=np.int64)
+        self.max_loop_steps = max_loop_steps
+        self.sets = sets
+        self.n = n
+
+
+class BatchProgram:
+    """Executable form of a lowered FPIR program.
+
+    Build once per program (external calibration and constant checks
+    happen here), then call :meth:`run` for every batch — the worker
+    payload cache keeps one instance per program digest, so warm
+    sessions pay for lowering exactly once.
+    """
+
+    def __init__(self, vm: VMProgram) -> None:
+        self.vm = vm
+        self._arrays = {
+            name: np.asarray(values, dtype=np.float64)
+            for name, values in vm.arrays.items()
+        }
+        self._vector_externals: Dict[str, Optional[Callable]] = {}
+        for instr in vm.code:
+            if isinstance(instr, ExternalInstr):
+                self._vector_externals[instr.name] = _calibrate(instr.name)
+            elif isinstance(instr, LoadConst):
+                value = instr.value
+                if (
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and not _INT64_MIN <= value < 2**63
+                ):
+                    raise BatchCompilationError(
+                        f"constant {value} exceeds the int64 lane range"
+                    )
+
+    # -- public entry --------------------------------------------------------
+
+    def run(
+        self,
+        X: np.ndarray,
+        label_sets: Optional[Dict[str, set]] = None,
+        max_loop_steps: int = 2_000_000,
+    ) -> BatchResult:
+        """Execute every row of ``X`` in its own lane."""
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected an (N, d) batch, got shape {X.shape}")
+        vm = self.vm
+        if X.shape[1] != len(vm.param_slots):
+            raise BatchExecutionError(
+                f"{vm.entry} expects {len(vm.param_slots)} args, "
+                f"got {X.shape[1]}"
+            )
+        n = X.shape[0]
+        st = _LaneState(n, vm.n_slots, label_sets or {}, max_loop_steps)
+        for i, slot in enumerate(vm.param_slots):
+            st.slots[slot] = X[:, i].copy()
+        for name, slot in vm.global_slots.items():
+            init = vm.global_inits[name]
+            if isinstance(init, bool) or not isinstance(init, int):
+                st.slots[slot] = np.full(n, float(init))
+            else:
+                st.slots[slot] = np.full(n, init, dtype=np.int64)
+        root = _LaneFrame(np.zeros(n, dtype=bool), vm.result_slot)
+        try:
+            with np.errstate(all="ignore"):
+                self._run_range(
+                    0, len(vm.code), np.ones(n, dtype=bool), root, st
+                )
+        except BatchExecutionError:
+            raise
+        except Exception as exc:  # malformed lanes (None slots, dtypes)
+            raise BatchExecutionError(
+                f"batch evaluation failed: {exc}"
+            ) from exc
+        values = st.slots[vm.result_slot]
+        if values is None and n == 0:
+            # An empty batch runs no lane, so nothing ever stored to
+            # the result slot; keep the contract array-shaped anyway.
+            values = np.empty(0, dtype=np.float64)
+        return BatchResult(
+            values=values,
+            globals={
+                name: st.slots[slot]
+                for name, slot in vm.global_slots.items()
+            },
+            halted=st.halted,
+            exhausted=st.exhausted,
+        )
+
+    # -- region execution ----------------------------------------------------
+
+    def _run_range(
+        self,
+        start: int,
+        end: int,
+        mask: np.ndarray,
+        frame: _LaneFrame,
+        st: _LaneState,
+    ) -> None:
+        code = self.vm.code
+        pc = start
+        live = mask & ~st.stopped & ~frame.returned
+        while pc < end:
+            if not live.any():
+                return
+            instr = code[pc]
+            cls = instr.__class__
+            if cls is Branch:
+                cond = _as_bool(st.slots[instr.cond])
+                then_mask = live & cond
+                if then_mask.any():
+                    self._run_range(
+                        pc + 1, instr.else_start, then_mask, frame, st
+                    )
+                else_mask = live & ~cond
+                if else_mask.any():
+                    self._run_range(
+                        instr.else_start, instr.join, else_mask, frame, st
+                    )
+                pc = instr.join
+                live = mask & ~st.stopped & ~frame.returned
+            elif cls is Loop:
+                self._run_loop(pc, instr, live, frame, st)
+                pc = instr.end
+                live = mask & ~st.stopped & ~frame.returned
+            elif cls is Frame:
+                inner = _LaneFrame(np.zeros(st.n, dtype=bool), instr.ret)
+                self._run_range(pc + 1, instr.end, live, inner, st)
+                pc = instr.end
+                live = mask & ~st.stopped & ~frame.returned
+            elif cls is ReturnInstr:
+                if instr.src is not None:
+                    cur = st.slots[frame.ret]
+                    src = st.slots[instr.src]
+                    st.slots[frame.ret] = (
+                        src if cur is None else np.where(live, src, cur)
+                    )
+                frame.returned = frame.returned | live
+                live = live & ~frame.returned
+                pc += 1
+            elif cls is HaltInstr:
+                st.stopped = st.stopped | live
+                st.halted = st.halted | live
+                live = live & ~st.stopped
+                pc += 1
+            else:
+                self._exec(instr, cls, live, st)
+                pc += 1
+
+    def _run_loop(
+        self,
+        pc: int,
+        instr: Loop,
+        live: np.ndarray,
+        frame: _LaneFrame,
+        st: _LaneState,
+    ) -> None:
+        active = live.copy()
+        while True:
+            self._run_range(pc + 1, instr.cond_end, active, frame, st)
+            active = (
+                active
+                & _as_bool(st.slots[instr.cond])
+                & ~st.stopped
+                & ~frame.returned
+            )
+            if not active.any():
+                return
+            st.loop_steps[active] += 1
+            over = active & (st.loop_steps > st.max_loop_steps)
+            if over.any():
+                st.stopped = st.stopped | over
+                st.exhausted = st.exhausted | over
+                active = active & ~over
+                if not active.any():
+                    return
+            self._run_range(instr.cond_end, instr.end, active, frame, st)
+            active = active & ~st.stopped & ~frame.returned
+
+    # -- straight-line instructions ------------------------------------------
+
+    def _exec(
+        self, instr, cls, live: np.ndarray, st: _LaneState
+    ) -> None:
+        slots = st.slots
+        if cls is BinaryInstr:
+            slots[instr.dest] = self._binary(
+                instr.op, slots[instr.lhs], slots[instr.rhs], live
+            )
+        elif cls is LoadConst:
+            value = instr.value
+            if isinstance(value, bool):
+                slots[instr.dest] = np.full(st.n, value)
+            elif isinstance(value, int):
+                slots[instr.dest] = np.full(st.n, value, dtype=np.int64)
+            else:
+                slots[instr.dest] = np.full(st.n, float(value))
+        elif cls is CopySlot:
+            slots[instr.dest] = slots[instr.src]
+        elif cls is StoreSlot:
+            cur = slots[instr.slot]
+            src = slots[instr.src]
+            slots[instr.slot] = (
+                src if cur is None else np.where(live, src, cur)
+            )
+        elif cls is CompareInstr:
+            lhs, rhs = slots[instr.lhs], slots[instr.rhs]
+            op = instr.op
+            if op == "lt":
+                slots[instr.dest] = lhs < rhs
+            elif op == "le":
+                slots[instr.dest] = lhs <= rhs
+            elif op == "gt":
+                slots[instr.dest] = lhs > rhs
+            elif op == "ge":
+                slots[instr.dest] = lhs >= rhs
+            elif op == "eq":
+                slots[instr.dest] = lhs == rhs
+            else:
+                slots[instr.dest] = lhs != rhs
+        elif cls is SelectInstr:
+            slots[instr.dest] = np.where(
+                _as_bool(slots[instr.cond]),
+                slots[instr.then],
+                slots[instr.orelse],
+            )
+        elif cls is UnaryInstr:
+            src = slots[instr.src]
+            if instr.op == "fneg":
+                if src.dtype == np.bool_:
+                    src = src.astype(np.int64)
+                slots[instr.dest] = -src
+            elif instr.op == "ineg":
+                slots[instr.dest] = -_as_int(src)
+            else:  # not
+                slots[instr.dest] = ~_as_bool(src)
+        elif cls is BoolInstr:
+            lhs = _as_bool(slots[instr.lhs])
+            rhs = _as_bool(slots[instr.rhs])
+            slots[instr.dest] = lhs & rhs if instr.op == "and" else lhs | rhs
+        elif cls is ExternalInstr:
+            slots[instr.dest] = self._external(instr, live, st)
+        elif cls is GatherInstr:
+            table = self._arrays[instr.array]
+            idx = _as_int(slots[instr.index])
+            bad = live & ((idx < 0) | (idx >= len(table)))
+            if bad.any():
+                raise BatchExecutionError(
+                    f"index out of range for array {instr.array!r}"
+                )
+            slots[instr.dest] = table[np.clip(idx, 0, len(table) - 1)]
+        elif cls is SetMemberInstr:
+            members = st.sets.get(instr.set_name) or ()
+            slots[instr.dest] = np.full(st.n, instr.label in members)
+        elif cls is EventInstr:
+            pass
+        else:  # pragma: no cover - lowering emits no other classes
+            raise BatchExecutionError(f"unknown instruction {instr!r}")
+
+    def _binary(
+        self, op: str, lhs: np.ndarray, rhs: np.ndarray, live: np.ndarray
+    ) -> np.ndarray:
+        if op == "fadd":
+            return lhs + rhs
+        if op == "fsub":
+            return lhs - rhs
+        if op == "fmul":
+            return lhs * rhs
+        if op == "fdiv":
+            return np.true_divide(lhs, rhs)
+        if op == "iadd":
+            return _as_int(lhs) + _as_int(rhs)
+        if op == "isub":
+            return _as_int(lhs) - _as_int(rhs)
+        if op == "imul":
+            return _as_int(lhs) * _as_int(rhs)
+        if op == "idiv":
+            a, b = _as_int(lhs), _as_int(rhs)
+            if (live & (b == 0)).any():
+                raise BatchExecutionError("integer division by zero")
+            safe_b = np.where(b == 0, np.int64(1), b)
+            q = np.abs(a) // np.abs(safe_b)
+            return np.where((a >= 0) == (b >= 0), q, -q)
+        if op == "band":
+            return _as_int(lhs) & _as_int(rhs)
+        if op == "bor":
+            return _as_int(lhs) | _as_int(rhs)
+        if op == "bxor":
+            return _as_int(lhs) ^ _as_int(rhs)
+        if op == "shl":
+            return np.left_shift(_as_int(lhs), _as_int(rhs))
+        if op == "shr":
+            return np.right_shift(_as_int(lhs), _as_int(rhs))
+        raise BatchExecutionError(f"unknown operator {op!r}")
+
+    def _external(
+        self, instr: ExternalInstr, live: np.ndarray, st: _LaneState
+    ) -> np.ndarray:
+        args = [st.slots[a] for a in instr.args]
+        vector = self._vector_externals.get(instr.name)
+        if vector is not None:
+            return np.asarray(vector(*args))
+        # Lane-wise fallback: apply the registered scalar external to
+        # the live lanes only (exact by construction, slower).
+        fn = externals.lookup(instr.name)
+        idx = np.nonzero(live)[0]
+        results = [fn(*(a[i].item() for a in args)) for i in idx]
+        values = np.asarray(results)
+        if values.dtype == object:
+            raise BatchExecutionError(
+                f"external {instr.name!r} returned non-numeric values"
+            )
+        out = np.zeros(st.n, dtype=values.dtype)
+        out[idx] = values
+        return out
+
+
+def compile_batch(program: Program) -> BatchProgram:
+    """Lower ``program`` and wrap it for batched evaluation.
+
+    Raises :class:`repro.fpir.vm.BatchCompilationError` when the
+    program cannot be lowered; see :mod:`repro.fpir.vm`.
+    """
+    return BatchProgram(lower_program(program))

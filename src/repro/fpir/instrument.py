@@ -24,6 +24,14 @@ into the program under analysis.  This module is the injection half: an
 The callbacks may re-evaluate comparison operands; they must therefore
 be pure (the validator's restriction matches the paper's, whose injected
 C expressions also re-evaluate operands).
+
+Preconditions: the program must not already declare a global named
+``spec.w_var`` (instrumentation owns that slot; a collision raises
+``ValueError`` rather than silently aliasing program state), and specs
+using ``after_fp_assign`` need the program in three-address form
+(``normalize=True`` handles this).  The instrumented program runs on
+any tier — interpreter, compiled, or batched — with identical ``w``
+trajectories.
 """
 
 from __future__ import annotations

@@ -3,12 +3,14 @@
 ``repro.mo`` provides the uniform :class:`~repro.mo.base.MOBackend`
 interface, the three SciPy backends evaluated in the paper's Table 1
 (Basinhopping, Differential Evolution, Powell), a from-scratch MCMC
-basin-hopper, a random-search baseline, and magnitude-aware
+basin-hopper, a batch-native population backend (one vectorized kernel
+call per generation), a random-search baseline, and magnitude-aware
 starting-point samplers.
 """
 
 from repro.mo.base import MOBackend, MOResult, Objective, StopMinimization
 from repro.mo.mcmc import PurePythonBasinhopping
+from repro.mo.population import PopulationBackend
 from repro.mo.portfolio import PortfolioBackend
 from repro.mo.random_search import RandomSearchBackend
 from repro.mo.registry import (
@@ -37,6 +39,7 @@ __all__ = [
     "MOBackend",
     "MOResult",
     "Objective",
+    "PopulationBackend",
     "PortfolioBackend",
     "PowellBackend",
     "PurePythonBasinhopping",

@@ -30,7 +30,10 @@ def _pattern_search(
 
     Steps are proportional to each coordinate's magnitude so the search
     is scale-free across the doubles; a small absolute step handles
-    points near zero.
+    points near zero.  Each coordinate's candidate probes are scored as
+    one batch (a single kernel call under a vectorized weak distance);
+    the first improving candidate wins, so the descent trajectory is
+    the same one the historical probe-at-a-time loop produced.
     """
     x = list(x0)
     fx = objective(x)
@@ -50,14 +53,18 @@ def _pattern_search(
                 x[i] - rel_step,
                 -x[i],
             ]
+            trials = []
             for value in candidates:
                 if not math.isfinite(value):
                     continue
                 trial = list(x)
                 trial[i] = value
-                ft = objective(trial)
+                trials.append(tuple(trial))
+            if not trials:
+                continue
+            for trial, ft in zip(trials, objective.evaluate_batch(trials)):
                 if ft < fx:
-                    x, fx = trial, ft
+                    x, fx = list(trial), ft
                     improved = True
                     break
         if improved:
@@ -91,19 +98,34 @@ class PurePythonBasinhopping(MOBackend):
         x, fx = _pattern_search(objective, tuple(start), self.local_iters)
         for _ in range(self.niter):
             proposal = self._propose(x, rng)
-            cand, fcand = _pattern_search(objective, proposal,
-                                          self.local_iters)
+            cand, fcand = _pattern_search(
+                objective, proposal, self.local_iters
+            )
             if fcand <= fx or self._accept(fx, fcand, rng):
                 x, fx = cand, fcand
 
+    def propose_batch(
+        self,
+        x,
+        rng: np.random.Generator,
+        size: int,
+        scale: float = 1.0,
+    ):
+        """A population of Markov-chain proposals around ``x``."""
+        xt = tuple(float(v) for v in x)
+        return [self._propose(xt, rng, scale) for _ in range(size)]
+
     def _propose(
-        self, x: Tuple[float, ...], rng: np.random.Generator
+        self,
+        x: Tuple[float, ...],
+        rng: np.random.Generator,
+        scale: float = 1.0,
     ) -> Tuple[float, ...]:
         out = []
         for xi in x:
             mode = rng.random()
             if mode < 0.5:
-                xi = xi + rng.normal(0.0, 1.0 + abs(xi) * 0.5)
+                xi = xi + rng.normal(0.0, scale * (1.0 + abs(xi) * 0.5))
             elif mode < 0.9:
                 xi = xi * 10.0 ** rng.uniform(-2.0, 2.0)
             else:

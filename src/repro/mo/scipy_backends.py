@@ -77,8 +77,10 @@ class BasinhoppingBackend(MOBackend):
         # Zero tolerances let the local search collapse onto *exact*
         # zeros of the weak distance (W's minima are exact doubles, and
         # Theorem 3.3 needs W(x*) == 0, not W(x*) ≈ 0).
-        options = {"maxiter": self.local_maxiter,
-                   "maxfev": self.local_maxiter * 2}
+        options = {
+            "maxiter": self.local_maxiter,
+            "maxfev": self.local_maxiter * 2,
+        }
         if self.local_method == "Nelder-Mead":
             options.update(xatol=0.0, fatol=0.0)
         elif self.local_method == "Powell":

@@ -134,7 +134,9 @@ class SatAnalysis(Analysis):
         metric = options.get("metric") or ULP
         return _SatState(
             formula=target,
-            weak_distance=formula_to_weak_distance(target, metric),
+            weak_distance=formula_to_weak_distance(
+                target, metric, eval_mode=self.eval_mode(config, options)
+            ),
             n_starts=self.starts_per_round(config, options),
             sampler=self.sampler(config, options),
         )

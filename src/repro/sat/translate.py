@@ -121,7 +121,9 @@ def formula_to_distance_program(
     return Program([fn], entry="R", globals={"w": 0.0})
 
 
-def formula_to_weak_distance(formula: Formula, metric: str = ULP):
+def formula_to_weak_distance(
+    formula: Formula, metric: str = ULP, eval_mode=None
+):
     """Wrap the XSat ``R`` program as an executable
     :class:`~repro.core.weak_distance.WeakDistance`.
 
@@ -146,5 +148,6 @@ def formula_to_weak_distance(formula: Formula, metric: str = ULP):
             program=program,
             index=index,
             spec=InstrumentationSpec(w_var="w", w_init=0.0),
-        )
+        ),
+        eval_mode=eval_mode,
     )

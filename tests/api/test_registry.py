@@ -13,9 +13,10 @@ from repro.api import registry as registry_module
 
 
 class TestRoundTrip:
-    def test_all_five_instances_registered(self):
+    def test_all_instances_registered(self):
         assert available_analyses() == [
-            "boundary", "coverage", "overflow", "path", "sat",
+            "boundary", "coverage", "inconsistency", "overflow",
+            "path", "sat",
         ]
 
     def test_name_round_trip(self):

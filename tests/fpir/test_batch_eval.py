@@ -1,0 +1,234 @@
+"""Vectorized evaluator (`repro.fpir.batch_eval`): the parity contract.
+
+The batch tier's one promise is bit parity with the scalar
+interpreter, lane for lane — these tests enforce it over the whole
+program suite, through runtime label-set evolution, Halt, the loop
+budget, and the calibrated externals.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analyses.overflow import overflow_spec
+from repro.core.weak_distance import WeakDistance
+from repro.fpir.builder import (
+    FunctionBuilder,
+    call,
+    fadd,
+    fsub,
+    gt,
+    in_set,
+    lnot,
+    lt,
+    num,
+    v,
+)
+from repro.fpir.instrument import instrument
+from repro.fpir.program import Program
+from repro.programs import get_program, list_programs
+
+#: fig7-characteristic declares its own global `w`, which the overflow
+#: instrumentation cannot add to (a pre-existing instrument() limit).
+SUITE = [n for n in list_programs() if n != "fig7-characteristic"]
+
+
+def one_function(fb: FunctionBuilder, globals_=None) -> Program:
+    return Program([fb.build()], entry=fb.name, globals=globals_)
+
+
+def point_cloud(n_inputs: int, n_points: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    magnitudes = rng.uniform(-30.0, 30.0, size=(n_points, n_inputs))
+    signs = rng.choice((-1.0, 1.0), size=(n_points, n_inputs))
+    return signs * 10.0 ** magnitudes
+
+
+def make_pair(name: str):
+    program = get_program(name)
+    vec = WeakDistance(instrument(program, overflow_spec()),
+                       eval_mode="vectorized")
+    ref = WeakDistance(instrument(program, overflow_spec()),
+                       eval_mode="interpreter")
+    return program, vec, ref
+
+
+def assert_bit_equal(got: np.ndarray, want, context: str = "") -> None:
+    got = np.asarray(got, dtype=np.float64)
+    want = np.asarray(want, dtype=np.float64)
+    bad = np.nonzero(got.view(np.uint64) != want.view(np.uint64))[0]
+    assert bad.size == 0, (
+        f"{context}: {bad.size} lanes diverge, first at {bad[0]}: "
+        f"{got[bad[0]]!r} vs {want[bad[0]]!r}"
+    )
+
+
+@pytest.mark.parametrize("name", SUITE)
+def test_suite_parity(name):
+    """evaluate_batch == [W(x) for x] bit for bit, instrumented W, over
+    every suite program the overflow spec instruments."""
+    program, vec, ref = make_pair(name)
+    assert vec.supports_batch, f"{name} must lower"
+    X = point_cloud(program.num_inputs, 128, seed=7)
+    got = vec.evaluate_batch(X)
+    want = [ref(tuple(map(float, x))) for x in X]
+    assert_bit_equal(got, want, name)
+
+
+def test_label_set_evolution_parity():
+    """Growing the runtime label sets between batches changes W — the
+    batch tier must see the same membership the interpreter does."""
+    program, vec, ref = make_pair("fig2")
+    X = point_cloud(program.num_inputs, 64, seed=11)
+    assert_bit_equal(
+        vec.evaluate_batch(X),
+        [ref(tuple(map(float, x))) for x in X],
+        "empty L",
+    )
+    # Cover a few labels and re-evaluate: membership flips branches.
+    labels = sorted(
+        site.label
+        for site in vec.instrumented.index.fp_ops
+    )[:2]
+    for wd in (vec, ref):
+        wd.label_sets["L"].update(labels)
+    assert_bit_equal(
+        vec.evaluate_batch(X),
+        [ref(tuple(map(float, x))) for x in X],
+        f"L={labels}",
+    )
+
+
+def test_halted_lanes():
+    """Halt stops its lane (and only its lane); the batch reports it."""
+    from repro.fpir.batch_eval import compile_batch
+
+    fb = FunctionBuilder("f", params=["x"])
+    with fb.if_(gt(v("x"), num(0.0))):
+        fb.let("w", num(0.0))
+        fb.halt()
+    fb.let("w", fadd(v("x"), num(10.0)))
+    fb.ret(v("w"))
+    program = one_function(fb, globals_={"w": 1.0})
+    result = compile_batch(program).run(np.array([[5.0], [-5.0]]))
+    assert list(result.halted) == [True, False]
+    assert result.globals["w"][0] == 0.0
+    assert result.globals["w"][1] == 5.0
+
+
+def test_step_budget_exhaustion_reads_as_inf():
+    """Lanes that exceed max_loop_steps match the scalar tier's
+    StepLimitExceeded -> inf; terminating lanes are untouched.
+
+    The reference here is the *compiled* tier: like the batch tier it
+    budgets loop iterations, whereas the interpreter budgets
+    interpreted statements (a coarser, pre-existing difference)."""
+    fb = FunctionBuilder("f", params=["x"])
+    fb.let("i", num(0.0))
+    with fb.while_(lt(v("i"), v("x"))):
+        fb.let("i", fadd(v("i"), num(1.0)))
+    fb.let("w", v("i"))
+    fb.ret(v("i"))
+    program = one_function(fb, globals_={"w": 0.0})
+    from repro.fpir.instrument import InstrumentationSpec, InstrumentedProgram
+    from repro.fpir.labels import assign_labels
+
+    def wrap(mode):
+        prog = program.clone()
+        return WeakDistance(
+            InstrumentedProgram(
+                program=prog,
+                index=assign_labels(prog),
+                spec=InstrumentationSpec(w_var="w", w_init=0.0),
+            ),
+            eval_mode=mode,
+            max_loop_steps=100,
+        )
+
+    vec, ref = wrap("vectorized"), wrap("compiled")
+    X = np.array([[3.0], [1e9], [50.0], [math.inf]])
+    got = vec.evaluate_batch(X)
+    want = [ref(tuple(x)) for x in X]
+    assert want[1] == math.inf and want[3] == math.inf  # budget hit
+    assert_bit_equal(got, want, "loop budget")
+
+
+def test_in_label_set_branches():
+    """InLabelSet reads the *shared* runtime set object."""
+    from repro.fpir.batch_eval import compile_batch
+
+    fb = FunctionBuilder("f", params=["x"])
+    with fb.if_(lnot(in_set("L", "l1"))) as arm:
+        fb.ret(fadd(v("x"), num(1.0)))
+        with arm.orelse():
+            fb.ret(fsub(v("x"), num(1.0)))
+    program = one_function(fb)
+    batch = compile_batch(program)
+    X = np.array([[10.0], [20.0]])
+    assert list(batch.run(X, label_sets={"L": set()}).values) == [11.0, 21.0]
+    assert list(batch.run(X, label_sets={"L": {"l1"}}).values) == [9.0, 19.0]
+
+
+def test_calibrated_externals_parity():
+    """Externals (vectorized or lane-wise) stay bit-exact — including
+    floor's -0.0 edge where numpy and C disagree, and the bit-level
+    intrinsics."""
+    cases = [
+        ("sqrt", [[4.0], [2.0], [-1.0], [0.0], [1e300]]),
+        ("exp", [[0.0], [1.0], [709.0], [710.0], [-745.0], [-746.0]]),
+        ("floor", [[-0.0], [0.5], [-0.5], [1e300], [-1e300]]),
+        ("sin", [[0.0], [1e-8], [0.5], [100.0], [1e300]]),
+        ("__hi", [[2.0], [-0.0], [1e-310], [5e-324]]),
+    ]
+    for name, points in cases:
+        fb = FunctionBuilder("f", params=["x"])
+        fb.ret(call(name, v("x")))
+        program = one_function(fb)
+        from repro.fpir.batch_eval import compile_batch
+        from repro.fpir.interpreter import Interpreter
+
+        result = compile_batch(program).run(np.array(points))
+        interp = Interpreter(program)
+        want = [interp.run(tuple(p)).value for p in points]
+        got = [float(val) for val in result.values]
+        for g, w, p in zip(got, want, points):
+            same = (g == w and math.copysign(1.0, g) == math.copysign(1.0, w)) \
+                or (math.isnan(g) and math.isnan(w))
+            assert same, f"{name}({p[0]!r}): {g!r} != {w!r}"
+
+
+def test_weak_distance_scalar_fallback():
+    """A program the tier cannot lower still answers evaluate_batch —
+    through the scalar loop, same values."""
+    fb = FunctionBuilder("f", params=["x"])
+    fb.let("w", call("__double_to_bits", v("x")))  # rejected external
+    fb.ret(v("w"))
+    program = one_function(fb, globals_={"w": 0.0})
+    from repro.fpir.instrument import InstrumentationSpec, InstrumentedProgram
+    from repro.fpir.labels import assign_labels
+
+    prog = program.clone()
+    wd = WeakDistance(
+        InstrumentedProgram(
+            program=prog,
+            index=assign_labels(prog),
+            spec=InstrumentationSpec(w_var="w", w_init=0.0),
+        ),
+        eval_mode="vectorized",
+    )
+    assert not wd.supports_batch
+    X = [[1.5], [2.5]]
+    got = wd.evaluate_batch(X)
+    want = [wd(x) for x in X]
+    assert list(got) == want
+
+
+def test_events_are_scalar_replay_only():
+    """A batch run records no events: the replay machinery (counters,
+    last_events) is a scalar-tier feature by contract."""
+    program, vec, _ = make_pair("fig2")
+    vec(tuple([1.0] * program.num_inputs))
+    scalar_events = dict(vec.last_events)
+    vec.evaluate_batch(point_cloud(program.num_inputs, 8, seed=3))
+    assert vec.last_events == scalar_events  # untouched by the batch

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Check that internal markdown links resolve to real files.
+
+Usage: python tools/check_doc_links.py README.md docs/ARCHITECTURE.md
+
+Scans each document for inline links (``[text](target)``) and, for
+every target that is not an external URL or an in-page anchor, asserts
+the referenced path exists relative to the document's directory (with
+a repo-root fallback, since README-style links are usually written
+root-relative).  Exit status 1 lists every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; deliberately simple — our docs do not nest
+#: brackets or parenthesised URLs.
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def check(doc: Path) -> list:
+    broken = []
+    for target in LINK.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not ((doc.parent / path).exists() or (ROOT / path).exists()):
+            broken.append((doc, target))
+    return broken
+
+
+def main(argv: list) -> int:
+    docs = [Path(arg) for arg in argv] or [ROOT / "README.md"]
+    missing = [doc for doc in docs if not doc.exists()]
+    broken = [issue for doc in docs if doc.exists() for issue in check(doc)]
+    for doc in missing:
+        print(f"MISSING DOCUMENT: {doc}")
+    for doc, target in broken:
+        print(f"BROKEN LINK in {doc}: ({target}) does not resolve")
+    if missing or broken:
+        return 1
+    print(f"doc links OK: {', '.join(str(d) for d in docs)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
