@@ -57,6 +57,7 @@ from repro.api.targets import (
     Target,
     TargetError,
     coerce_target,
+    file_target,
     parse_target_spec,
 )
 
@@ -91,6 +92,7 @@ __all__ = [
     "canonical_name",
     "coerce_target",
     "event_to_dict",
+    "file_target",
     "get_analysis",
     "parse_target_spec",
     "register_analysis",

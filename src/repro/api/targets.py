@@ -234,7 +234,23 @@ _FILE_TARGET_CACHE: Dict[Tuple[str, str, float], PythonTarget] = {}
 _FILE_TARGET_CACHE_MAX = 128
 
 
-def _file_target(path: str, entry: str) -> PythonTarget:
+def file_target(path: str, entry: str) -> PythonTarget:
+    """The memoized ``file.py::fn`` target for ``path``/``entry``.
+
+    Keyed by ``(abspath, entry, mtime)``: editing the file bumps its
+    mtime, so the next call returns a *fresh* instance that re-reads
+    and re-lowers the source — the invalidation the batch driver and
+    the project scanner (:mod:`repro.scan`) both rely on.
+
+    **Caveat — mtime resolution.**  An edit landing within the same
+    filesystem timestamp tick as the cached read (common on coarse
+    filesystems, or in tests that rewrite a file immediately) produces
+    an identical key and replays the stale lowered program.  Callers
+    that rewrite files programmatically and need the fresh lowering in
+    the same tick should bump the mtime explicitly (``os.utime``) or
+    construct ``PythonTarget(path=..., entry=...)`` directly, which
+    never consults this cache.
+    """
     try:
         mtime = os.path.getmtime(path)
     except OSError:
@@ -248,6 +264,10 @@ def _file_target(path: str, entry: str) -> PythonTarget:
         target = PythonTarget(path=path, entry=entry)
         _FILE_TARGET_CACHE[key] = target
     return target
+
+
+#: Deprecated private alias (pre-scan spelling).
+_file_target = file_target
 
 
 #: ``pkg.mod:fn`` targets memoized like file targets, keyed by the

@@ -13,6 +13,8 @@ Usage (via ``python -m repro``)::
     python -m repro batch --analyses fpod,coverage --workers 4
     python -m repro batch --analyses sat --formulas constraints.txt
     python -m repro batch --targets fig2,examples/python_targets.py::fig1a
+    python -m repro scan examples/ --analyses boundary,overflow --workers 4
+    python -m repro scan src/ --smoke --baseline --json
 
 ``--target`` accepts first-class target specs (:mod:`repro.api.targets`):
 a suite program name, ``pkg.mod:fn``, or ``file.py::fn`` — the latter
@@ -36,7 +38,14 @@ by resubmitting its lost starts.  Backends resolve through
 :func:`repro.mo.registry.resolve_backend` — one wiring for every
 subcommand.
 
-Exit status: 0 = complete run, 1 = batch campaign with failed jobs,
+``repro scan PATH`` walks a whole project tree, classifies every
+function, and runs the requested analyses on each lowerable one
+through an incremental store (:mod:`repro.scan`): an unchanged
+function's verdict replays from ``.repro-scan/`` with zero engine
+evaluations on re-scan.
+
+Exit status: 0 = complete run, 1 = batch campaign with failed jobs
+(for ``scan``: findings — under ``--baseline``, *new* findings),
 2 = bad target/spec, 3 = a *partial* result (a run or campaign job
 whose report was salvaged from a cancelled job's completed starts).
 
@@ -225,6 +234,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream per-job progress events to stderr",
     )
     batch.add_argument(
+        "--events-out", dest="events_out", default=None, metavar="PATH",
+        help="write every campaign event as JSON Lines to PATH",
+    )
+
+    scan = sub.add_parser(
+        "scan",
+        help="scan a whole Python project tree incrementally "
+             "('CI for floating-point bugs')",
+    )
+    scan.add_argument(
+        "path",
+        help="project directory (or single .py file) to scan",
+    )
+    scan.add_argument(
+        "--analyses",
+        default="boundary",
+        help="comma-separated program-kind analyses to run on every "
+             "lowerable function (e.g. boundary,overflow,inconsistency)",
+    )
+    scan.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the campaign (results are "
+             "bit-identical to a serial scan)",
+    )
+    scan.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (default 0; fixed so re-scans replay)",
+    )
+    scan.add_argument("--niter", type=int, default=None)
+    scan.add_argument("--rounds", type=int, default=None)
+    scan.add_argument("--starts", type=int, default=None)
+    from repro.mo import available_backends
+
+    scan.add_argument(
+        "--backend", choices=available_backends(), default=None,
+    )
+    scan.add_argument(
+        "--eval-mode",
+        dest="eval_mode",
+        choices=("compiled", "interpreter", "vectorized"),
+        default=None,
+    )
+    scan.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI budget (each analysis's smoke options)",
+    )
+    scan.add_argument(
+        "--exclude", action="append", default=[], metavar="PATTERN",
+        help="fnmatch pattern pruned from the walk (repeatable); "
+             "matched against paths relative to the scan root",
+    )
+    scan.add_argument(
+        "--store", dest="store", default=None, metavar="DIR",
+        help="incremental results store (default: <path>/.repro-scan)",
+    )
+    scan.add_argument(
+        "--baseline", action="store_true",
+        help="fail (exit 1) only on findings absent from the "
+             "accepted baseline in the store",
+    )
+    scan.add_argument(
+        "--update-baseline", dest="update_baseline", action="store_true",
+        help="accept every current finding as the new baseline",
+    )
+    scan.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="machine-readable report on stdout",
+    )
+    scan.add_argument(
+        "--progress", action="store_true",
+        help="stream per-job progress events to stderr",
+    )
+    scan.add_argument(
         "--events-out", dest="events_out", default=None, metavar="PATH",
         help="write every campaign event as JSON Lines to PATH",
     )
@@ -469,6 +551,55 @@ def _cmd_batch(args) -> int:
     return 3 if partial else 0
 
 
+def _cmd_scan(args) -> int:
+    import json
+
+    from repro.api import get_analysis
+    from repro.scan import ScanConfig, scan_exit_code, scan_project
+    from repro.scan.report import render_scan_report, scan_report_to_dict
+
+    analyses = tuple(a for a in args.analyses.split(",") if a)
+    try:
+        if not analyses:
+            raise ValueError("--analyses names no analyses")
+        for name in analyses:
+            try:
+                cls = get_analysis(name)
+            except KeyError:
+                raise ValueError(f"unknown analysis {name!r}") from None
+            if cls.target_kind != "program":
+                raise ValueError(
+                    f"{name!r} is not a program-kind analysis; a scan "
+                    "crosses program analyses over Python functions"
+                )
+        config = ScanConfig(
+            analyses=analyses,
+            n_workers=args.workers,
+            seed=args.seed,
+            niter=args.niter,
+            rounds=args.rounds,
+            starts=args.starts,
+            backend=args.backend,
+            eval_mode=args.eval_mode,
+            smoke=args.smoke,
+            exclude=tuple(args.exclude),
+            store_dir=args.store,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+            on_event=_progress_printer() if args.progress else None,
+            event_sink=args.events_out,
+        )
+        report = scan_project(args.path, config)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(scan_report_to_dict(report), indent=2, sort_keys=True))
+    else:
+        print(render_scan_report(report))
+    return scan_exit_code(report)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -477,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_targets(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "scan":
+        return _cmd_scan(args)
     return _cmd_run(args)
 
 

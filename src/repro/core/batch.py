@@ -300,8 +300,18 @@ def formula_jobs(
 # ---------------------------------------------------------------------------
 
 
-def _job_request(job: BatchJob):
+def job_request(job: BatchJob):
     """Translate one :class:`BatchJob` into a session job request.
+
+    The one place a job's budget knobs become engine options and an
+    :class:`~repro.api.config.EngineConfig` — shared by the batch
+    driver and the project scanner (:mod:`repro.scan.orchestrator`),
+    so both campaign shapes budget identically.  Beyond the classic
+    knobs (``niter``, ``rounds``, ``max_samples``, ``racing``) a job
+    may carry ``backend``, ``eval_mode``, ``n_starts``, and ``smoke``
+    (True = the analysis's tiny CI budget from ``smoke_options``
+    instead of its ``batch_options``, with an explicit ``niter`` /
+    ``n_starts`` still winning).
 
     Raises (e.g. ``KeyError`` for an unknown analysis) instead of
     capturing — the caller turns per-job exceptions into
@@ -311,15 +321,36 @@ def _job_request(job: BatchJob):
 
     cls = get_analysis(job.analysis)
     params = dict(job.params)
-    options = {
-        key: value
-        for key, value in cls.batch_options(params).items()
-        if value is not None
-    }
+    backend_options = {"niter": job.param("niter", 30)}
+    n_starts = job.param("n_starts")
+    max_rounds = None
+    if job.param("smoke"):
+        smoke = dict(cls.smoke_options)
+        smoke_niter = smoke.pop("niter", None)
+        if smoke_niter is not None and job.param("niter") is None:
+            backend_options["niter"] = smoke_niter
+        if n_starts is None:
+            n_starts = smoke.pop("n_starts", None)
+        max_rounds = smoke.pop("max_rounds", None)
+        options = {
+            key: value
+            for key, value in smoke.items()
+            if key not in ("n_starts", "max_rounds") and value is not None
+        }
+    else:
+        options = {
+            key: value
+            for key, value in cls.batch_options(params).items()
+            if value is not None
+        }
     config = EngineConfig(
         seed=job.seed,
-        backend_options={"niter": job.param("niter", 30)},
+        backend=job.param("backend"),
+        backend_options=backend_options,
+        n_starts=n_starts,
+        max_rounds=max_rounds,
         deterministic=not job.param("racing", False),
+        eval_mode=job.param("eval_mode"),
     )
     return JobRequest(
         analysis=job.analysis,
@@ -327,6 +358,10 @@ def _job_request(job: BatchJob):
         options=options,
         config=config,
     )
+
+
+#: Deprecated private alias (pre-scan spelling).
+_job_request = job_request
 
 
 def run_batch(

@@ -53,7 +53,6 @@ the rest resubmit to its replacement.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import pickle
 import threading
 import weakref
@@ -78,6 +77,7 @@ from repro.core.parallel import (
     sync_label_state,
 )
 from repro.core.weak_distance import WeakDistance
+from repro.util.digest import digest_bytes
 
 #: Concurrent rounds that can hold a cancel slot; rounds beyond this
 #: run without mid-round cancellation (still cancellable between
@@ -353,7 +353,7 @@ class WorkerPool:
             make_payload(weak_distance, n_inputs, with_labels=False),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        digest = hashlib.sha256(blob).hexdigest()
+        digest = digest_bytes(blob)
         with self._lock:
             self._blobs[weak_distance] = (digest, blob)
             self._digests.add(digest)

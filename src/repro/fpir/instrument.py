@@ -25,13 +25,20 @@ The callbacks may re-evaluate comparison operands; they must therefore
 be pure (the validator's restriction matches the paper's, whose injected
 C expressions also re-evaluate operands).
 
-Preconditions: the program must not already declare a global named
-``spec.w_var`` (instrumentation owns that slot; a collision raises
-``ValueError`` rather than silently aliasing program state), and specs
-using ``after_fp_assign`` need the program in three-address form
-(``normalize=True`` handles this).  The instrumented program runs on
-any tier — interpreter, compiled, or batched — with identical ``w``
-trajectories.
+The instrumentation variable never aliases program state: when the
+program already uses the requested ``spec.w_var`` (as a global, local,
+or parameter — e.g. ``fig7-characteristic`` declares its own global
+``w``), :func:`instrument` alpha-renames the *program's* variable to a
+fresh name on the clone before injecting, so the spec keeps its
+requested name and the hooks' closed-over references stay correct.
+(The inverse — renaming the injected code — is unsound: hooks embed
+the program's own operand nodes and build ``Var`` nodes naming program
+state, so no rewrite of hook output can tell accumulator references
+from program references.)  Renames are recorded on
+``InstrumentedProgram.renamed``.  Specs using ``after_fp_assign`` need
+the program in three-address form (``normalize=True`` handles this).
+The instrumented program runs on any tier — interpreter, compiled, or
+batched — with identical ``w`` trajectories.
 """
 
 from __future__ import annotations
@@ -55,11 +62,12 @@ from repro.fpir.nodes import (
     If,
     Return,
     Stmt,
+    Var,
     While,
 )
 from repro.fpir.normalize import normalize_program
 from repro.fpir.program import Program
-from repro.fpir.walk import iter_stmt_exprs, iter_subexprs
+from repro.fpir.walk import iter_stmt_exprs, iter_stmts, iter_subexprs
 
 #: before_compare(site, compare_expr) -> injected statements
 CompareHook = Callable[[CompareSite, Compare], List[Stmt]]
@@ -133,6 +141,10 @@ class InstrumentedProgram:
     program: Program
     index: LabelIndex
     spec: InstrumentationSpec
+    #: ``{old: new}`` alpha-renames applied to the *program's* own
+    #: variables because they clashed with ``spec.w_var``.  Empty for
+    #: the common no-collision case.
+    renamed: dict = dataclasses.field(default_factory=dict)
 
     @property
     def w_var(self) -> str:
@@ -233,11 +245,101 @@ class _Rewriter:
         return [stmt]
 
 
+def _used_names(program: Program) -> set:
+    """Every name ``program`` already uses (capture-hazard set).
+
+    Globals, arrays, function names, parameters, assignment targets and
+    variable reads all count: adding an instrumentation global under
+    any of them would silently alias program state (``Assign`` writes
+    the global as soon as one exists, and ``Var`` falls through to the
+    global when no local binding shadows it).
+    """
+    used = set(program.globals) | set(program.arrays)
+    for fn in program.functions.values():
+        used.add(fn.name)
+        used.update(p.name for p in fn.params)
+        for stmt in iter_stmts(fn.body):
+            if isinstance(stmt, Assign):
+                used.add(stmt.name)
+            for root in iter_stmt_exprs(stmt):
+                for expr in iter_subexprs(root):
+                    if isinstance(expr, Var):
+                        used.add(expr.name)
+    return used
+
+
+def _fresh_name(requested: str, used: set) -> str:
+    """A name not in ``used``, derived from the requested one."""
+    candidate = f"{requested}_"
+    counter = 2
+    while candidate in used:
+        candidate = f"{requested}_{counter}"
+        counter += 1
+    return candidate
+
+
+def _rename_program_var(prog: Program, old: str, new: str) -> None:
+    """Alpha-rename the program's own binding(s) of ``old`` to ``new``.
+
+    Mutates ``prog`` in place (callers pass the instrumentation clone).
+    Follows the runtime resolution rules exactly — reads check locals
+    before globals, writes hit the global as soon as one exists — so
+    each occurrence is renamed iff it denotes the binding being moved:
+
+    * ``old`` is a global: every ``Assign`` to it targets the global;
+      ``Var`` reads do too, except inside functions where a parameter
+      named ``old`` shadows the global.
+    * ``old`` is function-local (parameter or assigned name, no global
+      of that name): rename it within exactly those functions.
+    """
+    if old in prog.globals:
+        prog.globals = {
+            (new if name == old else name): init
+            for name, init in prog.globals.items()
+        }
+        for fn in prog.functions.values():
+            shadowed = any(p.name == old for p in fn.params)
+            for stmt in iter_stmts(fn.body):
+                if isinstance(stmt, Assign) and stmt.name == old:
+                    stmt.name = new
+                if shadowed:
+                    continue
+                for root in iter_stmt_exprs(stmt):
+                    for expr in iter_subexprs(root):
+                        if isinstance(expr, Var) and expr.name == old:
+                            expr.name = new
+        return
+    for fn in prog.functions.values():
+        local = any(p.name == old for p in fn.params) or any(
+            isinstance(s, Assign) and s.name == old for s in iter_stmts(fn.body)
+        )
+        if not local:
+            continue
+        for param in fn.params:
+            if param.name == old:
+                param.name = new
+        for stmt in iter_stmts(fn.body):
+            if isinstance(stmt, Assign) and stmt.name == old:
+                stmt.name = new
+            for root in iter_stmt_exprs(stmt):
+                for expr in iter_subexprs(root):
+                    if isinstance(expr, Var) and expr.name == old:
+                        expr.name = new
+
+
 def instrument(program: Program, spec: InstrumentationSpec) -> InstrumentedProgram:
     """Apply ``spec`` to a clone of ``program`` (the original is untouched).
 
     The clone is (optionally) normalized, labelled, rewritten, and given
-    the global ``w`` initialized to ``spec.w_init``.
+    the global ``spec.w_var`` initialized to ``spec.w_init``.  When the
+    program already uses that name, its *own* variable is alpha-renamed
+    to a fresh one first (recorded in ``InstrumentedProgram.renamed``)
+    so the spec — whose hooks closed over the requested name — keeps
+    it.  Renaming the program rather than the injected code is what
+    keeps this sound: hook output may embed the program's own operand
+    nodes and fresh ``Var`` nodes naming program state, which no
+    rewrite of the injected statements could safely distinguish from
+    accumulator references.
     """
     if spec.hooks_dropped:
         raise ValueError(
@@ -249,15 +351,22 @@ def instrument(program: Program, spec: InstrumentationSpec) -> InstrumentedProgr
     prog = program.clone()
     if spec.normalize:
         prog = normalize_program(prog)
-    index = assign_labels(prog)
 
+    renamed = {}
+    used = _used_names(prog)
+    if spec.w_var in used:
+        fresh = _fresh_name(spec.w_var, used)
+        _rename_program_var(prog, spec.w_var, fresh)
+        renamed[spec.w_var] = fresh
+
+    index = assign_labels(prog)
     rewriter = _Rewriter(spec, index)
     functions = []
     for fn in prog.functions.values():
         fn.body = rewriter.block(fn.body)
         functions.append(fn)
 
-    if spec.w_var in prog.globals:
-        raise ValueError(f"program already has a global named {spec.w_var!r}")
     prog.add_global(spec.w_var, spec.w_init)
-    return InstrumentedProgram(program=prog, index=index, spec=spec)
+    return InstrumentedProgram(
+        program=prog, index=index, spec=spec, renamed=renamed
+    )

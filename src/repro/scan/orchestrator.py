@@ -1,0 +1,340 @@
+"""The scan campaign: discovery → store lookup → session batch → report.
+
+One :func:`scan_project` call is one CI run:
+
+1. **walk** the tree (:mod:`repro.scan.walker`) and **discover** every
+   function (:mod:`repro.scan.classify`) — the prescan is pure AST
+   work, no lowering, so an unsupported file costs microseconds, not a
+   frontend traceback;
+2. **lower** each admitted function once through the mtime-memoized
+   ``file.py::fn`` target cache (:func:`repro.api.targets.parse_target_spec`)
+   and digest the lowered program (:func:`repro.scan.store.program_digest`).
+   The classifier is deliberately optimistic, so a residual
+   :class:`~repro.fpir.frontend.FrontendError` here demotes the
+   function to a skip carrying the frontend's located diagnostic;
+3. **replay** every (digest, analysis, config-fingerprint) hit from
+   the persistent store — an unchanged function costs zero engine
+   evaluations on re-scan;
+4. run the misses as a prioritized campaign through one
+   :class:`repro.api.session.Session` — cheapest (smallest AST)
+   functions first, so a scan interrupted mid-CI has already verified
+   the most targets per second spent.  Each job carries its own
+   :class:`~repro.api.engine.EngineConfig` built by
+   :func:`repro.core.batch.job_request` with a fixed seed and
+   ``deterministic=True``, so serial and ``--workers N`` scans are
+   bit-identical;
+5. **persist** every complete new result, apply the findings
+   baseline, and assemble the :class:`~repro.scan.report.ScanReport`.
+
+Partial or failed jobs are reported but never persisted: a store
+record always describes a *complete* run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.scan.classify import DiscoveredFunction, discover_functions
+from repro.scan.report import (
+    FROM_ENGINE,
+    FROM_STORE,
+    FunctionResult,
+    ScanReport,
+)
+from repro.scan.store import (
+    Baseline,
+    ResultStore,
+    config_fingerprint,
+    finding_key,
+    program_digest,
+)
+from repro.scan.walker import walk_python_files
+
+#: Default store directory name, created under the scan root.
+STORE_DIRNAME = ".repro-scan"
+
+
+@dataclasses.dataclass
+class ScanConfig:
+    """Everything one scan run is parameterized by.
+
+    ``seed`` defaults to 0 (not "random"): incremental replay and the
+    serial/parallel bit-identity guarantee both need the engine's
+    start derivation to be a pure function of the scan request.
+    """
+
+    analyses: Tuple[str, ...] = ("boundary",)
+    n_workers: int = 1
+    seed: int = 0
+    niter: Optional[int] = None
+    rounds: Optional[int] = None
+    starts: Optional[int] = None
+    backend: Optional[str] = None
+    eval_mode: Optional[str] = None
+    #: Tiny CI budget (each analysis's ``smoke_options``).
+    smoke: bool = False
+    #: Extra ``fnmatch`` patterns pruned from the walk.
+    exclude: Tuple[str, ...] = ()
+    #: Store directory (default: ``<root>/.repro-scan``).
+    store_dir: Optional[str] = None
+    #: Fail only on findings absent from the accepted baseline.
+    baseline: bool = False
+    #: Accept every current finding as the new baseline.
+    update_baseline: bool = False
+    on_event: Any = None
+    event_sink: Any = None
+
+    def fingerprint(self) -> str:
+        return config_fingerprint(
+            seed=self.seed,
+            niter=self.niter,
+            rounds=self.rounds,
+            starts=self.starts,
+            backend=self.backend,
+            eval_mode=self.eval_mode,
+            smoke=self.smoke,
+        )
+
+
+def _default_store_dir(root: str) -> str:
+    top = Path(root)
+    base = top if top.is_dir() else top.parent
+    return str(base / STORE_DIRNAME)
+
+
+def _job_params(config: ScanConfig) -> Tuple[Tuple[str, Any], ...]:
+    """The :class:`~repro.core.batch.BatchJob` knob tuple for one scan."""
+    params: List[Tuple[str, Any]] = []
+    if config.niter is not None:
+        params.append(("niter", config.niter))
+    if config.rounds is not None:
+        params.append(("rounds", config.rounds))
+    else:
+        params.append(("rounds", 20))
+    if config.starts is not None:
+        params.append(("n_starts", config.starts))
+    if config.backend is not None:
+        params.append(("backend", config.backend))
+    if config.eval_mode is not None:
+        params.append(("eval_mode", config.eval_mode))
+    if config.smoke:
+        params.append(("smoke", True))
+    params.append(("max_samples", None))
+    return tuple(params)
+
+
+def _findings_payload(report: Any) -> List[Dict[str, Any]]:
+    return [
+        {
+            "kind": finding.kind,
+            "label": finding.label,
+            "x": list(finding.x) if finding.x is not None else None,
+            "detail": finding.detail,
+        }
+        for finding in report.findings
+    ]
+
+
+def _lower_targets(
+    functions: Sequence[DiscoveredFunction],
+) -> List[Tuple[DiscoveredFunction, str]]:
+    """Lower each admitted function once; demote residual failures.
+
+    Returns ``(function, digest)`` pairs for everything that lowered.
+    The ``file.py::fn`` instances stay memoized in the target cache,
+    so the campaign jobs (which name the same specs) reuse the lowered
+    programs instead of re-reading the files.
+    """
+    from repro.api.targets import TargetError, parse_target_spec
+    from repro.fpir.frontend import FrontendError
+
+    lowered: List[Tuple[DiscoveredFunction, str]] = []
+    for fn in functions:
+        try:
+            program = parse_target_spec(fn.spec).resolve()
+        except (TargetError, FrontendError) as exc:
+            fn.lowerable = False
+            fn.skip_reason = f"frontend rejected: {exc}"
+            continue
+        lowered.append((fn, program_digest(program)))
+    return lowered
+
+
+def _cached_result(
+    record: Dict[str, Any], target: str, analysis: str
+) -> FunctionResult:
+    return FunctionResult(
+        target=target,
+        analysis=analysis,
+        verdict=record.get("verdict", ""),
+        findings=[dict(f) for f in record.get("findings", [])],
+        source=FROM_STORE,
+        digest=record["digest"],
+        n_evals=int(record.get("n_evals", 0)),
+        elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+    )
+
+
+def _run_campaign(
+    misses: Sequence[Tuple[DiscoveredFunction, str, str]],
+    config: ScanConfig,
+) -> List[FunctionResult]:
+    """Analyze the store misses through one shared session.
+
+    ``misses`` is ``(function, digest, analysis)`` triples, already
+    prioritized.  Mirrors :func:`repro.core.batch.run_batch`'s salvage
+    behavior: a failed job becomes an error result, a cancelled one
+    contributes its salvaged partial report when it has one.
+    """
+    from concurrent.futures import CancelledError
+
+    from repro.api import EngineConfig, Session
+    from repro.core.batch import BatchJob, job_request
+
+    params = _job_params(config)
+    results: List[FunctionResult] = []
+    session = Session(
+        EngineConfig(n_workers=config.n_workers),
+        on_event=config.on_event,
+        event_sink=config.event_sink,
+    )
+    try:
+        handles = []
+        for fn, digest, analysis in misses:
+            base = FunctionResult(target=fn.spec, analysis=analysis, digest=digest)
+            try:
+                request = job_request(
+                    BatchJob(
+                        analysis=analysis,
+                        target=fn.spec,
+                        seed=config.seed,
+                        params=params,
+                        label=fn.spec,
+                    )
+                )
+                handle = session.submit(
+                    request.analysis,
+                    request.target,
+                    spec=request.spec,
+                    config=request.config,
+                    **request.options,
+                )
+            except Exception as exc:
+                base.error = f"{type(exc).__name__}: {exc}"
+                results.append(base)
+                continue
+            handles.append((base, handle))
+        for base, handle in handles:
+            try:
+                try:
+                    report = handle.result()
+                except CancelledError:
+                    report = handle.partial_result()
+                    if report is None:
+                        raise
+            except (Exception, CancelledError) as exc:
+                base.error = f"{type(exc).__name__}: {exc}"
+                results.append(base)
+                continue
+            base.verdict = report.verdict
+            base.findings = _findings_payload(report)
+            base.n_evals = report.n_evals
+            base.elapsed_seconds = report.elapsed_seconds
+            base.partial = report.partial
+            results.append(base)
+    finally:
+        session.close()
+    return results
+
+
+def _apply_baseline(results: Sequence[FunctionResult], baseline: Baseline) -> None:
+    for result in results:
+        for finding in result.findings:
+            key = finding_key(
+                result.target,
+                result.analysis,
+                str(finding.get("kind", "")),
+                str(finding.get("label", "")),
+            )
+            finding["new"] = key not in baseline
+
+
+def scan_project(root: str, config: Optional[ScanConfig] = None) -> ScanReport:
+    """Scan every lowerable function under ``root``; see module doc."""
+    config = config or ScanConfig()
+    t0 = time.perf_counter()
+    files = walk_python_files(root, exclude=config.exclude)
+    discovered = discover_functions(files)
+    store_dir = config.store_dir or _default_store_dir(root)
+    store = ResultStore(store_dir)
+    fingerprint = config.fingerprint()
+
+    lowered = _lower_targets([d for d in discovered if d.lowerable])
+
+    cached: List[FunctionResult] = []
+    misses: List[Tuple[DiscoveredFunction, str, str]] = []
+    for fn, digest in lowered:
+        for analysis in config.analyses:
+            record = store.get(digest, analysis, fingerprint)
+            if record is not None:
+                cached.append(_cached_result(record, fn.spec, analysis))
+            else:
+                misses.append((fn, digest, analysis))
+    # Cheapest first: a scan killed mid-CI has maximized verified
+    # functions per second.  Ties break on (path, name, analysis) so
+    # submission order — and the JSONL append order — is deterministic.
+    misses.sort(key=lambda m: (m[0].size, m[0].path, m[0].name, m[2]))
+
+    fresh: List[FunctionResult] = []
+    if misses:
+        fresh = _run_campaign(misses, config)
+        for result in fresh:
+            if result.error or result.partial:
+                continue  # never persist an incomplete verdict
+            store.put(
+                {
+                    "digest": result.digest,
+                    "analysis": result.analysis,
+                    "fingerprint": fingerprint,
+                    "target": result.target,
+                    "verdict": result.verdict,
+                    "findings": result.findings,
+                    "n_evals": result.n_evals,
+                    "elapsed_seconds": result.elapsed_seconds,
+                }
+            )
+
+    results = cached + fresh
+    results.sort(key=lambda r: (r.target, r.analysis))
+
+    if config.update_baseline:
+        Baseline.write(
+            store_dir,
+            (
+                finding_key(
+                    r.target,
+                    r.analysis,
+                    str(f.get("kind", "")),
+                    str(f.get("label", "")),
+                )
+                for r in results
+                for f in r.findings
+            ),
+        )
+    if config.baseline:
+        _apply_baseline(results, Baseline.load(store_dir))
+
+    return ScanReport(
+        root=str(root),
+        analyses=list(config.analyses),
+        n_files=len(files),
+        discovered=discovered,
+        results=results,
+        n_evals=sum(r.n_evals for r in results if r.source == FROM_ENGINE),
+        elapsed_seconds=time.perf_counter() - t0,
+        baseline=config.baseline,
+        store_dir=store_dir,
+    )

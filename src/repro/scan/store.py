@@ -1,0 +1,189 @@
+"""The persistent incremental store under ``.repro-scan/``.
+
+Two artifacts live in the store directory:
+
+* ``results.jsonl`` — one JSON record per completed analysis run,
+  append-only.  Records are keyed by
+  ``(program digest, analysis, config fingerprint)``:
+
+  - the **program digest** is the content digest of the *lowered,
+    uninstrumented* FPIR program (:func:`program_digest`), computed by
+    the same ``sha256(pickle)`` recipe the worker payload cache keys
+    its compiled-W LRU with (:mod:`repro.util.digest`).  Editing a
+    function's body changes its lowered FPIR, hence its digest;
+    editing a comment, docstring or unrelated function does not —
+    re-scans re-analyze exactly what changed;
+  - the **config fingerprint** (:func:`config_fingerprint`) folds in
+    everything else that could change a verdict: seed, budgets,
+    backend, eval mode, and the store schema version.  A scan run
+    with different knobs never replays records produced under old
+    ones.
+
+  Append-only keeps concurrent CI runs safe (a torn final line is
+  skipped, never fatal); last-record-wins gives update semantics, and
+  :meth:`ResultStore.compact` rewrites the file to one line per key.
+
+* ``baseline.json`` — the accepted-findings baseline for
+  ``repro scan --baseline``.  Baseline keys use the *target spec*
+  (``file.py::fn``), not the digest, so an accepted finding stays
+  accepted across edits to unrelated parts of the function's file —
+  and an edited function whose old finding persists is still
+  suppressed, while genuinely new findings fail the gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+from repro.util.digest import content_digest, digest_bytes
+
+#: Bump when record semantics change; folded into the fingerprint so
+#: old stores are ignored rather than misread.
+STORE_VERSION = 1
+
+StoreKey = Tuple[str, str, str]  # (program digest, analysis, fingerprint)
+
+
+def program_digest(program: Any) -> str:
+    """Content digest of a lowered FPIR program (the store key)."""
+    return content_digest(program)
+
+
+def config_fingerprint(
+    seed: Optional[int],
+    niter: Optional[int],
+    rounds: Optional[int],
+    starts: Optional[int],
+    backend: Optional[str],
+    eval_mode: Optional[str],
+    smoke: bool = False,
+) -> str:
+    """Digest of every engine knob that can change a stored verdict.
+
+    Fingerprints the *requested* knobs (``None`` = the analysis
+    default), not per-analysis effective values: the effective budget
+    is a deterministic function of the request, so equal requests
+    replay and different requests never alias.
+    """
+    payload = json.dumps(
+        {
+            "version": STORE_VERSION,
+            "seed": seed,
+            "niter": niter,
+            "rounds": rounds,
+            "starts": starts,
+            "backend": backend,
+            "eval_mode": eval_mode,
+            "smoke": smoke,
+        },
+        sort_keys=True,
+    )
+    return digest_bytes(payload.encode("utf-8"))[:16]
+
+
+class ResultStore:
+    """Append-only JSONL result store with last-record-wins reads."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "results.jsonl"
+        self._records: Dict[StoreKey, Dict[str, Any]] = {}
+        self._load()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @staticmethod
+    def _key(record: Dict[str, Any]) -> StoreKey:
+        return (record["digest"], record["analysis"], record["fingerprint"])
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn concurrent append; skip, don't die
+                if record.get("version") != STORE_VERSION:
+                    continue
+                try:
+                    self._records[self._key(record)] = record
+                except KeyError:
+                    continue
+
+    def get(
+        self, digest: str, analysis: str, fingerprint: str
+    ) -> Optional[Dict[str, Any]]:
+        return self._records.get((digest, analysis, fingerprint))
+
+    def put(self, record: Dict[str, Any]) -> None:
+        """Persist ``record`` (append) and serve it to later gets."""
+        record = dict(record)
+        record["version"] = STORE_VERSION
+        self._records[self._key(record)] = record
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def compact(self) -> int:
+        """Rewrite the file to one line per key; returns lines dropped."""
+        if not self.path.is_file():
+            return 0
+        raw_lines = sum(1 for _ in self.path.open())
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with tmp.open("w") as fh:
+            for key in sorted(self._records):
+                fh.write(json.dumps(self._records[key], sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        return raw_lines - len(self._records)
+
+
+# ---------------------------------------------------------------------------
+# Findings baseline
+# ---------------------------------------------------------------------------
+
+#: (target spec, analysis, finding kind, finding label)
+BaselineKey = Tuple[str, str, str, str]
+
+
+def finding_key(target: str, analysis: str, kind: str, label: str) -> BaselineKey:
+    return (target, analysis, kind, label)
+
+
+@dataclasses.dataclass
+class Baseline:
+    """The accepted findings a ``--baseline`` scan does not fail on."""
+
+    keys: Set[BaselineKey] = dataclasses.field(default_factory=set)
+
+    def __contains__(self, key: BaselineKey) -> bool:
+        return key in self.keys
+
+    @classmethod
+    def load(cls, directory: str) -> "Baseline":
+        path = Path(directory) / "baseline.json"
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text())
+        keys = {tuple(entry) for entry in data.get("findings", [])}
+        return cls(keys={k for k in keys if len(k) == 4})
+
+    @classmethod
+    def write(cls, directory: str, keys: Iterable[BaselineKey]) -> Path:
+        path = Path(directory) / "baseline.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": STORE_VERSION,
+            "findings": sorted(list(k) for k in set(keys)),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path

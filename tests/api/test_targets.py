@@ -98,6 +98,41 @@ class TestCoercion:
         assert first is second
         assert first.resolve() is second.resolve()
 
+    def test_file_spec_memoization_invalidated_by_edit(self, tmp_path):
+        """Editing the file (new mtime) re-lowers; same tick would not.
+
+        The cache key is ``(abspath, entry, mtime)``: an edit that
+        lands within the same mtime tick as the cached read replays
+        the stale Program — callers rewriting files programmatically
+        bump the mtime explicitly, exactly as this test does (see
+        :func:`repro.api.targets.file_target`).
+        """
+        import os
+
+        from repro.api import file_target
+
+        source = tmp_path / "mut.py"
+        source.write_text("def f(x):\n    return x + 1.0\n")
+        spec = f"{source}::f"
+        first = parse_target_spec(spec)
+        assert parse_target_spec(spec) is first
+        assert first is file_target(str(source), "f")
+        first.resolve()  # lower now; resolution is lazy and cached
+
+        source.write_text("def f(x):\n    return x * 3.0\n")
+        # Force a new mtime even on filesystems whose timestamp
+        # resolution is coarser than this test's two writes.
+        stat = source.stat()
+        os.utime(source, (stat.st_atime, stat.st_mtime + 1))
+
+        second = parse_target_spec(spec)
+        assert second is not first
+        assert second.resolve() is not first.resolve()
+        from repro.fpir.interpreter import run_program
+
+        assert run_program(first.resolve(), [2.0]).value == 3.0
+        assert run_program(second.resolve(), [2.0]).value == 6.0
+
     def test_module_spec_targets_are_memoized(self):
         spec = MODULE_SPEC.format(name="fig1b")
         first = parse_target_spec(spec)

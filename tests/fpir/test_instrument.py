@@ -32,12 +32,68 @@ class TestBasics:
         result = instrument(fig2_program, spec)
         assert result.program.globals["w"] == 7.5
 
-    def test_w_name_collision_rejected(self, fig2_program):
+    def test_w_global_collision_renames_program_var(self, fig2_program):
+        # The program's own `w` moves aside; the spec keeps its name.
+        prog = fig2_program.clone()
+        prog.add_global("w", 5.0)
+        result = instrument(prog, InstrumentationSpec(
+            w_init=1.0, before_compare=_w_mul_absdiff))
+        assert result.w_var == "w"
+        assert result.renamed == {"w": "w_"}
+        assert result.program.globals["w"] == 1.0
+        assert result.program.globals["w_"] == 5.0
+        out = run_program(result.program, [0.5])
+        assert out.globals["w"] == 0.5 * 1.75
+        assert out.globals["w_"] == 5.0
+        # The original program is untouched by the rename.
+        assert prog.globals["w"] == 5.0
+
+    def test_w_local_collision_renames_program_var(self, fig2_program):
+        # fig2 assigns a local `y`; asking for w_var="y" must not alias
+        # it (Assign writes the global as soon as one exists), so the
+        # program's local is alpha-renamed out of the way.
+        def hook(site, cmp):
+            diff = BinOp("fsub", cmp.lhs, cmp.rhs)
+            return [Assign("y", BinOp("fmul", Var("y"),
+                                      Call("fabs", (diff,))))]
+
+        result = instrument(
+            fig2_program,
+            InstrumentationSpec(w_var="y", w_init=1.0,
+                                before_compare=hook),
+        )
+        assert result.w_var == "y"
+        assert result.renamed == {"y": "y_"}
+        # Same trajectory as the default-name case: the accumulator
+        # lands in global `y`, the program's local now runs as `y_`.
+        out = run_program(result.program, [0.5])
+        assert out.globals["y"] == 0.5 * 1.75
+
+    def test_fresh_name_skips_all_taken_variants(self, fig2_program):
         prog = fig2_program.clone()
         prog.add_global("w", 0.0)
-        with pytest.raises(ValueError):
-            instrument(prog, InstrumentationSpec(
-                before_compare=_w_mul_absdiff))
+        prog.add_global("w_", 0.0)
+        prog.add_global("w_2", 0.0)
+        result = instrument(prog, InstrumentationSpec(
+            w_init=1.0, before_compare=_w_mul_absdiff))
+        assert result.renamed == {"w": "w_3"}
+        assert result.program.globals["w"] == 1.0  # the accumulator
+        assert set(result.program.globals) == {"w", "w_", "w_2", "w_3"}
+
+    def test_fig7_overflow_instrumentation_admitted(self):
+        # fig7-characteristic declares its own global `w`; instrument()
+        # renames the program's global so the overflow spec can have
+        # the default name (ROADMAP housekeeping item).
+        from repro.analyses.overflow import overflow_spec
+        from repro.programs import get_program
+
+        program = get_program("fig7-characteristic")
+        result = instrument(program, overflow_spec())
+        assert result.w_var == "w"
+        assert result.renamed == {"w": "w_"}
+        assert "w_" in result.program.globals
+        out = run_program(result.program, [1.0])
+        assert "w" in out.globals
 
     def test_fig3_semantics(self, fig2_program):
         # W(x) = |x - 1| * |x'^2 - 4|: check a hand-computed value.

@@ -1,0 +1,90 @@
+"""The AST prescan: discovery, skip reasons, the one-sided invariant.
+
+The classifier promises *optimism*: it may admit a function the
+frontend later rejects (the orchestrator demotes those to skips), but
+it must never reject a function the frontend could lower.  The
+invariant test lowers every admitted function in ``examples/`` for
+real.
+"""
+
+from pathlib import Path
+
+from repro.fpir.frontend import lower_file
+from repro.scan.classify import discover_functions
+from repro.scan.walker import walk_python_files
+
+EXAMPLES = Path("examples")
+
+
+def _discover(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return discover_functions([path])
+
+
+class TestDiscovery:
+    def test_records_are_ordered_and_located(self, tmp_path):
+        found = _discover(
+            tmp_path,
+            "def b(x):\n    return x\n\n\ndef a(y):\n    return y\n",
+        )
+        assert [(f.name, f.lineno) for f in found] == [("b", 1), ("a", 5)]
+        assert all(f.lowerable for f in found)
+        assert all(f.spec.endswith(f"mod.py::{f.name}") for f in found)
+
+    def test_zero_parameter_functions_are_skipped(self, tmp_path):
+        (record,) = _discover(tmp_path, "def f():\n    return 1.0\n")
+        assert not record.lowerable
+        assert "no input domain" in record.skip_reason
+
+    def test_skip_reasons_are_located(self, tmp_path):
+        (record,) = _discover(
+            tmp_path,
+            "def f(xs):\n    return xs[0]\n",
+        )
+        assert not record.lowerable
+        assert record.skip_reason.startswith("line 2:")
+
+    def test_unlowerable_helper_poisons_caller(self, tmp_path):
+        found = _discover(
+            tmp_path,
+            "def helper(xs):\n"
+            "    return xs[0]\n"
+            "\n"
+            "\n"
+            "def caller(x):\n"
+            "    return helper(x)\n",
+        )
+        by_name = {f.name: f for f in found}
+        assert not by_name["caller"].lowerable
+        assert "helper" in by_name["caller"].skip_reason
+
+    def test_syntax_error_yields_file_record(self, tmp_path):
+        (record,) = _discover(tmp_path, "def f(:\n")
+        assert record.name == ""
+        assert not record.lowerable
+        assert "syntax" in record.skip_reason.lower()
+
+    def test_size_grows_with_reachable_helpers(self, tmp_path):
+        found = _discover(
+            tmp_path,
+            "def leaf(x):\n"
+            "    return x * 2.0\n"
+            "\n"
+            "\n"
+            "def caller(x):\n"
+            "    return leaf(x) + 1.0\n",
+        )
+        by_name = {f.name: f for f in found}
+        assert by_name["caller"].size > by_name["leaf"].size
+
+
+class TestOneSidedInvariant:
+    def test_every_admitted_function_in_examples_lowers(self):
+        """Classifier optimism, checked against the real frontend."""
+        files = walk_python_files(str(EXAMPLES))
+        admitted = [f for f in discover_functions(files) if f.lowerable]
+        assert len(admitted) >= 5  # python_targets.py alone has five
+        for record in admitted:
+            program = lower_file(record.path, record.name)
+            assert program.entry == record.name

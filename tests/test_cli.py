@@ -281,3 +281,74 @@ class TestBoundaryAndCoverage:
                      "--rounds", "15"])
         assert code == 0
         assert "branch coverage" in capsys.readouterr().out
+
+
+class TestScan:
+    """`repro scan PATH` — the whole-project incremental front-end."""
+
+    def _project(self, tmp_path):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "edgy.py").write_text(
+            "def edgy(x):\n    if x < 1.0:\n        return x + 1.0\n"
+            "    return x\n"
+        )
+        (root / "smooth.py").write_text(
+            "def smooth(x):\n    return x * 2.0 + 1.0\n"
+        )
+        return root
+
+    def test_scan_finds_and_exits_one(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        code = main(["scan", str(root), "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "2 lowerable" in out
+        assert "boundary-condition" in out
+
+    def test_rescan_replays_from_store(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        main(["scan", str(root), "--smoke"])
+        capsys.readouterr()
+        code = main(["scan", str(root), "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 1  # findings replay, still a red gate
+        assert "0 run(s) executed" in out
+        assert "2 replayed from store" in out
+        assert "0 engine evaluations" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        root = self._project(tmp_path)
+        code = main(["scan", str(root), "--smoke", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == payload["exit_code"] == 1
+        assert payload["n_lowerable"] == 2
+
+    def test_baseline_gate(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        assert main(["scan", str(root), "--smoke", "--update-baseline"]) == 1
+        capsys.readouterr()
+        code = main(["scan", str(root), "--smoke", "--baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline finding(s) suppressed" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = tmp_path / "clean"
+        root.mkdir()
+        (root / "smooth.py").write_text(
+            "def smooth(x):\n    return x * 2.0 + 1.0\n"
+        )
+        assert main(["scan", str(root), "--smoke"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_path_exits_two(self, tmp_path, capsys):
+        assert main(["scan", str(tmp_path / "nope"), "--smoke"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_formula_analysis_rejected(self, tmp_path, capsys):
+        root = self._project(tmp_path)
+        assert main(["scan", str(root), "--analyses", "sat"]) == 2
+        assert "program-kind" in capsys.readouterr().err
