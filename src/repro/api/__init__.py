@@ -25,6 +25,7 @@
 from repro.api.base import Analysis, RoundPlan
 from repro.api.engine import Engine, EngineConfig
 from repro.api.events import (
+    EVENT_SCHEMA_VERSION,
     JobFinished,
     JobStarted,
     JsonlEventSink,
@@ -33,6 +34,7 @@ from repro.api.events import (
     RoundStarted,
     SessionEvent,
     StartCrashed,
+    event_from_dict,
     event_to_dict,
 )
 from repro.api.registry import (
@@ -64,6 +66,7 @@ from repro.api.targets import (
 __all__ = [
     "Analysis",
     "AnalysisReport",
+    "EVENT_SCHEMA_VERSION",
     "Engine",
     "EngineConfig",
     "FOUND",
@@ -91,6 +94,7 @@ __all__ = [
     "available_analyses",
     "canonical_name",
     "coerce_target",
+    "event_from_dict",
     "event_to_dict",
     "file_target",
     "get_analysis",

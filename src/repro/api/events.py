@@ -30,6 +30,13 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
+#: Version stamped on every serialized event record
+#: (:func:`event_to_dict`).  Consumers — the JSONL sinks external
+#: dashboards tail, the ``repro serve`` SSE stream and its
+#: reconnecting clients — key their parsing on it; bump when an
+#: event's wire shape changes incompatibly.
+EVENT_SCHEMA_VERSION = 1
+
 
 @dataclasses.dataclass(frozen=True)
 class SessionEvent:
@@ -157,11 +164,63 @@ def render_event(event: SessionEvent) -> Optional[str]:
     return None
 
 
-def event_to_dict(event: SessionEvent) -> Dict[str, Any]:
-    """A JSON-ready dict: the event's fields plus its type name."""
-    payload: Dict[str, Any] = {"event": type(event).__name__}
+def event_to_dict(
+    event: SessionEvent, seq: Optional[int] = None
+) -> Dict[str, Any]:
+    """A JSON-ready dict: the event's fields plus its type name.
+
+    Every record carries ``schema_version``
+    (:data:`EVENT_SCHEMA_VERSION`); ``seq`` — the emitter's per-job
+    monotonic sequence number, counted from 0 per ``job_id`` — is
+    included when the caller assigns one.  The sequence number is the
+    SSE resume contract: an ``repro serve`` client reconnecting with
+    ``Last-Event-ID: n`` receives exactly the events with ``seq > n``,
+    never a drop or a duplicate (:mod:`repro.serve.stream`).
+    """
+    payload: Dict[str, Any] = {
+        "event": type(event).__name__,
+        "schema_version": EVENT_SCHEMA_VERSION,
+    }
+    if seq is not None:
+        payload["seq"] = seq
     payload.update(dataclasses.asdict(event))
     return payload
+
+
+#: Concrete event classes by wire name (:func:`event_from_dict`).
+_EVENT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        JobStarted,
+        RoundStarted,
+        RoundFinished,
+        StartCrashed,
+        RoundRetried,
+        JobFinished,
+    )
+}
+
+
+def event_from_dict(payload: Dict[str, Any]) -> SessionEvent:
+    """Rebuild the typed event a :func:`event_to_dict` record came from.
+
+    The round-trip inverse of :func:`event_to_dict`:
+    ``event_from_dict(event_to_dict(e)) == e`` for every event type.
+    Envelope fields (``event``, ``schema_version``, ``seq``, ``ts``)
+    are consumed, unknown *extra* fields are ignored (so a newer
+    emitter's additive fields don't break an older consumer), and an
+    unknown event type or missing required field raises ``ValueError``.
+    """
+    name = payload.get("event")
+    cls = _EVENT_TYPES.get(name or "")
+    if cls is None:
+        raise ValueError(f"unknown event type {name!r}")
+    fields = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {key: value for key, value in payload.items() if key in fields}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad {name} record: {exc}") from exc
 
 
 class JsonlEventSink:
@@ -170,10 +229,13 @@ class JsonlEventSink:
     Accepts a path (opened for append-less overwrite, closed by
     :meth:`close`) or any text file object (left open — the caller owns
     it).  Each record carries the event fields, the event type under
-    ``"event"``, and a wall-clock ``"ts"`` (seconds since the epoch).
-    Writes are locked and flushed per event, so a session driving
-    several jobs from several threads produces whole, ordered lines
-    that an external ``tail -f`` consumer can parse immediately.
+    ``"event"``, the serialization ``"schema_version"``, a per-job
+    monotonic ``"seq"`` (counted from 0 per ``job_id`` — the same
+    resume contract the SSE stream uses), and a wall-clock ``"ts"``
+    (seconds since the epoch).  Writes are locked and flushed per
+    event, so a session driving several jobs from several threads
+    produces whole, ordered lines that an external ``tail -f``
+    consumer can parse immediately.
 
     Usable directly as an ``on_event`` callback, or through the
     ``Session(event_sink=...)`` convenience::
@@ -191,16 +253,18 @@ class JsonlEventSink:
             self._owns_file = False
         self._lock = threading.Lock()
         self._closed = False
+        self._seqs: Dict[int, int] = {}
         self.n_events = 0
 
     def __call__(self, event: SessionEvent) -> None:
-        record = event_to_dict(event)
-        record["ts"] = time.time()
-        line = json.dumps(record, sort_keys=True)
         with self._lock:
             if self._closed:
                 return
-            self._file.write(line + "\n")
+            seq = self._seqs.get(event.job_id, 0)
+            self._seqs[event.job_id] = seq + 1
+            record = event_to_dict(event, seq=seq)
+            record["ts"] = time.time()
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
             self._file.flush()
             self.n_events += 1
 

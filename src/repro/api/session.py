@@ -51,7 +51,16 @@ import math
 import threading
 import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Type, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    Union,
+)
 
 from repro.api.base import Analysis
 from repro.api.engine import EngineConfig
@@ -74,6 +83,17 @@ from repro.mo.registry import resolve_backend
 from repro.util.rng import derive_round_rngs
 
 AnalysisRef = Union[str, Type[Analysis], Analysis]
+
+#: Per-round checkpoint hook (``Session.submit(checkpoint=...)``):
+#: called as ``checkpoint(round_index, outcome)`` from the job's driver
+#: thread after round ``round_index``'s
+#: :class:`~repro.core.parallel.MultiStartOutcome` has been absorbed
+#: into the analysis state — exactly the record a later
+#: ``resume_rounds=`` replay needs to reconstruct that state
+#: bit-identically (:mod:`repro.serve.checkpoint` persists them).
+#: Interrupted (cancelled mid-round) outcomes are never checkpointed:
+#: a resumed job re-runs that round in full.
+CheckpointCallback = Callable[[int, Any], None]
 
 
 @dataclasses.dataclass
@@ -313,6 +333,8 @@ class Session:
         spec: Any = None,
         config: Optional[EngineConfig] = None,
         on_event: Optional[EventCallback] = None,
+        checkpoint: Optional[CheckpointCallback] = None,
+        resume_rounds: Optional[Sequence[Any]] = None,
         **options: Any,
     ) -> JobHandle:
         """Queue one job and return its :class:`JobHandle` immediately.
@@ -321,11 +343,31 @@ class Session:
         they mean for :meth:`repro.api.engine.Engine.run`.  ``config``
         overrides the session's engine knobs for this job; ``on_event``
         adds a per-job callback on top of the session-level one.
+
+        ``checkpoint`` receives ``(round_index, outcome)`` after every
+        completed round (see :data:`CheckpointCallback`);
+        ``resume_rounds`` replays previously checkpointed
+        :class:`~repro.core.parallel.MultiStartOutcome`\\ s — in round
+        order, starting at round 0 — through the analysis state
+        *without re-running them*, then continues the driver loop at
+        the first un-checkpointed round.  Because per-round randomness
+        is a pure function of ``(seed, round, start)`` and ``absorb``
+        is deterministic, a resumed job's report is bit-identical to an
+        uninterrupted run's (timing aside).
         """
         handle = self._make_handle(analysis, target)
         executor = self._ensure_threads()
         executor.submit(
-            self._drive, handle, analysis, target, spec, options, config, on_event
+            self._drive,
+            handle,
+            analysis,
+            target,
+            spec,
+            options,
+            config,
+            on_event,
+            checkpoint,
+            resume_rounds,
         )
         return handle
 
@@ -444,12 +486,22 @@ class Session:
         options: Dict[str, Any],
         config: Optional[EngineConfig],
         on_event: Optional[EventCallback],
+        checkpoint: Optional[CheckpointCallback] = None,
+        resume_rounds: Optional[Sequence[Any]] = None,
     ) -> None:
         """Run one job's driver loop to completion (any thread)."""
         cfg = config or self.config
         try:
             report, cancelled = self._execute(
-                handle, analysis, target, spec, options, cfg, on_event
+                handle,
+                analysis,
+                target,
+                spec,
+                options,
+                cfg,
+                on_event,
+                checkpoint,
+                resume_rounds,
             )
         except BaseException as exc:
             self._emit(
@@ -496,6 +548,8 @@ class Session:
         options: Dict[str, Any],
         cfg: EngineConfig,
         on_event: Optional[EventCallback],
+        checkpoint: Optional[CheckpointCallback] = None,
+        resume_rounds: Optional[Sequence[Any]] = None,
     ):
         """The shared driver loop (the engine's former `run` body)."""
         if isinstance(analysis, str):
@@ -527,6 +581,60 @@ class Session:
         n_crash_retries = 0
         round_index = 0
         cancelled = False
+        # Replay checkpointed rounds: walk the driver loop with
+        # `run_multistart` replaced by the stored outcome.  plan_round
+        # and absorb are deterministic functions of the state, and the
+        # label-set write-back below mirrors what merge_reports did in
+        # the original run, so the state (and every later round's
+        # randomness, a pure function of (seed, round, start)) evolves
+        # exactly as it did before the restart.
+        for outcome in resume_rounds or ():
+            plan = instance.plan_round(state, round_index)
+            if plan is None:
+                break
+            emit(
+                RoundStarted(
+                    job_id=handle.job_id,
+                    analysis=name,
+                    target=handle.target,
+                    round_index=round_index,
+                    n_starts=plan.n_starts,
+                    note=plan.note,
+                )
+            )
+            for set_name, labels in outcome.label_sets.items():
+                plan.weak_distance.label_sets.setdefault(
+                    set_name, set()
+                ).update(labels)
+            instance.absorb(state, round_index, outcome)
+            n_crash_retries += outcome.n_crash_retries
+            best = outcome.best
+            trace.append(
+                RoundTrace(
+                    index=round_index,
+                    n_starts=plan.n_starts,
+                    n_evals=outcome.n_evals,
+                    best_w=math.inf if best is None else best.f_star,
+                    found_zero=best is not None and best.f_star == 0.0,
+                    note=plan.note,
+                )
+            )
+            emit(
+                RoundFinished(
+                    job_id=handle.job_id,
+                    analysis=name,
+                    target=handle.target,
+                    round_index=round_index,
+                    n_evals=outcome.n_evals,
+                    best_w=math.inf if best is None else best.f_star,
+                    found_zero=best is not None and best.f_star == 0.0,
+                    note=plan.note,
+                )
+            )
+            n_evals += outcome.n_evals
+            if plan.record_samples:
+                samples.extend(outcome.samples)
+            round_index += 1
         while True:
             if handle._stop.is_set():
                 cancelled = True
@@ -593,6 +701,11 @@ class Session:
             # salvaged report keeps their findings (boundary's BV
             # samples, coverage's arms, sat label sets).
             instance.absorb(state, round_index, outcome)
+            if checkpoint is not None and not interrupted:
+                # Interrupted outcomes cover only the starts that
+                # finished; resuming must re-run that round in full, so
+                # only completed rounds are checkpointable.
+                checkpoint(round_index, outcome)
             best = outcome.best
             trace.append(
                 RoundTrace(

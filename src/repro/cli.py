@@ -310,6 +310,97 @@ def _build_parser() -> argparse.ArgumentParser:
         "--events-out", dest="events_out", default=None, metavar="PATH",
         help="write every campaign event as JSON Lines to PATH",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis service: submit jobs over HTTP, stream "
+             "SSE progress, resume interrupted campaigns",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 = pick a free one; the bound address is "
+             "printed on startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the shared warm pool",
+    )
+    serve.add_argument(
+        "--quota", type=int, default=2,
+        help="per-tenant cap on concurrently running jobs",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="checkpoint journal directory (default: ./.repro-serve)",
+    )
+    serve.add_argument(
+        "--api-key", dest="api_keys", action="append", default=[],
+        metavar="KEY",
+        help="accepted X-API-Key (repeatable; each key is a tenant); "
+             "none = open single-tenant mode",
+    )
+    serve.add_argument(
+        "--ring", type=int, default=None, metavar="N",
+        help="per-job SSE ring-buffer capacity (events)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal: restore settled jobs, continue "
+             "interrupted ones bit-identically from their last "
+             "checkpointed round",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running 'repro serve' endpoint",
+    )
+    client.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="server base URL",
+    )
+    client.add_argument(
+        "--api-key", dest="api_key", default=None,
+        help="X-API-Key to authenticate (and namespace) requests with",
+    )
+    clientsub = client.add_subparsers(dest="client_command", required=True)
+    submit = clientsub.add_parser("submit", help="submit one job")
+    submit.add_argument("analysis")
+    submit.add_argument("target")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--niter", type=int, default=None)
+    submit.add_argument("--rounds", type=int, default=None)
+    submit.add_argument("--starts", type=int, default=None)
+    submit.add_argument("--max-samples", dest="max_samples", type=int,
+                        default=None)
+    submit.add_argument("--smoke", action="store_true")
+    submit.add_argument("--racing", action="store_true")
+    submit.add_argument("--backend", default=None)
+    submit.add_argument(
+        "--eval-mode", dest="eval_mode",
+        choices=("compiled", "interpreter", "vectorized"), default=None,
+    )
+    submit.add_argument("--label", default=None)
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's events until it finishes",
+    )
+    status = clientsub.add_parser(
+        "status", help="show one job (or all jobs with no id)",
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+    watch = clientsub.add_parser(
+        "watch", help="stream a job's SSE events (auto-reconnecting)",
+    )
+    watch.add_argument("job_id")
+    watch.add_argument(
+        "--from", dest="last_event_id", type=int, default=None,
+        metavar="SEQ", help="resume after event SEQ (Last-Event-ID)",
+    )
+    cancel = clientsub.add_parser(
+        "cancel", help="cancel a job; prints the salvaged report",
+    )
+    cancel.add_argument("job_id")
     return parser
 
 
@@ -600,6 +691,94 @@ def _cmd_scan(args) -> int:
     return scan_exit_code(report)
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        quota=args.quota,
+        api_keys=tuple(args.api_keys),
+        resume=args.resume,
+    )
+    if args.store is not None:
+        config.store_dir = args.store
+    if args.ring is not None:
+        config.ring_capacity = args.ring
+    server = ReproServer(config)
+    # The smoke harness (and port=0 users) parse this exact line.
+    print(f"repro-serve listening on {server.url}", flush=True)
+    if args.resume:
+        print(f"resumed {server.n_resumed} interrupted job(s)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url, api_key=args.api_key)
+    try:
+        if args.client_command == "submit":
+            payload: Dict[str, Any] = {
+                "analysis": args.analysis,
+                "target": args.target,
+            }
+            for knob in ("seed", "niter", "rounds", "starts",
+                         "max_samples", "backend", "eval_mode", "label"):
+                value = getattr(args, knob)
+                if value is not None:
+                    payload[knob] = value
+            for flag in ("smoke", "racing"):
+                if getattr(args, flag):
+                    payload[flag] = True
+            job = client.submit(payload)
+            print(f"submitted {job['id']} ({job['state']})")
+            if not args.watch:
+                return 0
+            args.job_id = job["id"]
+            args.last_event_id = None
+        if args.client_command in ("submit", "watch"):
+            from repro.api.events import event_from_dict, render_event
+
+            for record in client.watch(args.job_id, args.last_event_id):
+                line = render_event(event_from_dict(record))
+                if line:
+                    print(f"[{record['seq']}] {line}", flush=True)
+            job = client.wait(args.job_id)
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return 0 if job["state"] == "done" else 1
+        if args.client_command == "status":
+            if args.job_id is None:
+                for job in client.jobs():
+                    print(
+                        f"{job['id']:<6} {job['state']:<10} "
+                        f"{job['analysis']:<12} {job['target']}"
+                    )
+                return 0
+            print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "cancel":
+            job = client.cancel(args.job_id)
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -610,6 +789,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     return _cmd_run(args)
 
 

@@ -51,8 +51,10 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import pickle
 import threading
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
@@ -78,6 +80,39 @@ DEFAULT_CRASH_RETRIES = 2
 #: How often (seconds) a round waiting on its futures polls the
 #: parent-side stop event (shared with :mod:`repro.core.pool`).
 STOP_POLL_SECONDS = 0.05
+
+#: How often (seconds) a worker's parent-death watchdog polls
+#: ``os.getppid()`` (see :func:`watch_parent`).
+PARENT_WATCH_SECONDS = 1.0
+
+
+def watch_parent(poll_seconds: float = PARENT_WATCH_SECONDS) -> None:
+    """Hard-exit this worker process when its parent dies.
+
+    A SIGKILLed parent can never close the pool's call-queue pipes for
+    its workers: every fork-inherited fd (including the *write* ends
+    the worker itself holds) stays open in the child, so the worker
+    blocks on the queue forever instead of seeing EOF.  The orphan then
+    leaks — together with everything else it inherited, such as a
+    server's listening socket, which keeps the port bound and blocks a
+    restart (``repro serve --resume``) on the same address.
+
+    Called from the pool initializers, this starts a daemon thread that
+    polls ``os.getppid()`` and ``os._exit``\\ s the moment the worker is
+    re-parented (parent gone).  ``os._exit`` on purpose: the process is
+    mid-task with a dead coordinator; running atexit/finalizers could
+    block on the same dead pipes this is escaping.
+    """
+    parent = os.getppid()
+
+    def _watch() -> None:
+        while os.getppid() == parent:
+            time.sleep(poll_seconds)
+        os._exit(2)
+
+    threading.Thread(
+        target=_watch, name="repro-parent-watch", daemon=True
+    ).start()
 
 
 class WorkerCrashError(RuntimeError):
@@ -261,6 +296,7 @@ _WORKER_STATE: dict = {}
 
 
 def _init_worker(payload_blob: bytes, cancel_event) -> None:
+    watch_parent()
     payload = pickle.loads(payload_blob)
     _WORKER_STATE["weak_distance"] = rebuild_weak_distance(payload)
     _WORKER_STATE["n_inputs"] = payload.n_inputs

@@ -75,6 +75,7 @@ from repro.core.parallel import (
     run_task,
     snapshot_label_state,
     sync_label_state,
+    watch_parent,
 )
 from repro.core.weak_distance import WeakDistance
 from repro.util.digest import digest_bytes
@@ -164,6 +165,7 @@ _POOL_STATE: dict = {}
 
 
 def _init_pool_worker(cancel_flags) -> None:
+    watch_parent()
     _POOL_STATE["flags"] = cancel_flags
     _POOL_STATE["cache"] = OrderedDict()
 

@@ -48,10 +48,7 @@ def run_all(
     quick: bool = False, seed: Optional[int] = None
 ) -> Dict[str, ExperimentResult]:
     """Run every experiment; returns results keyed by name."""
-    return {
-        name: module.run(quick=quick, seed=seed)
-        for name, module in ALL.items()
-    }
+    return {name: module.run(quick=quick, seed=seed) for name, module in ALL.items()}
 
 
 __all__ = ["ALL", "ExperimentResult", "run_all"]

@@ -92,9 +92,7 @@ def _limitation2_ablation():
                 start_sampler=gaussian_sampler(1e-180),
             ),
         )
-        spec = InstrumentationSpec(
-            w_var="w", w_init=0.0, before_compare=hook
-        )
+        spec = InstrumentationSpec(w_var="w", w_init=0.0, before_compare=hook)
         outcome = kernel.solve(problem, spec)
         out[name] = outcome
     return out
@@ -152,26 +150,30 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     speeds = _throughput(quick)
 
     rows = [
-        ("fig7: graded |a-b| distance",
-         f"{len(graded)} distinct BVs: "
-         + ", ".join(f"{x:.17g}" for x in graded)),
-        ("fig7: characteristic distance",
-         f"{len(flat)} distinct BVs (flat => random testing)"),
+        (
+            "fig7: graded |a-b| distance",
+            f"{len(graded)} distinct BVs: " + ", ".join(f"{x:.17g}" for x in graded),
+        ),
+        (
+            "fig7: characteristic distance",
+            f"{len(flat)} distinct BVs (flat => random testing)",
+        ),
         ("limitation2: w += x*x verdict", lim2["naive"].verdict.value),
-        ("limitation2: w += ulp(x,0) verdict",
-         lim2["ulp"].verdict.value),
-        ("coverage: weak-distance MO",
-         f"{100.0 * coverage['weak-distance'].coverage:.1f}% of arms"),
-        ("coverage: random testing (same harness)",
-         f"{100.0 * coverage['random'].coverage:.1f}% of arms"),
+        ("limitation2: w += ulp(x,0) verdict", lim2["ulp"].verdict.value),
+        (
+            "coverage: weak-distance MO",
+            f"{100.0 * coverage['weak-distance'].coverage:.1f}% of arms",
+        ),
+        (
+            "coverage: random testing (same harness)",
+            f"{100.0 * coverage['random'].coverage:.1f}% of arms",
+        ),
         ("throughput compiled (evals/s)", f"{speeds['compiled']:.0f}"),
-        ("throughput interpreter (evals/s)",
-         f"{speeds['interpreter']:.0f}"),
+        ("throughput interpreter (evals/s)", f"{speeds['interpreter']:.0f}"),
     ]
     return ExperimentResult(
         name="ablation",
-        title="Ablations: Fig. 7 flat distance, ULP metric, executor"
-              " throughput",
+        title="Ablations: Fig. 7 flat distance, ULP metric, executor" " throughput",
         headers=("ablation", "outcome"),
         rows=rows,
         data={

@@ -38,17 +38,14 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     ).detail
 
     # (b) the graph of W.
-    weak_distance = WeakDistance(
-        instrument(program, multiplicative_spec())
-    )
+    weak_distance = WeakDistance(instrument(program, multiplicative_spec()))
     grid = np.linspace(-6.0, 6.0, 481)
     graph = [(float(x), weak_distance((float(x),))) for x in grid]
 
     found = sorted({x[0] for x in report.boundary_values})
     expected = set(fig2.KNOWN_BOUNDARY_VALUES)
     rows = [
-        (f"{bv:.17g}",
-         "known" if bv in expected else "extra (cf. Table 1)")
+        (f"{bv:.17g}", "known" if bv in expected else "extra (cf. Table 1)")
         for bv in found
     ]
     sample_plot = render_ascii_series(

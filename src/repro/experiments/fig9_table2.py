@@ -35,7 +35,8 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
         spec=site_filter,
         seed=seed,
         backend_options={
-            "niter": 20 if quick else 60, "local_maxiter": 150,
+            "niter": 20 if quick else 60,
+            "local_maxiter": 150,
         },
         n_starts=10 if quick else 60,
         sampler=wide_log_sampler(-12.0, 10.0),
@@ -49,19 +50,13 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
         for label in replay_hit_labels(hits, (x,)):
             sign = "+" if x >= 0.0 else "-"
             key = (label, sign)
-            entry = stats.setdefault(
-                key, {"hits": 0, "min": x, "max": x}
-            )
+            entry = stats.setdefault(key, {"hits": 0, "min": x, "max": x})
             entry["hits"] += 1
             entry["min"] = min(entry["min"], x)
             entry["max"] = max(entry["max"], x)
 
-    ordered = sorted(
-        hits.instrumented.index.compares, key=lambda s: s.label
-    )
-    site_labels = [
-        s.label for s in ordered if s.function == "sin_glibc"
-    ]
+    ordered = sorted(hits.instrumented.index.compares, key=lambda s: s.label)
+    site_labels = [s.label for s in ordered if s.function == "sin_glibc"]
     rows = []
     for i, label in enumerate(site_labels):
         ref = (
@@ -72,7 +67,8 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
         for sign in ("+", "-"):
             entry = stats.get((label, sign))
             ref_text = (
-                "unreachable (2^1024)" if ref is None
+                "unreachable (2^1024)"
+                if ref is None
                 else f"{sign}{ref:.6e}".replace("+-", "-")
             )
             if entry is None:
@@ -89,11 +85,7 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
                     )
                 )
 
-    reachable_triggered = sum(
-        1
-        for (label, _s), e in stats.items()
-        if e["hits"] > 0
-    )
+    reachable_triggered = sum(1 for (label, _s), e in stats.items() if e["hits"] > 0)
     # Fig. 9 progress curve: (sample index, #conditions triggered so far).
     curve = sorted(report.first_hit_at.values())
     progress = [(n, i + 1) for i, n in enumerate(curve)]
@@ -101,8 +93,7 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     return ExperimentResult(
         name="fig9_table2",
         title="Boundary value analysis on GNU sin (Glibc 2.19 port)",
-        headers=("cond", "sign", "ref bound", "min found", "max found",
-                 "hits"),
+        headers=("cond", "sign", "ref bound", "min found", "max found", "hits"),
         rows=rows,
         data={
             "report": report,

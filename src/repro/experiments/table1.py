@@ -70,8 +70,7 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
                 "[-3,1] witness" if presult.verified else "NA",
             )
         )
-        data[name] = {"boundary_values": bvs, "path": presult,
-                      "bva_report": report}
+        data[name] = {"boundary_values": bvs, "path": presult, "bva_report": report}
     return ExperimentResult(
         name="table1",
         title="Different MO backends on two weak distances (Fig. 2)",

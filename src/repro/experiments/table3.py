@@ -82,8 +82,7 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     return ExperimentResult(
         name="table3",
         title="Floating-point overflow detection summary (fpod)",
-        headers=("bench", "function", "|Op|", "|O|", "|I|", "|B|",
-                 "T (sec)"),
+        headers=("bench", "function", "|Op|", "|O|", "|I|", "|B|", "T (sec)"),
         rows=rows,
         data=data,
         notes=(

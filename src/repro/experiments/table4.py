@@ -38,14 +38,8 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
             rows.append((site.label, site.text, "missed", ""))
         else:
             nu, x = finding.x_star
-            rows.append(
-                (site.label, site.text, f"{nu:.2g}", f"{x:.2g}")
-            )
-    constant_op = [
-        s.label
-        for s in sites
-        if "2.220446049250313e-16" in s.text
-    ]
+            rows.append((site.label, site.text, f"{nu:.2g}", f"{x:.2g}"))
+    constant_op = [s.label for s in sites if "2.220446049250313e-16" in s.text]
     return ExperimentResult(
         name="table4",
         title="Per-instruction overflow findings in Bessel (23 FP ops)",

@@ -65,9 +65,8 @@ def run(quick: bool = False, seed: Optional[int] = None) -> ExperimentResult:
     return ExperimentResult(
         name="table5",
         title="Inconsistencies (status==SUCCESS, non-finite result) and"
-              " root causes",
-        headers=("bench", "x*", "status", "val", "err", "root cause",
-                 "class"),
+        " root causes",
+        headers=("bench", "x*", "status", "val", "err", "root cause", "class"),
         rows=rows,
         data=data,
         notes=(

@@ -98,8 +98,7 @@ def _mod_phase_samples(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return m, p + 0.625
 
 
-def _fit_mod_phase() -> Tuple[ChebSeries, ChebSeries, ChebSeries,
-                              ChebSeries]:
+def _fit_mod_phase() -> Tuple[ChebSeries, ChebSeries, ChebSeries, ChebSeries]:
     # Range 1 (x < -2): z = 16/x^3 + 1 ∈ [-1, 1).
     def x_of_z1(z: np.ndarray) -> np.ndarray:
         return -np.cbrt(16.0 / (1.0 - z))
@@ -223,13 +222,11 @@ def make_program() -> Program:
     # Chebyshev error estimates (GSL computes these inside cheb_eval).
     fb.let(
         "result_m_err",
-        fmul(num(GSL_DBL_EPSILON),
-             fadd(call("fabs", v("result_m")), num(1.0))),
+        fmul(num(GSL_DBL_EPSILON), fadd(call("fabs", v("result_m")), num(1.0))),
     )
     fb.let(
         "result_p_err",
-        fmul(num(GSL_DBL_EPSILON),
-             fadd(call("fabs", v("result_p")), num(1.0))),
+        fmul(num(GSL_DBL_EPSILON), fadd(call("fabs", v("result_p")), num(1.0))),
     )
     fb.let("m", fadd(num(0.3125), v("result_m")))
     fb.let("p", fadd(num(-0.625), v("result_p")))
@@ -267,8 +264,7 @@ def make_program() -> Program:
     x = fb.arg("x")
     with fb.if_(lt(x, num(-1.0))) as oscillatory:
         fb.let("_mod", call("airy_mod_phase", x))
-        fb.let("_cos", call("gsl_sf_cos_err_e", v("theta_val"),
-                            v("theta_err")))
+        fb.let("_cos", call("gsl_sf_cos_err_e", v("theta_val"), v("theta_err")))
         fb.let("result_val", fmul(v("mod_val"), v("cos_val")))
         fb.let(
             "result_err",
@@ -286,8 +282,7 @@ def make_program() -> Program:
                 fb.let("result_val", call("cheb_aif", x))
                 fb.let(
                     "result_err",
-                    fmul(num(GSL_DBL_EPSILON),
-                         call("fabs", v("result_val"))),
+                    fmul(num(GSL_DBL_EPSILON), call("fabs", v("result_val"))),
                 )
                 fb.let("status", num(float(GSL_SUCCESS)))
                 with center.orelse():
@@ -315,8 +310,7 @@ def make_program() -> Program:
                         "result_val",
                         fmul(
                             fdiv(
-                                fmul(num(0.5 / math.sqrt(M_PI)),
-                                     v("ex")),
+                                fmul(num(0.5 / math.sqrt(M_PI)), v("ex")),
                                 sqrt(v("s")),
                             ),
                             v("corr"),
@@ -324,8 +318,7 @@ def make_program() -> Program:
                     )
                     fb.let(
                         "result_err",
-                        fmul(num(GSL_DBL_EPSILON),
-                             call("fabs", v("result_val"))),
+                        fmul(num(GSL_DBL_EPSILON), call("fabs", v("result_val"))),
                     )
                     with fb.if_(eq(v("result_val"), num(0.0))) as under:
                         fb.let("status", num(float(GSL_EUNDRFLW)))

@@ -34,9 +34,7 @@ PAPER_OP_COUNT = 23
 
 def make_program() -> Program:
     """Build the Bessel benchmark as a 2-input FPIR program."""
-    fb = FunctionBuilder(
-        "gsl_sf_bessel_Knu_scaled_asympx_e", params=["nu", "x"]
-    )
+    fb = FunctionBuilder("gsl_sf_bessel_Knu_scaled_asympx_e", params=["nu", "x"])
     nu = fb.arg("nu")
     x = fb.arg("x")
 
@@ -78,8 +76,7 @@ def make_program() -> Program:
             ),
             fmul(
                 v("pre"),
-                call("fabs", fmul(fmul(fmul(num(0.1), v("r")), v("r")),
-                                  v("r"))),
+                call("fabs", fmul(fmul(fmul(num(0.1), v("r")), v("r")), v("r"))),
             ),
         ),
     )

@@ -75,10 +75,8 @@ def _fit_corrections() -> Tuple[ChebSeries, ChebSeries]:
         return (np.sin(z) / z - 1.0) / u
 
     lo = 1e-8  # avoid the 0/0 at u == 0; the series is analytic there
-    cos_series = fit_cheb(cos_corr, lo, _Z2_MAX, order=10,
-                          name="gsl_cos_corr")
-    sin_series = fit_cheb(sin_corr, lo, _Z2_MAX, order=10,
-                          name="gsl_sin_corr")
+    cos_series = fit_cheb(cos_corr, lo, _Z2_MAX, order=10, name="gsl_cos_corr")
+    sin_series = fit_cheb(sin_corr, lo, _Z2_MAX, order=10, name="gsl_sin_corr")
     return cos_series, sin_series
 
 
@@ -108,8 +106,10 @@ def build_trig_functions() -> List[Function]:
     Results are delivered through the ``cos_val``/``cos_err`` globals
     (the Section 5.1 out-parameter adaptation).
     """
-    functions = [build_cheb_function("cheb_cos_corr", _COS_SERIES),
-                 build_cheb_function("cheb_sin_corr", _SIN_SERIES)]
+    functions = [
+        build_cheb_function("cheb_cos_corr", _COS_SERIES),
+        build_cheb_function("cheb_sin_corr", _SIN_SERIES),
+    ]
 
     # ---- gsl_sf_cos_e ------------------------------------------------------
     fb = FunctionBuilder("gsl_sf_cos_e", params=["x"])
@@ -119,17 +119,14 @@ def build_trig_functions() -> List[Function]:
         # Tiny argument: cos x = 1 - x^2/2 suffices at this precision.
         fb.let("x2", fmul(x, x))
         fb.let("cos_val", fsub(num(1.0), fmul(num(0.5), v("x2"))))
-        fb.let("cos_err", fmul(num(GSL_DBL_EPSILON),
-                               call("fabs", v("cos_val"))))
+        fb.let("cos_err", fmul(num(GSL_DBL_EPSILON), call("fabs", v("cos_val"))))
         with small.orelse():
             fb.let("sgn", num(1.0))
             # y = floor(|x| / (pi/4)); octant = (int)(y mod 8).
             fb.let("y", call("floor", fdiv(v("abs_x"), num(0.25 * M_PI))))
             fb.let(
                 "oct_f",
-                fsub(v("y"),
-                     fmul(num(8.0), call("floor",
-                                         fmul(v("y"), num(0.125))))),
+                fsub(v("y"), fmul(num(8.0), call("floor", fmul(v("y"), num(0.125))))),
             )
             fb.let("octant", call("__d2i", v("oct_f")))
             with fb.if_(eq(band(v("octant"), intc(1)), intc(1))):
@@ -183,8 +180,7 @@ def build_trig_functions() -> List[Function]:
                 "cos_err",
                 fadd(
                     fmul(num(GSL_DBL_EPSILON), call("fabs", v("cos_val"))),
-                    fmul(fmul(num(GSL_DBL_EPSILON), v("abs_x")),
-                         num(GSL_DBL_EPSILON)),
+                    fmul(fmul(num(GSL_DBL_EPSILON), v("abs_x")), num(GSL_DBL_EPSILON)),
                 ),
             )
     fb.let("cos_status", num(float(GSL_SUCCESS)))

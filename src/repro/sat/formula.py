@@ -76,9 +76,7 @@ class Formula:
     def assignment(self, x: Sequence[float]) -> Dict[str, float]:
         """Zip a model vector with the variable names."""
         if len(x) != len(self.variables):
-            raise ValueError(
-                f"expected {len(self.variables)} values, got {len(x)}"
-            )
+            raise ValueError(f"expected {len(self.variables)} values, got {len(x)}")
         return dict(zip(self.variables, (float(v) for v in x)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -86,9 +84,7 @@ class Formula:
 
         parts = []
         for clause in self.clauses:
-            atoms = " | ".join(
-                pretty_expr(a.to_compare()) for a in clause
-            )
+            atoms = " | ".join(pretty_expr(a.to_compare()) for a in clause)
             parts.append(f"({atoms})")
         return " & ".join(parts)
 

@@ -84,9 +84,7 @@ def tokenize(source: str) -> List[Token]:
     while position < len(source):
         match = _TOKEN_RE.match(source, position)
         if match is None:
-            raise ParseError(
-                f"unexpected character {source[position]!r}", position
-            )
+            raise ParseError(f"unexpected character {source[position]!r}", position)
         position = match.end()
         kind = match.lastgroup
         if kind == "ws":
@@ -122,8 +120,7 @@ class _BOr(_BNode):
     rhs: _BNode
 
 
-_REL = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
-        "==": "eq", "!=": "ne"}
+_REL = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
 
 
 class _Parser:
@@ -259,9 +256,7 @@ class _Parser:
 
     def _parse_call(self, name: Token) -> Expr:
         if not externals.is_registered(name.text):
-            raise ParseError(
-                f"unknown function {name.text!r}", name.position
-            )
+            raise ParseError(f"unknown function {name.text!r}", name.position)
         self.expect("(")
         args = [self.parse_sum()]
         while self.at_op(","):
@@ -286,11 +281,7 @@ def _to_cnf(node: _BNode) -> List[List[Atom]]:
     assert isinstance(node, _BOr)
     left = _to_cnf(node.lhs)
     right = _to_cnf(node.rhs)
-    return [
-        lc + rc
-        for lc in left
-        for rc in right
-    ]
+    return [lc + rc for lc in left for rc in right]
 
 
 def parse_formula(source: str) -> Formula:

@@ -155,7 +155,9 @@ class SatAnalysis(Analysis):
         )
 
     def absorb(
-        self, state: _SatState, round_index: int,
+        self,
+        state: _SatState,
+        round_index: int,
         outcome: MultiStartOutcome,
     ) -> None:
         state.outcome = outcome
@@ -198,11 +200,12 @@ class SatAnalysis(Analysis):
             help=f'constraint, e.g. "x < 1 && x + 1 >= 2" '
             f"(default: {cls.smoke_target!r})",
         )
+        parser.add_argument("--metric", choices=("ulp", "naive"), default="ulp")
         parser.add_argument(
-            "--metric", choices=("ulp", "naive"), default="ulp"
-        )
-        parser.add_argument(
-            "--range", type=float, default=None, metavar="R",
+            "--range",
+            type=float,
+            default=None,
+            metavar="R",
             help="draw start points from [-R, R] (default: "
             "magnitude-aware log sampling)",
         )
@@ -216,9 +219,7 @@ class SatAnalysis(Analysis):
             "metric": ULP if args.metric == "ulp" else NAIVE,
         }
         if args.range is not None:
-            options["start_sampler"] = uniform_sampler(
-                -args.range, args.range
-            )
+            options["start_sampler"] = uniform_sampler(-args.range, args.range)
         return options
 
     @classmethod

@@ -121,9 +121,7 @@ def formula_to_distance_program(
     return Program([fn], entry="R", globals={"w": 0.0})
 
 
-def formula_to_weak_distance(
-    formula: Formula, metric: str = ULP, eval_mode=None
-):
+def formula_to_weak_distance(formula: Formula, metric: str = ULP, eval_mode=None):
     """Wrap the XSat ``R`` program as an executable
     :class:`~repro.core.weak_distance.WeakDistance`.
 

@@ -21,7 +21,10 @@ Two artifacts live in the store directory:
 
   Append-only keeps concurrent CI runs safe (a torn final line is
   skipped, never fatal); last-record-wins gives update semantics, and
-  :meth:`ResultStore.compact` rewrites the file to one line per key.
+  :meth:`ResultStore.compact` rewrites the file to one line per key —
+  automatically on open once stale (superseded) lines outgrow
+  :data:`AUTO_COMPACT_RATIO` of the file, so commit-by-commit CI scans
+  never let the history outgrow the live record set.
 
 * ``baseline.json`` — the accepted-findings baseline for
   ``repro scan --baseline``.  Baseline keys use the *target spec*
@@ -85,14 +88,46 @@ def config_fingerprint(
     return digest_bytes(payload.encode("utf-8"))[:16]
 
 
-class ResultStore:
-    """Append-only JSONL result store with last-record-wins reads."""
+#: Auto-compaction threshold: when more than this fraction of the
+#: file's lines are stale (superseded re-runs of existing keys), an
+#: opening store rewrites it.  1/3 keeps steady-state file size within
+#: 1.5x of the live record count without rewriting on every open.
+AUTO_COMPACT_RATIO = 1 / 3
 
-    def __init__(self, directory: str) -> None:
+#: Never auto-compact below this many raw lines — rewriting a tiny
+#: file buys nothing and churns mtimes under concurrent CI runs.
+AUTO_COMPACT_MIN_LINES = 64
+
+
+class ResultStore:
+    """Append-only JSONL result store with last-record-wins reads.
+
+    Long-lived stores accrete stale lines: every re-run of a changed
+    function appends a record that supersedes an earlier line for the
+    same key.  Opening a store whose stale fraction exceeds
+    ``auto_compact_ratio`` triggers :meth:`compact` automatically
+    (``auto_compact_ratio=None`` disables this), so CI checkouts that
+    scan on every commit keep the file bounded by the live key count
+    instead of the full append history.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        auto_compact_ratio: Optional[float] = AUTO_COMPACT_RATIO,
+    ) -> None:
         self.directory = Path(directory)
         self.path = self.directory / "results.jsonl"
         self._records: Dict[StoreKey, Dict[str, Any]] = {}
-        self._load()
+        #: Lines dropped by the last (auto or explicit) compaction.
+        self.n_compacted = 0
+        raw_lines = self._load()
+        if (
+            auto_compact_ratio is not None
+            and raw_lines >= AUTO_COMPACT_MIN_LINES
+            and raw_lines - len(self._records) > raw_lines * auto_compact_ratio
+        ):
+            self.n_compacted = self.compact()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -101,14 +136,17 @@ class ResultStore:
     def _key(record: Dict[str, Any]) -> StoreKey:
         return (record["digest"], record["analysis"], record["fingerprint"])
 
-    def _load(self) -> None:
+    def _load(self) -> int:
+        """Read the file into memory; returns the raw line count."""
+        raw_lines = 0
         if not self.path.is_file():
-            return
+            return raw_lines
         with self.path.open() as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
+                raw_lines += 1
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
@@ -119,6 +157,7 @@ class ResultStore:
                     self._records[self._key(record)] = record
                 except KeyError:
                     continue
+        return raw_lines
 
     def get(
         self, digest: str, analysis: str, fingerprint: str

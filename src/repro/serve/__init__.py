@@ -1,0 +1,58 @@
+"""``repro serve`` — a resumable, multi-tenant analysis service.
+
+The service layer over :class:`repro.api.session.Session`: a
+stdlib-only HTTP front-end (:mod:`repro.serve.server`) that accepts
+job payloads, schedules them fairly across API-key tenants over one
+shared warm worker pool (:mod:`repro.serve.scheduler`), streams typed
+progress events over SSE with a lossless ``Last-Event-ID`` resume
+contract (:mod:`repro.serve.stream`), and checkpoints every completed
+round to an append-only journal (:mod:`repro.serve.checkpoint`) so
+``repro serve --resume`` continues interrupted campaigns
+bit-identically.  :mod:`repro.serve.client` is the matching
+zero-dependency client (``repro client ...``).
+"""
+
+from repro.serve.checkpoint import (
+    DEFAULT_STORE_DIR,
+    CheckpointJournal,
+    JournalJob,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.scheduler import DEFAULT_QUOTA, Scheduler, ServerJob
+from repro.serve.server import ReproServer, ServeConfig
+from repro.serve.stream import DEFAULT_RING_CAPACITY, EventLog
+from repro.serve.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    error_body,
+    job_to_dict,
+    normalize_job_payload,
+    parse_job_payload,
+    payload_fingerprint,
+    payload_to_batch_job,
+    report_to_dict,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "DEFAULT_QUOTA",
+    "DEFAULT_RING_CAPACITY",
+    "DEFAULT_STORE_DIR",
+    "EventLog",
+    "JournalJob",
+    "ReproServer",
+    "Scheduler",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerJob",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "error_body",
+    "job_to_dict",
+    "normalize_job_payload",
+    "parse_job_payload",
+    "payload_fingerprint",
+    "payload_to_batch_job",
+    "report_to_dict",
+]

@@ -1,0 +1,200 @@
+"""``ServeClient``: the stdlib client for a ``repro serve`` endpoint.
+
+A thin :mod:`urllib` wrapper speaking the wire schema
+(:mod:`repro.serve.wire`) — used by ``repro client submit|status|
+watch|cancel`` and by the serve test-suite, and importable by anyone
+who wants to drive a campaign server from Python without dependencies::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8642", api_key="team-a")
+    job = client.submit({"analysis": "coverage", "target": "fig2",
+                         "seed": 7, "smoke": True})
+    for record in client.watch(job["id"]):   # SSE, auto-reconnecting
+        print(record["event"], record.get("round_index"))
+    report = client.wait(job["id"])["report"]
+
+:meth:`ServeClient.watch` implements the client half of the SSE resume
+contract: it remembers the last ``id:`` it saw and reconnects with
+``Last-Event-ID``, so a dropped connection (or a server restart that
+resumed the job from its checkpoint) costs nothing — the replayed
+stream continues exactly where the old one stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+
+class ServeError(RuntimeError):
+    """An HTTP error from the server, with its status and JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` endpoint as one tenant."""
+
+    def __init__(
+        self,
+        base_url: str,
+        api_key: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        request = Request(
+            self.base_url + path,
+            method=method,
+            data=None if body is None else json.dumps(body).encode("utf-8"),
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        if self.api_key:
+            request.add_header("X-API-Key", self.api_key)
+        try:
+            with urlopen(request, timeout=timeout or self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServeError(exc.code, detail) from None
+
+    # -- job surface -------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one job payload; returns the accepted job rendering."""
+        return self._request("POST", "/v1/jobs", body=payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """DELETE the job; returns it with any salvaged partial report."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}", timeout=90.0)
+
+    # -- streaming ---------------------------------------------------------
+
+    def events(
+        self, job_id: str, last_event_id: Optional[int] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """One SSE connection's worth of event records, as dicts.
+
+        Yields every ``data:`` payload until the server closes the
+        stream (job finished) or the connection drops — the caller
+        (usually :meth:`watch`) handles reconnection.  Raises
+        :class:`ServeError` with status 416 when ``last_event_id``
+        points past the server's ring buffer.
+        """
+        request = Request(self.base_url + f"/v1/jobs/{job_id}/events")
+        if self.api_key:
+            request.add_header("X-API-Key", self.api_key)
+        if last_event_id is not None:
+            request.add_header("Last-Event-ID", str(last_event_id))
+        try:
+            # No read timeout: the server heartbeats idle streams, so
+            # a healthy connection is never silent for long — but a
+            # long round may be; rely on connect timeout + heartbeats.
+            with urlopen(request, timeout=None) as resp:
+                data_lines: List[str] = []
+                for raw in resp:
+                    line = raw.decode("utf-8").rstrip("\n")
+                    if line.startswith(":"):
+                        continue  # heartbeat comment
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].lstrip())
+                        continue
+                    if line == "" and data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+        except HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServeError(exc.code, detail) from None
+
+    def watch(
+        self,
+        job_id: str,
+        last_event_id: Optional[int] = None,
+        reconnect_delay: float = 0.5,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's events to completion, reconnecting as needed.
+
+        The auto-resuming consumer: tracks the last ``seq`` seen and
+        reconnects with ``Last-Event-ID`` on connection loss, so the
+        merged stream has no drops and no duplicates even across
+        server restarts.  Ends after the job's ``JobFinished`` record
+        (or immediately, when the job is already settled with its
+        event log gone — a job restored from the journal).
+        """
+        last_seen = -1 if last_event_id is None else last_event_id
+        while True:
+            finished = False
+            try:
+                for record in self.events(
+                    job_id, None if last_seen < 0 else last_seen
+                ):
+                    seq = record.get("seq")
+                    if seq is not None:
+                        last_seen = seq
+                    yield record
+                    if record.get("event") == "JobFinished":
+                        finished = True
+                # Clean close without JobFinished = restored/settled
+                # job whose in-memory log is gone; the job resource is
+                # the authority then.  A job can be *queued* mid-watch
+                # too (a resumed server re-dispatching it), so only a
+                # genuinely settled state ends the stream.
+                if finished:
+                    return
+                if self.job(job_id)["state"] not in ("queued", "running"):
+                    return
+            except (URLError, ConnectionError, TimeoutError):
+                pass  # server restarting; retry with Last-Event-ID
+            time.sleep(reconnect_delay)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; returns its final rendering."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] not in ("queued", "running"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']}")
+            time.sleep(poll)

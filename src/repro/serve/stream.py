@@ -1,0 +1,109 @@
+"""Per-job event logs: the SSE resume contract's data structure.
+
+Every scheduler job owns an :class:`EventLog` — a bounded ring buffer
+of serialized session events, each stamped with the job's monotonic
+``seq`` (counted from 0, :func:`repro.api.events.event_to_dict`).  The
+SSE handler replays ``seq > Last-Event-ID`` on reconnect and blocks on
+the log's condition for live delivery, so a client that reconnects
+with the last id it saw receives every event exactly once — no drops,
+no duplicates — as long as the gap fits the ring
+(:attr:`EventLog.first_seq` tells when it no longer does, which the
+server surfaces as HTTP 416 instead of silently skipping).
+
+The log closes itself when the job's terminal
+:class:`~repro.api.events.JobFinished` arrives; streaming readers
+drain and stop instead of blocking forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.api.events import JobFinished, SessionEvent, event_to_dict
+
+#: Default ring capacity (events per job).  A round contributes ~2
+#: events (+2 per crash-salvage cycle), so the default comfortably
+#: holds multi-thousand-round campaigns; ``repro serve --ring`` tunes
+#: it.
+DEFAULT_RING_CAPACITY = 4096
+
+
+class EventLog:
+    """Bounded, seekable, waitable per-job event buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self._entries: Deque[Tuple[int, Dict[str, Any]]] = deque()
+        self._capacity = capacity
+        self._cond = threading.Condition()
+        self._next_seq = 0
+        self._first_seq = 0
+        self._closed = False
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended event will get."""
+        return self._next_seq
+
+    @property
+    def first_seq(self) -> int:
+        """Oldest sequence number still held by the ring."""
+        return self._first_seq
+
+    @property
+    def closed(self) -> bool:
+        """True once the job's ``JobFinished`` has been logged."""
+        return self._closed
+
+    def append(self, event: SessionEvent) -> int:
+        """Log one typed event; returns its assigned ``seq``."""
+        with self._cond:
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            record = event_to_dict(event, seq=seq)
+            record["ts"] = time.time()
+            self._entries.append((seq, record))
+            if len(self._entries) > self._capacity:
+                self._entries.popleft()
+                self._first_seq = self._entries[0][0]
+            if isinstance(event, JobFinished):
+                self._closed = True
+            self._cond.notify_all()
+            return seq
+
+    def close(self) -> None:
+        """Force-close (server shutdown): wake and stop all readers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def truncated_after(self, last_seen: int) -> bool:
+        """True when events with ``seq > last_seen`` were evicted —
+        a reconnect from ``last_seen`` could no longer be lossless."""
+        with self._cond:
+            return last_seen + 1 < self._first_seq
+
+    def collect(
+        self,
+        last_seen: int = -1,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """``(records with seq > last_seen, log closed)``.
+
+        Blocks up to ``timeout`` seconds for new events when none are
+        pending and the log is still open; an empty list with
+        ``closed=False`` is a heartbeat opportunity, with
+        ``closed=True`` the end of the stream.
+        """
+        with self._cond:
+            if not self._pending(last_seen) and not self._closed:
+                self._cond.wait(timeout)
+            records = [record for seq, record in self._entries if seq > last_seen]
+            return records, self._closed
+
+    def _pending(self, last_seen: int) -> bool:
+        return bool(self._entries) and self._entries[-1][0] > last_seen

@@ -1,0 +1,117 @@
+"""Concurrent ``Session.submit`` from many threads: isolation + parity."""
+
+import threading
+
+from repro.api import EngineConfig, JobFinished, JobStarted, Session
+
+#: (analysis, target, options) — cheap, deterministic jobs.
+JOBS = [
+    ("coverage", "fig2", {"max_rounds": 2}),
+    ("overflow", "gsl-bessel", {"max_rounds": 2}),
+    ("boundary", "fig2", {"max_samples": 4}),
+    ("sat", "x < 1 && x + 1 >= 2", {"n_starts": 4}),
+]
+
+
+class TestConcurrentSubmit:
+    def test_submitting_threads_race_safely(self):
+        """N threads hammering submit() concurrently: every job runs,
+        every handle settles, job ids never collide."""
+        barrier = threading.Barrier(len(JOBS) * 2)
+        handles = []
+        lock = threading.Lock()
+        errors = []
+
+        def submitter(analysis, target, options):
+            try:
+                barrier.wait(timeout=30)
+                handle = session.submit(analysis, target, **options)
+                with lock:
+                    handles.append(handle)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                with lock:
+                    errors.append(exc)
+
+        with Session(EngineConfig(seed=9, n_workers=2)) as session:
+            threads = [
+                threading.Thread(target=submitter, args=job)
+                for job in JOBS * 2
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert len(handles) == len(JOBS) * 2
+            assert len({h.job_id for h in handles}) == len(handles)
+            for handle in handles:
+                handle.result(timeout=120)
+
+    def test_event_streams_stay_per_job(self):
+        """Interleaved jobs never leak events across job_id streams:
+        each stream is exactly one JobStarted .. JobFinished bracket
+        with every event naming its own job."""
+        events = []
+        lock = threading.Lock()
+
+        def on_event(event):
+            with lock:
+                events.append(event)
+
+        with Session(
+            EngineConfig(seed=9, n_workers=2), on_event=on_event
+        ) as session:
+            handles = [
+                session.submit(analysis, target, **options)
+                for analysis, target, options in JOBS
+            ]
+            reports = [h.result(timeout=120) for h in handles]
+        streams = {}
+        for event in events:
+            streams.setdefault(event.job_id, []).append(event)
+        assert set(streams) == {h.job_id for h in handles}
+        by_id = {h.job_id: h for h in handles}
+        for job_id, stream in streams.items():
+            assert isinstance(stream[0], JobStarted)
+            assert isinstance(stream[-1], JobFinished)
+            assert all(e.analysis == by_id[job_id].analysis for e in stream)
+        assert all(r is not None for r in reports)
+
+    def test_threaded_submission_matches_serial_verdicts(self):
+        """The same campaign, fanned out from racing threads, returns
+        the serial run's verdicts and representatives (determinism is
+        per-job, not per-submission-order)."""
+        serial = {}
+        with Session(EngineConfig(seed=9)) as session:
+            for analysis, target, options in JOBS:
+                serial[(analysis, target)] = session.run(
+                    analysis, target, **options
+                )
+
+        threaded = {}
+        lock = threading.Lock()
+
+        def run_job(analysis, target, options):
+            handle = session.submit(analysis, target, **options)
+            report = handle.result(timeout=120)
+            with lock:
+                threaded[(analysis, target)] = report
+
+        with Session(EngineConfig(seed=9, n_workers=2)) as session:
+            threads = [
+                threading.Thread(target=run_job, args=job) for job in JOBS
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+        assert set(threaded) == set(serial)
+        for key, want in serial.items():
+            got = threaded[key]
+            assert got.verdict == want.verdict, key
+            assert got.n_evals == want.n_evals, key
+            assert got.rounds == want.rounds, key
+            assert [f.label for f in got.findings] == [
+                f.label for f in want.findings
+            ], key

@@ -113,6 +113,58 @@ class TestResultStore:
         assert reloaded.get("d9", "boundary", "f1") is None
 
 
+class TestAutoCompaction:
+    def _count_lines(self, store):
+        return sum(1 for _ in store.path.open())
+
+    def test_stale_heavy_store_compacts_on_open(self, tmp_path):
+        from repro.scan.store import AUTO_COMPACT_MIN_LINES
+
+        store = ResultStore(tmp_path)
+        # Re-put the same few keys until the file is mostly stale.
+        for i in range(AUTO_COMPACT_MIN_LINES):
+            store.put(_record(digest=f"d{i % 4}", n_evals=i))
+        assert self._count_lines(store) == AUTO_COMPACT_MIN_LINES
+
+        reopened = ResultStore(tmp_path)
+        assert reopened.n_compacted == AUTO_COMPACT_MIN_LINES - 4
+        assert self._count_lines(reopened) == 4
+        # The surviving records are the last-written ones.
+        for i in range(4):
+            want = AUTO_COMPACT_MIN_LINES - 4 + i
+            assert (
+                reopened.get(f"d{i}", "boundary", "f1")["n_evals"] == want
+            )
+
+    def test_fresh_store_not_rewritten(self, tmp_path):
+        from repro.scan.store import AUTO_COMPACT_MIN_LINES
+
+        store = ResultStore(tmp_path)
+        for i in range(AUTO_COMPACT_MIN_LINES):
+            store.put(_record(digest=f"d{i}"))  # all distinct: 0 stale
+        reopened = ResultStore(tmp_path)
+        assert reopened.n_compacted == 0
+        assert self._count_lines(reopened) == AUTO_COMPACT_MIN_LINES
+
+    def test_small_store_never_auto_compacts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(10):
+            store.put(_record(n_evals=i))  # one key, 90% stale lines
+        reopened = ResultStore(tmp_path)
+        assert reopened.n_compacted == 0
+        assert self._count_lines(reopened) == 10
+
+    def test_opt_out(self, tmp_path):
+        from repro.scan.store import AUTO_COMPACT_MIN_LINES
+
+        store = ResultStore(tmp_path)
+        for i in range(AUTO_COMPACT_MIN_LINES):
+            store.put(_record(n_evals=i))
+        reopened = ResultStore(tmp_path, auto_compact_ratio=None)
+        assert reopened.n_compacted == 0
+        assert self._count_lines(reopened) == AUTO_COMPACT_MIN_LINES
+
+
 class TestBaseline:
     def test_missing_file_is_empty(self, tmp_path):
         assert len(Baseline.load(tmp_path).keys) == 0

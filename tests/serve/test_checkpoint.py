@@ -1,0 +1,83 @@
+"""CheckpointJournal: durable, torn-line-tolerant round persistence."""
+
+from repro.core.parallel import MultiStartOutcome
+from repro.serve import CheckpointJournal
+from repro.serve.wire import normalize_job_payload, payload_fingerprint
+
+
+def outcome(n_evals=10, labels=None):
+    return MultiStartOutcome(
+        attempts=[],
+        n_evals=n_evals,
+        label_sets={"B": set(labels or ())},
+        samples=[],
+    )
+
+
+PAYLOAD = normalize_job_payload(
+    {"analysis": "coverage", "target": "fig2", "seed": 7}
+)
+
+
+class TestRoundTrip:
+    def test_job_rounds_done_round_trip(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "store")
+        journal.record_job("j0", "team-a", PAYLOAD)
+        journal.record_round("j0", 0, outcome(10, ["b1:T"]))
+        journal.record_round("j0", 1, outcome(20, ["b1:F"]))
+        journal.record_done("j0", "done", report={"verdict": "found"})
+
+        jobs = CheckpointJournal(tmp_path / "store").load()
+        assert list(jobs) == ["j0"]
+        entry = jobs["j0"]
+        assert entry.tenant == "team-a"
+        assert entry.payload == PAYLOAD
+        assert entry.fingerprint == payload_fingerprint(PAYLOAD)
+        assert entry.settled and entry.state == "done"
+        assert entry.report == {"verdict": "found"}
+        decoded = entry.outcomes()
+        assert [o.n_evals for o in decoded] == [10, 20]
+        assert decoded[0].label_sets == {"B": {"b1:T"}}
+
+    def test_unsettled_job_left_resumable(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "store")
+        journal.record_job("j1", "team-a", PAYLOAD)
+        journal.record_round("j1", 0, outcome())
+        entry = journal.load()["j1"]
+        assert not entry.settled
+        assert len(entry.outcomes()) == 1
+
+    def test_submission_order_preserved(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "store")
+        for i in range(4):
+            journal.record_job(f"j{i}", "t", PAYLOAD)
+        assert list(journal.load()) == ["j0", "j1", "j2", "j3"]
+
+
+class TestCorruptionTolerance:
+    def test_torn_final_line_skipped(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "store")
+        journal.record_job("j0", "t", PAYLOAD)
+        journal.record_round("j0", 0, outcome(10))
+        with journal.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"type": "round", "job_id": "j0", "round_')  # kill -9
+        entry = journal.load()["j0"]
+        assert [o.n_evals for o in entry.outcomes()] == [10]
+        assert not entry.settled
+
+    def test_orphan_records_ignored(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "store")
+        journal.record_round("ghost", 0, outcome())
+        journal.record_done("ghost", "done")
+        assert journal.load() == {}
+
+    def test_round_gap_truncates_replayable_prefix(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "store")
+        journal.record_job("j0", "t", PAYLOAD)
+        journal.record_round("j0", 0, outcome(10))
+        journal.record_round("j0", 2, outcome(30))  # round 1 missing
+        entry = journal.load()["j0"]
+        assert [o.n_evals for o in entry.outcomes()] == [10]
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "nowhere").load() == {}

@@ -1,0 +1,150 @@
+"""The acceptance test: kill -9 a live server, ``--resume``, bit-parity.
+
+A real ``repro serve`` subprocess is SIGKILLed mid-campaign — no
+atexit, no flush-on-shutdown, nothing but the journal's per-record
+flushes — then restarted with ``--resume``.  The resumed job must
+finish under its original id with a report bit-identical (verdict,
+findings, representatives, per-round trace, n_evals) to an
+uninterrupted run of the same payload.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import CheckpointJournal, ServeClient
+
+#: ~12 rounds x ~0.2s on 2 workers: slow enough that SIGKILL lands
+#: mid-campaign, fast enough for the tier-1 suite.
+PAYLOAD = {
+    "analysis": "overflow",
+    "target": "gsl-bessel",
+    "seed": 3,
+    "niter": 30,
+    "rounds": 12,
+    "starts": 4,
+}
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def start_server(store: Path, resume: bool = False, port: int = 0) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", str(port), "--workers", "2", "--store", str(store),
+    ]
+    if resume:
+        argv.append("--resume")
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert "listening on" in line, f"server failed to start: {line!r}"
+    url = line.rsplit(" ", 1)[-1].strip()
+    return proc, ServeClient(url)
+
+
+def stop(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=30)
+    proc.stdout.close()
+
+
+@pytest.fixture
+def reference(tmp_path):
+    """The uninterrupted run's report, via its own server."""
+    proc, client = start_server(tmp_path / "ref-store")
+    try:
+        job = client.submit(PAYLOAD)
+        return client.wait(job["id"], timeout=300)["report"]
+    finally:
+        stop(proc)
+
+
+def test_kill9_then_resume_is_bit_identical(tmp_path, reference):
+    store = tmp_path / "store"
+    journal = CheckpointJournal(store)
+
+    proc, client = start_server(store)
+    port = int(client.base_url.rsplit(":", 1)[-1])
+    job_id = None
+    try:
+        job_id = client.submit(PAYLOAD)["id"]
+        # Wait for >= 2 checkpointed rounds, then SIGKILL: the process
+        # dies with the campaign genuinely mid-flight.
+        deadline = time.monotonic() + 120
+        while True:
+            entry = journal.load().get(job_id)
+            if entry is not None and len(entry.rounds) >= 2:
+                break
+            assert time.monotonic() < deadline, "no checkpoint appeared"
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        stop(proc)
+
+    crashed = journal.load()[job_id]
+    assert not crashed.settled, "SIGKILL landed after completion; " \
+        "budget too small to catch the campaign mid-flight"
+    n_checkpointed = len(crashed.outcomes())
+    assert 0 < n_checkpointed < reference["rounds"]
+
+    # Resume on the SAME port, like a real deploy restart: the killed
+    # server's orphaned pool workers hold fork-inherited copies of its
+    # listening socket until their parent-death watchdogs fire, and
+    # --resume's bind retry must ride that out.
+    proc, client = start_server(store, resume=True, port=port)
+    try:
+        resumed = client.wait(job_id, timeout=300)
+        assert resumed["state"] == "done"
+        assert resumed["n_resumed_rounds"] == n_checkpointed
+        report = resumed["report"]
+        # Bit-identical to the run that was never interrupted:
+        assert report["verdict"] == reference["verdict"]
+        assert report["n_evals"] == reference["n_evals"]
+        assert report["rounds"] == reference["rounds"]
+        assert report["trace"] == reference["trace"]
+        assert report["findings"] == reference["findings"]
+        assert report["seed"] == reference["seed"]
+        assert report["n_crash_retries"] == reference["n_crash_retries"]
+    finally:
+        stop(proc)
+
+
+def test_kill9_journal_tail_is_tolerated(tmp_path):
+    """Even a journal with a torn final line (the record being written
+    when SIGKILL landed) resumes cleanly."""
+    store = tmp_path / "store"
+    proc, client = start_server(store)
+    journal = CheckpointJournal(store)
+    try:
+        job_id = client.submit(PAYLOAD)["id"]
+        while True:
+            entry = journal.load().get(job_id)
+            if entry is not None and len(entry.rounds) >= 1:
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        stop(proc)
+    # Simulate the torn write SIGKILL can leave behind.
+    with journal.path.open("a", encoding="utf-8") as fh:
+        fh.write('{"type": "round", "job_id": "' + job_id + '", "rou')
+
+    proc, client = start_server(store, resume=True)
+    try:
+        resumed = client.wait(job_id, timeout=300)
+        assert resumed["state"] == "done"
+        assert resumed["report"]["verdict"] in ("found", "partial",
+                                                "not-found")
+    finally:
+        stop(proc)

@@ -1,0 +1,110 @@
+"""EventLog: the lossless Last-Event-ID resume contract, in memory."""
+
+import threading
+
+from repro.api.events import JobFinished, JobStarted, RoundFinished
+from repro.serve import EventLog
+
+
+def started(i=0):
+    return JobStarted(job_id=i, analysis="coverage", target="fig2")
+
+
+def finished(i=0):
+    return JobFinished(
+        job_id=i, analysis="coverage", target="fig2",
+        verdict="found", rounds=1, n_evals=10, elapsed_seconds=0.1,
+    )
+
+
+def round_done(index):
+    return RoundFinished(
+        job_id=0, analysis="coverage", target="fig2",
+        round_index=index, n_evals=5, best_w=0.5, found_zero=False,
+    )
+
+
+class TestSequencing:
+    def test_seq_counts_from_zero(self):
+        log = EventLog()
+        assert [log.append(round_done(i)) for i in range(3)] == [0, 1, 2]
+        assert log.next_seq == 3
+
+    def test_collect_replays_strictly_after_last_seen(self):
+        log = EventLog()
+        for i in range(5):
+            log.append(round_done(i))
+        records, closed = log.collect(last_seen=1, timeout=0)
+        assert [r["seq"] for r in records] == [2, 3, 4]
+        assert not closed
+        # Replaying twice from the same position yields the same
+        # events — reconnects never duplicate or drop.
+        again, _ = log.collect(last_seen=1, timeout=0)
+        assert [r["seq"] for r in again] == [2, 3, 4]
+
+    def test_records_carry_event_payload(self):
+        log = EventLog()
+        log.append(round_done(7))
+        record = log.collect(timeout=0)[0][0]
+        assert record["event"] == "RoundFinished"
+        assert record["round_index"] == 7
+        assert record["seq"] == 0
+        assert "ts" in record and "schema_version" in record
+
+
+class TestRing:
+    def test_eviction_moves_first_seq(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.append(round_done(i))
+        assert log.first_seq == 2
+        records, _ = log.collect(last_seen=-1, timeout=0)
+        assert [r["seq"] for r in records] == [2, 3, 4]
+
+    def test_truncated_after_detects_lost_gap(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.append(round_done(i))  # ring now holds seq 2..4
+        assert log.truncated_after(0)   # seq 1 is gone -> lossy
+        assert not log.truncated_after(1)  # next needed (2) is held
+        assert not log.truncated_after(4)
+        assert not log.truncated_after(10)  # ahead of the stream: fine
+
+
+class TestLifecycle:
+    def test_job_finished_closes(self):
+        log = EventLog()
+        log.append(started())
+        assert not log.closed
+        log.append(finished())
+        assert log.closed
+        records, closed = log.collect(timeout=0)
+        assert closed and len(records) == 2
+
+    def test_close_wakes_blocked_reader(self):
+        log = EventLog()
+        got = {}
+
+        def reader():
+            got["result"] = log.collect(last_seen=-1, timeout=30)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        log.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert got["result"] == ([], True)
+
+    def test_append_wakes_blocked_reader(self):
+        log = EventLog()
+        got = {}
+
+        def reader():
+            got["records"], _ = log.collect(last_seen=-1, timeout=30)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        log.append(started())
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert [r["seq"] for r in got["records"]] == [0]

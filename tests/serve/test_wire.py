@@ -1,0 +1,121 @@
+"""Wire-schema validation: strict in, versioned out."""
+
+import pytest
+
+from repro.core.batch import job_request
+from repro.serve import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    normalize_job_payload,
+    parse_job_payload,
+    payload_fingerprint,
+    payload_to_batch_job,
+    report_to_dict,
+)
+
+
+def payload(**extra):
+    base = {"analysis": "coverage", "target": "fig2"}
+    base.update(extra)
+    return base
+
+
+class TestValidation:
+    def test_minimal_payload_normalizes(self):
+        assert normalize_job_payload(payload()) == {
+            "analysis": "coverage",
+            "target": "fig2",
+        }
+
+    def test_analysis_aliases_canonicalize(self):
+        # 'fpod' is the historical alias for overflow detection.
+        assert normalize_job_payload(payload(analysis="fpod"))[
+            "analysis"
+        ] == "overflow"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a dict",
+            payload(bogus=1),
+            payload(analysis=""),
+            payload(analysis="no-such-analysis"),
+            payload(target=""),
+            payload(seed="seven"),
+            payload(seed=True),  # bool is not an int on the wire
+            payload(niter=1.5),
+            payload(smoke="yes"),
+            payload(backend="no-such-backend"),
+            payload(eval_mode="quantum"),
+            payload(label=7),
+        ],
+        ids=lambda b: str(b)[:40],
+    )
+    def test_bad_payloads_rejected(self, bad):
+        with pytest.raises(WireError):
+            normalize_job_payload(bad)
+
+    def test_unknown_field_error_names_the_field(self):
+        with pytest.raises(WireError, match="bogus"):
+            normalize_job_payload(payload(bogus=1))
+
+    def test_none_knobs_drop_out_of_canonical_form(self):
+        a = normalize_job_payload(payload(seed=None, niter=None))
+        b = normalize_job_payload(payload())
+        assert a == b
+        assert payload_fingerprint(a) == payload_fingerprint(b)
+
+    def test_fingerprint_keys_on_content(self):
+        a = payload_fingerprint(normalize_job_payload(payload(seed=1)))
+        b = payload_fingerprint(normalize_job_payload(payload(seed=2)))
+        assert a != b
+
+
+class TestTranslation:
+    def test_knobs_reach_job_request_unchanged(self):
+        normalized = normalize_job_payload(
+            payload(
+                analysis="overflow",
+                target="gsl-bessel",
+                seed=3,
+                niter=8,
+                rounds=4,
+                starts=6,
+                racing=True,
+            )
+        )
+        job = payload_to_batch_job(normalized)
+        assert job.seed == 3
+        params = dict(job.params)
+        assert params["niter"] == 8
+        assert params["rounds"] == 4
+        assert params["n_starts"] == 6  # wire 'starts' -> param 'n_starts'
+        assert params["racing"] is True
+        # And the one shared translator accepts it.
+        request = job_request(job)
+        assert request.config.seed == 3
+        assert request.config.n_starts == 6
+        assert request.config.deterministic is False
+
+    def test_smoke_budget_translates(self):
+        _, job = parse_job_payload(payload(smoke=True))
+        request = job_request(job)
+        assert request.config.max_rounds is not None
+
+
+class TestRenderings:
+    def test_report_to_dict_carries_parity_fields(self):
+        from repro.api import EngineConfig, Session
+
+        with Session(EngineConfig(seed=7)) as session:
+            report = session.run("coverage", "fig2", max_rounds=2)
+        rendered = report_to_dict(report)
+        assert rendered["schema_version"] == WIRE_SCHEMA_VERSION
+        assert rendered["verdict"] == report.verdict
+        assert rendered["n_evals"] == report.n_evals
+        assert len(rendered["trace"]) == report.rounds
+        assert [f["label"] for f in rendered["findings"]] == [
+            f.label for f in report.findings
+        ]
+        for finding in rendered["findings"]:
+            assert finding["x"] is None or isinstance(finding["x"], list)
