@@ -1,0 +1,36 @@
+/* A crude Airy Ai approximation in the cfront C subset.
+ *
+ *     python -m repro run overflow --target examples/c/airy.c::airy_ai_approx
+ *
+ * Near zero: the Maclaurin pair f/g with the standard Ai(0), Ai'(0)
+ * coefficients.  Away from zero: the leading asymptotic envelope,
+ * selected by a ternary on the sign of x.  Exercises #define
+ * constants (including a negative one), a for loop, pow/exp/sin.
+ *
+ * Python twin: examples/gsl_twins.py (same names, same shapes).
+ */
+
+#include <math.h>
+
+#define AI0 0.35502805388781723926
+#define AIP0 -0.25881940379280679840
+#define SQRT_PI 1.77245385090551602730
+
+double airy_ai_approx(double x) {
+    double ax = fabs(x);
+    if (ax < 2.0) {
+        double f = 1.0;
+        double g = x;
+        double sum = AI0 * f + AIP0 * g;
+        for (double k = 1.0; k <= 8.0; k += 1.0) {
+            f = f * x * x * x / ((3.0 * k) * (3.0 * k - 1.0));
+            g = g * x * x * x / ((3.0 * k) * (3.0 * k + 1.0));
+            sum = sum + AI0 * f + AIP0 * g;
+        }
+        return sum;
+    }
+    double t = 2.0 / 3.0 * ax * sqrt(ax);
+    return x > 0.0
+        ? 0.5 * exp(-t) / (SQRT_PI * pow(ax, 0.25))
+        : sin(t + 0.78539816339744830962) / (SQRT_PI * pow(ax, 0.25));
+}

@@ -1,0 +1,38 @@
+/* A GSL-flavoured Bessel J0 approximation in the cfront C subset.
+ *
+ *     python -m repro run boundary --target examples/c/bessel.c::gsl_sf_bessel_J0_approx
+ *
+ * Small |x|: truncated power series  sum_k (-1)^k (x^2/4)^k / (k!)^2.
+ * Large |x|: leading asymptotic form sqrt(2/(pi x)) cos(x - pi/4).
+ * The truncation and the crude phase make boundary/path findings easy
+ * to reach — this is a *target*, not a good Bessel function.
+ *
+ * Python twin (identical names and expression shapes, hence identical
+ * lowered FPIR): examples/gsl_twins.py.
+ */
+
+#include <math.h>
+
+#define PI_OVER_4 0.78539816339744830962
+
+static double series_j0(double x) {
+    double q = x * x / 4.0;
+    double term = 1.0;
+    double sum = 1.0;
+    for (double k = 1.0; k <= 6.0; k += 1.0) {
+        term = -term * q / (k * k);
+        sum = sum + term;
+    }
+    return sum;
+}
+
+double gsl_sf_bessel_J0_approx(double x) {
+    double ax = fabs(x);
+    if (ax < 8.0) {
+        return series_j0(ax);
+    }
+    double z = 8.0 / ax;
+    double p = 1.0 - 0.1098628627e-2 * z * z;
+    double phase = ax - PI_OVER_4;
+    return sqrt(2.0 / (3.141592653589793 * ax)) * p * cos(phase);
+}

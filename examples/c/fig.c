@@ -1,0 +1,51 @@
+/* The paper's Figure 1 and Figure 2 programs, as plain C.
+ *
+ * Each function is a complete analysis target for the C frontend:
+ *
+ *     python -m repro run boundary --target examples/c/fig.c::fig2
+ *
+ * These are the C twins of examples/python_targets.py: written with
+ * the same variable names and expression shapes, they lower to
+ * FPIR dataclass-equal to the Python versions, so every analysis
+ * produces identical verdicts, representatives, and samples — the
+ * differential-parity property tests/cfront/test_parity.py asserts.
+ */
+
+#include <math.h>
+
+/* Fig. 1(a): the assertion `x + 1 < 2` fails inside `if (x < 1)`.
+ * Assertion failure is modelled as a flag the entry returns. */
+double fig1a(double x) {
+    double violated = 0.0;
+    if (x < 1.0) {
+        x = x + 1.0;
+        if (x >= 2.0) {
+            violated = 1.0;
+        }
+    }
+    return violated;
+}
+
+/* Fig. 1(b): the `x + tan(x)` variant that defeats SMT solvers. */
+double fig1b(double x) {
+    double violated = 0.0;
+    if (x < 1.0) {
+        x = x + tan(x);
+        if (x >= 2.0) {
+            violated = 1.0;
+        }
+    }
+    return violated;
+}
+
+/* Fig. 2, the paper's running example (Section 4). */
+double fig2(double x) {
+    if (x <= 1.0) {
+        x = x + 1.0;
+    }
+    double y = x * x;
+    if (y <= 4.0) {
+        x = x - 1.0;
+    }
+    return x;
+}

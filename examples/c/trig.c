@@ -1,0 +1,41 @@
+/* Range-reduced polynomial sine — the classic libm kernel shape.
+ *
+ *     python -m repro run path --target examples/c/trig.c::sin_poly_folded
+ *
+ * fold() reduces the argument into [0, 2pi) with fmod (C99 quiet-NaN
+ * semantics: the registered `fmod` external, not Python's raising
+ * math.fmod); the entry folds into the first quadrant and evaluates
+ * an odd Maclaurin polynomial.  The catastrophic cancellation of
+ * naive range reduction at large |x| is the findable behaviour.
+ *
+ * Python twin: examples/gsl_twins.py (same names, same shapes).
+ */
+
+#include <math.h>
+
+#define PI 3.14159265358979323846
+#define TWO_PI 6.28318530717958647692
+
+static double fold(double x) {
+    double r = fmod(x, TWO_PI);
+    if (r < 0.0) {
+        r = r + TWO_PI;
+    }
+    return r;
+}
+
+double sin_poly_folded(double x) {
+    double r = fold(x);
+    double sign = 1.0;
+    if (r > PI) {
+        r = r - PI;
+        sign = -1.0;
+    }
+    if (r > PI / 2.0) {
+        r = PI - r;
+    }
+    double r2 = r * r;
+    double p = r - r * r2 / 6.0 + r * r2 * r2 / 120.0
+        - r * r2 * r2 * r2 / 5040.0;
+    return sign * p;
+}

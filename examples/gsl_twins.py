@@ -1,0 +1,103 @@
+"""Python twins of the vendored C kernels under ``examples/c/``.
+
+Every function here mirrors its C original *shape for shape*: same
+function names, same variable names, same expression structure.  FPIR
+labels derive deterministically from program structure, so the C
+lowering (:mod:`repro.cfront`) and the Python lowering
+(:mod:`repro.fpir.frontend`) of each pair are dataclass-equal — and
+therefore every analysis produces identical verdicts, representatives,
+and samples for both.  ``tests/cfront/test_parity.py`` asserts exactly
+that, across analyses, worker pools, and eval modes.
+
+Pairings (C original → twin here):
+
+* ``examples/c/bessel.c::gsl_sf_bessel_J0_approx`` → same name below
+  (helper ``series_j0``; the C ``for`` desugars to the ``while``
+  written here);
+* ``examples/c/airy.c::airy_ai_approx`` → same name below;
+* ``examples/c/trig.c::sin_poly_folded`` → same name below (C
+  ``fmod(x, TWO_PI)`` is ``math.fmod`` here — both lower to the
+  ``fmod`` external with C99 quiet-NaN semantics);
+* ``examples/c/fig.c`` twins live in ``examples/python_targets.py``
+  (``fig1a``/``fig1b``/``fig2``), predating this file.
+"""
+
+import math
+
+PI_OVER_4 = 0.78539816339744830962
+
+AI0 = 0.35502805388781723926
+AIP0 = -0.25881940379280679840
+SQRT_PI = 1.77245385090551602730
+
+PI = 3.14159265358979323846
+TWO_PI = 6.28318530717958647692
+
+
+def series_j0(x):
+    q = x * x / 4.0
+    term = 1.0
+    sum = 1.0
+    k = 1.0
+    while k <= 6.0:
+        term = -term * q / (k * k)
+        sum = sum + term
+        k = k + 1.0
+    return sum
+
+
+def gsl_sf_bessel_J0_approx(x):
+    ax = math.fabs(x)
+    if ax < 8.0:
+        return series_j0(ax)
+    z = 8.0 / ax
+    p = 1.0 - 0.1098628627e-2 * z * z
+    phase = ax - PI_OVER_4
+    return math.sqrt(2.0 / (3.141592653589793 * ax)) * p * math.cos(phase)
+
+
+def airy_ai_approx(x):
+    ax = math.fabs(x)
+    if ax < 2.0:
+        f = 1.0
+        g = x
+        sum = AI0 * f + AIP0 * g
+        k = 1.0
+        while k <= 8.0:
+            f = f * x * x * x / ((3.0 * k) * (3.0 * k - 1.0))
+            g = g * x * x * x / ((3.0 * k) * (3.0 * k + 1.0))
+            sum = sum + AI0 * f + AIP0 * g
+            k = k + 1.0
+        return sum
+    t = 2.0 / 3.0 * ax * math.sqrt(ax)
+    return (
+        0.5 * math.exp(-t) / (SQRT_PI * math.pow(ax, 0.25))
+        if x > 0.0
+        else math.sin(t + 0.78539816339744830962)
+        / (SQRT_PI * math.pow(ax, 0.25))
+    )
+
+
+def fold(x):
+    r = math.fmod(x, TWO_PI)
+    if r < 0.0:
+        r = r + TWO_PI
+    return r
+
+
+def sin_poly_folded(x):
+    r = fold(x)
+    sign = 1.0
+    if r > PI:
+        r = r - PI
+        sign = -1.0
+    if r > PI / 2.0:
+        r = PI - r
+    r2 = r * r
+    p = (
+        r
+        - r * r2 / 6.0
+        + r * r2 * r2 / 120.0
+        - r * r2 * r2 * r2 / 5040.0
+    )
+    return sign * p

@@ -53,6 +53,7 @@ from repro.api.report import (
 )
 from repro.api.session import JobHandle, JobRequest, Session
 from repro.api.targets import (
+    CTarget,
     FormulaTarget,
     ProgramTarget,
     PythonTarget,
@@ -66,6 +67,7 @@ from repro.api.targets import (
 __all__ = [
     "Analysis",
     "AnalysisReport",
+    "CTarget",
     "EVENT_SCHEMA_VERSION",
     "Engine",
     "EngineConfig",

@@ -11,6 +11,8 @@ makes the program under analysis a value:
 * :class:`PythonTarget` — any Python callable, ``pkg.mod:function``
   import spec, or ``file.py::function`` path spec, lowered through the
   Python→FPIR frontend (:mod:`repro.fpir.frontend`);
+* :class:`CTarget` — a ``file.c::function`` path spec, lowered through
+  the C frontend (:mod:`repro.cfront`);
 * :class:`FormulaTarget` — a QF-FP constraint string or parsed
   :class:`~repro.sat.formula.Formula` (the SAT instance).
 
@@ -21,8 +23,12 @@ kind.  Spec-string grammar::
 
     fig2                        suite-registry program name
     examples/targets.py::fn     Python file  ::  function
+    examples/c/bessel.c::fn     C file  ::  function
     mypkg.models:price          importable module : function
     "x < 1 && x + 1 >= 2"       constraint text (formula targets)
+
+``::`` specs dispatch on the file suffix: ``.c`` files go through the
+C frontend, everything else through the Python frontend.
 """
 
 from __future__ import annotations
@@ -202,6 +208,39 @@ class PythonTarget(Target):
 
 
 @dataclasses.dataclass
+class CTarget(Target):
+    """A C function lowered to FPIR on first resolution.
+
+    The resolver behind ``file.c::function`` specs: the file goes
+    through :mod:`repro.cfront` (lexer → parser → lowering →
+    validation), producing the same FPIR the Python frontend emits for
+    an equivalently-shaped Python function.  Lowering errors are
+    located :class:`~repro.cfront.CFrontendError` diagnostics, which
+    subclass the Python frontend's ``FrontendError`` so every existing
+    catch site admits them unchanged.
+    """
+
+    path: str
+    entry: str
+
+    def __post_init__(self) -> None:
+        if not self.path or not self.entry:
+            raise TargetError("CTarget needs both path= and entry=")
+
+    def _build(self) -> Program:
+        from repro.cfront import lower_c_file
+
+        return lower_c_file(self.path, self.entry)
+
+    def check(self) -> None:
+        """Fail fast: fully lower the file (cheap, cached on self)."""
+        self.resolve()
+
+    def describe(self) -> str:
+        return f"{self.path}::{self.entry}"
+
+
+@dataclasses.dataclass
 class FormulaTarget(Target):
     """A QF-FP constraint for the SAT instance."""
 
@@ -227,20 +266,30 @@ class FormulaTarget(Target):
         return str(self.formula)
 
 
-#: ``file.py::fn`` targets memoized by (abspath, entry, mtime), so the
-#: many jobs of a campaign that all name one file share one lowered
-#: Program.  An edited file gets a new mtime, hence a fresh instance.
-_FILE_TARGET_CACHE: Dict[Tuple[str, str, float], PythonTarget] = {}
+#: ``file.py::fn`` / ``file.c::fn`` targets memoized by (abspath,
+#: entry, mtime), so the many jobs of a campaign that all name one
+#: file share one lowered Program.  An edited file gets a new mtime,
+#: hence a fresh instance.
+_FILE_TARGET_CACHE: Dict[Tuple[str, str, float], Target] = {}
 _FILE_TARGET_CACHE_MAX = 128
 
 
-def file_target(path: str, entry: str) -> PythonTarget:
-    """The memoized ``file.py::fn`` target for ``path``/``entry``.
+def _fresh_file_target(path: str, entry: str) -> Target:
+    """An uncached file target, dispatched on the file suffix."""
+    if path.endswith(".c"):
+        return CTarget(path=path, entry=entry)
+    return PythonTarget(path=path, entry=entry)
 
-    Keyed by ``(abspath, entry, mtime)``: editing the file bumps its
-    mtime, so the next call returns a *fresh* instance that re-reads
-    and re-lowers the source — the invalidation the batch driver and
-    the project scanner (:mod:`repro.scan`) both rely on.
+
+def file_target(path: str, entry: str) -> Target:
+    """The memoized ``file::fn`` target for ``path``/``entry``.
+
+    Dispatches on the suffix — ``.c`` files produce a :class:`CTarget`
+    (C frontend), everything else a :class:`PythonTarget` — then
+    memoizes by ``(abspath, entry, mtime)``: editing the file bumps
+    its mtime, so the next call returns a *fresh* instance that
+    re-reads and re-lowers the source — the invalidation the batch
+    driver and the project scanner (:mod:`repro.scan`) both rely on.
 
     **Caveat — mtime resolution.**  An edit landing within the same
     filesystem timestamp tick as the cached read (common on coarse
@@ -248,20 +297,20 @@ def file_target(path: str, entry: str) -> PythonTarget:
     an identical key and replays the stale lowered program.  Callers
     that rewrite files programmatically and need the fresh lowering in
     the same tick should bump the mtime explicitly (``os.utime``) or
-    construct ``PythonTarget(path=..., entry=...)`` directly, which
-    never consults this cache.
+    construct ``PythonTarget``/``CTarget`` directly, which never
+    consults this cache.
     """
     try:
         mtime = os.path.getmtime(path)
     except OSError:
         # Missing file: an uncached instance whose resolve() reports it.
-        return PythonTarget(path=path, entry=entry)
+        return _fresh_file_target(path, entry)
     key = (os.path.abspath(path), entry, mtime)
     target = _FILE_TARGET_CACHE.get(key)
     if target is None:
         if len(_FILE_TARGET_CACHE) >= _FILE_TARGET_CACHE_MAX:
             _FILE_TARGET_CACHE.clear()
-        target = PythonTarget(path=path, entry=entry)
+        target = _fresh_file_target(path, entry)
         _FILE_TARGET_CACHE[key] = target
     return target
 
@@ -292,19 +341,26 @@ def _module_target(module: str, entry: str) -> PythonTarget:
 def parse_target_spec(spec: str, kind: str = PROGRAM_KIND) -> Target:
     """Turn a CLI/batch spec string into a :class:`Target`.
 
-    ``file.py::fn`` and ``pkg.mod:fn`` are Python-frontend targets for
-    either kind; any other string is a suite program name for
-    program-kind analyses and constraint text for formula-kind ones.
+    ``file.py::fn``, ``file.c::fn`` and ``pkg.mod:fn`` are frontend
+    targets (Python or C by file suffix); any other string is a suite
+    program name for program-kind analyses and constraint text for
+    formula-kind ones.
     """
     if "::" in spec or _looks_like_module_spec(spec):
         if kind == FORMULA_KIND:
             raise TargetError(
-                f"{spec!r} is a Python-function spec, but this analysis "
+                f"{spec!r} is a function spec, but this analysis "
                 "takes constraint text (a formula), not a program"
             )
+        if "::" in spec:
+            path, _, entry = spec.partition("::")
+            if not path or not entry:
+                raise TargetError(
+                    f"malformed file target {spec!r}; expected "
+                    "file.py::function or file.c::function"
+                )
+            return _file_target(path, entry)
         target = PythonTarget.from_spec(spec)
-        if target.path is not None:
-            return _file_target(target.path, target.entry)
         return _module_target(target.module, target.entry)
     if kind == FORMULA_KIND:
         return FormulaTarget(source=spec)

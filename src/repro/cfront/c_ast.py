@@ -1,0 +1,204 @@
+"""AST for the floats-first C subset.
+
+Deliberately tiny: everything is a ``double`` expression or a
+structured statement, mirroring what FPIR can represent.  Every node
+carries its 1-based ``line`` and 0-based ``col`` so the lowerer can
+issue located diagnostics without re-tokenizing.
+
+The translation unit is *tolerant*: functions whose signature falls
+outside the subset (pointer params, non-double return, varargs) are
+recorded as :class:`CSkipped` rather than failing the file, and
+functions whose signature is fine but whose *body* does not parse are
+recorded as :class:`CBroken` holding the located error.  Lowering a
+skipped/broken function (directly or via a call chain) re-raises the
+stored diagnostic; the scan classifier turns it into a skip reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.cfront.errors import CFrontendError
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CNum:
+    value: float
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CName:
+    name: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CUnary:
+    op: str  # "-" | "+" | "!"
+    operand: "CExpr"
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CBinary:
+    op: str  # + - * / % < <= > >= == != && ||
+    lhs: "CExpr"
+    rhs: "CExpr"
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CCond:
+    cond: "CExpr"
+    then: "CExpr"
+    orelse: "CExpr"
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CCall:
+    name: str
+    args: List["CExpr"]
+    line: int
+    col: int
+
+
+CExpr = Union[CNum, CName, CUnary, CBinary, CCond, CCall]
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CDecl:
+    """``double name = init;`` (``init`` may be None)."""
+
+    name: str
+    init: Optional[CExpr]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CAssign:
+    """``name op= value`` — op is "=", "+=", "-=", "*=", "/=", "%="."""
+
+    name: str
+    op: str
+    value: CExpr
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CIf:
+    cond: CExpr
+    then: List["CStmt"]
+    orelse: List["CStmt"]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CWhile:
+    cond: CExpr
+    body: List["CStmt"]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CFor:
+    """``for (init; cond; update) body`` — cond None means ``1``."""
+
+    init: List["CStmt"]
+    cond: Optional[CExpr]
+    update: List["CStmt"]
+    body: List["CStmt"]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CReturn:
+    value: CExpr
+    line: int
+    col: int
+
+
+CStmt = Union[CDecl, CAssign, CIf, CWhile, CFor, CReturn]
+
+
+# --------------------------------------------------------------------------
+# translation unit
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CParam:
+    name: str
+    line: int
+    col: int
+
+
+@dataclass
+class CFunction:
+    """A function definition whose signature is in the subset."""
+
+    name: str
+    params: List[CParam]
+    body: List[CStmt]
+    line: int
+    col: int
+
+
+@dataclass
+class CSkipped:
+    """A definition whose *signature* is outside the subset."""
+
+    name: str
+    line: int
+    col: int
+    reason: str
+
+
+@dataclass
+class CBroken:
+    """A double-signature definition whose *body* failed to parse."""
+
+    name: str
+    line: int
+    col: int
+    error: CFrontendError
+
+
+@dataclass
+class CUnit:
+    """One parsed ``.c`` file."""
+
+    filename: str
+    functions: Dict[str, CFunction] = field(default_factory=dict)
+    skipped: Dict[str, CSkipped] = field(default_factory=dict)
+    broken: Dict[str, CBroken] = field(default_factory=dict)
+    #: declaration-only prototypes: name -> arity
+    prototypes: Dict[str, int] = field(default_factory=dict)
+    #: file-level double constants: #define + const double globals
+    constants: Dict[str, float] = field(default_factory=dict)
+    #: names that exist but cannot be used, with the reason
+    rejected_names: Dict[str, str] = field(default_factory=dict)
+    #: source order of all recorded definitions (for scan listings)
+    order: List[str] = field(default_factory=list)

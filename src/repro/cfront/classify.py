@@ -1,0 +1,115 @@
+"""Prescan classifier for ``.c`` files — the scan tier's C intake.
+
+Unlike the Python classifier (a pure-AST approximation tuned to be
+optimistic), the C classifier can afford to be *exact*: parsing
+already happened, so it simply attempts the lowering per candidate
+and reports the located error as the skip reason.  The one-sided
+invariant — never reject a function the frontend lowers — therefore
+holds by construction.
+
+Produces the same :class:`~repro.scan.classify.DiscoveredFunction`
+records as the Python prescan, so the orchestrator, report, and store
+layers need no C-specific handling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.cfront.errors import CFrontendError
+from repro.cfront.lower import c_ast_size, lower_unit_entry
+from repro.cfront.parser import parse_unit
+from repro.scan.classify import DiscoveredFunction
+
+
+def discover_c_functions(
+    files: Iterable[Union[str, Path]],
+) -> List[DiscoveredFunction]:
+    """Prescan C ``files``; one record per recorded definition.
+
+    Records come back in (path, line) order.  Unreadable or
+    top-level-unparseable files yield a single file-level record
+    (empty ``name``) so the report can say *why* a file contributed
+    nothing.  Zero-parameter functions are classified but never
+    lowerable as scan entries — no inputs, no domain to minimize over.
+    """
+    records: List[DiscoveredFunction] = []
+    for file in files:
+        path = str(file)
+        try:
+            source = Path(file).read_text()
+        except OSError as exc:
+            records.append(
+                DiscoveredFunction(path, "", 0, 0, 0, False, f"unreadable: {exc}")
+            )
+            continue
+        try:
+            unit, source_lines = parse_unit(source, path)
+        except CFrontendError as exc:
+            records.append(
+                DiscoveredFunction(
+                    path,
+                    "",
+                    exc.lineno or 0,
+                    0,
+                    0,
+                    False,
+                    f"invalid C: {exc.reason} (line {exc.lineno or '?'})",
+                )
+            )
+            continue
+        for name in unit.order:
+            records.append(_classify(unit, source_lines, path, name))
+    records.sort(key=lambda r: (r.path, r.lineno, r.name))
+    return records
+
+
+def _classify(
+    unit, source_lines: List[str], path: str, name: str
+) -> DiscoveredFunction:
+    if name in unit.skipped:
+        entry = unit.skipped[name]
+        return DiscoveredFunction(
+            path=path,
+            name=name,
+            lineno=entry.line,
+            n_params=0,
+            size=0,
+            lowerable=False,
+            skip_reason=f"line {entry.line}: {entry.reason}",
+        )
+    if name in unit.broken:
+        entry = unit.broken[name]
+        err = entry.error
+        return DiscoveredFunction(
+            path=path,
+            name=name,
+            lineno=entry.line,
+            n_params=0,
+            size=0,
+            lowerable=False,
+            skip_reason=f"line {err.lineno or entry.line}: {err.reason}",
+        )
+    fn = unit.functions[name]
+    n_params = len(fn.params)
+    reason = ""
+    if n_params == 0:
+        reason = (
+            f"line {fn.line}: takes no parameters "
+            "(no input domain to search)"
+        )
+    else:
+        try:
+            lower_unit_entry(unit, source_lines, name)
+        except CFrontendError as exc:
+            reason = f"line {exc.lineno or fn.line}: {exc.reason}"
+    return DiscoveredFunction(
+        path=path,
+        name=name,
+        lineno=fn.line,
+        n_params=n_params,
+        size=c_ast_size(fn, unit),
+        lowerable=not reason,
+        skip_reason=reason,
+    )

@@ -1,0 +1,45 @@
+"""Located diagnostics for the C frontend.
+
+:class:`CFrontendError` subclasses the Python frontend's
+:class:`~repro.fpir.frontend.FrontendError` so every existing catch
+site — the CLI's exit-2 handling, the batch driver's up-front spec
+validation, the scan orchestrator's demote-to-skip path — admits C
+diagnostics without change.  The rendering contract is identical:
+``file:line: reason``, the offending source line, a caret at the
+column, and an actionable ``hint:`` where one exists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fpir.frontend import FrontendError
+
+
+class CFrontendError(FrontendError):
+    """A construct outside the supported C subset, with its location."""
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        source_lines: Optional[Sequence[str]] = None,
+        filename: str = "<c>",
+        hint: str = "",
+    ) -> None:
+        self.reason = message
+        self.filename = filename
+        self.hint = hint
+        self.lineno = line
+        self.col_offset = col
+        self.source_line = ""
+        if (
+            line is not None
+            and source_lines is not None
+            and 1 <= line <= len(source_lines)
+        ):
+            self.source_line = source_lines[line - 1].rstrip()
+        # Skip FrontendError.__init__ (it reads ast-node attributes);
+        # the _format renderer is shared unchanged.
+        Exception.__init__(self, self._format())

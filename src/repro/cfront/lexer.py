@@ -1,0 +1,324 @@
+"""Tokenizer for the floats-first C subset.
+
+Three passes, each preserving line/column geometry so every later
+diagnostic points at the original source:
+
+1. :func:`strip_comments` blanks ``//`` and ``/* */`` comments
+   character-for-character (newlines survive, everything else becomes
+   a space).
+2. :func:`strip_directives` blanks preprocessor lines, harvesting
+   ``#define NAME <number>`` object macros into a constant table and
+   recording every other macro with a reason so a later *use* gets a
+   precise error instead of a generic "undefined name".
+3. :func:`tokenize` produces the flat token stream the
+   recursive-descent parser consumes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfront.errors import CFrontendError
+
+#: Multi-character punctuators, longest first (maximal munch).
+_PUNCTS = (
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "&&",
+    "||",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+)
+
+_SINGLE_PUNCTS = set("+-*/%<>=!?:;,(){}[]&|^~.")
+
+_NUMBER_RE = re.compile(
+    r"""
+    (?:
+        0[xX][0-9a-fA-F]+            # hex integer
+      | (?:\d+\.\d*|\.\d+|\d+)       # decimal / float body
+        (?:[eE][+-]?\d+)?            # exponent
+    )
+    [fFlLuU]*                        # C suffixes, ignored
+    """,
+    re.VERBOSE,
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its 1-based line and 0-based column."""
+
+    kind: str  # "ident" | "number" | "punct" | "string" | "char" | "eof"
+    text: str
+    line: int
+    col: int
+    value: float = 0.0
+
+
+@dataclass
+class MacroTable:
+    """Outcome of the preprocessor pass.
+
+    ``constants`` maps object-like numeric macros to their value;
+    ``rejected`` maps every other macro name to the reason it cannot be
+    used, so the parser can issue a located, specific diagnostic at the
+    first *use site* rather than failing the whole file.
+    """
+
+    constants: Dict[str, float] = field(default_factory=dict)
+    rejected: Dict[str, str] = field(default_factory=dict)
+
+
+def strip_comments(source: str, filename: str, source_lines: Sequence[str]) -> str:
+    """Blank comments in place, preserving every line/column position."""
+    out: List[str] = []
+    i = 0
+    n = len(source)
+    line = 1
+    col = 0
+    while i < n:
+        ch = source[i]
+        two = source[i : i + 2]
+        if two == "//":
+            while i < n and source[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif two == "/*":
+            start_line, start_col = line, col
+            out.append("  ")
+            i += 2
+            col += 2
+            while i < n and source[i : i + 2] != "*/":
+                if source[i] == "\n":
+                    out.append("\n")
+                    line += 1
+                    col = 0
+                else:
+                    out.append(" ")
+                    col += 1
+                i += 1
+            if i >= n:
+                raise CFrontendError(
+                    "unterminated /* comment",
+                    line=start_line,
+                    col=start_col,
+                    source_lines=source_lines,
+                    filename=filename,
+                )
+            out.append("  ")
+            i += 2
+            col += 2
+        elif ch == "\n":
+            out.append("\n")
+            line += 1
+            col = 0
+            i += 1
+        else:
+            out.append(ch)
+            col += 1
+            i += 1
+    return "".join(out)
+
+
+def _macro_value(body: str) -> Optional[float]:
+    """Evaluate an object-macro body if it is a (signed, possibly
+    parenthesized) numeric literal; None otherwise."""
+    text = body.strip()
+    # Peel balanced outer parens: ``(-1.0e-7)`` is idiomatic in headers.
+    while text.startswith("(") and text.endswith(")"):
+        text = text[1:-1].strip()
+    sign = 1.0
+    while text[:1] in ("+", "-"):
+        if text[0] == "-":
+            sign = -sign
+        text = text[1:].strip()
+    m = _NUMBER_RE.fullmatch(text)
+    if m is None:
+        return None
+    return sign * _number_value(text)
+
+
+def _number_value(text: str) -> float:
+    body = text.rstrip("fFlLuU")
+    if body[:2].lower() == "0x":
+        return float(int(body, 16))
+    return float(body)
+
+
+def strip_directives(
+    source: str, filename: str, source_lines: Sequence[str]
+) -> Tuple[str, MacroTable]:
+    """Blank preprocessor lines; harvest numeric ``#define`` constants."""
+    macros = MacroTable()
+    out_lines: List[str] = []
+    lines = source.split("\n")
+    i = 0
+    while i < len(lines):
+        text = lines[i]
+        if text.lstrip().startswith("#"):
+            # Gather backslash-continued directive lines as one unit.
+            unit = [text]
+            first = i
+            while unit[-1].rstrip().endswith("\\") and i + 1 < len(lines):
+                i += 1
+                unit.append(lines[i])
+            body = " ".join(part.rstrip().rstrip("\\") for part in unit).lstrip()
+            _harvest_directive(body, first + 1, macros, filename, source_lines)
+            out_lines.extend(" " * len(part) for part in unit)
+        else:
+            out_lines.append(text)
+        i += 1
+    return "\n".join(out_lines), macros
+
+
+def _harvest_directive(
+    body: str,
+    lineno: int,
+    macros: MacroTable,
+    filename: str,
+    source_lines: Sequence[str],
+) -> None:
+    m = re.match(r"#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)(.*)$", body)
+    if m is None:
+        return  # #include / #ifdef / #endif / #pragma: ignored wholesale
+    name, rest = m.group(1), m.group(2)
+    if rest.startswith("("):
+        macros.rejected[name] = (
+            f"'{name}' is a function-like macro "
+            "(only numeric #define constants are supported)"
+        )
+        return
+    value = _macro_value(rest)
+    if value is None:
+        macros.rejected[name] = (
+            f"#define {name} does not expand to a numeric literal "
+            "(only numeric constants are supported)"
+        )
+        return
+    macros.constants[name] = value
+
+
+def tokenize(code: str, filename: str, source_lines: Sequence[str]) -> List[Token]:
+    """Lex comment- and directive-stripped code into tokens + EOF."""
+    tokens: List[Token] = []
+    line = 1
+    col = 0
+    i = 0
+    n = len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "\n":
+            line += 1
+            col = 0
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            col += 1
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and code[i + 1 : i + 2].isdigit()):
+            m = _NUMBER_RE.match(code, i)
+            assert m is not None
+            text = m.group(0)
+            end = m.end()
+            if end < n and (code[end].isalnum() or code[end] == "_"):
+                raise CFrontendError(
+                    f"bad numeric literal {code[i:end + 1]!r}...",
+                    line=line,
+                    col=col,
+                    source_lines=source_lines,
+                    filename=filename,
+                )
+            tokens.append(Token("number", text, line, col, _number_value(text)))
+            col += end - i
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            m = _IDENT_RE.match(code, i)
+            assert m is not None
+            text = m.group(0)
+            tokens.append(Token("ident", text, line, col))
+            col += len(text)
+            i += len(text)
+            continue
+        if ch in ("\"", "'"):
+            kind = "string" if ch == "\"" else "char"
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n and code[j] not in (ch, "\n"):
+                if code[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n or code[j] != ch:
+                raise CFrontendError(
+                    f"unterminated {kind} literal",
+                    line=start_line,
+                    col=start_col,
+                    source_lines=source_lines,
+                    filename=filename,
+                )
+            text = code[i : j + 1]
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        matched = False
+        for punct in _PUNCTS:
+            if code.startswith(punct, i):
+                tokens.append(Token("punct", punct, line, col))
+                col += len(punct)
+                i += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_PUNCTS:
+            tokens.append(Token("punct", ch, line, col))
+            col += 1
+            i += 1
+            continue
+        raise CFrontendError(
+            f"unexpected character {ch!r}",
+            line=line,
+            col=col,
+            source_lines=source_lines,
+            filename=filename,
+        )
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def lex(
+    source: str, filename: str = "<c>"
+) -> Tuple[List[Token], MacroTable, List[str]]:
+    """Full pipeline: comments → directives → tokens.
+
+    Returns ``(tokens, macros, source_lines)`` where ``source_lines``
+    is the *original* source split for diagnostics.
+    """
+    source_lines = source.split("\n")
+    stripped = strip_comments(source, filename, source_lines)
+    code, macros = strip_directives(stripped, filename, source_lines)
+    tokens = tokenize(code, filename, source_lines)
+    return tokens, macros, source_lines

@@ -1,0 +1,867 @@
+"""Recursive-descent parser for the floats-first C subset.
+
+Grammar (expressions by precedence climbing)::
+
+    unit      := (function | prototype | constant | tolerated)*
+    function  := quals 'double' NAME '(' params ')' block
+    params    := 'void'? | ('double' NAME) (',' 'double' NAME)*
+    stmt      := decl | assign | if | while | for | return | block | ';'
+    cond-expr := or  ('?' expr ':' cond-expr)?
+    or        := and ('||' and)*          and := eq  ('&&' eq)*
+    eq        := rel (('=='|'!=') rel)*   rel := add (('<'|'<='|'>'|'>=') add)*
+    add       := mul (('+'|'-') mul)*     mul := unary (('*'|'/'|'%') unary)*
+    unary     := ('-'|'+'|'!') unary | postfix
+    postfix   := primary ('(' args ')')*
+    primary   := NUMBER | NAME | '(' expr ')'
+
+The top level is *tolerant*: declarations outside the subset (structs,
+typedefs, int functions, pointer globals) are skipped with a recorded
+reason instead of failing the file, so a real GSL/libm source can be
+partially ingested.  Inside a ``double`` function body the parser is
+*strict* — every unsupported construct raises a located
+:class:`CFrontendError` — but the error is captured per function
+(:class:`~repro.cfront.c_ast.CBroken`) so sibling functions still
+parse.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cfront.c_ast import (
+    CAssign,
+    CBinary,
+    CBroken,
+    CCall,
+    CCond,
+    CDecl,
+    CExpr,
+    CFor,
+    CFunction,
+    CIf,
+    CName,
+    CNum,
+    CParam,
+    CReturn,
+    CSkipped,
+    CStmt,
+    CUnary,
+    CUnit,
+    CWhile,
+)
+from repro.cfront.errors import CFrontendError
+from repro.cfront.lexer import MacroTable, Token, lex
+
+#: Type keywords that introduce a declaration we cannot lower.
+_OTHER_TYPES = frozenset(
+    ("int", "float", "void", "char", "long", "short", "unsigned", "signed", "_Bool")
+)
+
+_AGGREGATES = frozenset(("struct", "union", "enum"))
+
+_QUALIFIERS = frozenset(("static", "inline", "extern", "const", "register", "volatile"))
+
+_COMPOUND_ASSIGN = frozenset(("+=", "-=", "*=", "/=", "%="))
+
+_BITWISE_ASSIGN = frozenset(("&=", "|=", "^=", "<<=", ">>="))
+
+_BITWISE_BIN = frozenset(("&", "|", "^", "<<", ">>"))
+
+_BINOPS = {
+    "||": ("||",),
+    "&&": ("&&",),
+    "eq": ("==", "!="),
+    "rel": ("<", "<=", ">", ">="),
+    "add": ("+", "-"),
+    "mul": ("*", "/", "%"),
+}
+
+
+class _Parser:
+    def __init__(
+        self,
+        tokens: List[Token],
+        macros: MacroTable,
+        filename: str,
+        source_lines: List[str],
+    ) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.macros = macros
+        self.filename = filename
+        self.source_lines = source_lines
+        self.unit = CUnit(filename=filename)
+        self.unit.constants.update(macros.constants)
+        self.unit.rejected_names.update(macros.rejected)
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        i = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind != "eof"
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(
+        self, message: str, tok: Optional[Token] = None, hint: str = ""
+    ) -> CFrontendError:
+        tok = tok or self.peek()
+        return CFrontendError(
+            message,
+            line=tok.line,
+            col=tok.col,
+            source_lines=self.source_lines,
+            filename=self.filename,
+            hint=hint,
+        )
+
+    def expect(self, text: str, context: str = "") -> Token:
+        tok = self.peek()
+        if tok.text != text or tok.kind == "eof":
+            found = repr(tok.text) if tok.kind != "eof" else "end of file"
+            suffix = f" {context}" if context else ""
+            raise self.error(f"expected {text!r}{suffix}, found {found}", tok)
+        return self.advance()
+
+    def expect_ident(self, context: str) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            found = repr(tok.text) if tok.kind != "eof" else "end of file"
+            raise self.error(f"expected a name {context}, found {found}", tok)
+        return self.advance()
+
+    # -- tolerant top level ------------------------------------------------
+
+    def parse(self) -> CUnit:
+        while self.peek().kind != "eof":
+            self._top_level()
+        return self.unit
+
+    def _top_level(self) -> None:
+        if self.at(";"):
+            self.advance()
+            return
+        tok = self.peek()
+        if tok.text == "typedef":
+            self._skip_to_semicolon()
+            return
+        while self.peek().text in _QUALIFIERS:
+            self.advance()
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise self.error(
+                f"unexpected {tok.text!r} at file scope",
+                tok,
+                hint="expected a declaration (e.g. 'double fn(double x) {...}')",
+            )
+        if tok.text == "double" and self.peek(1).text != "*":
+            self.advance()
+            while self.peek().text in _QUALIFIERS:
+                self.advance()
+            self._double_declaration()
+            return
+        # Everything else: struct/int/typedef'd-type declaration. Skip it,
+        # recording functions so targeting them yields a precise reason.
+        self._tolerated_declaration(tok.text)
+
+    def _double_declaration(self) -> None:
+        name_tok = self.expect_ident("after 'double'")
+        if self.at("("):
+            self._double_function(name_tok)
+            return
+        # File-scope double variable(s): admitted only as numeric constants.
+        while True:
+            self._double_global(name_tok)
+            if self.at(","):
+                self.advance()
+                name_tok = self.expect_ident("after ','")
+                continue
+            break
+        self.expect(";", "after file-scope declaration")
+
+    def _double_global(self, name_tok: Token) -> None:
+        name = name_tok.text
+        if self.at("["):
+            self.unit.rejected_names[name] = (
+                f"'{name}' is a global array (arrays are not supported)"
+            )
+            self._skip_declarator_tail()
+            return
+        if self.at("="):
+            self.advance()
+            expr = self._cond_expr()
+            value = self._const_eval(expr)
+            if value is None:
+                self.unit.rejected_names[name] = (
+                    f"global '{name}' has a non-constant initializer "
+                    "(only compile-time numeric constants are supported)"
+                )
+            else:
+                self.unit.constants[name] = value
+            return
+        self.unit.rejected_names[name] = (
+            f"global '{name}' is uninitialized (FPIR has no mutable globals)"
+        )
+
+    def _const_eval(self, expr: CExpr) -> Optional[float]:
+        """Fold an initializer over literals and already-known constants."""
+        if isinstance(expr, CNum):
+            return expr.value
+        if isinstance(expr, CName):
+            return self.unit.constants.get(expr.name)
+        if isinstance(expr, CUnary) and expr.op in ("-", "+"):
+            inner = self._const_eval(expr.operand)
+            if inner is None:
+                return None
+            return -inner if expr.op == "-" else inner
+        if isinstance(expr, CBinary) and expr.op in ("+", "-", "*", "/"):
+            lhs = self._const_eval(expr.lhs)
+            rhs = self._const_eval(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            return lhs / rhs if rhs != 0.0 else None
+        return None
+
+    def _double_function(self, name_tok: Token) -> None:
+        name = name_tok.text
+        params, reason = self._parse_params()
+        while self.peek().text in _QUALIFIERS:
+            self.advance()
+        if self.at(";"):
+            self.advance()
+            if reason is None and params is not None:
+                self.unit.prototypes.setdefault(name, len(params))
+            else:
+                self.unit.rejected_names.setdefault(
+                    name, f"'{name}' is declared with an unsupported "
+                    f"signature: {reason}"
+                )
+            return
+        if not self.at("{"):
+            raise self.error(f"expected ';' or '{{' after the signature of '{name}'")
+        if reason is not None or params is None:
+            self._skip_balanced_braces()
+            self._record(CSkipped(name, name_tok.line, name_tok.col, reason or ""))
+            return
+        brace_pos = self.pos
+        try:
+            self.advance()  # '{'
+            body = self._block_stmts()
+            self._record(CFunction(name, params, body, name_tok.line, name_tok.col))
+        except CFrontendError as err:
+            self.pos = brace_pos
+            self._skip_balanced_braces()
+            self._record(CBroken(name, name_tok.line, name_tok.col, err))
+
+    def _record(self, entry) -> None:
+        name = entry.name
+        if (
+            name in self.unit.functions
+            or name in self.unit.skipped
+            or name in self.unit.broken
+        ):
+            raise self.error(
+                f"function '{name}' is defined more than once",
+                Token("ident", name, entry.line, entry.col),
+            )
+        if isinstance(entry, CFunction):
+            self.unit.functions[name] = entry
+        elif isinstance(entry, CSkipped):
+            self.unit.skipped[name] = entry
+        else:
+            self.unit.broken[name] = entry
+        self.unit.order.append(name)
+
+    def _parse_params(self) -> Tuple[Optional[List[CParam]], Optional[str]]:
+        self.expect("(")
+        if self.at(")"):
+            self.advance()
+            return [], None
+        if self.at("void") and self.peek(1).text == ")":
+            self.advance()
+            self.advance()
+            return [], None
+        params: List[CParam] = []
+        reason: Optional[str] = None
+        while True:
+            while self.peek().text in _QUALIFIERS:
+                self.advance()
+            tok = self.peek()
+            if tok.text == "...":
+                reason = reason or "variadic parameters"
+                self.advance()
+            elif tok.text in _OTHER_TYPES or tok.text in _AGGREGATES:
+                reason = reason or (
+                    f"parameter {len(params) + 1} has type '{tok.text}' "
+                    "(only double parameters are supported)"
+                )
+                self._skip_param()
+            elif tok.text == "double":
+                self.advance()
+                while self.peek().text in _QUALIFIERS:
+                    self.advance()
+                if self.at("*"):
+                    reason = reason or (
+                        f"parameter {len(params) + 1} is a pointer "
+                        "(pointers are not supported)"
+                    )
+                    self._skip_param()
+                else:
+                    p = self.expect_ident("for the parameter")
+                    if self.at("["):
+                        reason = reason or (
+                            f"parameter '{p.text}' is an array "
+                            "(arrays are not supported)"
+                        )
+                        self._skip_param()
+                    else:
+                        params.append(CParam(p.text, p.line, p.col))
+            elif tok.kind == "ident":
+                reason = reason or (
+                    f"parameter {len(params) + 1} has non-double type "
+                    f"'{tok.text}'"
+                )
+                self._skip_param()
+            else:
+                raise self.error("malformed parameter list", tok)
+            if self.at(","):
+                self.advance()
+                continue
+            self.expect(")", "to close the parameter list")
+            break
+        if reason is not None:
+            return None, reason
+        seen = set()
+        for p in params:
+            if p.name in seen:
+                return None, f"duplicate parameter name '{p.name}'"
+            seen.add(p.name)
+        return params, None
+
+    def _skip_param(self) -> None:
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise self.error("unexpected end of file in parameter list")
+            if tok.text in ("(", "["):
+                depth += 1
+            elif tok.text in (")", "]"):
+                if depth == 0 and tok.text == ")":
+                    return
+                depth -= 1
+            elif tok.text == "," and depth == 0:
+                return
+            self.advance()
+
+    def _tolerated_declaration(self, type_desc: str) -> None:
+        """Skip a non-double top-level declaration, recording functions."""
+        last_ident: Optional[Token] = None
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise self.error("unexpected end of file in a declaration")
+            if tok.kind == "ident" and depth == 0:
+                last_ident = tok
+                self.advance()
+            elif tok.text == "(" and depth == 0 and last_ident is not None:
+                # function-ish: skip the parameter list, then ; or body
+                self._skip_balanced("(", ")")
+                while self.peek().text in _QUALIFIERS:
+                    self.advance()
+                name = last_ident.text
+                reason = (
+                    f"return type '{type_desc}' is not double "
+                    "(only double functions are lowered)"
+                )
+                if self.at("{"):
+                    self._skip_balanced_braces()
+                    self._record(
+                        CSkipped(name, last_ident.line, last_ident.col, reason)
+                    )
+                else:
+                    self._skip_to_semicolon()
+                    self.unit.rejected_names.setdefault(name, reason)
+                return
+            elif tok.text == "{":
+                self._skip_balanced_braces()
+                if self.at(";"):
+                    self.advance()
+                    return
+            elif tok.text == ";" and depth == 0:
+                self.advance()
+                if last_ident is not None:
+                    self.unit.rejected_names.setdefault(
+                        last_ident.text,
+                        f"'{last_ident.text}' has unsupported type "
+                        f"'{type_desc}'",
+                    )
+                return
+            elif tok.text == "=" and depth == 0:
+                self._skip_to_semicolon()
+                if last_ident is not None:
+                    self.unit.rejected_names.setdefault(
+                        last_ident.text,
+                        f"'{last_ident.text}' has unsupported type "
+                        f"'{type_desc}'",
+                    )
+                return
+            else:
+                if tok.text in ("(", "["):
+                    depth += 1
+                elif tok.text in (")", "]"):
+                    depth -= 1
+                self.advance()
+
+    def _skip_to_semicolon(self) -> None:
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise self.error("unexpected end of file (missing ';')")
+            if tok.text in ("(", "[", "{"):
+                depth += 1
+            elif tok.text in (")", "]", "}"):
+                depth -= 1
+            elif tok.text == ";" and depth == 0:
+                self.advance()
+                return
+            self.advance()
+
+    def _skip_balanced(self, open_text: str, close_text: str) -> None:
+        self.expect(open_text)
+        depth = 1
+        while depth:
+            tok = self.advance()
+            if tok.kind == "eof":
+                raise self.error(f"unexpected end of file (missing {close_text!r})")
+            if tok.text == open_text:
+                depth += 1
+            elif tok.text == close_text:
+                depth -= 1
+
+    def _skip_balanced_braces(self) -> None:
+        self._skip_balanced("{", "}")
+
+    # -- statements (strict) -----------------------------------------------
+
+    def _block_stmts(self) -> List[CStmt]:
+        """Statements up to and including the matching '}'."""
+        stmts: List[CStmt] = []
+        while not self.at("}"):
+            if self.peek().kind == "eof":
+                raise self.error("unexpected end of file inside a function body")
+            stmts.extend(self._statement())
+        self.advance()
+        return stmts
+
+    def _statement(self) -> List[CStmt]:
+        tok = self.peek()
+        text = tok.text
+        if text == "{":
+            self.advance()
+            return self._block_stmts()
+        if text == ";":
+            self.advance()
+            return []
+        if text == "const":
+            self.advance()
+            self.expect("double", "after 'const' (only double locals exist)")
+            return self._decl_tail()
+        if text == "double":
+            self.advance()
+            return self._decl_tail()
+        if text == "if":
+            return [self._if_stmt()]
+        if text == "while":
+            return [self._while_stmt()]
+        if text == "for":
+            return [self._for_stmt()]
+        if text == "return":
+            self.advance()
+            if self.at(";"):
+                raise self.error(
+                    "return without a value in a double function",
+                    tok,
+                    hint="every path must return a double",
+                )
+            value = self._expr()
+            self.expect(";", "after the return value")
+            return [CReturn(value, tok.line, tok.col)]
+        if text == "do":
+            raise self.error(
+                "do/while loops are not supported",
+                tok,
+                hint="rewrite as a while loop",
+            )
+        if text in ("break", "continue"):
+            raise self.error(
+                f"'{text}' is not supported (FPIR control flow is structured)",
+                tok,
+                hint="fold the exit condition into the loop condition",
+            )
+        if text == "goto":
+            raise self.error(
+                "goto is not supported",
+                tok,
+                hint="restructure into if/else and while",
+            )
+        if text == "switch":
+            raise self.error(
+                "switch is not supported",
+                tok,
+                hint="rewrite as an if/else chain",
+            )
+        if text == "static":
+            raise self.error(
+                "static locals are not supported (FPIR functions are pure)",
+                tok,
+            )
+        if text in _OTHER_TYPES:
+            raise self.error(
+                f"only double locals are supported (found '{text}')",
+                tok,
+                hint="the subset is floats-first; keep loop counters and "
+                "flags as doubles",
+            )
+        if text in _AGGREGATES:
+            raise self.error(
+                f"{text} locals are not supported (no aggregate types "
+                "in the subset)",
+                tok,
+            )
+        return [self._expr_statement()]
+
+    def _decl_tail(self) -> List[CStmt]:
+        """Declarators after 'double', through the closing ';'."""
+        decls: List[CStmt] = []
+        while True:
+            if self.at("*"):
+                raise self.error(
+                    "pointers are not supported",
+                    hint="the subset is pure double scalars; pass and "
+                    "return values directly",
+                )
+            name_tok = self.expect_ident("for the declared variable")
+            if self.at("["):
+                raise self.error(
+                    "arrays are not supported",
+                    hint="inline the table values or use a helper function",
+                )
+            init: Optional[CExpr] = None
+            if self.at("="):
+                self.advance()
+                if self.at("{"):
+                    raise self.error(
+                        "brace initializers are not supported "
+                        "(no aggregate types)",
+                    )
+                init = self._cond_expr()
+            decls.append(CDecl(name_tok.text, init, name_tok.line, name_tok.col))
+            if self.at(","):
+                self.advance()
+                continue
+            self.expect(";", "after the declaration")
+            return decls
+
+    def _if_stmt(self) -> CIf:
+        tok = self.expect("if")
+        self.expect("(", "after 'if'")
+        cond = self._expr()
+        self.expect(")", "to close the if condition")
+        then = self._statement()
+        orelse: List[CStmt] = []
+        if self.at("else"):
+            self.advance()
+            orelse = self._statement()
+        return CIf(cond, then, orelse, tok.line, tok.col)
+
+    def _while_stmt(self) -> CWhile:
+        tok = self.expect("while")
+        self.expect("(", "after 'while'")
+        cond = self._expr()
+        self.expect(")", "to close the while condition")
+        body = self._statement()
+        return CWhile(cond, body, tok.line, tok.col)
+
+    def _for_stmt(self) -> CFor:
+        tok = self.expect("for")
+        self.expect("(", "after 'for'")
+        init: List[CStmt]
+        if self.at(";"):
+            self.advance()
+            init = []
+        elif self.at("double"):
+            self.advance()
+            init = self._decl_tail()
+        else:
+            init = [self._assign_like()]
+            self.expect(";", "after the for-loop initializer")
+        cond: Optional[CExpr] = None
+        if not self.at(";"):
+            cond = self._expr()
+        self.expect(";", "after the for-loop condition")
+        update: List[CStmt] = []
+        if not self.at(")"):
+            update = [self._assign_like()]
+            if self.at(","):
+                raise self.error(
+                    "comma expressions are not supported",
+                    hint="use a single update per for loop",
+                )
+        self.expect(")", "to close the for header")
+        body = self._statement()
+        return CFor(init, cond, update, body, tok.line, tok.col)
+
+    def _expr_statement(self) -> CStmt:
+        stmt = self._assign_like()
+        self.expect(";", "after the statement")
+        return stmt
+
+    def _assign_like(self) -> CStmt:
+        """An assignment / compound assignment / increment statement."""
+        tok = self.peek()
+        if tok.text in ("++", "--"):
+            op = "+=" if tok.text == "++" else "-="
+            self.advance()
+            name_tok = self.expect_ident(f"after '{tok.text}'")
+            return CAssign(
+                name_tok.text,
+                op,
+                CNum(1.0, name_tok.line, name_tok.col),
+                name_tok.line,
+                name_tok.col,
+            )
+        if tok.text == "*":
+            raise self.error(
+                "pointer dereference is not supported",
+                tok,
+                hint="the subset has no pointers; assign to a named double",
+            )
+        nxt = self.peek(1).text
+        if tok.kind == "ident" and nxt in ("++", "--"):
+            self.advance()
+            self.advance()
+            op = "+=" if nxt == "++" else "-="
+            return CAssign(
+                tok.text, op, CNum(1.0, tok.line, tok.col), tok.line, tok.col
+            )
+        if tok.kind == "ident" and nxt in _BITWISE_ASSIGN:
+            raise self.error(
+                f"bitwise assignment '{nxt}' is not supported "
+                "(floats-first subset)",
+                self.peek(1),
+            )
+        if tok.kind == "ident" and (nxt == "=" or nxt in _COMPOUND_ASSIGN):
+            self.advance()
+            op_tok = self.advance()
+            value = self._cond_expr()
+            if self.at("="):
+                raise self.error(
+                    "chained assignment is not supported",
+                    hint="split into one assignment per statement",
+                )
+            return CAssign(tok.text, op_tok.text, value, tok.line, tok.col)
+        expr = self._expr()
+        if isinstance(expr, CCall):
+            raise self.error(
+                "a call used as a statement has no effect "
+                "(the subset is pure)",
+                tok,
+                hint="assign the result: 'double r = ...;'",
+            )
+        raise self.error(
+            "expression statements have no effect in the pure subset",
+            tok,
+            hint="did you mean an assignment ('=') or comparison inside "
+            "if/while?",
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self) -> CExpr:
+        expr = self._cond_expr()
+        tok = self.peek()
+        if tok.text in _BITWISE_BIN:
+            raise self.error(
+                f"bitwise operator '{tok.text}' is not supported "
+                "(floats have + - * / %)",
+                tok,
+                hint="bit-level tricks need the hand-built FPIR tier "
+                "(see src/repro/gsl)",
+            )
+        if tok.text == ",":
+            # only reachable where ',' is not an argument/declarator
+            # separator, i.e. a comma *expression*
+            raise self.error(
+                "comma expressions are not supported",
+                tok,
+                hint="split into separate statements",
+            )
+        return expr
+
+    def _cond_expr(self) -> CExpr:
+        cond = self._binary("||")
+        if not self.at("?"):
+            return cond
+        tok = self.advance()
+        then = self._cond_expr()
+        self.expect(":", "in the conditional expression")
+        orelse = self._cond_expr()
+        return CCond(cond, then, orelse, tok.line, tok.col)
+
+    _NEXT_LEVEL = {
+        "||": "&&",
+        "&&": "eq",
+        "eq": "rel",
+        "rel": "add",
+        "add": "mul",
+    }
+
+    def _binary(self, level: str) -> CExpr:
+        if level == "mul":
+            sub = self._unary
+        else:
+            nxt = self._NEXT_LEVEL[level]
+            sub = lambda: self._binary(nxt)  # noqa: E731
+        expr = sub()
+        ops = _BINOPS[level]
+        while self.peek().text in ops and self.peek().kind == "punct":
+            tok = self.advance()
+            rhs = sub()
+            expr = CBinary(tok.text, expr, rhs, tok.line, tok.col)
+        return expr
+
+    def _unary(self) -> CExpr:
+        tok = self.peek()
+        if tok.text in ("-", "+", "!") and tok.kind == "punct":
+            self.advance()
+            operand = self._unary()
+            if tok.text == "+":
+                return operand
+            return CUnary(tok.text, operand, tok.line, tok.col)
+        if tok.text == "~":
+            raise self.error("bitwise '~' is not supported (floats-first subset)", tok)
+        if tok.text == "*":
+            raise self.error(
+                "pointer dereference is not supported",
+                tok,
+                hint="the subset has no pointers",
+            )
+        if tok.text == "&":
+            raise self.error(
+                "address-of is not supported (no pointers in the subset)",
+                tok,
+            )
+        if tok.text in ("++", "--"):
+            raise self.error(
+                f"'{tok.text}' inside an expression is not supported",
+                tok,
+                hint="use it as its own statement",
+            )
+        return self._postfix()
+
+    def _postfix(self) -> CExpr:
+        expr = self._primary()
+        while True:
+            tok = self.peek()
+            if tok.text == "(" and tok.kind == "punct":
+                if not isinstance(expr, CName):
+                    raise self.error("only simple function names can be called", tok)
+                self.advance()
+                args: List[CExpr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self._cond_expr())
+                        if self.at(","):
+                            self.advance()
+                            continue
+                        break
+                self.expect(")", "to close the call")
+                expr = CCall(expr.name, args, expr.line, expr.col)
+                continue
+            if tok.text == "[":
+                raise self.error(
+                    "arrays are not supported",
+                    tok,
+                    hint="inline the table values or use a helper function",
+                )
+            if tok.text in (".", "->"):
+                raise self.error(
+                    "struct member access is not supported "
+                    "(no aggregate types)",
+                    tok,
+                )
+            if tok.text in ("++", "--"):
+                raise self.error(
+                    f"'{tok.text}' inside an expression is not supported",
+                    tok,
+                    hint="use it as its own statement",
+                )
+            return expr
+
+    def _primary(self) -> CExpr:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            return CNum(tok.value, tok.line, tok.col)
+        if tok.kind == "string":
+            raise self.error(
+                "string literals are not supported (floats-only subset)",
+                tok,
+            )
+        if tok.kind == "char":
+            raise self.error(
+                "character literals are not supported (floats-only subset)",
+                tok,
+            )
+        if tok.kind == "ident":
+            if tok.text == "sizeof":
+                raise self.error("sizeof is not supported", tok)
+            if tok.text in _OTHER_TYPES or tok.text == "double":
+                raise self.error(
+                    f"unexpected type name '{tok.text}' in an expression",
+                    tok,
+                    hint="casts are not supported; every value is a double",
+                )
+            self.advance()
+            return CName(tok.text, tok.line, tok.col)
+        if tok.text == "(" and tok.kind == "punct":
+            self.advance()
+            inner = self.peek()
+            if (
+                inner.kind == "ident"
+                and (inner.text in _OTHER_TYPES or inner.text == "double")
+                and self.peek(1).text == ")"
+            ):
+                raise self.error(
+                    f"casts are not supported ('({inner.text})')",
+                    inner,
+                    hint="every value is already a double",
+                )
+            expr = self._expr()
+            self.expect(")", "to close the parenthesized expression")
+            return expr
+        found = repr(tok.text) if tok.kind != "eof" else "end of file"
+        raise self.error(f"expected an expression, found {found}", tok)
+
+
+def parse_unit(source: str, filename: str = "<c>") -> Tuple[CUnit, List[str]]:
+    """Lex and parse one C source; returns ``(unit, source_lines)``."""
+    tokens, macros, source_lines = lex(source, filename)
+    parser = _Parser(tokens, macros, filename, source_lines)
+    return parser.parse(), source_lines

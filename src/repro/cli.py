@@ -9,6 +9,7 @@ Usage (via ``python -m repro``)::
     python -m repro run coverage fig2 --smoke
     python -m repro run path fig2 --workers 4 --racing --progress
     python -m repro run boundary --target examples/python_targets.py::fig2
+    python -m repro run boundary --target examples/c/bessel.c::gsl_sf_bessel_J0_approx
     python -m repro run overflow --target mypkg.models:price --events-out ev.jsonl
     python -m repro batch --analyses fpod,coverage --workers 4
     python -m repro batch --analyses sat --formulas constraints.txt
@@ -17,9 +18,10 @@ Usage (via ``python -m repro``)::
     python -m repro scan src/ --smoke --baseline --json
 
 ``--target`` accepts first-class target specs (:mod:`repro.api.targets`):
-a suite program name, ``pkg.mod:fn``, or ``file.py::fn`` — the latter
-two lower the named Python function to FPIR through
-:mod:`repro.fpir.frontend`.
+a suite program name, ``pkg.mod:fn``, ``file.py::fn``, or
+``file.c::fn`` — module and ``.py`` specs lower the named Python
+function to FPIR through :mod:`repro.fpir.frontend`; ``.c`` specs go
+through the C frontend (:mod:`repro.cfront`).
 
 ``repro run <analysis>`` subcommands and the ``repro list`` output are
 *generated* from :mod:`repro.api.registry`: registering a new
@@ -125,8 +127,8 @@ def _engine_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--target", dest="target_spec", default=None, metavar="SPEC",
         help="target spec overriding the positional target: a suite "
-             "program name, pkg.mod:fn, or file.py::fn (the Python "
-             "frontend lowers the function to FPIR)",
+             "program name, pkg.mod:fn, file.py::fn, or file.c::fn "
+             "(the Python/C frontend lowers the function to FPIR)",
     )
     cmd.add_argument(
         "--events-out", dest="events_out", default=None, metavar="PATH",
@@ -169,8 +171,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     targets.add_argument(
         "--resolve", metavar="SPEC", default=None,
-        help="resolve SPEC (suite name, pkg.mod:fn, or file.py::fn) "
-             "and show the lowered program's signature",
+        help="resolve SPEC (suite name, pkg.mod:fn, file.py::fn, or "
+             "file.c::fn) and show the lowered program's signature",
     )
 
     run = sub.add_parser("run", help="run a registered analysis through the engine")
@@ -200,7 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="targets",
         default=None,
         help="comma-separated targets: suite program names and/or "
-             "Python-frontend specs pkg.mod:fn / file.py::fn "
+             "frontend specs pkg.mod:fn / file.py::fn / file.c::fn "
              "(default: all registered programs; --programs is a "
              "deprecated alias)",
     )
@@ -435,6 +437,9 @@ def _cmd_targets(args) -> int:
             f"  {len(program.functions)} function(s), "
             f"{program.num_inputs} double input(s)"
         )
+        for fn in program.functions.values():
+            fn_params = ", ".join(f"double {p.name}" for p in fn.params)
+            print(f"    double {fn.name}({fn_params})")
         return 0
     print("suite programs (repro run <analysis> <name>):")
     for name in list_programs():
@@ -442,6 +447,8 @@ def _cmd_targets(args) -> int:
     print("python targets (repro run <analysis> --target SPEC):")
     print("  pkg.mod:fn      import pkg.mod, lower fn via the frontend")
     print("  file.py::fn     lower fn from a Python source file")
+    print("c targets (repro run <analysis> --target SPEC):")
+    print("  file.c::fn      lower fn from a C source file (repro.cfront)")
     print("sat targets: constraint text, e.g. \"x < 1 && x + 1 >= 2\"")
     return 0
 

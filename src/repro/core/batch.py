@@ -146,8 +146,9 @@ def suite_jobs(
 ) -> List[BatchJob]:
     """The cross product: every requested analysis on every target.
 
-    ``targets`` mixes suite-registry names with Python-frontend specs
-    (``pkg.mod:fn``, ``file.py::fn``) and defaults to the whole suite.
+    ``targets`` mixes suite-registry names with frontend specs
+    (``pkg.mod:fn``, ``file.py::fn``, ``file.c::fn``) and defaults to
+    the whole suite.
     Every target is validated up front so typos fail the campaign
     before any job runs: suite names against the registry, file specs
     by fully lowering the file (cached, so the jobs reuse the result),
@@ -161,6 +162,7 @@ def suite_jobs(
     may differ between runs).
     """
     from repro.api.targets import (
+        CTarget,
         ProgramTarget,
         PythonTarget,
         TargetError,
@@ -199,7 +201,7 @@ def suite_jobs(
                 f"unknown program {spec!r}; registered: {sorted(suite)} "
                 "(or use a pkg.mod:fn / file.py::fn Python target)"
             )
-        if isinstance(target, PythonTarget):
+        if isinstance(target, (PythonTarget, CTarget)):
             try:
                 target.check()
             except (TargetError, FrontendError) as exc:

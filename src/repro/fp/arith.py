@@ -126,6 +126,25 @@ def c_fabs(x: float) -> float:
     return abs(x)
 
 
+def c_fmod(x: float, y: float) -> float:
+    """C ``fmod``: NaN for ``y == 0`` or non-finite ``x``, quiet otherwise.
+
+    ``math.fmod`` raises ValueError exactly where C99 returns NaN
+    (``fmod(x, 0)``, ``fmod(inf, y)``); ``fmod(x, ±inf)`` returns ``x``
+    for finite ``x``, as C does.
+    """
+    if x != x or y != y:
+        return _NAN
+    if x == _INF or x == -_INF or y == 0.0:
+        return _NAN
+    if y == _INF or y == -_INF:
+        return x
+    try:
+        return math.fmod(x, y)
+    except ValueError:  # pragma: no cover - guarded above
+        return _NAN
+
+
 def c_ldexp(x: float, n: int) -> float:
     """C ``ldexp``: scale by a power of two, overflowing quietly."""
     try:

@@ -172,6 +172,7 @@ _CANDIDATES: Dict[str, Tuple[int, Callable]] = {
     "floor": (1, np.floor),
     "fabs": (1, np.fabs),
     "pow": (2, _v_pow),
+    "fmod": (2, np.fmod),
     "ldexp": (2, _v_ldexp),
     "__hi": (1, _v_hi),
     "__lo": (1, _v_lo),

@@ -62,6 +62,7 @@ register("tan", arith.c_tan)
 register("floor", arith.c_floor)
 register("fabs", arith.c_fabs)
 register("ldexp", arith.c_ldexp)
+register("fmod", arith.c_fmod)
 
 # bit-level intrinsics (Glibc-style macros)
 register("__hi", _int_external(bits.high_word))

@@ -35,10 +35,13 @@ pointing at the offending source line):
   constants bound to plain numbers;
 * calls to ``math.*`` functions with a registered FPIR external
   (``sqrt``, ``sin``, ``cos``, ``tan``, ``exp``, ``log``, ``pow``,
-  ``floor``, ``fabs``, ``ldexp``), the ``abs`` builtin (lowered to
-  ``fabs``), and calls to *helper functions* — other Python functions
-  in the same module/source, which are lowered recursively into the
-  same program.
+  ``floor``, ``fabs``, ``ldexp``, ``fmod``), the ``abs`` builtin
+  (lowered to ``fabs``), and calls to *helper functions* — other
+  Python functions in the same module/source, which are lowered
+  recursively into the same program;
+* ``for i in range(...)`` loops, desugared to the equivalent
+  ``while`` loop over a float counter (any other iterable is a
+  located error).
 
 Chained comparisons (``a < b < c``) duplicate their middle operands;
 the subset has no side effects, so this is semantics-preserving.
@@ -151,6 +154,7 @@ MATH_EXTERNALS = (
     "floor",
     "fabs",
     "ldexp",
+    "fmod",
 )
 
 #: Builtins lowered to externals.
@@ -179,10 +183,35 @@ def _assigned_names(fn_def: ast.FunctionDef) -> Set[str]:
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     names.add(target.id)
-        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.For)):
             if isinstance(node.target, ast.Name):
                 names.add(node.target.id)
     return names
+
+
+def _range_call(node: ast.expr) -> Optional[ast.Call]:
+    """The ``range(...)`` call iterated by a ``for``, if that is what
+    ``node`` is (the *caller* still validates argument count/shape)."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and not node.keywords
+    ):
+        return node
+    return None
+
+
+def _literal_step(node: ast.expr) -> Optional[float]:
+    """The numeric value of a (possibly negated) literal step."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_step(node.operand)
+        return None if inner is None else -inner
+    return None
 
 
 class _ModuleEnv:
@@ -398,11 +427,7 @@ class _FunctionLowerer:
                 "entry returns (see examples/python_targets.py)",
             )
         if isinstance(stmt, ast.For):
-            raise self.env.error(
-                "for loops are not supported (FPIR has no iterables)",
-                node=stmt,
-                hint="rewrite as a while loop over a float counter",
-            )
+            return self._for_range(stmt)
         if isinstance(stmt, ast.Expr):
             raise self.env.error(
                 "expression statements have no effect in the pure "
@@ -413,6 +438,101 @@ class _FunctionLowerer:
             f"{type(stmt).__name__} statements are not supported",
             node=stmt,
         )
+
+    def _for_range(self, stmt: ast.For) -> List[Stmt]:
+        """Desugar ``for i in range(...)`` to a ``while`` over a float
+        counter (the ROADMAP's frontend gap; shared conceptually with
+        the C frontend's ``for`` desugar in :mod:`repro.cfront`).
+
+        ``range`` yields integers; the counter is a double, exact for
+        every count below 2**53.  The step must be a numeric literal so
+        the loop direction — hence the ``while`` comparison — is known
+        at lowering time.  Bounds referencing a variable the loop body
+        reassigns are snapshotted first, preserving Python's
+        evaluate-``range``-once semantics in the pure subset.
+        """
+        if stmt.orelse:
+            raise self.env.error("for/else is not supported", node=stmt.orelse[0])
+        if not isinstance(stmt.target, ast.Name):
+            raise self.env.error(
+                "for target must be a simple name (no tuple unpacking)",
+                node=stmt.target,
+            )
+        call_node = _range_call(stmt.iter)
+        if call_node is None or "range" in self.assigned:
+            raise self.env.error(
+                "for loops are only supported over range(...) "
+                "(FPIR has no other iterables)",
+                node=stmt.iter,
+                hint="rewrite as a while loop over a float counter",
+            )
+        args = call_node.args
+        if not 1 <= len(args) <= 3 or any(
+            isinstance(a, ast.Starred) for a in args
+        ):
+            raise self.env.error(
+                "range takes 1 to 3 plain arguments "
+                "(start, stop, literal step)",
+                node=call_node,
+            )
+        step = 1.0
+        if len(args) == 3:
+            literal = _literal_step(args[2])
+            if literal is None:
+                raise self.env.error(
+                    "range step must be a numeric literal so the loop "
+                    "direction is known at lowering time",
+                    node=args[2],
+                    hint="rewrite as a while loop over a float counter",
+                )
+            if literal == 0.0:
+                raise self.env.error(
+                    "range step must not be zero", node=args[2]
+                )
+            step = literal
+        start_expr = Const(0.0) if len(args) == 1 else self._expr(args[0])
+        stop_node = args[0] if len(args) == 1 else args[1]
+        stop_expr = self._expr(stop_node)
+
+        name = stmt.target.id
+        out: List[Stmt] = []
+        reassigned = self._names_assigned_in(stmt.body) | {name}
+        if not isinstance(stop_expr, Const) and any(
+            isinstance(sub, ast.Name) and sub.id in reassigned
+            for sub in ast.walk(stop_node)
+        ):
+            bound = self._fresh_name(f"_{name}_stop")
+            out.append(Assign(bound, stop_expr))
+            self.locals.add(bound)
+            self.assigned.add(bound)
+            stop_expr = Var(bound)
+        out.append(Assign(name, start_expr))
+        self.locals.add(name)
+        body = self._block(stmt.body)
+        body.append(Assign(name, BinOp("fadd", Var(name), Const(step))))
+        cond = Compare("lt" if step > 0 else "gt", Var(name), stop_expr)
+        out.append(While(cond, Block(tuple(body))))
+        return out
+
+    @staticmethod
+    def _names_assigned_in(stmts: Sequence[ast.stmt]) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    names.update(
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    )
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.For)):
+                    if isinstance(node.target, ast.Name):
+                        names.add(node.target.id)
+        return names
+
+    def _fresh_name(self, base: str) -> str:
+        name = base
+        while name in self.assigned or self.env.constant(name) is not None:
+            name += "_"
+        return name
 
     def _assign(self, target: ast.expr, value: ast.expr, stmt: ast.stmt) -> Stmt:
         if not isinstance(target, ast.Name):

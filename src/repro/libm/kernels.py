@@ -91,8 +91,7 @@ def build_reduce_sincos() -> Function:
     # quadrant = n mod 4 as a double (0, 1, 2, 3).
     fb.let(
         "q",
-        fsub(v("n"), fmul(num(4.0), call("floor",
-                                         fmul(v("n"), num(0.25))))),
+        fsub(v("n"), fmul(num(4.0), call("floor", fmul(v("n"), num(0.25))))),
     )
     from repro.fpir.builder import eq
 
@@ -105,6 +104,5 @@ def build_reduce_sincos() -> Function:
                     with fb.if_(eq(v("q"), num(2.0))) as q2:
                         fb.ret(fmul(num(-1.0), call("__sin_poly", v("y"))))
                         with q2.orelse():
-                            fb.ret(fmul(num(-1.0),
-                                        call("__cos_poly", v("y"))))
+                            fb.ret(fmul(num(-1.0), call("__cos_poly", v("y"))))
     return fb.build()

@@ -44,8 +44,13 @@ from repro.libm.kernels import (
 K_BOUNDS = (0x3E500000, 0x3FEB6000, 0x400368FD, 0x419921FB, 0x7FF00000)
 
 #: |x| at each boundary (the "ref" row of the paper's Table 2).
-REFERENCE_BOUNDS = (1.490120e-08, 8.554690e-01, 2.426260e00, 1.054140e08,
-                    None)  # 2^1024: not representable
+REFERENCE_BOUNDS = (
+    1.490120e-08,
+    8.554690e-01,
+    2.426260e00,
+    1.054140e08,
+    None,  # 2^1024: not representable
+)
 
 
 def make_program() -> Program:
@@ -67,13 +72,11 @@ def make_program() -> Program:
                         # |x| < 2.426: one quadrant step via cos.
                         fb.ret(call("__reduce_sin", x))
                         with b3.orelse():
-                            with fb.if_(lt(v("k"),
-                                           intc(K_BOUNDS[3]))) as b4:
+                            with fb.if_(lt(v("k"), intc(K_BOUNDS[3]))) as b4:
                                 # |x| < 1.05e8: full reduction mod pi/2.
                                 fb.ret(call("__reduce_sin", x))
                                 with b4.orelse():
-                                    with fb.if_(lt(v("k"),
-                                                   intc(K_BOUNDS[4]))) as b5:
+                                    with fb.if_(lt(v("k"), intc(K_BOUNDS[4]))) as b5:
                                         # |x| < 2^1024: Glibc's slow
                                         # path; same reduction here.
                                         fb.ret(call("__reduce_sin", x))

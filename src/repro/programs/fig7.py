@@ -48,10 +48,7 @@ def make_characteristic_program() -> Program:
     with fb.if_(le(x, num(1.0))):
         fb.let("x", fadd(v("x"), num(1.0)))
     fb.let("y", fmul(v("x"), v("x")))
-    fb.let("w", fmul(v("w"), ternary(eq(v("y"), num(4.0)), num(0.0),
-                                     num(1.0))))
+    fb.let("w", fmul(v("w"), ternary(eq(v("y"), num(4.0)), num(0.0), num(1.0))))
     with fb.if_(le(v("y"), num(4.0))):
         fb.let("x", fsub(v("x"), num(1.0)))
-    return Program(
-        [fb.build()], entry="prog_w", globals={"w": 1.0}
-    )
+    return Program([fb.build()], entry="prog_w", globals={"w": 1.0})

@@ -36,9 +36,7 @@ def get_program(name: str) -> Program:
     try:
         factory = _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown program {name!r}; known: {list_programs()}"
-        ) from None
+        raise KeyError(f"unknown program {name!r}; known: {list_programs()}") from None
     return factory()
 
 

@@ -7,10 +7,11 @@ into a repository-level tool::
     repro scan path/ --analyses boundary,overflow
 
 * :mod:`repro.scan.walker` — deterministic project-tree walk with
-  ignore patterns;
+  ignore patterns, admitting ``.py`` and ``.c`` sources;
 * :mod:`repro.scan.classify` — AST prescan that finds every function
   and cheaply classifies it lowerable / not-lowerable (with a located
-  skip reason) *before* any lowering happens;
+  skip reason) *before* any lowering happens; ``.c`` files dispatch
+  to the C frontend's exact classifier (:mod:`repro.cfront`);
 * :mod:`repro.scan.store` — the persistent incremental results store
   under ``.repro-scan/``, keyed by the lowered-FPIR content digest the
   worker payload cache already uses, plus the findings baseline;
@@ -25,7 +26,7 @@ from repro.scan.classify import DiscoveredFunction, discover_functions
 from repro.scan.orchestrator import ScanConfig, scan_project
 from repro.scan.report import FunctionResult, ScanReport, scan_exit_code
 from repro.scan.store import Baseline, ResultStore, program_digest
-from repro.scan.walker import walk_python_files
+from repro.scan.walker import walk_python_files, walk_source_files
 
 __all__ = [
     "Baseline",
@@ -39,4 +40,5 @@ __all__ = [
     "scan_exit_code",
     "scan_project",
     "walk_python_files",
+    "walk_source_files",
 ]

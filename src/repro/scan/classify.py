@@ -41,7 +41,9 @@ from repro.fpir.frontend import (
     _BUILTIN_EXTERNALS,
     _CMPOPS,
     _is_boolean_shaped,
+    _literal_step,
     _ModuleEnv,
+    _range_call,
     _scan_module,
 )
 
@@ -183,12 +185,40 @@ class _Classifier:
         if isinstance(stmt, ast.Pass):
             return ""
         if isinstance(stmt, ast.For):
-            return f"line {line}: for loop (rewrite as while)"
+            return self._check_for(stmt, owner, locals_)
         if isinstance(stmt, ast.Assert):
             return f"line {line}: assert statement"
         if isinstance(stmt, ast.Expr):
             return f"line {line}: expression statement"
         return f"line {line}: {type(stmt).__name__} statement"
+
+    def _check_for(self, stmt: ast.For, owner: str, locals_: Set[str]) -> str:
+        """Mirror the frontend's ``for i in range(...)`` desugar
+        admission (:meth:`_FunctionLowerer._for_range`)."""
+        line = getattr(stmt, "lineno", 0)
+        if stmt.orelse:
+            return f"line {line}: for/else"
+        if not isinstance(stmt.target, ast.Name):
+            return f"line {line}: for target is not a simple name"
+        call_node = _range_call(stmt.iter)
+        if call_node is None or "range" in locals_:
+            return f"line {line}: for loop over a non-range iterable"
+        args = call_node.args
+        if not 1 <= len(args) <= 3 or any(
+            isinstance(a, ast.Starred) for a in args
+        ):
+            return f"line {line}: range with unsupported arguments"
+        if len(args) == 3 and _literal_step(args[2]) in (None, 0.0):
+            return f"line {line}: range step is not a nonzero literal"
+        for bound in args[: min(len(args), 2)]:
+            reason = self._check_expr(bound, owner, locals_)
+            if reason:
+                return reason
+        for child in stmt.body:
+            reason = self._check_stmt(child, owner, locals_)
+            if reason:
+                return reason
+        return ""
 
     def _check_expr(
         self,
@@ -311,9 +341,22 @@ def discover_functions(
     ``name``) so the report can say *why* a file contributed nothing.
     Zero-parameter functions are classified but never lowerable as
     scan entries — with no inputs there is no domain to minimize over.
+
+    ``.c`` files dispatch to the C frontend's exact classifier
+    (:mod:`repro.cfront.classify`); everything else goes through the
+    optimistic pure-AST Python classifier below.
     """
+    all_files = list(files)
+    c_files = [f for f in all_files if str(f).endswith(".c")]
+    py_files = [f for f in all_files if not str(f).endswith(".c")]
     records: List[DiscoveredFunction] = []
-    for file in files:
+    if c_files:
+        # Lazy import: cfront's classifier imports DiscoveredFunction
+        # from this module, so a top-level import would be circular.
+        from repro.cfront.classify import discover_c_functions
+
+        records.extend(discover_c_functions(c_files))
+    for file in py_files:
         path = str(file)
         try:
             source = Path(file).read_text()

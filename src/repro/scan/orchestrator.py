@@ -51,7 +51,7 @@ from repro.scan.store import (
     finding_key,
     program_digest,
 )
-from repro.scan.walker import walk_python_files
+from repro.scan.walker import walk_source_files
 
 #: Default store directory name, created under the scan root.
 STORE_DIRNAME = ".repro-scan"
@@ -266,7 +266,7 @@ def scan_project(root: str, config: Optional[ScanConfig] = None) -> ScanReport:
     """Scan every lowerable function under ``root``; see module doc."""
     config = config or ScanConfig()
     t0 = time.perf_counter()
-    files = walk_python_files(root, exclude=config.exclude)
+    files = walk_source_files(root, exclude=config.exclude)
     discovered = discover_functions(files)
     store_dir = config.store_dir or _default_store_dir(root)
     store = ResultStore(store_dir)

@@ -1,4 +1,4 @@
-"""Project-tree discovery: which Python files does a scan look at?
+"""Project-tree discovery: which source files does a scan look at?
 
 A deliberately boring module with one deliberate property:
 **determinism**.  The walk visits directories and files in sorted
@@ -6,6 +6,9 @@ order, so the discovered-function list — and therefore job submission
 order, report order, and the JSONL store's append order — is a pure
 function of the tree's contents.  Two machines scanning the same
 checkout produce byte-comparable reports.
+
+Two suffixes are admitted: ``.py`` (classified by the Python prescan)
+and ``.c`` (classified by the C frontend, :mod:`repro.cfront`).
 
 Ignore rules (the usual suspects for a Python checkout):
 
@@ -28,6 +31,9 @@ from typing import Iterable, List, Sequence
 #: Directory names never descended into.
 DEFAULT_IGNORED_DIRS = frozenset({"__pycache__", "node_modules", "build", "dist"})
 
+#: File suffixes the scan admits, in the order reports group them.
+SCAN_SUFFIXES = (".py", ".c")
+
 
 def _is_virtualenv(path: Path) -> bool:
     return (path / "pyvenv.cfg").is_file()
@@ -40,17 +46,22 @@ def _excluded(rel_posix: str, name: str, patterns: Sequence[str]) -> bool:
     )
 
 
-def walk_python_files(root: str, exclude: Iterable[str] = ()) -> List[Path]:
-    """Every ``.py`` file under ``root``, sorted, ignore rules applied.
+def walk_source_files(
+    root: str,
+    exclude: Iterable[str] = (),
+    suffixes: Sequence[str] = SCAN_SUFFIXES,
+) -> List[Path]:
+    """Every admitted source file under ``root``, sorted, ignore rules
+    applied.
 
-    ``root`` may also be a single ``.py`` file (scanning one file is a
+    ``root`` may also be a single source file (scanning one file is a
     legitimate CI shape).  Raises :class:`FileNotFoundError` for a
     missing root — a typo'd path must not report a clean empty scan.
     """
     top = Path(root)
     patterns = list(exclude)
     if top.is_file():
-        return [top] if top.suffix == ".py" else []
+        return [top] if top.suffix in suffixes else []
     if not top.is_dir():
         raise FileNotFoundError(f"no file or directory at {root!r}")
     found: List[Path] = []
@@ -71,7 +82,7 @@ def walk_python_files(root: str, exclude: Iterable[str] = ()) -> List[Path]:
             kept.append(name)
         dirnames[:] = kept
         for name in sorted(filenames):
-            if not name.endswith(".py") or name.startswith("."):
+            if Path(name).suffix not in suffixes or name.startswith("."):
                 continue
             child = here / name
             rel = child.relative_to(top).as_posix()
@@ -79,3 +90,8 @@ def walk_python_files(root: str, exclude: Iterable[str] = ()) -> List[Path]:
                 continue
             found.append(child)
     return found
+
+
+def walk_python_files(root: str, exclude: Iterable[str] = ()) -> List[Path]:
+    """Back-compat wrapper: only the ``.py`` files of the walk."""
+    return walk_source_files(root, exclude, suffixes=(".py",))

@@ -26,9 +26,7 @@ def spawn(rng: np.random.Generator) -> np.random.Generator:
     return np.random.default_rng(rng.integers(0, 2**63 - 1))
 
 
-def spawn_seed_sequences(
-    seed: Optional[int], n: int
-) -> List[np.random.SeedSequence]:
+def spawn_seed_sequences(seed: Optional[int], n: int) -> List[np.random.SeedSequence]:
     """``n`` independent children of one root :class:`SeedSequence`.
 
     This is the multi-start seeding policy: every start ``i`` of a
@@ -41,9 +39,7 @@ def spawn_seed_sequences(
     return root.spawn(n)
 
 
-def derive_start_rngs(
-    seed: Optional[int], n_starts: int
-) -> List[np.random.Generator]:
+def derive_start_rngs(seed: Optional[int], n_starts: int) -> List[np.random.Generator]:
     """One independent generator per start (see
     :func:`spawn_seed_sequences`)."""
     return [

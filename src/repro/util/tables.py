@@ -5,15 +5,11 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 
-def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence[Any]]
-) -> str:
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     """Render a fixed-width text table (used by every experiment)."""
     cells = [[str(h) for h in headers]]
     cells += [[_fmt(c) for c in row] for row in rows]
-    widths = [
-        max(len(row[i]) for row in cells) for i in range(len(headers))
-    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
     lines = []
     for r, row in enumerate(cells):
         line = "  ".join(c.ljust(w) for c, w in zip(row, widths))

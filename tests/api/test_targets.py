@@ -305,3 +305,73 @@ class TestRegisterProgramForce:
         from repro.programs.suite import _REGISTRY
 
         del _REGISTRY["test-force-prog"]
+
+
+class TestCTargets:
+    """``file.c::function`` specs: the cfront intake path."""
+
+    C_SPEC = "examples/c/fig.c::fig2"
+
+    def test_c_spec_parses_to_ctarget(self):
+        from repro.api import CTarget
+
+        target = parse_target_spec(self.C_SPEC)
+        assert isinstance(target, CTarget)
+        assert target.path == "examples/c/fig.c"
+        assert target.entry == "fig2"
+        assert target.describe() == self.C_SPEC
+
+    def test_c_target_resolves_and_is_memoized(self):
+        first = parse_target_spec(self.C_SPEC)
+        second = parse_target_spec(self.C_SPEC)
+        assert first is second
+        assert isinstance(first.resolve(), Program)
+        assert first.resolve() is second.resolve()
+
+    def test_c_target_memoization_invalidated_by_edit(self, tmp_path):
+        import os
+
+        source = tmp_path / "mut.c"
+        source.write_text("double f(double x) { return x + 1.0; }\n")
+        spec = f"{source}::f"
+        first = parse_target_spec(spec)
+        assert parse_target_spec(spec) is first
+        first.resolve()
+
+        source.write_text("double f(double x) { return x * 3.0; }\n")
+        stat = source.stat()
+        os.utime(source, (stat.st_atime, stat.st_mtime + 1))
+
+        second = parse_target_spec(spec)
+        assert second is not first
+        from repro.fpir.interpreter import run_program
+
+        assert run_program(first.resolve(), [2.0]).value == 3.0
+        assert run_program(second.resolve(), [2.0]).value == 6.0
+
+    def test_check_fails_fast_with_located_diagnostics(self, tmp_path):
+        from repro.api import CTarget
+        from repro.cfront import CFrontendError
+
+        with pytest.raises(CFrontendError, match="no C file"):
+            CTarget(path=str(tmp_path / "nope.c"), entry="f").check()
+        bad = tmp_path / "bad.c"
+        bad.write_text("double f(double x) { goto out; }\n")
+        with pytest.raises(CFrontendError, match="goto"):
+            CTarget(path=str(bad), entry="f").check()
+
+    def test_malformed_c_spec(self):
+        with pytest.raises(TargetError, match="file.c::function"):
+            parse_target_spec("examples/c/fig.c::")
+
+    def test_formula_kind_rejects_c_specs(self):
+        with pytest.raises(TargetError, match="constraint text"):
+            parse_target_spec(self.C_SPEC, kind="formula")
+
+    def test_engine_runs_c_spec(self):
+        report = Engine(EngineConfig(seed=3)).run(
+            "boundary", self.C_SPEC, n_starts=3, max_samples=3000
+        )
+        assert report.target == self.C_SPEC
+        assert report.verdict == "found"
+        assert report.findings

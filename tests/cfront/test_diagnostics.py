@@ -1,0 +1,221 @@
+"""Located, actionable diagnostics for out-of-subset C.
+
+Mirror of ``tests/fpir/test_frontend.py::TestDiagnostics`` on the C
+side: every rejected construct must fail with a :class:`CFrontendError`
+carrying a file:line location, the offending source line with a caret,
+and (for the interesting cases) a hint pointing at the supported
+rewrite.  ``CFrontendError`` subclasses ``FrontendError``, so every
+existing catch site — CLI exit-2 handling, batch validation, the scan
+orchestrator's demote-to-skip — admits these without change.
+"""
+
+import pytest
+
+from repro.cfront import CFrontendError, lower_c_source
+from repro.fpir.frontend import FrontendError
+
+#: (source, entry, pattern) — each must raise with a message matching
+#: ``pattern``.  Sources are complete translation units: signature
+#: rejections are recorded tolerantly at parse time and must resurface
+#: as located errors when the rejected name is *targeted*.
+CASES = [
+    (
+        "double f(double *x) { return 0.0; }",
+        "f",
+        r"parameter 1 is a pointer",
+    ),
+    (
+        "double f(double x[]) { return 0.0; }",
+        "f",
+        r"is an array",
+    ),
+    (
+        "double f(double x) { double a[3]; return x; }",
+        "f",
+        r"arrays are not supported",
+    ),
+    (
+        "struct pt { double x; };\n"
+        "double f(double x) { struct pt p; return x; }",
+        "f",
+        r"no aggregate types",
+    ),
+    (
+        "double f(double x) {\n"
+        "  if (x > 0.0) { goto out; }\n"
+        "  return x;\n"
+        "}",
+        "f",
+        r"goto is not supported",
+    ),
+    (
+        "int g(double x) { return 1; }",
+        "g",
+        r"return type 'int' is not double",
+    ),
+    (
+        "double f(double x) { return mystery(x); }",
+        "f",
+        r"call to unknown function 'mystery'",
+    ),
+    (
+        "double f(double x) { int k = 0; return x; }",
+        "f",
+        r"only double locals are supported \(found 'int'\)",
+    ),
+    (
+        "double f(double x) { y = x; return y; }",
+        "f",
+        r"declare it first",
+    ),
+    (
+        "double f(double x) { return x; } double g(double v) "
+        "{ return v & 1.0; }",
+        "g",
+        r"bitwise operator '&' is not supported",
+    ),
+    (
+        "double f(double x) { do { x = x - 1.0; } while (x > 0.0); "
+        "return x; }",
+        "f",
+        r"do/while loops are not supported",
+    ),
+    (
+        "double f(double x) { while (x > 0.0) { break; } return x; }",
+        "f",
+        r"'break' is not supported",
+    ),
+    (
+        "double f(double x) { switch (1) { } return x; }",
+        "f",
+        r"switch is not supported",
+    ),
+    (
+        "double f(double x) { double a = 0.0; double b = 0.0; "
+        "a = b = x; return a; }",
+        "f",
+        r"chained assignment is not supported",
+    ),
+    (
+        "#define SQ(v) ((v)*(v))\n"
+        "double f(double x) { return SQ(x); }",
+        "f",
+        r"call to 'SQ'",
+    ),
+    (
+        "double f(double x) { return (int) x; }",
+        "f",
+        r"casts are not supported",
+    ),
+    (
+        "double f(double x) { return abs(x); }",
+        "f",
+        r"use fabs",
+    ),
+    (
+        "double helper(double x);\n"
+        "double f(double x) { return helper(x); }",
+        "f",
+        r"declared but not defined",
+    ),
+    (
+        "double f(double x) { double x = 1.0; return x; }",
+        "f",
+        r"one flat scope per function",
+    ),
+    (
+        "double f(double x) { return x * 9_z; }",
+        "f",
+        r"bad numeric literal",
+    ),
+]
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize(
+        "source,entry,pattern",
+        CASES,
+        ids=[p.replace("\\", "")[:34] for _, _, p in CASES],
+    )
+    def test_located_error(self, source, entry, pattern):
+        with pytest.raises(CFrontendError, match=pattern):
+            lower_c_source(source, entry=entry)
+
+    def test_cfront_errors_are_frontend_errors(self):
+        """One exception taxonomy: every catch site that demotes a
+        FrontendError to a skip/exit-2 admits C diagnostics too."""
+        with pytest.raises(FrontendError):
+            lower_c_source("double f(double x) { goto out; }", entry="f")
+
+    def test_error_carries_location_caret_and_hint(self):
+        source = (
+            "double f(double x) {\n"
+            "    double y = x + 1.0;\n"
+            "    goto out;\n"
+            "    return y;\n"
+            "}\n"
+        )
+        with pytest.raises(CFrontendError) as excinfo:
+            lower_c_source(source, entry="f", filename="probe.c")
+        err = excinfo.value
+        assert err.lineno == 3
+        assert err.filename == "probe.c"
+        text = str(err)
+        assert "goto out;" in text
+        assert "^" in text
+        assert "hint:" in text
+        assert "restructure into if/else and while" in text
+
+    def test_skipped_signature_error_points_at_the_definition(self):
+        source = "double one(double x) { return x; }\nint g(double x) { return 1; }\n"
+        with pytest.raises(CFrontendError) as excinfo:
+            lower_c_source(source, entry="g")
+        assert excinfo.value.lineno == 2
+
+    def test_broken_body_error_is_the_stored_parse_error(self):
+        """A good signature with an out-of-subset body parses tolerantly
+        (the rest of the file stays usable) but re-raises the *original*
+        located error when that function is targeted."""
+        source = (
+            "double good(double x) { return x + 1.0; }\n"
+            "double bad(double x) {\n"
+            "    double a[4];\n"
+            "    return x;\n"
+            "}\n"
+        )
+        program = lower_c_source(source, entry="good")
+        assert program.entry == "good"
+        with pytest.raises(CFrontendError, match="arrays") as excinfo:
+            lower_c_source(source, entry="bad")
+        assert excinfo.value.lineno == 3
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CFrontendError, match="unterminated"):
+            lower_c_source("double f(double x) { return x; } /* oops")
+
+    def test_entry_selection_mirrors_python_frontend(self):
+        with pytest.raises(CFrontendError, match="no functions"):
+            lower_c_source("int k = 3;")
+        with pytest.raises(CFrontendError, match="pass entry="):
+            lower_c_source(
+                "double f(double x) { return x; }\n"
+                "double g(double x) { return x; }\n"
+            )
+        with pytest.raises(CFrontendError, match="no function named 'zz'"):
+            lower_c_source("double f(double x) { return x; }", entry="zz")
+
+    def test_value_position_logical_needs_boolean_operands(self):
+        """`&&` in value position mirrors the Python frontend's rule:
+        boolean-shaped operands lower, bare doubles are rejected with
+        the ternary hint."""
+        ok = lower_c_source(
+            "double f(double x) { double t = x > 0.0 && x < 1.0; "
+            "return t; }",
+            entry="f",
+        )
+        assert ok.entry == "f"
+        with pytest.raises(CFrontendError, match="ternary|cond \\? a : b"):
+            lower_c_source(
+                "double f(double x) { double t = x && 1.0; return t; }",
+                entry="f",
+            )

@@ -1,0 +1,251 @@
+"""cfront lowering semantics: the C subset lands on the same FPIR the
+Python frontend emits.
+
+These tests pin the *shape* of the lowered IR (for-desugar, ``%`` →
+the ``fmod`` external, constant folding, tolerant top level) and its
+*behaviour* under the interpreter.  Cross-frontend equality on the
+vendored kernels lives in ``test_parity.py``.
+"""
+
+import pytest
+
+from repro.cfront import CFrontendError, lower_c_source
+from repro.cfront.lower import parse_c_unit
+from repro.fpir.interpreter import run_program
+from repro.fpir.nodes import BinOp, Call, Const, While
+from repro.fpir.pretty import pretty_program
+
+
+def _walk(node):
+    yield node
+    for field in getattr(node, "__dataclass_fields__", {}):
+        value = getattr(node, field)
+        children = value if isinstance(value, tuple) else (value,)
+        for child in children:
+            if hasattr(child, "__dataclass_fields__"):
+                yield from _walk(child)
+
+
+def _body_nodes(program):
+    for stmt in program.functions[program.entry].body.stmts:
+        yield from _walk(stmt)
+
+
+class TestForDesugar:
+    def test_for_lowers_to_while(self):
+        program = lower_c_source(
+            "double f(double x) {\n"
+            "    double s = 0.0;\n"
+            "    for (double k = 1.0; k <= 4.0; k += 1.0) {\n"
+            "        s = s + x / k;\n"
+            "    }\n"
+            "    return s;\n"
+            "}",
+            entry="f",
+        )
+        loops = [n for n in _body_nodes(program) if isinstance(n, While)]
+        assert len(loops) == 1
+        # The update rides at the end of the while body.
+        assert "k = (k + 1.0)" in pretty_program(program)
+
+    def test_for_matches_handwritten_while(self):
+        desugared = lower_c_source(
+            "double f(double x) {\n"
+            "    double s = 0.0;\n"
+            "    for (double k = 1.0; k <= 4.0; k += 1.0) {\n"
+            "        s = s + x * k;\n"
+            "    }\n"
+            "    return s;\n"
+            "}",
+            entry="f",
+        )
+        spelled = lower_c_source(
+            "double f(double x) {\n"
+            "    double s = 0.0;\n"
+            "    double k = 1.0;\n"
+            "    while (k <= 4.0) {\n"
+            "        s = s + x * k;\n"
+            "        k = k + 1.0;\n"
+            "    }\n"
+            "    return s;\n"
+            "}",
+            entry="f",
+        )
+        assert desugared.functions == spelled.functions
+
+    def test_empty_for_clauses(self):
+        program = lower_c_source(
+            "double f(double x) {\n"
+            "    double k = 0.0;\n"
+            "    for (; k < 3.0;) { k = k + x; }\n"
+            "    return k;\n"
+            "}",
+            entry="f",
+        )
+        assert run_program(program, [1.0]).value == 3.0
+
+    def test_postfix_and_prefix_increment_in_update(self):
+        for update in ("k++", "++k", "k += 1.0"):
+            program = lower_c_source(
+                "double f(double x) {\n"
+                "    double s = 0.0;\n"
+                f"    for (double k = 0.0; k < x; {update}) "
+                "{ s = s + 2.0; }\n"
+                "    return s;\n"
+                "}",
+                entry="f",
+            )
+            assert run_program(program, [3.0]).value == 6.0
+
+
+class TestOperators:
+    def test_percent_lowers_to_fmod_external(self):
+        program = lower_c_source(
+            "double f(double x) { return x % 3.0; }", entry="f"
+        )
+        calls = [n for n in _body_nodes(program) if isinstance(n, Call)]
+        assert [c.func for c in calls] == ["fmod"]
+        assert run_program(program, [7.5]).value == 7.5 % 3.0
+
+    def test_fmod_quiet_nan_semantics(self):
+        """C99 fmod(x, 0) is a quiet NaN — the registered external,
+        not Python's raising math.fmod."""
+        import math
+
+        program = lower_c_source(
+            "double f(double x) { return fmod(x, 0.0); }", entry="f"
+        )
+        assert math.isnan(run_program(program, [1.0]).value)
+
+    def test_ternary_and_comparison(self):
+        program = lower_c_source(
+            "double f(double x) { return x > 0.0 ? x : -x; }", entry="f"
+        )
+        assert run_program(program, [-2.5]).value == 2.5
+        assert run_program(program, [4.0]).value == 4.0
+
+    def test_negated_literal_folds_to_const(self):
+        program = lower_c_source(
+            "double f(double x) { return x * -2.0; }", entry="f"
+        )
+        consts = [
+            n.value for n in _body_nodes(program) if isinstance(n, Const)
+        ]
+        assert -2.0 in consts
+
+    def test_condition_not_wrapped_with_ne_zero(self):
+        """`if (x)` relies on interpreter truthiness, exactly like the
+        Python frontend's `if x:` — no Compare('ne', x, 0) wrapper, or
+        the two frontends would diverge on the same shape."""
+        program = lower_c_source(
+            "double f(double x) { if (x) { return 1.0; } return 0.0; }",
+            entry="f",
+        )
+        assert "!=" not in pretty_program(program)
+        assert run_program(program, [0.25]).value == 1.0
+        assert run_program(program, [0.0]).value == 0.0
+
+
+class TestConstants:
+    def test_define_constants_substitute(self):
+        program = lower_c_source(
+            "#define HALF 0.5\n"
+            "double f(double x) { return x * HALF; }",
+            entry="f",
+        )
+        assert run_program(program, [3.0]).value == 1.5
+
+    def test_const_double_initializer_folds(self):
+        """`const double Q = 1.0 / 4.0;` folds at parse time to the
+        same Const(0.25) a plain literal produces."""
+        folded = lower_c_source(
+            "const double Q = 1.0 / 4.0;\n"
+            "double f(double x) { return x + Q; }",
+            entry="f",
+        )
+        literal = lower_c_source(
+            "const double Q = 0.25;\n"
+            "double f(double x) { return x + Q; }",
+            entry="f",
+        )
+        assert folded.functions == literal.functions
+
+    def test_fold_never_divides_eagerly(self):
+        """Folding `a + b` must not evaluate `a / b` on the side: a
+        zero denominator in an unrelated op is not an error."""
+        program = lower_c_source(
+            "const double Z = 1.0 + 0.0;\n"
+            "double f(double x) { return x * Z; }",
+            entry="f",
+        )
+        assert run_program(program, [5.0]).value == 5.0
+
+    def test_function_like_macros_are_rejected_names(self):
+        unit, _ = parse_c_unit(
+            "#define SQ(v) ((v)*(v))\n"
+            "double f(double x) { return x; }\n"
+        )
+        assert "SQ" in unit.rejected_names
+
+
+class TestTolerantTopLevel:
+    SOURCE = (
+        "#include <math.h>\n"
+        "struct state { double t; };\n"
+        "int counter = 0;\n"
+        "static int bump(void) { return ++counter; }\n"
+        "double helper(double x) { return x * 2.0; }\n"
+        "double broken(double x) { double a[2]; return x; }\n"
+        "double entrypoint(double x) { return helper(x) + 1.0; }\n"
+    )
+
+    def test_good_function_lowers_despite_bad_neighbours(self):
+        program = lower_c_source(self.SOURCE, entry="entrypoint")
+        assert run_program(program, [3.0]).value == 7.0
+        # Transitive helper rides along, helpers-before-callers.
+        assert list(program.functions) == ["helper", "entrypoint"]
+
+    def test_out_of_subset_definitions_record_reasons(self):
+        unit, _ = parse_c_unit(self.SOURCE)
+        assert set(unit.functions) == {"helper", "entrypoint"}
+        assert "bump" in unit.skipped
+        assert "not double" in unit.skipped["bump"].reason
+        assert "broken" in unit.broken
+        assert "arrays" in unit.broken["broken"].error.reason
+
+    def test_duplicate_definition_is_an_error(self):
+        with pytest.raises(CFrontendError, match="defined more than once"):
+            parse_c_unit(
+                "double f(double x) { return x; }\n"
+                "double f(double x) { return x + 1.0; }\n"
+            )
+
+
+class TestHelpers:
+    def test_helper_arity_checked_at_call_site(self):
+        with pytest.raises(CFrontendError, match="argument"):
+            lower_c_source(
+                "double h(double a, double b) { return a + b; }\n"
+                "double f(double x) { return h(x); }\n",
+                entry="f",
+            )
+
+    def test_math_externals_stay_calls(self):
+        program = lower_c_source(
+            "double f(double x) { return sqrt(fabs(x)); }", entry="f"
+        )
+        fns = sorted(
+            n.func for n in _body_nodes(program) if isinstance(n, Call)
+        )
+        assert fns == ["fabs", "sqrt"]
+        assert run_program(program, [-4.0]).value == 2.0
+
+    def test_unary_minus_on_expression_is_fneg(self):
+        program = lower_c_source(
+            "double f(double x) { return -(x + 1.0); }", entry="f"
+        )
+        assert run_program(program, [2.0]).value == -3.0
+        assert any(
+            isinstance(n, BinOp) and n.op == "fadd"
+            for n in _body_nodes(program)
+        )

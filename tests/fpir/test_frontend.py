@@ -368,3 +368,105 @@ def _countdown(x):
     if x > 0.0:
         return _countdown(x - 1.0)
     return x
+
+
+class TestForRangeDesugar:
+    """``for i in range(...)`` desugars to the equivalent while loop
+    over a float counter (the C frontend's ``for`` desugar lands on
+    the same shape — see tests/cfront/)."""
+
+    def test_for_matches_handwritten_while(self):
+        desugared = lower_source(
+            "def f(x):\n"
+            "    s = 0.0\n"
+            "    for k in range(1, 5):\n"
+            "        s = s + x * k\n"
+            "    return s\n"
+        )
+        spelled = lower_source(
+            "def f(x):\n"
+            "    s = 0.0\n"
+            "    k = 1.0\n"
+            "    while k < 5.0:\n"
+            "        s = s + x * k\n"
+            "        k = k + 1.0\n"
+            "    return s\n"
+        )
+        assert desugared.functions == spelled.functions
+
+    def test_single_argument_range_starts_at_zero(self):
+        program = lower_source(
+            "def f(x):\n"
+            "    s = 0.0\n"
+            "    for i in range(3):\n"
+            "        s = s + x\n"
+            "    return s\n"
+        )
+        assert run_program(program, [2.0]).value == 6.0
+
+    def test_negative_literal_step_counts_down(self):
+        program = lower_source(
+            "def f(x):\n"
+            "    s = 0.0\n"
+            "    for k in range(3, 0, -1):\n"
+            "        s = s + k\n"
+            "    return s + x\n"
+        )
+        assert run_program(program, [0.5]).value == 6.5
+
+    def test_stop_bound_snapshots_when_body_reassigns_it(self):
+        """Python evaluates range() once; the desugar must snapshot a
+        stop bound the body mutates, not re-read it every iteration."""
+        program = lower_source(
+            "def f(n):\n"
+            "    s = 0.0\n"
+            "    for i in range(n):\n"
+            "        n = 0.0\n"
+            "        s = s + 1.0\n"
+            "    return s\n"
+        )
+        assert run_program(program, [4.0]).value == 4.0
+
+    def test_loop_variable_usable_after_loop(self):
+        program = lower_source(
+            "def f(x):\n"
+            "    for i in range(4):\n"
+            "        x = x + 1.0\n"
+            "    return i\n"
+        )
+        # The counter holds the first value that failed the test.
+        assert run_program(program, [0.0]).value == 4.0
+
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            (
+                "def f(x):\n    for i in range(x, 10.0, x):\n"
+                "        x = x - 1.0\n    return x\n",
+                "numeric literal",
+            ),
+            (
+                "def f(x):\n    for i in range(0, 10, 0):\n"
+                "        x = x + 1.0\n    return x\n",
+                "must not be zero",
+            ),
+            (
+                "def f(x):\n    for i in range(3):\n        x = x + i\n"
+                "    else:\n        x = 0.0\n    return x\n",
+                "for/else",
+            ),
+            (
+                "def f(x):\n    for a, b in range(3):\n"
+                "        x = x + 1.0\n    return x\n",
+                "simple name",
+            ),
+            (
+                "def f(x):\n    range = x\n    for i in range(3):\n"
+                "        x = x + 1.0\n    return x\n",
+                "only supported over range",
+            ),
+        ],
+    )
+    def test_out_of_subset_for_shapes(self, source, pattern):
+        with pytest.raises(FrontendError, match=pattern):
+            lower_source(source)

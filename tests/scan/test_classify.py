@@ -88,3 +88,38 @@ class TestOneSidedInvariant:
         for record in admitted:
             program = lower_file(record.path, record.name)
             assert program.entry == record.name
+
+
+class TestForRangeAdmission:
+    """The prescan mirrors the frontend's ``for i in range(...)``
+    desugar admission — same shapes in, same shapes out."""
+
+    def test_range_loop_is_admitted_and_lowers(self, tmp_path):
+        (record,) = _discover(
+            tmp_path,
+            "def f(x):\n"
+            "    s = 0.0\n"
+            "    for k in range(1, 5):\n"
+            "        s = s + x * k\n"
+            "    return s\n",
+        )
+        assert record.lowerable
+        assert lower_file(record.path, record.name).entry == "f"
+
+    def test_non_range_iteration_is_rejected_with_location(self, tmp_path):
+        (record,) = _discover(
+            tmp_path,
+            "def f(xs):\n    s = 0.0\n    for v in xs:\n"
+            "        s = s + v\n    return s\n",
+        )
+        assert not record.lowerable
+        assert record.skip_reason.startswith("line 3:")
+
+    def test_variable_step_is_rejected(self, tmp_path):
+        (record,) = _discover(
+            tmp_path,
+            "def f(x):\n    for i in range(0, 10.0, x):\n"
+            "        x = x + 1.0\n    return x\n",
+        )
+        assert not record.lowerable
+        assert "step" in record.skip_reason

@@ -119,3 +119,46 @@ class TestRenderings:
         ]
         for finding in rendered["findings"]:
             assert finding["x"] is None or isinstance(finding["x"], list)
+
+
+class TestCTargetSpecs:
+    """``file.c::fn`` target specs ride the wire unchanged: the spec
+    string is data until job time, when the shared translator resolves
+    it through :func:`repro.api.targets.parse_target_spec` — the same
+    suffix dispatch every campaign shape uses."""
+
+    C_SPEC = "examples/c/fig.c::fig2"
+
+    def test_c_spec_normalizes_verbatim(self):
+        normalized = normalize_job_payload(
+            payload(analysis="boundary", target=self.C_SPEC)
+        )
+        assert normalized["target"] == self.C_SPEC
+
+    def test_c_spec_reaches_a_resolvable_job_request(self):
+        from repro.api.targets import CTarget
+
+        _, job = parse_job_payload(
+            payload(analysis="boundary", target=self.C_SPEC, smoke=True)
+        )
+        request = job_request(job)
+        target = request.target
+        if isinstance(target, str):  # spec resolved at session intake
+            from repro.api.targets import parse_target_spec
+
+            target = parse_target_spec(target)
+        assert isinstance(target, CTarget)
+        assert target.entry == "fig2"
+
+    def test_fingerprint_distinguishes_c_and_python_twins(self):
+        """Same entry name, different file: the journal key must not
+        collide (replay identity is the payload, not the program)."""
+        a = payload_fingerprint(
+            normalize_job_payload(payload(target=self.C_SPEC))
+        )
+        b = payload_fingerprint(
+            normalize_job_payload(
+                payload(target="examples/python_targets.py::fig2")
+            )
+        )
+        assert a != b
