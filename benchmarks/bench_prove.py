@@ -1,0 +1,93 @@
+"""Prove-before-search benchmarks: what does the static tier buy?
+
+Two questions, quantified over the repository's own ``examples/``
+tree (mixed Python and C, hazard demos and provable kernels):
+
+* How cheap is the static pass itself?  Abstract interpretation of
+  the whole corpus must stay negligible next to one dynamic campaign
+  — `test_static_pass_throughput` analyzes and proves every lowerable
+  function without a single engine evaluation.
+
+* What does ``--prove`` buy a cold scan?  Every certified (function,
+  analysis) pair skips its campaign outright, so a cold ``--prove``
+  scan must beat a cold plain scan by >= 1.2x wall-clock while
+  reporting **identical findings** — a speedup bought by changing
+  verdicts would be a bug, not an optimization.
+"""
+
+import time
+
+from repro.scan import ScanConfig, scan_project
+
+SEED = 20190622
+
+EXAMPLES = "examples"
+
+
+def _config(store_dir: str, prove: bool = False) -> ScanConfig:
+    return ScanConfig(
+        analyses=("overflow",),
+        seed=SEED,
+        smoke=True,
+        store_dir=store_dir,
+        prove=prove,
+    )
+
+
+def test_static_pass_throughput(once):
+    """Analyze + prove the whole corpus; no engine, no store."""
+    from repro.api.targets import parse_target_spec
+    from repro.scan.classify import discover_functions
+    from repro.scan.walker import walk_source_files
+    from repro.static import analyze, find_hazards, prove
+
+    def static_pass():
+        n_certified = n_hazards = 0
+        for fn in discover_functions(walk_source_files(EXAMPLES)):
+            if not fn.lowerable:
+                continue
+            program = parse_target_spec(fn.spec).resolve()
+            result = analyze(program)
+            n_hazards += len(find_hazards(result))
+            if prove(program, "overflow", result) is not None:
+                n_certified += 1
+        return n_certified, n_hazards
+
+    n_certified, n_hazards = once(static_pass)
+    assert n_certified >= 5
+    assert n_hazards >= 10
+
+
+def test_prove_scan_speedup(tmp_path):
+    """Cold ``--prove`` beats a cold plain scan, findings identical."""
+    t0 = time.perf_counter()
+    plain = scan_project(EXAMPLES, _config(str(tmp_path / "plain")))
+    plain_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    proved = scan_project(
+        EXAMPLES, _config(str(tmp_path / "proved"), prove=True)
+    )
+    proved_s = time.perf_counter() - t0
+
+    assert proved.n_proven >= 5
+    assert all(
+        r.n_evals == 0
+        for r in proved.results
+        if r.source == "proven"
+    )
+
+    def essence(report):
+        return [
+            (r.target, r.analysis, r.verdict, r.findings)
+            for r in report.results
+        ]
+
+    assert essence(plain) == essence(proved)
+
+    speedup = plain_s / max(proved_s, 1e-9)
+    print(
+        f"\nplain cold scan {plain_s * 1e3:.0f}ms, --prove cold scan "
+        f"{proved_s * 1e3:.0f}ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 1.2

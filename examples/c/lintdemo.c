@@ -1,0 +1,38 @@
+/* Deliberate floating-point hazards — the `repro lint` showcase.
+ *
+ *     python -m repro lint examples/c/lintdemo.c
+ *
+ * Every function here trips a different static hazard: a divisor
+ * whose interval straddles zero, a sqrt/log argument that can leave
+ * the domain, a product that can reach ±inf from finite inputs, and
+ * a subtraction of same-sign near-equal operands.  The static tier
+ * flags each at its source location with a caret; none of these are
+ * certifiable, so `repro scan --prove` still hunts them dynamically.
+ *
+ * Python twin: examples/lintdemo_twin.py (same names, same shapes) —
+ * both lower to identical FPIR, so the twin lints identically (same
+ * kinds, ops and functions; only the file:line anchors differ).
+ */
+
+#include <math.h>
+
+double unstable_quotient(double x, double d) {
+    return (x + 1.0) / (d - 1.0);
+}
+
+double sqrt_shift(double x) {
+    return sqrt(x - 2.0);
+}
+
+double log_ratio(double a, double b) {
+    return log(a / b);
+}
+
+double scale_up(double x) {
+    double y = x * 1.0e300;
+    return y * y;
+}
+
+double near_cancel(double x) {
+    return (x + 1.0) - x;
+}

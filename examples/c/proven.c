@@ -1,0 +1,106 @@
+/* Range-guarded kernels the static tier certifies overflow-safe.
+ *
+ *     python -m repro scan examples/ --prove
+ *
+ * Each entry guards its inputs with ordered comparisons and computes
+ * only in the guard's true branch.  IEEE ordered comparisons are
+ * false for NaN, so the true branch sees a finite, NaN-free interval
+ * — the abstract interpreter proves every float op stays strictly
+ * inside ±DBL_MAX over the *entire* double domain (±inf and NaN
+ * included), and `repro scan --prove` skips the dynamic overflow
+ * campaign for these functions entirely (zero engine evaluations).
+ *
+ * Python twin: examples/proven_twin.py (same names, same shapes);
+ * both lowerings are dataclass-equal, so certificates transfer.
+ */
+
+#include <math.h>
+
+double horner_cubic(double x) {
+    if (-4.0 < x && x < 4.0) {
+        return ((0.25 * x + 0.5) * x + 1.0) * x + 2.0;
+    }
+    return 0.0;
+}
+
+double bounded_wave(double x) {
+    if (-6.3 < x && x < 6.3) {
+        double s = sin(x);
+        double c = cos(x);
+        return 0.5 * s + 0.25 * c + 0.125 * s * c;
+    }
+    return 0.0;
+}
+
+double rational_bounded(double x) {
+    if (1.0 < x && x < 16.0) {
+        return (x - 0.5) / (x + 2.0);
+    }
+    return 1.0;
+}
+
+double scaled_diff(double a, double b) {
+    if (-128.0 < a && a < 128.0) {
+        if (-128.0 < b && b < 128.0) {
+            return 0.5 * (a - b) * (a + b);
+        }
+    }
+    return 0.0;
+}
+
+/* Loop kernels certify too when the body is a contraction: the
+ * widened accumulator still keeps every op strictly below DBL_MAX. */
+
+double iter_wave(double x) {
+    if (-6.3 < x && x < 6.3) {
+        double y = 0.0;
+        double k = 1.0;
+        while (k <= 24.0) {
+            y = 0.5 * sin(k * x) + 0.25 * cos(x) + 0.125 * y;
+            k = k + 1.0;
+        }
+        return y;
+    }
+    return 0.0;
+}
+
+double folded_horner(double x) {
+    if (-2.0 < x && x < 2.0) {
+        double p = 0.0;
+        double k = 1.0;
+        while (k <= 16.0) {
+            p = 0.5 * p + 0.0625 * x * x;
+            k = k + 1.0;
+        }
+        return p;
+    }
+    return 0.0;
+}
+
+double damped_mix(double a, double b) {
+    if (-32.0 < a && a < 32.0) {
+        if (-32.0 < b && b < 32.0) {
+            double m = 0.0;
+            double k = 1.0;
+            while (k <= 20.0) {
+                m = 0.5 * m + 0.25 * a + 0.25 * b;
+                k = k + 1.0;
+            }
+            return m;
+        }
+    }
+    return 0.0;
+}
+
+double cos_cascade(double x) {
+    if (-3.2 < x && x < 3.2) {
+        double c = 1.0;
+        double k = 1.0;
+        while (k <= 32.0) {
+            c = 0.5 * cos(x * c) + 0.5 * cos(x + k);
+            k = k + 1.0;
+        }
+        return c;
+    }
+    return 0.0;
+}

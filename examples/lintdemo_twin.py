@@ -1,0 +1,36 @@
+"""Python twin of ``examples/c/lintdemo.c`` — the lint showcase.
+
+Every function mirrors its C original shape for shape, so both lower
+to identical FPIR and ``repro lint`` reports the same hazards for
+each pair (same kinds, ops and functions; only file:line differs)::
+
+    python -m repro lint examples/lintdemo_twin.py
+
+Hazard per function: ``unstable_quotient`` divides by an interval
+containing zero; ``sqrt_shift``/``log_ratio`` can leave their call's
+domain; ``scale_up`` can overflow from finite inputs; ``near_cancel``
+subtracts same-sign near-equal operands.
+"""
+
+import math
+
+
+def unstable_quotient(x, d):
+    return (x + 1.0) / (d - 1.0)
+
+
+def sqrt_shift(x):
+    return math.sqrt(x - 2.0)
+
+
+def log_ratio(a, b):
+    return math.log(a / b)
+
+
+def scale_up(x):
+    y = x * 1.0e300
+    return y * y
+
+
+def near_cancel(x):
+    return (x + 1.0) - x

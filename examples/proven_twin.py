@@ -1,0 +1,88 @@
+"""Python twin of ``examples/c/proven.c`` — statically provable kernels.
+
+Every function mirrors its C original shape for shape; both lower to
+identical FPIR, so the static tier issues the same overflow-safety
+certificate for each pair.  The pattern that makes them provable:
+range-guard the inputs with ordered comparisons and compute in the
+guard's *true* branch.  Ordered comparisons are false for NaN, so the
+true branch is entered only with finite, NaN-free values — the
+abstract interpreter then bounds every float op strictly inside
+±DBL_MAX over the whole double domain, and ``repro scan --prove``
+replays the certificate instead of running the overflow campaign::
+
+    python -m repro scan examples/ --prove
+"""
+
+import math
+
+
+def horner_cubic(x):
+    if -4.0 < x and x < 4.0:
+        return ((0.25 * x + 0.5) * x + 1.0) * x + 2.0
+    return 0.0
+
+
+def bounded_wave(x):
+    if -6.3 < x and x < 6.3:
+        s = math.sin(x)
+        c = math.cos(x)
+        return 0.5 * s + 0.25 * c + 0.125 * s * c
+    return 0.0
+
+
+def rational_bounded(x):
+    if 1.0 < x and x < 16.0:
+        return (x - 0.5) / (x + 2.0)
+    return 1.0
+
+
+def scaled_diff(a, b):
+    if -128.0 < a and a < 128.0:
+        if -128.0 < b and b < 128.0:
+            return 0.5 * (a - b) * (a + b)
+    return 0.0
+
+
+def iter_wave(x):
+    if -6.3 < x and x < 6.3:
+        y = 0.0
+        k = 1.0
+        while k <= 24.0:
+            y = 0.5 * math.sin(k * x) + 0.25 * math.cos(x) + 0.125 * y
+            k = k + 1.0
+        return y
+    return 0.0
+
+
+def folded_horner(x):
+    if -2.0 < x and x < 2.0:
+        p = 0.0
+        k = 1.0
+        while k <= 16.0:
+            p = 0.5 * p + 0.0625 * x * x
+            k = k + 1.0
+        return p
+    return 0.0
+
+
+def damped_mix(a, b):
+    if -32.0 < a and a < 32.0:
+        if -32.0 < b and b < 32.0:
+            m = 0.0
+            k = 1.0
+            while k <= 20.0:
+                m = 0.5 * m + 0.25 * a + 0.25 * b
+                k = k + 1.0
+            return m
+    return 0.0
+
+
+def cos_cascade(x):
+    if -3.2 < x and x < 3.2:
+        c = 1.0
+        k = 1.0
+        while k <= 32.0:
+            c = 0.5 * math.cos(x * c) + 0.5 * math.cos(x + k)
+            k = k + 1.0
+        return c
+    return 0.0

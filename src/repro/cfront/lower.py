@@ -43,6 +43,7 @@ from repro.fpir.nodes import (
     Expr,
     If,
     Return,
+    SourceLoc,
     Stmt,
     Ternary,
     UnOp,
@@ -224,6 +225,18 @@ class _CFunctionLowerer:
     # -- expressions --------------------------------------------------------
 
     def _expr(self, node: C.CExpr, as_condition: bool = False) -> Expr:
+        # Mirror of the Python frontend's `_expr` wrapper: lower, then
+        # attach the advisory SourceLoc (excluded from digests/equality,
+        # so C/Python twins stay dataclass-equal).
+        expr = self._lower_expr(node, as_condition)
+        line = getattr(node, "line", None)
+        if line is not None:
+            expr.loc = SourceLoc(
+                self.env.filename, int(line), getattr(node, "col", None)
+            )
+        return expr
+
+    def _lower_expr(self, node: C.CExpr, as_condition: bool = False) -> Expr:
         if isinstance(node, C.CNum):
             return Const(node.value)
         if isinstance(node, C.CName):

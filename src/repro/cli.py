@@ -305,12 +305,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="machine-readable report on stdout",
     )
     scan.add_argument(
+        "--prove", action="store_true",
+        help="consult the static tier first: functions with a safety "
+             "certificate skip their dynamic campaign entirely (zero "
+             "engine evaluations, like a cache hit)",
+    )
+    scan.add_argument(
         "--progress", action="store_true",
         help="stream per-job progress events to stderr",
     )
     scan.add_argument(
         "--events-out", dest="events_out", default=None, metavar="PATH",
         help="write every campaign event as JSON Lines to PATH",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint a project tree for floating-point "
+             "hazards (no engine evaluations)",
+    )
+    lint.add_argument(
+        "path",
+        help="project directory (or single .py/.c file) to lint",
+    )
+    lint.add_argument(
+        "--exclude", action="append", default=[], metavar="PATTERN",
+        help="fnmatch pattern pruned from the walk (repeatable)",
+    )
+    lint.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="machine-readable report on stdout",
     )
 
     serve = sub.add_parser(
@@ -684,6 +708,7 @@ def _cmd_scan(args) -> int:
             store_dir=args.store,
             baseline=args.baseline,
             update_baseline=args.update_baseline,
+            prove=args.prove,
             on_event=_progress_printer() if args.progress else None,
             event_sink=args.events_out,
         )
@@ -696,6 +721,28 @@ def _cmd_scan(args) -> int:
     else:
         print(render_scan_report(report))
     return scan_exit_code(report)
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.static import (
+        lint_exit_code,
+        lint_paths,
+        lint_report_to_dict,
+        render_lint_report,
+    )
+
+    try:
+        report = lint_paths(args.path, exclude=tuple(args.exclude))
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(lint_report_to_dict(report), indent=2, sort_keys=True))
+    else:
+        print(render_lint_report(report))
+    return lint_exit_code(report)
 
 
 def _cmd_serve(args) -> int:
@@ -796,6 +843,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "client":

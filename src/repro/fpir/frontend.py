@@ -72,6 +72,7 @@ from repro.fpir.nodes import (
     Expr,
     If,
     Return,
+    SourceLoc,
     Stmt,
     Ternary,
     UnOp,
@@ -558,7 +559,20 @@ class _FunctionLowerer:
         there ``and``/``or`` is only accepted over boolean-valued
         operands — anything else is a located error, never a silent
         mistranslation.
+
+        Every lowered expression carries a :class:`SourceLoc` (advisory
+        ``.loc`` attribute) so the static tier can anchor diagnostics;
+        locations never affect digests or equality.
         """
+        expr = self._lower_expr(node, as_condition)
+        line = getattr(node, "lineno", None)
+        if line is not None:
+            expr.loc = SourceLoc(
+                self.env.filename, int(line), getattr(node, "col_offset", None)
+            )
+        return expr
+
+    def _lower_expr(self, node: ast.expr, as_condition: bool = False) -> Expr:
         if isinstance(node, ast.Constant):
             return self._constant(node)
         if isinstance(node, ast.Name):

@@ -26,7 +26,24 @@ rewriters dispatch on their classes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple, Union
+from typing import NamedTuple, Optional, Tuple, Union
+
+
+class SourceLoc(NamedTuple):
+    """Source position an expression was lowered from.
+
+    ``line`` is 1-based, ``col`` 0-based (both frontends' convention).
+    Locations are *advisory* metadata for diagnostics (``repro lint``):
+    they are attached as a non-field attribute, excluded from pickling
+    (so ``program_digest`` ignores them — editing a comment must not
+    invalidate the scan store) and from dataclass equality (so a C
+    kernel and its Python twin still lower to equal programs).
+    """
+
+    file: str
+    line: int
+    col: Optional[int] = None
+
 
 # ---------------------------------------------------------------------------
 # Expressions
@@ -37,6 +54,15 @@ class Expr:
     """Base class for FPIR expressions."""
 
     __slots__ = ()
+
+    def __getstate__(self):
+        # Strip the advisory `loc` attribute (see SourceLoc): pickles —
+        # and therefore content digests and deep copies — depend only
+        # on the semantic fields.
+        state = self.__dict__
+        if "loc" in state:
+            state = {k: v for k, v in state.items() if k != "loc"}
+        return state
 
 
 @dataclasses.dataclass

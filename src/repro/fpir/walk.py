@@ -78,3 +78,30 @@ def iter_all_exprs(blk: Block) -> Iterator[Expr]:
 def assigned_names(blk: Block) -> set:
     """Names assigned anywhere in ``blk``."""
     return {s.name for s in iter_stmts(blk) if isinstance(s, Assign)}
+
+
+def iter_float_ops(blk: Block) -> Iterator[BinOp]:
+    """Every elementary FP operation (labelled-op granularity) in ``blk``.
+
+    These are exactly the sites Algorithm 3's overflow probes attach
+    to, so the static tier's proof obligations iterate the same set.
+    """
+    from repro.fpir.nodes import FLOAT_OPS
+
+    for expr in iter_all_exprs(blk):
+        if expr.__class__ is BinOp and expr.op in FLOAT_OPS:
+            yield expr
+
+
+def iter_compare_sites(blk: Block) -> Iterator[Compare]:
+    """Every comparison (boundary-condition site) in ``blk``."""
+    for expr in iter_all_exprs(blk):
+        if expr.__class__ is Compare:
+            yield expr
+
+
+def iter_calls(blk: Block) -> Iterator[Call]:
+    """Every call expression (FPIR-internal or external) in ``blk``."""
+    for expr in iter_all_exprs(blk):
+        if expr.__class__ is Call:
+            yield expr

@@ -14,11 +14,17 @@ One :func:`scan_project` call is one CI run:
    function to a skip carrying the frontend's located diagnostic;
 3. **replay** every (digest, analysis, config-fingerprint) hit from
    the persistent store — an unchanged function costs zero engine
-   evaluations on re-scan;
+   evaluations on re-scan.  Under ``--prove``, the static tier
+   (:mod:`repro.static`) runs next: a persisted or freshly-proved
+   safety certificate (:func:`repro.static.prove.prove`) also replays
+   with zero engine evaluations, keyed in the same store under the
+   :func:`~repro.scan.store.certificate_fingerprint`;
 4. run the misses as a prioritized campaign through one
-   :class:`repro.api.session.Session` — cheapest (smallest AST)
-   functions first, so a scan interrupted mid-CI has already verified
-   the most targets per second spent.  Each job carries its own
+   :class:`repro.api.session.Session` — hazard-dense functions first
+   (:func:`repro.static.hazards.find_hazards` counts per program),
+   then cheapest (smallest AST), then target spec: a total order, so
+   a scan interrupted mid-CI has spent its budget where the static
+   tier sees danger.  Each job carries its own
    :class:`~repro.api.engine.EngineConfig` built by
    :func:`repro.core.batch.job_request` with a fixed seed and
    ``deterministic=True``, so serial and ``--workers N`` scans are
@@ -40,6 +46,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.scan.classify import DiscoveredFunction, discover_functions
 from repro.scan.report import (
     FROM_ENGINE,
+    FROM_PROOF,
     FROM_STORE,
     FunctionResult,
     ScanReport,
@@ -47,6 +54,7 @@ from repro.scan.report import (
 from repro.scan.store import (
     Baseline,
     ResultStore,
+    certificate_fingerprint,
     config_fingerprint,
     finding_key,
     program_digest,
@@ -84,6 +92,10 @@ class ScanConfig:
     baseline: bool = False
     #: Accept every current finding as the new baseline.
     update_baseline: bool = False
+    #: Consult the static tier before building session jobs: a
+    #: (function, analysis) pair with a safety certificate replays
+    #: with zero engine evaluations, exactly like a cache hit.
+    prove: bool = False
     on_event: Any = None
     event_sink: Any = None
 
@@ -140,18 +152,18 @@ def _findings_payload(report: Any) -> List[Dict[str, Any]]:
 
 def _lower_targets(
     functions: Sequence[DiscoveredFunction],
-) -> List[Tuple[DiscoveredFunction, str]]:
+) -> List[Tuple[DiscoveredFunction, str, Any]]:
     """Lower each admitted function once; demote residual failures.
 
-    Returns ``(function, digest)`` pairs for everything that lowered.
-    The ``file.py::fn`` instances stay memoized in the target cache,
-    so the campaign jobs (which name the same specs) reuse the lowered
-    programs instead of re-reading the files.
+    Returns ``(function, digest, program)`` triples for everything
+    that lowered.  The ``file.py::fn`` instances stay memoized in the
+    target cache, so the campaign jobs (which name the same specs)
+    reuse the lowered programs instead of re-reading the files.
     """
     from repro.api.targets import TargetError, parse_target_spec
     from repro.fpir.frontend import FrontendError
 
-    lowered: List[Tuple[DiscoveredFunction, str]] = []
+    lowered: List[Tuple[DiscoveredFunction, str, Any]] = []
     for fn in functions:
         try:
             program = parse_target_spec(fn.spec).resolve()
@@ -159,8 +171,73 @@ def _lower_targets(
             fn.lowerable = False
             fn.skip_reason = f"frontend rejected: {exc}"
             continue
-        lowered.append((fn, program_digest(program)))
+        lowered.append((fn, program_digest(program), program))
     return lowered
+
+
+class _StaticTier:
+    """Lazy per-digest access to the static pass during one scan.
+
+    One abstract-interpretation run serves every consumer — hazard
+    counts for miss prioritization and certificates for ``--prove`` —
+    and runs only for functions that actually miss the store.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[str, Any] = {}
+        self._hazards: Dict[str, int] = {}
+
+    def _result(self, digest: str, program: Any) -> Any:
+        if digest not in self._results:
+            from repro.static import analyze
+
+            try:
+                self._results[digest] = analyze(program)
+            except Exception:
+                # The static tier is advisory here: a failure must
+                # degrade to "no priority signal, no certificate",
+                # never take the dynamic scan down with it.
+                self._results[digest] = None
+        return self._results[digest]
+
+    def hazard_count(self, digest: str, program: Any) -> int:
+        if digest not in self._hazards:
+            from repro.static import find_hazards
+
+            result = self._result(digest, program)
+            try:
+                count = len(find_hazards(result)) if result else 0
+            except Exception:
+                count = 0
+            self._hazards[digest] = count
+        return self._hazards[digest]
+
+    def certificate(self, digest: str, program: Any, analysis: str) -> Any:
+        from repro.static import prove
+
+        result = self._result(digest, program)
+        if result is None or not result.complete:
+            return None
+        try:
+            return prove(program, analysis, result)
+        except Exception:
+            return None
+
+
+def _proven_result(
+    target: str, analysis: str, digest: str, certificate: Dict[str, Any]
+) -> FunctionResult:
+    return FunctionResult(
+        target=target,
+        analysis=analysis,
+        verdict="not-found",
+        findings=[],
+        source=FROM_PROOF,
+        digest=digest,
+        n_evals=0,
+        elapsed_seconds=0.0,
+        certificate=dict(certificate),
+    )
 
 
 def _cached_result(
@@ -273,20 +350,66 @@ def scan_project(root: str, config: Optional[ScanConfig] = None) -> ScanReport:
     fingerprint = config.fingerprint()
 
     lowered = _lower_targets([d for d in discovered if d.lowerable])
+    static_tier = _StaticTier()
+    cert_fp = None
+    if config.prove:
+        from repro.static import STATIC_VERSION
+
+        cert_fp = certificate_fingerprint(STATIC_VERSION)
 
     cached: List[FunctionResult] = []
+    proven: List[FunctionResult] = []
     misses: List[Tuple[DiscoveredFunction, str, str]] = []
-    for fn, digest in lowered:
+    programs: Dict[str, Any] = {}
+    for fn, digest, program in lowered:
+        programs[digest] = program
         for analysis in config.analyses:
             record = store.get(digest, analysis, fingerprint)
             if record is not None:
                 cached.append(_cached_result(record, fn.spec, analysis))
-            else:
-                misses.append((fn, digest, analysis))
-    # Cheapest first: a scan killed mid-CI has maximized verified
-    # functions per second.  Ties break on (path, name, analysis) so
-    # submission order — and the JSONL append order — is deterministic.
-    misses.sort(key=lambda m: (m[0].size, m[0].path, m[0].name, m[2]))
+                continue
+            if config.prove:
+                # Prove-before-search: a persisted certificate replays
+                # like a cache hit; a fresh proof is persisted so the
+                # next --prove scan replays it without re-analyzing.
+                cert_record = store.get(digest, analysis, cert_fp)
+                if cert_record is None:
+                    certificate = static_tier.certificate(
+                        digest, program, analysis
+                    )
+                    if certificate is not None:
+                        cert_record = {
+                            "digest": digest,
+                            "analysis": analysis,
+                            "fingerprint": cert_fp,
+                            "target": fn.spec,
+                            "certificate": certificate.to_dict(),
+                        }
+                        store.put(cert_record)
+                if cert_record is not None:
+                    proven.append(
+                        _proven_result(
+                            fn.spec,
+                            analysis,
+                            digest,
+                            cert_record.get("certificate", {}),
+                        )
+                    )
+                    continue
+            misses.append((fn, digest, analysis))
+    # Hazard-dense functions first (a scan killed mid-CI has spent its
+    # budget where the static tier sees danger), then cheapest (small
+    # AST), then (target spec, analysis): a total order, so submission
+    # order — and the JSONL append order — is bit-identical between
+    # serial and ``--workers N`` scans.
+    misses.sort(
+        key=lambda m: (
+            -static_tier.hazard_count(m[1], programs[m[1]]),
+            m[0].size,
+            m[0].spec,
+            m[2],
+        )
+    )
 
     fresh: List[FunctionResult] = []
     if misses:
@@ -307,7 +430,7 @@ def scan_project(root: str, config: Optional[ScanConfig] = None) -> ScanReport:
                 }
             )
 
-    results = cached + fresh
+    results = cached + proven + fresh
     results.sort(key=lambda r: (r.target, r.analysis))
 
     if config.update_baseline:

@@ -27,6 +27,7 @@ from repro.scan.store import STORE_VERSION
 #: How one function × analysis result came to be.
 FROM_ENGINE = "analyzed"
 FROM_STORE = "cached"
+FROM_PROOF = "proven"
 
 
 @dataclasses.dataclass
@@ -45,6 +46,8 @@ class FunctionResult:
     elapsed_seconds: float = 0.0
     partial: bool = False
     error: str = ""
+    #: Static safety certificate payload (``source == FROM_PROOF``).
+    certificate: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -91,6 +94,10 @@ class ScanReport:
         return sum(1 for r in self.results if r.source == FROM_ENGINE)
 
     @property
+    def n_proven(self) -> int:
+        return sum(1 for r in self.results if r.source == FROM_PROOF)
+
+    @property
     def findings(self) -> List[Dict[str, Any]]:
         out: List[Dict[str, Any]] = []
         for result in self.results:
@@ -128,10 +135,11 @@ def render_scan_report(report: ScanReport) -> str:
         f"{len(report.discovered)} function(s) discovered, "
         f"{len(report.lowerable)} lowerable"
     )
+    proven = f", {report.n_proven} statically proven" if report.n_proven else ""
     lines.append(
         f"analyses: {', '.join(report.analyses)} — "
         f"{report.n_analyzed} run(s) executed, "
-        f"{report.n_cached} replayed from store "
+        f"{report.n_cached} replayed from store{proven} "
         f"({report.n_evals} engine evaluations, "
         f"{report.elapsed_seconds:.1f}s)"
     )
@@ -165,6 +173,30 @@ def render_scan_report(report: ScanReport) -> str:
     return "\n".join(lines)
 
 
+def _file_records(report: ScanReport) -> List[Dict[str, Any]]:
+    """Per-file discovery/skip records, so CI consumers can audit what
+    a scan never dynamically analyzed (and why)."""
+    by_path: Dict[str, List[DiscoveredFunction]] = {}
+    for d in report.discovered:
+        by_path.setdefault(d.path, []).append(d)
+    out: List[Dict[str, Any]] = []
+    for path in sorted(by_path):
+        entries = by_path[path]
+        out.append(
+            {
+                "path": path,
+                "n_discovered": len(entries),
+                "n_lowerable": sum(1 for d in entries if d.lowerable),
+                "skips": [
+                    {"name": d.name, "line": d.lineno, "reason": d.skip_reason}
+                    for d in entries
+                    if not d.lowerable
+                ],
+            }
+        )
+    return out
+
+
 def scan_report_to_dict(report: ScanReport) -> Dict[str, Any]:
     """The ``--json`` shape (versioned with the store schema)."""
     return {
@@ -176,6 +208,7 @@ def scan_report_to_dict(report: ScanReport) -> Dict[str, Any]:
         "n_lowerable": len(report.lowerable),
         "n_analyzed": report.n_analyzed,
         "n_cached": report.n_cached,
+        "n_proven": report.n_proven,
         "n_evals": report.n_evals,
         "elapsed_seconds": report.elapsed_seconds,
         "baseline": report.baseline,
@@ -189,6 +222,17 @@ def scan_report_to_dict(report: ScanReport) -> Dict[str, Any]:
                 "reason": d.skip_reason,
             }
             for d in report.skipped
+        ],
+        "files": _file_records(report),
+        "certificates": [
+            {
+                "target": r.target,
+                "analysis": r.analysis,
+                "digest": r.digest,
+                **r.certificate,
+            }
+            for r in report.results
+            if r.source == FROM_PROOF
         ],
         "results": [
             {

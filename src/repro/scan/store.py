@@ -88,6 +88,27 @@ def config_fingerprint(
     return digest_bytes(payload.encode("utf-8"))[:16]
 
 
+def certificate_fingerprint(static_version: int) -> str:
+    """Fingerprint for *static certificate* records.
+
+    Certificates live in the same JSONL store as dynamic results,
+    keyed under a fingerprint derived from the static tier's version
+    instead of the engine knobs: a ``--prove`` scan with any engine
+    budget can replay them, while a plain scan (which looks up the
+    engine fingerprint) can never mistake a certificate for a
+    dynamically-established verdict.
+    """
+    payload = json.dumps(
+        {
+            "version": STORE_VERSION,
+            "certificate": True,
+            "static_version": static_version,
+        },
+        sort_keys=True,
+    )
+    return digest_bytes(payload.encode("utf-8"))[:16]
+
+
 #: Auto-compaction threshold: when more than this fraction of the
 #: file's lines are stale (superseded re-runs of existing keys), an
 #: opening store rewrites it.  1/3 keeps steady-state file size within

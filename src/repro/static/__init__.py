@@ -1,0 +1,49 @@
+"""The static FPIR tier: abstract interpretation, hazards, proofs.
+
+Layer map (each module usable on its own):
+
+* :mod:`repro.static.domain` — the interval × {finite, ±inf, NaN}
+  value lattice and every transfer function;
+* :mod:`repro.static.absint` — the fixpoint engine
+  (:func:`~repro.static.absint.analyze`);
+* :mod:`repro.static.hazards` — located *may*-findings
+  (:func:`~repro.static.hazards.find_hazards`);
+* :mod:`repro.static.prove` — per-analysis *must-not* certificates
+  (:func:`~repro.static.prove.prove`);
+* :mod:`repro.static.lint` — the ``repro lint`` tree driver.
+"""
+
+from repro.static.absint import AbsIntResult, analyze
+from repro.static.domain import AbstractValue
+from repro.static.hazards import HAZARD_KINDS, Hazard, find_hazards
+from repro.static.lint import (
+    LintReport,
+    lint_exit_code,
+    lint_paths,
+    lint_report_to_dict,
+    render_lint_report,
+)
+from repro.static.prove import (
+    PROVABLE_ANALYSES,
+    STATIC_VERSION,
+    Certificate,
+    prove,
+)
+
+__all__ = [
+    "AbsIntResult",
+    "AbstractValue",
+    "Certificate",
+    "HAZARD_KINDS",
+    "Hazard",
+    "LintReport",
+    "PROVABLE_ANALYSES",
+    "STATIC_VERSION",
+    "analyze",
+    "find_hazards",
+    "lint_exit_code",
+    "lint_paths",
+    "lint_report_to_dict",
+    "prove",
+    "render_lint_report",
+]

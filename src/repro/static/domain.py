@@ -1,0 +1,675 @@
+"""The abstract value domain: interval × {finite, ±inf, NaN}.
+
+One :class:`AbstractValue` over-approximates the set of IEEE binary64
+values an FPIR expression can take:
+
+* ``lo``/``hi`` bound the *finite* part (``lo > hi`` means no finite
+  value is possible);
+* ``pinf``/``ninf``/``nan`` say whether ``+inf``/``-inf``/``NaN`` are
+  possible.
+
+Integers ride in the same lattice (their ``pinf``/``ninf``/``nan``
+flags are simply never set); bounds are stored as doubles and always
+*widened outward*, so an integer that is not exactly representable is
+still inside its interval.
+
+Soundness discipline: every finite bound produced by a transfer
+function is nudged one ulp outward (:func:`round_down` /
+:func:`round_up`).  Python evaluates the candidate bound in
+round-to-nearest, which is within half an ulp of the true
+directed-rounding bound, so the one-ulp nudge always covers it.  A
+candidate that rounds to ``±inf`` sets the corresponding infinity flag
+*and* pins the finite bound at ``±DBL_MAX`` (results just below the
+overflow threshold remain possible).
+
+The transfer functions mirror the concrete semantics of
+:mod:`repro.fpir.interpreter` and :mod:`repro.fp.arith` — C's quiet
+inf/NaN behaviour, never Python's raising behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.fp.ieee import DBL_MAX
+
+_INF = float("inf")
+
+#: Ordered comparisons are false when either operand is NaN; ``ne`` is
+#: the one exception (NaN != x is true), mirroring the interpreter.
+_NAN_TRUE_CMPS = ("ne",)
+
+
+def round_down(x: float) -> float:
+    """A float certainly <= the exact value ``x`` approximates."""
+    if x != x:
+        return -DBL_MAX
+    if x == -_INF:
+        return -DBL_MAX
+    if x == _INF:
+        return DBL_MAX
+    return math.nextafter(x, -_INF)
+
+
+def round_up(x: float) -> float:
+    """A float certainly >= the exact value ``x`` approximates."""
+    if x != x:
+        return DBL_MAX
+    if x == _INF:
+        return DBL_MAX
+    if x == -_INF:
+        return -DBL_MAX
+    return math.nextafter(x, _INF)
+
+
+@dataclasses.dataclass(frozen=True)
+class AbstractValue:
+    """A set of doubles: a finite interval plus special-value flags."""
+
+    lo: float = _INF  # lo > hi encodes an empty finite part
+    hi: float = -_INF
+    pinf: bool = False
+    ninf: bool = False
+    nan: bool = False
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def has_finite(self) -> bool:
+        return self.lo <= self.hi
+
+    @property
+    def is_bottom(self) -> bool:
+        return not (self.has_finite or self.pinf or self.ninf or self.nan)
+
+    @property
+    def finite_only(self) -> bool:
+        return self.has_finite and not (self.pinf or self.ninf or self.nan)
+
+    def may_be_zero(self) -> bool:
+        return self.has_finite and self.lo <= 0.0 <= self.hi
+
+    def may_be_positive(self) -> bool:
+        return self.pinf or (self.has_finite and self.hi > 0.0)
+
+    def may_be_negative(self) -> bool:
+        return self.ninf or (self.has_finite and self.lo < 0.0)
+
+    def min_non_nan(self) -> float:
+        """Smallest possible non-NaN value (+inf if none exist)."""
+        if self.ninf:
+            return -_INF
+        return self.lo if self.has_finite else _INF
+
+    def max_non_nan(self) -> float:
+        """Largest possible non-NaN value (-inf if none exist)."""
+        if self.pinf:
+            return _INF
+        return self.hi if self.has_finite else -_INF
+
+    @property
+    def has_non_nan(self) -> bool:
+        return self.has_finite or self.pinf or self.ninf
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.has_finite:
+            parts.append(f"[{self.lo!r}, {self.hi!r}]")
+        if self.ninf:
+            parts.append("-inf")
+        if self.pinf:
+            parts.append("+inf")
+        if self.nan:
+            parts.append("nan")
+        return " | ".join(parts) if parts else "bottom"
+
+
+BOTTOM = AbstractValue()
+
+#: Any double at all — the entry-function parameter value.  The scan
+#: engine's start samplers draw finite points, but minimizer steps can
+#: carry an evaluation to ±inf/NaN, so certificates must hold over the
+#: full domain, not just finite inputs.
+TOP = AbstractValue(lo=-DBL_MAX, hi=DBL_MAX, pinf=True, ninf=True, nan=True)
+
+#: Any finite double.
+TOP_FINITE = AbstractValue(lo=-DBL_MAX, hi=DBL_MAX)
+
+ZERO = AbstractValue(0.0, 0.0)
+
+
+def const_value(value: float) -> AbstractValue:
+    """The singleton abstract value of a literal (exact, no nudge)."""
+    value = float(value)
+    if value != value:
+        return AbstractValue(nan=True)
+    if value == _INF:
+        return AbstractValue(pinf=True)
+    if value == -_INF:
+        return AbstractValue(ninf=True)
+    return AbstractValue(value, value)
+
+
+def interval(lo: float, hi: float) -> AbstractValue:
+    """A finite interval literal (bounds taken as exact)."""
+    return AbstractValue(float(lo), float(hi))
+
+
+def _finite(lo: float, hi: float) -> AbstractValue:
+    """Build from possibly-overflowed candidate bounds (see module doc)."""
+    pinf = hi == _INF or hi != hi
+    ninf = lo == -_INF or lo != lo
+    lo, hi = round_down(lo), round_up(hi)
+    if hi == _INF:  # the outward nudge escaped past DBL_MAX
+        pinf, hi = True, DBL_MAX
+    if lo == -_INF:
+        ninf, lo = True, -DBL_MAX
+    return AbstractValue(lo=lo, hi=hi, pinf=pinf, ninf=ninf)
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.is_bottom:
+        return b
+    if b.is_bottom:
+        return a
+    if a.has_finite and b.has_finite:
+        lo, hi = min(a.lo, b.lo), max(a.hi, b.hi)
+    elif a.has_finite:
+        lo, hi = a.lo, a.hi
+    else:
+        lo, hi = b.lo, b.hi
+    return AbstractValue(
+        lo=lo,
+        hi=hi,
+        pinf=a.pinf or b.pinf,
+        ninf=a.ninf or b.ninf,
+        nan=a.nan or b.nan,
+    )
+
+
+def widen(old: AbstractValue, new: AbstractValue) -> AbstractValue:
+    """Jump unstable bounds to the domain extremes (guarantees a
+    fixpoint in one step per bound; flags are already monotone)."""
+    joined = join(old, new)
+    if old.is_bottom or not joined.has_finite:
+        return joined
+    lo = joined.lo if (not old.has_finite or joined.lo >= old.lo) else -DBL_MAX
+    hi = joined.hi if (not old.has_finite or joined.hi <= old.hi) else DBL_MAX
+    if not old.has_finite:
+        lo, hi = -DBL_MAX, DBL_MAX
+    return dataclasses.replace(joined, lo=lo, hi=hi)
+
+
+def leq(a: AbstractValue, b: AbstractValue) -> bool:
+    """Is ``a`` contained in ``b``?"""
+    if a.is_bottom:
+        return True
+    if a.has_finite and not (b.has_finite and b.lo <= a.lo and a.hi <= b.hi):
+        return False
+    return (
+        (not a.pinf or b.pinf)
+        and (not a.ninf or b.ninf)
+        and (not a.nan or b.nan)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class AbstractBool:
+    """Which truth values a condition can take."""
+
+    may_true: bool = True
+    may_false: bool = True
+
+
+BOTH = AbstractBool(True, True)
+
+
+# ---------------------------------------------------------------------------
+# Float arithmetic transfer
+# ---------------------------------------------------------------------------
+
+
+def _neg(a: AbstractValue) -> AbstractValue:
+    if a.is_bottom:
+        return BOTTOM
+    if a.has_finite:
+        lo, hi = -a.hi, -a.lo
+    else:
+        lo, hi = _INF, -_INF
+    return AbstractValue(lo=lo, hi=hi, pinf=a.ninf, ninf=a.pinf, nan=a.nan)
+
+
+def _fadd(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    out = BOTTOM
+    if a.has_finite and b.has_finite:
+        out = _finite(a.lo + b.lo, a.hi + b.hi)
+    pinf = (
+        out.pinf
+        or (a.pinf and (b.has_finite or b.pinf))
+        or (b.pinf and a.has_finite)
+    )
+    ninf = (
+        out.ninf
+        or (a.ninf and (b.has_finite or b.ninf))
+        or (b.ninf and a.has_finite)
+    )
+    nan = a.nan or b.nan or (a.pinf and b.ninf) or (a.ninf and b.pinf)
+    return dataclasses.replace(out, pinf=pinf, ninf=ninf, nan=nan)
+
+
+def _fsub(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    return _fadd(a, _neg(b))
+
+
+def _fmul(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    out = BOTTOM
+    if a.has_finite and b.has_finite:
+        corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        out = _finite(min(corners), max(corners))
+    a_inf, b_inf = a.pinf or a.ninf, b.pinf or b.ninf
+    pinf = (
+        out.pinf
+        or (a.pinf and b.may_be_positive())
+        or (a.ninf and b.may_be_negative())
+        or (b.pinf and a.may_be_positive())
+        or (b.ninf and a.may_be_negative())
+    )
+    ninf = (
+        out.ninf
+        or (a.pinf and b.may_be_negative())
+        or (a.ninf and b.may_be_positive())
+        or (b.pinf and a.may_be_negative())
+        or (b.ninf and a.may_be_positive())
+    )
+    nan = (
+        a.nan
+        or b.nan
+        or (a_inf and b.may_be_zero())
+        or (b_inf and a.may_be_zero())
+    )
+    return dataclasses.replace(out, pinf=pinf, ninf=ninf, nan=nan)
+
+
+def _fdiv(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    out = BOTTOM
+    pinf = ninf = nan = False
+    if a.has_finite and b.has_finite:
+        if b.may_be_zero():
+            # x/0 explodes in the divisor-sign direction; the finite
+            # quotients near the pole are unbounded.
+            out = TOP_FINITE
+            pinf = ninf = True
+            nan = a.may_be_zero()  # 0/0
+        else:
+            corners = (a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi)
+            out = _finite(min(corners), max(corners))
+    a_inf, b_inf = a.pinf or a.ninf, b.pinf or b.ninf
+    if a_inf and (b.has_finite or b_inf):
+        if b_inf:
+            nan = True  # inf/inf
+        if b.has_finite:
+            # inf/finite -> ±inf; sign analysis is fiddly, stay coarse.
+            pinf = ninf = True
+    if b_inf and a.has_finite:
+        # finite/inf -> ±0.
+        out = join(out, ZERO)
+    nan = nan or a.nan or b.nan
+    return dataclasses.replace(
+        out, pinf=out.pinf or pinf, ninf=out.ninf or ninf, nan=out.nan or nan
+    )
+
+
+# ---------------------------------------------------------------------------
+# Integer transfer (stored as outward-rounded double bounds)
+# ---------------------------------------------------------------------------
+
+#: Conservative "any integer" — magnitudes far beyond anything the
+#: bit-level externals produce, still inside the double lattice.
+TOP_INT = AbstractValue(lo=-DBL_MAX, hi=DBL_MAX)
+
+_U32 = AbstractValue(0.0, 4294967295.0)
+_I64 = AbstractValue(-9.3e18, 9.3e18)
+
+
+def _iarith(op: Callable[[float, float], float]):
+    def transfer(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+        if a.is_bottom or b.is_bottom:
+            return BOTTOM
+        if not (a.finite_only and b.finite_only):
+            return TOP_INT
+        corners = (op(a.lo, b.lo), op(a.lo, b.hi), op(a.hi, b.lo), op(a.hi, b.hi))
+        out = _finite(min(corners), max(corners))
+        # Integers never overflow to inf in FPIR (Python semantics);
+        # clamp an out-of-double-range bound at the lattice extremes.
+        return AbstractValue(out.lo, out.hi)
+
+    return transfer
+
+
+def _ibits(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    return TOP_INT
+
+
+_INT_TRANSFER = {
+    "iadd": _iarith(lambda x, y: x + y),
+    "isub": _iarith(lambda x, y: x - y),
+    "imul": _iarith(lambda x, y: x * y),
+    "idiv": _ibits,
+    "band": _ibits,
+    "bor": _ibits,
+    "bxor": _ibits,
+    "shl": _ibits,
+    "shr": _ibits,
+}
+
+_FLOAT_TRANSFER = {
+    "fadd": _fadd,
+    "fsub": _fsub,
+    "fmul": _fmul,
+    "fdiv": _fdiv,
+}
+
+
+def binop_transfer(op: str, a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Abstract semantics of one FPIR :class:`~repro.fpir.nodes.BinOp`."""
+    fn = _FLOAT_TRANSFER.get(op) or _INT_TRANSFER.get(op)
+    if fn is None:
+        raise KeyError(f"no abstract transfer for binop {op!r}")
+    return fn(a, b)
+
+
+def unop_transfer(op: str, a: AbstractValue) -> AbstractValue:
+    if op == "fneg" or op == "ineg":
+        return _neg(a)
+    raise KeyError(f"no abstract transfer for unop {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+
+def compare_transfer(op: str, a: AbstractValue, b: AbstractValue) -> AbstractBool:
+    """Which outcomes ``a ⊳ b`` can have, IEEE NaN rules included."""
+    if a.is_bottom or b.is_bottom:
+        return AbstractBool(False, False)
+    nan = a.nan or b.nan
+    amin, amax = a.min_non_nan(), a.max_non_nan()
+    bmin, bmax = b.min_non_nan(), b.max_non_nan()
+    comparable = a.has_non_nan and b.has_non_nan
+    if op == "lt":
+        t = comparable and amin < bmax
+        f = comparable and amax >= bmin
+    elif op == "le":
+        t = comparable and amin <= bmax
+        f = comparable and amax > bmin
+    elif op == "gt":
+        t = comparable and amax > bmin
+        f = comparable and amin <= bmax
+    elif op == "ge":
+        t = comparable and amax >= bmin
+        f = comparable and amin < bmax
+    elif op == "eq":
+        t = comparable and amax >= bmin and bmax >= amin
+        f = comparable and not (amin == amax == bmin == bmax)
+    elif op == "ne":
+        f = comparable and amax >= bmin and bmax >= amin
+        t = comparable and not (amin == amax == bmin == bmax)
+    else:
+        raise KeyError(f"no abstract transfer for comparison {op!r}")
+    if nan:
+        if op in _NAN_TRUE_CMPS:
+            t = True
+        else:
+            f = True
+    return AbstractBool(t, f)
+
+
+def refine_compare(
+    value: AbstractValue, op: str, bound: AbstractValue, truth: bool
+) -> AbstractValue:
+    """Narrow ``value`` assuming ``value ⊳ bound`` evaluated to ``truth``.
+
+    Only singleton bounds refine (the common ``x < C`` guard); anything
+    else returns ``value`` unchanged.  The *false* branch of an ordered
+    comparison keeps NaN (NaN fails every ordered comparison), the
+    *true* branch drops it — which is exactly how range guards make
+    kernels certifiable over the full double domain.
+    """
+    if not (bound.has_finite and bound.lo == bound.hi) or bound.nan:
+        return value
+    if bound.pinf or bound.ninf:
+        return value
+    c = bound.lo
+    if not truth:
+        negated = {
+            "lt": "ge",
+            "le": "gt",
+            "gt": "le",
+            "ge": "lt",
+            "eq": "ne",
+            "ne": "eq",
+        }
+        refined = refine_compare(value, negated[op], bound, True)
+        if op in _NAN_TRUE_CMPS:
+            # ne was true for NaN, so its false branch excludes NaN.
+            return dataclasses.replace(refined, nan=False)
+        # An ordered comparison (or eq) is false for NaN: keep it.
+        return dataclasses.replace(refined, nan=value.nan)
+    if op == "lt" or op == "le":
+        cap = c if op == "le" else math.nextafter(c, -_INF)
+        if not value.has_finite or value.lo > cap:
+            lo, hi = _INF, -_INF
+        else:
+            lo, hi = value.lo, min(value.hi, cap)
+        return AbstractValue(lo=lo, hi=hi, pinf=False, ninf=value.ninf, nan=False)
+    if op == "gt" or op == "ge":
+        floor_ = c if op == "ge" else math.nextafter(c, _INF)
+        if not value.has_finite or value.hi < floor_:
+            lo, hi = _INF, -_INF
+        else:
+            lo, hi = max(value.lo, floor_), value.hi
+        return AbstractValue(lo=lo, hi=hi, pinf=value.pinf, ninf=False, nan=False)
+    if op == "eq":
+        if value.has_finite and value.lo <= c <= value.hi:
+            return AbstractValue(c, c)
+        return BOTTOM
+    if op == "ne":
+        return dataclasses.replace(value)  # no interval narrowing
+    return value
+
+
+# ---------------------------------------------------------------------------
+# External (libm / intrinsic) transfer
+# ---------------------------------------------------------------------------
+
+
+def _mono_up(fn: Callable[[float], float]):
+    """Transfer for a monotonically increasing total real function."""
+
+    def apply(a: AbstractValue) -> Tuple[float, float]:
+        return fn(a.lo), fn(a.hi)
+
+    return apply
+
+
+def _ext_sqrt(a: AbstractValue) -> AbstractValue:
+    nan = a.nan or a.ninf or (a.has_finite and a.lo < 0.0)
+    out = BOTTOM
+    if a.has_finite and a.hi >= 0.0:
+        lo = max(a.lo, 0.0)
+        out = _finite(math.sqrt(lo), math.sqrt(a.hi))
+        out = dataclasses.replace(out, lo=max(out.lo, 0.0))
+    return dataclasses.replace(out, pinf=out.pinf or a.pinf, nan=nan)
+
+
+def _ext_log(a: AbstractValue) -> AbstractValue:
+    nan = a.nan or a.ninf or (a.has_finite and a.lo < 0.0)
+    ninf = a.has_finite and a.lo <= 0.0 <= a.hi  # log(0) = -inf
+    out = BOTTOM
+    if a.has_finite and a.hi > 0.0:
+        lo = a.lo if a.lo > 0.0 else math.nextafter(0.0, _INF)
+        out = _finite(math.log(lo), math.log(a.hi))
+    return dataclasses.replace(
+        out, pinf=out.pinf or a.pinf, ninf=out.ninf or ninf, nan=nan
+    )
+
+
+def _ext_exp(a: AbstractValue) -> AbstractValue:
+    from repro.fp.arith import c_exp
+
+    out = BOTTOM
+    if a.has_finite:
+        out = _finite(c_exp(a.lo), c_exp(a.hi))
+        out = dataclasses.replace(out, lo=max(out.lo, 0.0))
+    if a.ninf:
+        out = join(out, ZERO)
+    return dataclasses.replace(out, pinf=out.pinf or a.pinf, nan=a.nan)
+
+
+def _ext_trig(a: AbstractValue) -> AbstractValue:
+    """sin/cos: [-1, 1] for finite inputs, NaN for inf/NaN."""
+    out = BOTTOM
+    if a.has_finite:
+        out = AbstractValue(-1.0, 1.0)
+    return dataclasses.replace(out, nan=a.nan or a.pinf or a.ninf)
+
+
+def _ext_tan(a: AbstractValue) -> AbstractValue:
+    # math.tan never hits a pole exactly (poles are irrational), so
+    # finite inputs give finite — but arbitrarily large — results.
+    out = TOP_FINITE if a.has_finite else BOTTOM
+    return dataclasses.replace(out, nan=a.nan or a.pinf or a.ninf)
+
+
+def _ext_floor(a: AbstractValue) -> AbstractValue:
+    out = BOTTOM
+    if a.has_finite:
+        out = AbstractValue(float(math.floor(a.lo)), float(math.floor(a.hi)))
+    return dataclasses.replace(out, pinf=a.pinf, ninf=a.ninf, nan=a.nan)
+
+
+def _ext_fabs(a: AbstractValue) -> AbstractValue:
+    out = BOTTOM
+    if a.has_finite:
+        if a.lo >= 0.0:
+            out = AbstractValue(a.lo, a.hi)
+        elif a.hi <= 0.0:
+            out = AbstractValue(-a.hi, -a.lo)
+        else:
+            out = AbstractValue(0.0, max(a.hi, -a.lo))
+    return dataclasses.replace(out, pinf=a.pinf or a.ninf, nan=a.nan)
+
+
+def _ext_pow(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    from repro.fp.arith import c_pow
+
+    nan = a.nan or b.nan
+    exp_is_int = (
+        b.finite_only and b.lo == b.hi and float(b.lo) == int(b.lo)
+    )
+    if a.has_finite and a.lo < 0.0 and not exp_is_int:
+        nan = True  # negative base, possibly non-integer exponent
+    if (
+        a.finite_only
+        and a.lo > 0.0
+        and b.finite_only
+        and b.lo == b.hi
+    ):
+        # Positive base, single exponent: monotone in the base.
+        corners = (c_pow(a.lo, b.lo), c_pow(a.hi, b.lo))
+        out = _finite(min(corners), max(corners))
+        return dataclasses.replace(out, nan=nan)
+    return dataclasses.replace(TOP, nan=True)
+
+
+def _ext_ldexp(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    from repro.fp.arith import c_ldexp
+
+    if b.finite_only and b.lo == b.hi and a.finite_only:
+        n = int(b.lo)
+        out = _finite(c_ldexp(a.lo, n), c_ldexp(a.hi, n))
+        return out
+    return AbstractValue(
+        lo=-DBL_MAX,
+        hi=DBL_MAX,
+        pinf=a.may_be_positive() or a.pinf,
+        ninf=a.may_be_negative() or a.ninf,
+        nan=a.nan,
+    )
+
+
+def _ext_fmod(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    nan = (
+        a.nan
+        or b.nan
+        or a.pinf
+        or a.ninf
+        or b.may_be_zero()
+    )
+    out = BOTTOM
+    if a.has_finite and b.has_non_nan:
+        # |fmod(x, y)| <= min(|x|, |y|), sign follows x.
+        mag_a = max(abs(a.lo), abs(a.hi))
+        mag_b = max(abs(b.lo), abs(b.hi)) if b.has_finite else _INF
+        if b.pinf or b.ninf:
+            mag_b = _INF
+        m = min(round_up(min(mag_a, mag_b)), DBL_MAX)
+        out = AbstractValue(-m, m)
+    return dataclasses.replace(out, nan=nan)
+
+
+def _ext_ulp_dist(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    out = AbstractValue(0.0, 1.9e19)
+    return dataclasses.replace(out, pinf=a.nan or b.nan)
+
+
+def _ext_i2d(a: AbstractValue) -> AbstractValue:
+    if not a.has_finite:
+        return TOP_FINITE
+    return _finite(a.lo, a.hi)
+
+
+_EXTERNAL_TRANSFER: Dict[str, Callable[..., AbstractValue]] = {
+    "sqrt": _ext_sqrt,
+    "log": _ext_log,
+    "exp": _ext_exp,
+    "sin": _ext_trig,
+    "cos": _ext_trig,
+    "tan": _ext_tan,
+    "floor": _ext_floor,
+    "fabs": _ext_fabs,
+    "pow": _ext_pow,
+    "ldexp": _ext_ldexp,
+    "fmod": _ext_fmod,
+    "__ulp_dist": _ext_ulp_dist,
+    "__i2d": _ext_i2d,
+    "__hi": lambda a: _U32,
+    "__lo": lambda a: _U32,
+    "__double_to_bits": lambda a: TOP_INT,
+    "__bits_to_double": lambda a: TOP,
+    "__d2i": lambda a: _I64,
+}
+
+
+def external_transfer(
+    name: str, args: Tuple[AbstractValue, ...]
+) -> Optional[AbstractValue]:
+    """Abstract semantics of a registered external, or None if unknown
+    (an unknown external degrades the caller to TOP, never crashes)."""
+    fn = _EXTERNAL_TRANSFER.get(name)
+    if fn is None:
+        return None
+    if any(a.is_bottom for a in args):
+        return BOTTOM
+    return fn(*args)

@@ -1,0 +1,155 @@
+"""Per-analysis safety certificates over abstract interpretation.
+
+Where :mod:`repro.static.hazards` reports what *may* go wrong, this
+module proves what *cannot*: a :class:`Certificate` for an analysis
+states that no input — any double per parameter, ±inf and NaN
+included — can produce a finding, so the dynamic campaign for that
+(function, analysis) pair is pointless and ``repro scan --prove``
+skips it with zero engine evaluations.
+
+The proof obligations mirror each analysis's instrumentation exactly:
+
+* ``overflow`` (Algorithm 3) probes every labelled elementary FP
+  operation and fires when the result ``a`` has ``|a| >= DBL_MAX`` or
+  is NaN.  The certificate therefore requires every *reachable* float
+  :class:`~repro.fpir.nodes.BinOp`'s abstract value to be strictly
+  inside ``(-DBL_MAX, DBL_MAX)`` with no ±inf/NaN possibility.
+  Unreachable operations (never annotated by the fixpoint) carry no
+  obligation: their probes can never execute.
+* ``boundary`` (Fig. 3) multiplies ``w`` by ``|a - b|`` before every
+  comparison and reports inputs where some executed comparison sits
+  exactly on its boundary (``a == b`` — IEEE subtraction of unequal
+  doubles is never exactly zero, so disjointness is exact).  The
+  certificate requires every reachable comparison's operand values to
+  be provably never equal: disjoint finite intervals and no shared
+  infinity.  A function with no reachable comparison is vacuously safe.
+
+Certificates refuse to exist when the abstract run is marked
+incomplete — an unsound "proof" is worse than no proof.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from repro.fp.ieee import DBL_MAX
+from repro.fpir.program import Program
+from repro.fpir.walk import iter_compare_sites, iter_float_ops
+from repro.static.absint import AbsIntResult, analyze
+from repro.static.domain import AbstractValue
+
+#: Bump when the abstract semantics change in a way that could turn a
+#: previously-issued certificate unsound; folded into the store
+#: fingerprint so stale certificates are ignored, never replayed.
+STATIC_VERSION = 1
+
+#: Analyses this module can certify.
+PROVABLE_ANALYSES = ("overflow", "boundary")
+
+
+@dataclasses.dataclass(frozen=True)
+class Certificate:
+    """A machine-checkable claim: this analysis cannot find anything."""
+
+    analysis: str
+    kind: str  # e.g. "overflow-safe"
+    reason: str
+    static_version: int = STATIC_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "analysis": self.analysis,
+            "kind": self.kind,
+            "reason": self.reason,
+            "static_version": self.static_version,
+        }
+
+
+def _value_overflow_safe(value: AbstractValue) -> bool:
+    """Strictly finite: the probe fires at ``|a| >= DBL_MAX`` too."""
+    if value.pinf or value.ninf or value.nan:
+        return False
+    if not value.has_finite:
+        return True  # bottom: the operation produces no value at all
+    return -DBL_MAX < value.lo and value.hi < DBL_MAX
+
+
+def _never_equal(lhs: AbstractValue, rhs: AbstractValue) -> bool:
+    if (lhs.pinf and rhs.pinf) or (lhs.ninf and rhs.ninf):
+        return False
+    if not (lhs.has_finite and rhs.has_finite):
+        return True  # no finite pair to coincide (NaN never equals)
+    return lhs.hi < rhs.lo or rhs.hi < lhs.lo
+
+
+def prove_overflow_safe(result: AbsIntResult) -> Optional[Certificate]:
+    """Certify that Algorithm 3's overflow probes can never fire."""
+    if not result.complete:
+        return None
+    n_ops = 0
+    for fn in result.program.functions.values():
+        for expr in iter_float_ops(fn.body):
+            value = result.value_of(expr)
+            if value is None:
+                continue  # unreachable: its probe can never execute
+            if not _value_overflow_safe(value):
+                return None
+            n_ops += 1
+    return Certificate(
+        analysis="overflow",
+        kind="overflow-safe",
+        reason=(
+            f"every reachable elementary FP operation ({n_ops}) stays "
+            "strictly inside (-DBL_MAX, DBL_MAX), never NaN, over the "
+            "full double input domain"
+        ),
+    )
+
+
+def prove_boundary_safe(result: AbsIntResult) -> Optional[Certificate]:
+    """Certify that no executed comparison can sit on its boundary."""
+    if not result.complete:
+        return None
+    n_sites = 0
+    for fn in result.program.functions.values():
+        for expr in iter_compare_sites(fn.body):
+            lhs = result.value_of(expr.lhs)
+            rhs = result.value_of(expr.rhs)
+            if lhs is None or rhs is None:
+                continue  # unreachable comparison
+            if not _never_equal(lhs, rhs):
+                return None
+            n_sites += 1
+    reason = (
+        f"all {n_sites} reachable comparison sites have provably "
+        "disjoint operand ranges"
+        if n_sites
+        else "no reachable comparison sites (vacuously boundary-free)"
+    )
+    return Certificate(analysis="boundary", kind="boundary-safe", reason=reason)
+
+
+_PROVERS = {
+    "overflow": prove_overflow_safe,
+    "boundary": prove_boundary_safe,
+}
+
+
+def prove(
+    program: Program,
+    analysis: str,
+    result: Optional[AbsIntResult] = None,
+) -> Optional[Certificate]:
+    """A certificate that ``analysis`` finds nothing on ``program``,
+    or None when no proof exists (which says nothing either way —
+    certificates are one-sided by design).
+
+    ``result`` lets callers share one abstract run across analyses.
+    """
+    prover = _PROVERS.get(analysis)
+    if prover is None:
+        return None
+    if result is None:
+        result = analyze(program)
+    return prover(result)

@@ -108,11 +108,12 @@ class TestScanEndToEnd:
     def test_scan_discovers_and_analyzes_c_kernels(self, tmp_path):
         root = _c_project(tmp_path)
         report = scan_project(str(root), _config())
-        assert report.n_files == 4
-        # fig1a/fig1b/fig2, series_j0 + bessel, airy, fold + trig.
-        assert len(report.discovered) == 8
-        assert len(report.lowerable) == 8
-        assert report.n_analyzed == 8 and report.n_cached == 0
+        assert report.n_files == 6
+        # fig1a/fig1b/fig2, series_j0 + bessel, airy, fold + trig,
+        # 5 lintdemo hazards, 8 proven kernels.
+        assert len(report.discovered) == 21
+        assert len(report.lowerable) == 21
+        assert report.n_analyzed == 21 and report.n_cached == 0
         assert report.n_evals > 0
 
     def test_unchanged_rescan_replays_with_zero_evals(self, tmp_path):
@@ -143,4 +144,4 @@ class TestScanEndToEnd:
         # Only fig.c's three functions re-run; digest-keyed replay
         # keeps even fig.c functions whose lowered FPIR is unchanged.
         assert 1 <= second.n_analyzed <= 3
-        assert second.n_cached == 8 - second.n_analyzed
+        assert second.n_cached == 21 - second.n_analyzed

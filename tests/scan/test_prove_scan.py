@@ -1,0 +1,201 @@
+"""``repro scan --prove``: prove-before-search scanning.
+
+The acceptance bar: a certified (function, analysis) pair replays with
+zero engine evaluations, certificates persist in the store under
+their own fingerprint (a plain scan can never mistake one for a
+dynamic verdict), findings are identical with and without ``--prove``,
+and miss prioritization is a deterministic total order shared by
+serial and parallel scans.
+"""
+
+import pytest
+
+from repro.api import JobStarted
+from repro.scan import ScanConfig, scan_project
+from repro.scan.report import FROM_ENGINE, FROM_PROOF, FROM_STORE
+
+#: Certified overflow-safe: range-guarded, compute in the true branch.
+PROVEN = (
+    "def guarded(x):\n"
+    "    if -4.0 < x and x < 4.0:\n"
+    "        return ((0.25 * x + 0.5) * x + 1.0) * x + 2.0\n"
+    "    return 0.0\n"
+)
+#: Not certifiable, and dynamically findable (x*x overflows).
+BLOWY = "def blowy(x):\n    return x * x\n"
+#: Not certifiable, hazard-dense (several hazards per static pass).
+DENSE = (
+    "import math\n"
+    "def dense(x, d):\n"
+    "    return math.sqrt(x - 2.0) / (d - 1.0)\n"
+)
+
+
+def _project(tmp_path, files):
+    root = tmp_path / "proj"
+    root.mkdir(parents=True)
+    for name, source in files.items():
+        (root / name).write_text(source)
+    return root
+
+
+def _config(**kwargs):
+    kwargs.setdefault("analyses", ("overflow",))
+    kwargs.setdefault("smoke", True)
+    return ScanConfig(**kwargs)
+
+
+class TestProveBeforeSearch:
+    def test_certified_function_skips_the_engine(self, tmp_path):
+        root = _project(tmp_path, {"a.py": PROVEN, "b.py": BLOWY})
+        report = scan_project(str(root), _config(prove=True))
+        by_target = {r.target: r for r in report.results}
+        proven = by_target[f"{root}/a.py::guarded"]
+        assert proven.source == FROM_PROOF
+        assert proven.n_evals == 0
+        assert proven.verdict == "not-found"
+        assert proven.certificate["kind"] == "overflow-safe"
+        analyzed = by_target[f"{root}/b.py::blowy"]
+        assert analyzed.source == FROM_ENGINE
+        assert analyzed.n_evals > 0
+        assert report.n_proven == 1
+
+    def test_findings_identical_with_and_without_prove(self, tmp_path):
+        root = _project(tmp_path, {"a.py": PROVEN, "b.py": BLOWY})
+        plain = scan_project(
+            str(root), _config(store_dir=str(tmp_path / "s1"))
+        )
+        proved = scan_project(
+            str(root), _config(prove=True, store_dir=str(tmp_path / "s2"))
+        )
+
+        def essence(report):
+            return [
+                (r.target, r.analysis, r.verdict, r.findings)
+                for r in report.results
+            ]
+
+        assert essence(plain) == essence(proved)
+        assert proved.n_evals < plain.n_evals
+
+    def test_certificates_replay_across_scans(self, tmp_path):
+        root = _project(tmp_path, {"a.py": PROVEN})
+        first = scan_project(str(root), _config(prove=True))
+        assert first.n_proven == 1 and first.n_evals == 0
+        second = scan_project(str(root), _config(prove=True))
+        assert second.n_proven == 1 and second.n_evals == 0
+        (r,) = second.results
+        assert r.source == FROM_PROOF
+        assert r.certificate  # the persisted payload, not a fresh proof
+
+    def test_plain_scan_never_replays_a_certificate(self, tmp_path):
+        """Certificates live under their own store fingerprint: a scan
+        without --prove must run the engine, not trust the proof."""
+        root = _project(tmp_path, {"a.py": PROVEN})
+        scan_project(str(root), _config(prove=True))
+        plain = scan_project(str(root), _config())
+        (r,) = plain.results
+        assert r.source == FROM_ENGINE
+        assert r.n_evals > 0
+
+    def test_prove_scan_reuses_dynamic_cache(self, tmp_path):
+        """`prove` is not part of the engine fingerprint: dynamic
+        verdicts flow between --prove and plain scans freely."""
+        root = _project(tmp_path, {"b.py": BLOWY})
+        plain = scan_project(str(root), _config())
+        assert plain.n_analyzed == 1
+        proved = scan_project(str(root), _config(prove=True))
+        (r,) = proved.results
+        assert r.source == FROM_STORE
+        assert proved.n_evals == 0
+
+    def test_json_report_carries_certificates_and_file_records(self, tmp_path):
+        import json
+
+        from repro.scan.report import scan_report_to_dict
+
+        root = _project(
+            tmp_path,
+            {
+                "a.py": PROVEN,
+                "s.py": "def f(xs):\n    return xs[0]\n",
+            },
+        )
+        report = scan_project(str(root), _config(prove=True))
+        payload = json.loads(json.dumps(scan_report_to_dict(report)))
+        assert payload["n_proven"] == 1
+        (cert,) = payload["certificates"]
+        assert cert["target"].endswith("a.py::guarded")
+        assert cert["analysis"] == "overflow"
+        assert cert["kind"] == "overflow-safe"
+        assert cert["digest"]
+        by_path = {f["path"]: f for f in payload["files"]}
+        skips = by_path[f"{root}/s.py"]["skips"]
+        assert skips and skips[0]["name"] == "f"
+        assert by_path[f"{root}/a.py"]["n_lowerable"] == 1
+
+
+class TestPrioritization:
+    def test_hazard_dense_functions_run_first(self, tmp_path):
+        root = _project(tmp_path, {"a.py": BLOWY, "b.py": DENSE})
+        events = []
+        scan_project(
+            str(root), _config(analyses=("overflow",), on_event=events.append)
+        )
+        started = [e.target for e in events if isinstance(e, JobStarted)]
+        # dense has more static hazards than blowy, so it goes first
+        # even though "a.py" sorts before "b.py".
+        assert started[0].endswith("b.py::dense")
+        assert started[1].endswith("a.py::blowy")
+
+    def test_order_is_a_pinned_total_order(self, tmp_path):
+        """(-hazards, size, spec, analysis): deterministic across
+        repeated scans of the same tree."""
+        files = {
+            "a.py": BLOWY,
+            "b.py": DENSE,
+            "c.py": PROVEN.replace("guarded", "guarded_c"),
+        }
+        orders = []
+        for store in ("s1", "s2"):
+            root = _project(tmp_path / store, files)
+            events = []
+            scan_project(
+                str(root),
+                _config(
+                    store_dir=str(tmp_path / store / "store"),
+                    on_event=events.append,
+                ),
+            )
+            orders.append(
+                [
+                    e.target.rsplit("/", 1)[-1]
+                    for e in events
+                    if isinstance(e, JobStarted)
+                ]
+            )
+        assert orders[0] == orders[1]
+        assert orders[0][0] == "b.py::dense"
+
+
+@pytest.mark.slow
+class TestParallelParity:
+    def test_prove_scans_bit_identical_across_workers(self, tmp_path):
+        files = {"a.py": PROVEN, "b.py": BLOWY, "c.py": DENSE}
+        root = _project(tmp_path, files)
+        serial = scan_project(
+            str(root),
+            _config(prove=True, store_dir=str(tmp_path / "s1")),
+        )
+        parallel = scan_project(
+            str(root),
+            _config(prove=True, n_workers=4, store_dir=str(tmp_path / "s4")),
+        )
+
+        def essence(report):
+            return [
+                (r.target, r.analysis, r.verdict, r.source, r.findings)
+                for r in report.results
+            ]
+
+        assert essence(serial) == essence(parallel)

@@ -1,0 +1,198 @@
+"""The abstract interpreter: fixpoints, refinement, annotations.
+
+The acceptance bar: loops terminate structurally (widening), range
+guards refine, unreachable code stays unannotated, and anything the
+engine cannot model honestly reports ``complete=False`` instead of
+silently producing an unsound result.
+"""
+
+import math
+
+from repro.fpir.frontend import lower_source
+from repro.static import analyze
+from repro.static.domain import AbstractValue, interval
+
+
+def _lower(source, entry):
+    return lower_source(source, entry=entry, filename="t.py")
+
+
+def _analyze(source, entry, **kwargs):
+    return analyze(_lower(source, entry), **kwargs)
+
+
+class TestStraightLine:
+    def test_constant_fold_interval(self):
+        r = _analyze("def f(x):\n    return 2.0 * 3.0\n", "f")
+        assert r.complete
+        assert r.returns.lo <= 6.0 <= r.returns.hi
+        assert not r.returns.nan
+
+    def test_top_parameter_flows_specials(self):
+        r = _analyze("def f(x):\n    return x + 1.0\n", "f")
+        assert r.returns.pinf and r.returns.ninf and r.returns.nan
+
+
+class TestRefinement:
+    GUARDED = (
+        "def f(x):\n"
+        "    if -4.0 < x and x < 4.0:\n"
+        "        return x * x\n"
+        "    return 0.0\n"
+    )
+
+    def test_range_guard_bounds_the_branch(self):
+        r = _analyze(self.GUARDED, "f")
+        assert r.complete
+        assert not r.returns.nan and not r.returns.pinf
+        assert r.returns.hi <= 16.5
+
+    def test_else_branch_keeps_specials(self):
+        source = (
+            "def f(x):\n"
+            "    if x < 0.0:\n"
+            "        return 1.0\n"
+            "    return x\n"
+        )
+        r = _analyze(source, "f")
+        # NaN fails `x < 0`, so it reaches the fall-through return.
+        assert r.returns.nan and r.returns.pinf
+        assert not r.returns.ninf  # -inf took the true branch
+
+    def test_inputs_override_narrows_everything(self):
+        r = _analyze(
+            "def f(x):\n    return x + 1.0\n",
+            "f",
+            inputs={"x": interval(0.0, 1.0)},
+        )
+        assert r.returns.finite_only
+        assert 0.9 <= r.returns.lo and r.returns.hi <= 2.1
+
+
+class TestLoops:
+    def test_bounded_counter_loop_terminates_and_is_finite(self):
+        source = (
+            "def f(x):\n"
+            "    total = 0.0\n"
+            "    k = 1.0\n"
+            "    while k <= 6.0:\n"
+            "        total = total + k\n"
+            "        k = k + 1.0\n"
+            "    return k\n"
+        )
+        r = _analyze(source, "f")
+        assert r.complete
+        # Widening blows the counter's upper bound up, but the
+        # loop-exit refinement (k <= 6 is false) pins its floor —
+        # and the result stays finite and NaN-free.
+        assert r.returns.lo >= 6.0
+        assert r.returns.finite_only
+
+    def test_accumulator_widens_soundly(self):
+        source = (
+            "def f(x):\n"
+            "    s = 0.0\n"
+            "    k = 1.0\n"
+            "    while k <= 6.0:\n"
+            "        s = s + s + 1.0\n"
+            "        k = k + 1.0\n"
+            "    return s\n"
+        )
+        r = _analyze(source, "f")
+        assert r.complete
+        # The accumulator's true range is [0, 63]; widening may give
+        # much more, but must still contain it.
+        assert r.returns.lo <= 0.0 and r.returns.hi >= 63.0
+
+
+class TestCallsAndCompleteness:
+    def test_helper_calls_are_inlined(self):
+        source = (
+            "def half(v):\n"
+            "    return v * 0.5\n"
+            "def f(x):\n"
+            "    if 0.0 < x and x < 2.0:\n"
+            "        return half(x)\n"
+            "    return 0.0\n"
+        )
+        r = _analyze(source, "f")
+        assert r.complete
+        assert r.returns.finite_only and r.returns.hi <= 1.1
+
+    def test_recursion_flips_incomplete(self):
+        source = (
+            "def f(x):\n"
+            "    if x < 1.0:\n"
+            "        return f(x + 1.0)\n"
+            "    return x\n"
+        )
+        r = _analyze(source, "f")
+        assert not r.complete
+
+    def test_known_externals_stay_complete(self):
+        source = (
+            "import math\n"
+            "def f(x):\n"
+            "    return math.sin(x) + math.cos(x)\n"
+        )
+        r = _analyze(source, "f")
+        assert r.complete
+        assert r.returns.lo >= -2.5 and r.returns.hi <= 2.5
+
+
+class TestAnnotations:
+    def test_unreachable_branch_is_unannotated(self):
+        source = (
+            "def f(x):\n"
+            "    y = 1.0\n"
+            "    if y > 2.0:\n"
+            "        z = x / 0.0\n"
+            "        return z\n"
+            "    return y\n"
+        )
+        program = _lower(source, "f")
+        r = analyze(program)
+        assert r.complete
+        from repro.fpir.walk import iter_float_ops
+
+        (div,) = [
+            e
+            for e in iter_float_ops(program.functions["f"].body)
+            if e.op == "fdiv"
+        ]
+        assert r.value_of(div) is None  # never visited => unreachable
+
+    def test_reachable_expressions_are_annotated(self):
+        source = "def f(x):\n    return x * 2.0\n"
+        program = _lower(source, "f")
+        r = analyze(program)
+        from repro.fpir.walk import iter_float_ops
+
+        (mul,) = iter_float_ops(program.functions["f"].body)
+        value = r.value_of(mul)
+        assert isinstance(value, AbstractValue)
+        assert value.pinf  # TOP * 2 can be +inf
+
+
+class TestTwinEquivalence:
+    def test_c_and_python_twins_analyze_identically(self):
+        from repro.cfront import lower_c_source
+
+        py = (
+            "def g(x):\n"
+            "    if -4.0 < x and x < 4.0:\n"
+            "        return 0.5 * x + 1.0\n"
+            "    return 0.0\n"
+        )
+        c = (
+            "double g(double x) {\n"
+            "    if (-4.0 < x && x < 4.0) {\n"
+            "        return 0.5 * x + 1.0;\n"
+            "    }\n"
+            "    return 0.0;\n"
+            "}\n"
+        )
+        rp = analyze(lower_source(py, entry="g", filename="t.py"))
+        rc = analyze(lower_c_source(c, entry="g", filename="t.c"))
+        assert rp.complete and rc.complete
+        assert rp.returns == rc.returns

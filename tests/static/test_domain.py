@@ -1,0 +1,223 @@
+"""The abstract value lattice: soundness of every transfer function.
+
+The acceptance bar is *membership soundness*: for any concrete
+operands drawn from the operand abstractions, the concrete IEEE result
+(per :mod:`repro.fp.arith`'s quiet C semantics) is a member of the
+transfer function's output abstraction.  The randomized sweep below
+checks exactly that over the four elementary ops, including the
+special values the engine's minimizers can reach (±inf, NaN, ±0,
+±DBL_MAX).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.fp import arith
+from repro.fp.ieee import DBL_MAX
+from repro.static.domain import (
+    BOTTOM,
+    TOP,
+    AbstractValue,
+    binop_transfer,
+    compare_transfer,
+    const_value,
+    external_transfer,
+    interval,
+    join,
+    leq,
+    refine_compare,
+    round_down,
+    round_up,
+    widen,
+)
+
+INF = float("inf")
+NAN = float("nan")
+
+_CONCRETE = {
+    "fadd": arith.fadd,
+    "fsub": arith.fsub,
+    "fmul": arith.fmul,
+    "fdiv": arith.fdiv,
+}
+
+
+def _contains(value: AbstractValue, x: float) -> bool:
+    if x != x:
+        return value.nan
+    if x == INF:
+        return value.pinf
+    if x == -INF:
+        return value.ninf
+    return value.has_finite and value.lo <= x <= value.hi
+
+
+def _samples(value: AbstractValue, rng):
+    out = []
+    if value.has_finite:
+        out.extend([value.lo, value.hi])
+        if value.lo < value.hi:
+            out.append(rng.uniform(value.lo, value.hi))
+        if value.lo <= 0.0 <= value.hi:
+            out.append(0.0)
+    if value.pinf:
+        out.append(INF)
+    if value.ninf:
+        out.append(-INF)
+    if value.nan:
+        out.append(NAN)
+    return out
+
+
+#: Operand abstractions covering the interesting corners.
+OPERANDS = [
+    const_value(0.0),
+    const_value(1.0),
+    const_value(-2.5),
+    const_value(INF),
+    const_value(-INF),
+    const_value(NAN),
+    interval(-1.0, 3.0),
+    interval(0.0, DBL_MAX),
+    interval(-DBL_MAX, -1e300),
+    interval(1e-320, 2e-320),
+    TOP,
+    AbstractValue(lo=-4.0, hi=4.0, nan=True),
+    AbstractValue(pinf=True, ninf=True),
+]
+
+
+class TestBinopSoundness:
+    @pytest.mark.parametrize("op", ["fadd", "fsub", "fmul", "fdiv"])
+    def test_concrete_results_are_members(self, op):
+        rng = random.Random(20190622)
+        concrete = _CONCRETE[op]
+        for a in OPERANDS:
+            for b in OPERANDS:
+                out = binop_transfer(op, a, b)
+                for x in _samples(a, rng):
+                    for y in _samples(b, rng):
+                        r = concrete(x, y)
+                        assert _contains(out, r), (
+                            f"{op}({x!r}, {y!r}) = {r!r} not in {out} "
+                            f"(operands {a}, {b})"
+                        )
+
+    def test_bottom_propagates(self):
+        assert binop_transfer("fadd", BOTTOM, TOP).is_bottom
+        assert binop_transfer("fdiv", TOP, BOTTOM).is_bottom
+
+    def test_div_by_interval_containing_zero_explodes(self):
+        out = binop_transfer("fdiv", const_value(1.0), interval(-1.0, 1.0))
+        assert out.pinf and out.ninf
+
+    def test_zero_over_zero_is_nan(self):
+        out = binop_transfer("fdiv", interval(-1.0, 1.0), interval(-1.0, 1.0))
+        assert out.nan
+
+
+class TestOutwardRounding:
+    def test_bounds_are_nudged_outward(self):
+        # 0.1 + 0.2 rounds to 0.30000000000000004; the transfer's hi
+        # bound must not be below any concrete sum of members.
+        out = binop_transfer("fadd", const_value(0.1), const_value(0.2))
+        assert out.lo <= 0.1 + 0.2 <= out.hi
+        assert out.hi >= 0.30000000000000004
+
+    def test_nudge_never_stores_inf_in_finite_part(self):
+        big = interval(DBL_MAX, DBL_MAX)
+        out = binop_transfer("fadd", big, const_value(1.0))
+        assert out.hi <= DBL_MAX and not math.isinf(out.hi)
+
+    def test_round_helpers_clamp_at_dbl_max(self):
+        assert round_up(INF) == DBL_MAX
+        assert round_down(-INF) == -DBL_MAX
+        assert round_up(1.0) > 1.0
+        assert round_down(1.0) < 1.0
+
+
+class TestLatticeOps:
+    def test_join_is_an_upper_bound(self):
+        a, b = interval(-1.0, 2.0), AbstractValue(5.0, 6.0, nan=True)
+        j = join(a, b)
+        assert leq(a, j) and leq(b, j)
+
+    def test_widen_reaches_a_fixpoint(self):
+        old = interval(0.0, 1.0)
+        new = interval(0.0, 2.0)
+        w = widen(old, new)
+        assert w.hi == DBL_MAX  # unstable bound jumps to the extreme
+        assert w.lo == 0.0  # stable bound stays
+        assert leq(new, w)
+
+    def test_bottom_is_least(self):
+        assert leq(BOTTOM, BOTTOM)
+        assert leq(BOTTOM, const_value(1.0))
+        assert not leq(TOP, const_value(1.0))
+
+
+class TestCompareAndRefine:
+    def test_nan_makes_ordered_comparisons_false(self):
+        out = compare_transfer("lt", const_value(NAN), const_value(1.0))
+        assert out.may_false and not out.may_true
+
+    def test_nan_makes_ne_true(self):
+        out = compare_transfer("ne", const_value(NAN), const_value(1.0))
+        assert out.may_true and not out.may_false
+
+    def test_disjoint_intervals_decide(self):
+        out = compare_transfer("lt", interval(0.0, 1.0), interval(2.0, 3.0))
+        assert out.may_true and not out.may_false
+
+    def test_true_branch_of_ordered_guard_drops_nan_and_inf(self):
+        refined = refine_compare(TOP, "lt", const_value(4.0), True)
+        assert not refined.nan and not refined.pinf
+        assert refined.hi <= 4.0
+        assert refined.ninf  # x < 4 keeps -inf
+
+    def test_false_branch_keeps_nan(self):
+        refined = refine_compare(TOP, "lt", const_value(4.0), False)
+        assert refined.nan  # NaN < 4 is false, so NaN takes this branch
+        assert refined.lo >= 4.0
+
+    def test_two_sided_guard_yields_finite_nan_free(self):
+        low = refine_compare(TOP, "gt", const_value(-4.0), True)
+        both = refine_compare(low, "lt", const_value(4.0), True)
+        assert both.finite_only
+        assert -4.0 <= both.lo and both.hi <= 4.0
+
+    def test_non_singleton_bound_refines_nothing(self):
+        assert refine_compare(TOP, "lt", interval(0.0, 1.0), True) == TOP
+
+
+class TestExternals:
+    def test_sqrt_of_possibly_negative_sets_nan(self):
+        out = external_transfer("sqrt", (interval(-1.0, 4.0),))
+        assert out.nan
+        assert out.lo >= 0.0 and out.hi >= 2.0
+
+    def test_log_of_zero_reaches_minus_inf(self):
+        out = external_transfer("log", (interval(0.0, 1.0),))
+        assert out.ninf
+
+    def test_trig_is_bounded_for_finite_inputs(self):
+        out = external_transfer("sin", (interval(-1e9, 1e9),))
+        assert out.lo >= -1.0 and out.hi <= 1.0 and not out.nan
+        assert external_transfer("cos", (TOP,)).nan  # inf/NaN input
+
+    def test_exp_can_overflow(self):
+        out = external_transfer("exp", (interval(0.0, 1e4),))
+        assert out.pinf
+
+    def test_fabs_is_non_negative(self):
+        out = external_transfer("fabs", (interval(-3.0, 2.0),))
+        assert out.lo >= 0.0 and out.hi >= 3.0
+
+    def test_fmod_magnitude_bound(self):
+        out = external_transfer("fmod", (interval(-10.0, 10.0), interval(2.0, 3.0)))
+        assert out.lo >= -3.5 and out.hi <= 3.5
+
+    def test_unknown_external_returns_none(self):
+        assert external_transfer("frobnicate", (TOP,)) is None

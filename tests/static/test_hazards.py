@@ -1,0 +1,108 @@
+"""Hazard extraction: all four kinds, locations, determinism."""
+
+from repro.fpir.frontend import lower_source
+from repro.static import HAZARD_KINDS, analyze, find_hazards
+
+SOURCE = '''
+import math
+
+def unstable_quotient(x, d):
+    return (x + 1.0) / (d - 1.0)
+
+def sqrt_shift(x):
+    return math.sqrt(x - 2.0)
+
+def scale_up(x):
+    y = x * 1.0e300
+    return y * y
+
+def near_cancel(x):
+    return (x + 1.0) - x
+'''
+
+
+def _hazards(entry, source=SOURCE):
+    program = lower_source(source, entry=entry, filename="hz.py")
+    return find_hazards(analyze(program))
+
+
+class TestKinds:
+    def test_div_by_zero(self):
+        kinds = {h.kind for h in _hazards("unstable_quotient")}
+        assert "div-by-zero" in kinds
+
+    def test_domain(self):
+        assert any(
+            h.kind == "domain" and h.op == "sqrt"
+            for h in _hazards("sqrt_shift")
+        )
+
+    def test_overflow(self):
+        assert any(
+            h.kind == "overflow" and h.op == "fmul"
+            for h in _hazards("scale_up")
+        )
+
+    def test_cancellation(self):
+        assert any(
+            h.kind == "cancellation" and h.op == "fsub"
+            for h in _hazards("near_cancel")
+        )
+
+    def test_every_kind_is_registered(self):
+        all_kinds = {
+            h.kind
+            for entry in (
+                "unstable_quotient",
+                "sqrt_shift",
+                "scale_up",
+                "near_cancel",
+            )
+            for h in _hazards(entry)
+        }
+        assert all_kinds <= set(HAZARD_KINDS)
+        assert len(all_kinds) >= 3
+
+
+class TestPrecision:
+    def test_guarded_kernel_is_hazard_free(self):
+        source = (
+            "def f(x):\n"
+            "    if -4.0 < x and x < 4.0:\n"
+            "        return ((0.25 * x + 0.5) * x + 1.0) * x + 2.0\n"
+            "    return 0.0\n"
+        )
+        assert _hazards("f", source) == []
+
+    def test_unreachable_hazard_is_not_reported(self):
+        source = (
+            "def f(x):\n"
+            "    y = 1.0\n"
+            "    if y > 2.0:\n"
+            "        return x / 0.0\n"
+            "    return y\n"
+        )
+        assert _hazards("f", source) == []
+
+    def test_overflow_is_fresh_not_propagated(self):
+        # x*0.5 can *be* inf (TOP input propagates) but cannot freshly
+        # produce it from finite operands — |DBL_MAX * 0.5| < DBL_MAX —
+        # so only propagation reaches ±inf and no hazard is flagged.
+        source = "def f(x):\n    return x * 0.5\n"
+        assert not any(h.kind == "overflow" for h in _hazards("f", source))
+
+
+class TestLocationsAndOrder:
+    def test_hazards_carry_source_locations(self):
+        hazards = _hazards("unstable_quotient")
+        assert hazards
+        for h in hazards:
+            assert h.loc is not None
+            assert h.loc.file == "hz.py"
+            assert h.loc.line >= 1
+
+    def test_output_is_deterministically_sorted(self):
+        first = _hazards("unstable_quotient")
+        second = _hazards("unstable_quotient")
+        assert first == second
+        assert first == sorted(first, key=lambda h: h.sort_key())

@@ -1,0 +1,117 @@
+"""``repro lint``: the diagnostics surface and its exit contract."""
+
+import json
+import subprocess
+import sys
+
+from repro.static import (
+    lint_exit_code,
+    lint_paths,
+    lint_report_to_dict,
+    render_lint_report,
+)
+
+CLEAN = (
+    "def f(x):\n"
+    "    if -4.0 < x and x < 4.0:\n"
+    "        return 0.5 * x + 1.0\n"
+    "    return 0.0\n"
+)
+HAZARDOUS = "def g(x, d):\n    return (x + 1.0) / (d - 1.0)\n"
+
+
+def _project(tmp_path, files):
+    root = tmp_path / "proj"
+    root.mkdir()
+    for name, source in files.items():
+        (root / name).write_text(source)
+    return root
+
+
+class TestExitContract:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        root = _project(tmp_path, {"a.py": CLEAN})
+        report = lint_paths(str(root))
+        assert report.hazards == []
+        assert lint_exit_code(report) == 0
+
+    def test_hazards_exit_one(self, tmp_path):
+        root = _project(tmp_path, {"a.py": HAZARDOUS})
+        report = lint_paths(str(root))
+        assert report.hazards
+        assert lint_exit_code(report) == 1
+
+    def test_cli_usage_error_exits_two(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "no/such/dir"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
+
+
+class TestRendering:
+    def test_caret_diagnostics_point_at_the_operator(self, tmp_path):
+        root = _project(tmp_path, {"a.py": HAZARDOUS})
+        rendered = render_lint_report(lint_paths(str(root)))
+        assert "[div-by-zero]" in rendered
+        assert "a.py:2:" in rendered
+        assert "^" in rendered
+        # The caret line sits under the echoed source line.
+        lines = rendered.splitlines()
+        caret_at = next(i for i, l in enumerate(lines) if l.strip() == "^")
+        assert "(x + 1.0) / (d - 1.0)" in lines[caret_at - 1]
+
+    def test_json_shape_is_serializable(self, tmp_path):
+        root = _project(tmp_path, {"a.py": HAZARDOUS, "b.py": CLEAN})
+        payload = json.loads(
+            json.dumps(lint_report_to_dict(lint_paths(str(root))))
+        )
+        assert payload["n_lowerable"] == 2
+        assert payload["exit_code"] == 1
+        assert payload["kinds"]
+        for hazard in payload["hazards"]:
+            assert hazard["file"] and hazard["line"] >= 1
+
+    def test_skips_are_reported_not_fatal(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {"a.py": CLEAN, "s.py": "def f(xs):\n    return xs[0]\n"},
+        )
+        report = lint_paths(str(root))
+        (skip,) = report.skipped
+        assert skip.spec.endswith("s.py::f")
+        assert lint_exit_code(report) == 0
+
+
+class TestTwinIdentity:
+    """The acceptance criterion: a C kernel and its Python twin lint
+    identically — same kinds, ops and functions, >= 3 hazard kinds."""
+
+    def _essence(self, report):
+        return sorted(
+            (h.kind, h.op, h.function) for _, h in report.hazards
+        )
+
+    def test_lintdemo_twins_report_identical_hazards(self):
+        c = lint_paths("examples/c/lintdemo.c")
+        py = lint_paths("examples/lintdemo_twin.py")
+        assert self._essence(c) == self._essence(py)
+        assert len(c.kinds) >= 3
+        for report in (c, py):
+            for _, hazard in report.hazards:
+                assert hazard.loc is not None
+                assert hazard.loc.line >= 1
+
+    def test_proven_twins_lint_clean(self):
+        c = lint_paths("examples/c/proven.c")
+        py = lint_paths("examples/proven_twin.py")
+        both = [
+            (t, h)
+            for report in (c, py)
+            for t, h in report.hazards
+            if h.function != "scaled_diff"  # benign cancellation warning
+        ]
+        assert both == []

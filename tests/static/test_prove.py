@@ -1,0 +1,166 @@
+"""Certificates: one-sided must-not proofs, and their store keying.
+
+The soundness differential at the bottom is the load-bearing test:
+every function the static tier certifies overflow-safe in the example
+corpus is handed to the *dynamic* overflow analysis, which must find
+nothing — a certificate that a search contradicts would be unsound.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Engine, EngineConfig
+from repro.fpir.frontend import lower_source
+from repro.scan.store import certificate_fingerprint, config_fingerprint, program_digest
+from repro.static import PROVABLE_ANALYSES, STATIC_VERSION, analyze, prove
+
+GUARDED = (
+    "def f(x):\n"
+    "    if -4.0 < x and x < 4.0:\n"
+    "        return ((0.25 * x + 0.5) * x + 1.0) * x + 2.0\n"
+    "    return 0.0\n"
+)
+UNGUARDED = "def f(x):\n    return x * x\n"
+
+
+def _lower(source, entry="f", filename="p.py"):
+    return lower_source(source, entry=entry, filename=filename)
+
+
+class TestOverflowCertificate:
+    def test_guarded_kernel_certifies(self):
+        cert = prove(_lower(GUARDED), "overflow")
+        assert cert is not None
+        assert cert.kind == "overflow-safe"
+        assert cert.static_version == STATIC_VERSION
+
+    def test_unguarded_kernel_does_not(self):
+        assert prove(_lower(UNGUARDED), "overflow") is None
+
+    def test_incomplete_analysis_refuses_to_certify(self):
+        recursive = (
+            "def f(x):\n"
+            "    if x < 1.0:\n"
+            "        return f(x + 1.0)\n"
+            "    return 1.0\n"
+        )
+        program = _lower(recursive)
+        result = analyze(program)
+        assert not result.complete
+        assert prove(program, "overflow", result) is None
+
+    def test_float_op_free_function_is_vacuously_safe(self):
+        clampish = (
+            "def f(v):\n"
+            "    if v < 0.0:\n"
+            "        return 0.0\n"
+            "    if v > 1.0:\n"
+            "        return 1.0\n"
+            "    return v\n"
+        )
+        cert = prove(_lower(clampish), "overflow")
+        assert cert is not None  # no probes exist, none can fire
+
+    def test_unknown_analysis_returns_none(self):
+        assert prove(_lower(GUARDED), "coverage") is None
+        assert "coverage" not in PROVABLE_ANALYSES
+
+
+class TestBoundaryCertificate:
+    def test_comparison_free_function_is_vacuously_safe(self):
+        cert = prove(_lower("def f(x):\n    return x * 2.0\n"), "boundary")
+        assert cert is not None
+        assert cert.kind == "boundary-safe"
+
+    def test_reachable_overlapping_comparison_blocks_the_proof(self):
+        assert prove(_lower(GUARDED), "boundary") is None
+
+    def test_disjoint_comparison_certifies(self):
+        source = (
+            "def f(x):\n"
+            "    y = 10.0\n"
+            "    if y < 2.0:\n"
+            "        return 1.0\n"
+            "    return 0.0\n"
+        )
+        cert = prove(_lower(source), "boundary")
+        assert cert is not None
+
+
+class TestStoreKeying:
+    def test_certificate_fingerprint_disjoint_from_engine_fingerprints(self):
+        cert_fp = certificate_fingerprint(STATIC_VERSION)
+        engine_fp = config_fingerprint(None, None, None, None, None, None)
+        assert cert_fp != engine_fp
+        assert cert_fp != certificate_fingerprint(STATIC_VERSION + 1)
+
+    def test_source_locations_do_not_perturb_the_digest(self):
+        """Locs ride on the nodes but are stripped from pickles, so a
+        comment edit (which shifts every line) still replays."""
+        a = _lower(GUARDED, filename="a.py")
+        b = lower_source(
+            "# a comment that shifts every line number\n" + GUARDED,
+            entry="f",
+            filename="b.py",
+        )
+        assert program_digest(a) == program_digest(b)
+
+    def test_twin_functions_are_equal_and_both_certify(self):
+        """The C kernel and its Python twin lower to dataclass-equal
+        functions, so the proof holds — and is issued — for both."""
+        from repro.cfront import lower_c_file
+        from repro.fpir.frontend import lower_file
+
+        c = lower_c_file("examples/c/proven.c", "horner_cubic")
+        py = lower_file("examples/proven_twin.py", "horner_cubic")
+        assert c.functions["horner_cubic"] == py.functions["horner_cubic"]
+        assert prove(c, "overflow") is not None
+        assert prove(py, "overflow") is not None
+
+
+def _certified_specs(paths):
+    """Every (spec, program) in ``paths`` certified overflow-safe."""
+    from repro.scan.classify import discover_functions
+    from repro.api.targets import parse_target_spec
+
+    out = []
+    for fn in discover_functions([str(p) for p in paths]):
+        if not fn.lowerable:
+            continue
+        program = parse_target_spec(fn.spec).resolve()
+        if prove(program, "overflow") is not None:
+            out.append(fn.spec)
+    return out
+
+
+class TestSoundnessDifferential:
+    """Certified overflow-safe => the dynamic search finds nothing."""
+
+    def _assert_dynamic_agrees(self, specs):
+        assert specs, "corpus must certify something"
+        engine = Engine(EngineConfig(seed=20190622))
+        for spec in specs:
+            report = engine.run(
+                "overflow", spec, n_starts=3, max_rounds=6, niter=20
+            )
+            assert not report.findings, (
+                f"dynamic overflow contradicts the certificate on {spec}: "
+                f"{report.findings}"
+            )
+
+    def test_proven_twins_differential(self):
+        specs = _certified_specs(
+            [Path("examples/proven_twin.py"), Path("examples/python_targets.py")]
+        )
+        assert len(specs) >= 5
+        self._assert_dynamic_agrees(specs)
+
+    @pytest.mark.slow
+    def test_whole_example_corpus_differential(self):
+        paths = sorted(Path("examples").rglob("*.py")) + sorted(
+            Path("examples").rglob("*.c")
+        )
+        specs = _certified_specs(paths)
+        assert len(specs) >= 5
+        self._assert_dynamic_agrees(specs)
